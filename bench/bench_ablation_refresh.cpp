@@ -1,0 +1,122 @@
+/// Ablation of the three key-refresh designs §IV-C/§VI discuss:
+///   (a) hash refresh  — Kc <- F(Kc) locally, zero messages, but a
+///       captured old key yields all future keys (forward-secrecy loss);
+///   (b) intra-cluster rekey — heads announce fresh keys under the old
+///       ones, cluster structure frozen (the §VI HELLO-flood-safe mode);
+///   (c) full re-clustering — repeat the setup over current keys (the
+///       paper's primary description; new clusters and fresh keys).
+/// Reports the message/energy bill and whether a key captured *before*
+/// the refresh still opens traffic *after* it.
+
+#include <iostream>
+
+#include "attacks/adversary.hpp"
+#include "attacks/clone.hpp"
+#include "bench_common.hpp"
+#include "crypto/prf.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ldke;
+
+struct RefreshOutcome {
+  std::uint64_t messages = 0;
+  double energy_j = 0.0;
+  bool stale_clone_rejected = false;     ///< clone replays the captured key
+  bool adaptive_clone_rejected = false;  ///< clone applies F to it first
+};
+
+core::RunnerConfig make_cfg() {
+  core::RunnerConfig cfg = bench::base_config();
+  cfg.node_count = 1000;
+  cfg.density = 12.0;
+  return cfg;
+}
+
+/// Captures a node, refreshes via \p refresh, then replants a clone with
+/// the stale material near the victim.
+template <typename RefreshFn>
+RefreshOutcome evaluate(RefreshFn&& refresh) {
+  core::ProtocolRunner runner{make_cfg()};
+  runner.run_key_setup();
+  runner.run_routing_setup();
+
+  attacks::Adversary adversary{runner};
+  const net::NodeId victim = 321;
+  const auto& material = adversary.capture(victim);
+
+  const auto tx_before = runner.network().channel().transmissions();
+  const double j_before = runner.network().energy().total_j();
+  refresh(runner);
+  RefreshOutcome out;
+  out.messages = runner.network().channel().transmissions() - tx_before;
+  out.energy_j = runner.network().energy().total_j() - j_before;
+
+  const auto vpos = runner.network().topology().position(victim);
+  const double range = runner.network().topology().range();
+  const auto stale = attacks::run_clone_attack(runner, material, vpos, range);
+  out.stale_clone_rejected = stale.accepted == 0;
+
+  // Adaptive adversary: hash refresh is public knowledge, so it applies
+  // F to every captured key before cloning.
+  attacks::CapturedMaterial adapted = material;
+  for (auto& [cid, key] : adapted.cluster_keys) key = crypto::one_way(key);
+  const auto smart = attacks::run_clone_attack(runner, adapted, vpos, range);
+  out.adaptive_clone_rejected = smart.accepted == 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Key-refresh mode ablation, N=1000, density 12\n\n";
+
+  const RefreshOutcome hash = evaluate([](core::ProtocolRunner& r) {
+    for (net::NodeId id = 0; id < r.node_count(); ++id) {
+      r.node(id).apply_hash_refresh();
+    }
+    r.run_for(0.1);
+  });
+  const RefreshOutcome rekey = evaluate([](core::ProtocolRunner& r) {
+    for (net::NodeId id = 0; id < r.node_count(); ++id) {
+      if (r.node(id).was_head()) r.node(id).initiate_cluster_rekey(r.network());
+    }
+    r.run_for(5.0);
+  });
+  const RefreshOutcome recluster = evaluate(
+      [](core::ProtocolRunner& r) { r.run_recluster_round(); });
+
+  support::TextTable table({"mode", "messages", "energy (mJ)",
+                            "stale clone rejected", "adaptive clone rejected"});
+  auto add = [&](std::string_view name, const RefreshOutcome& o) {
+    table.add_row({std::string{name}, std::to_string(o.messages),
+                   support::fmt(o.energy_j * 1e3, 2),
+                   o.stale_clone_rejected ? "yes" : "NO",
+                   o.adaptive_clone_rejected ? "yes" : "NO (F is public)"});
+  };
+  add("hash refresh (Kc <- F(Kc))", hash);
+  add("intra-cluster rekey", rekey);
+  add("full re-clustering", recluster);
+  table.print(std::cout);
+
+  std::cout
+      << "\nhash refresh costs nothing and invalidates naive replays, but\n"
+         "F is public: an adversary that hashes its captured keys forward\n"
+         "clones successfully (the §VI mode trades messages for only\n"
+         "partial protection).  Both message-bearing modes introduce\n"
+         "fresh randomness, so even the adaptive clone dies; full\n"
+         "re-clustering additionally randomizes the cluster structure at\n"
+         "roughly the original setup's cost (plus the routing re-flood).\n";
+
+  // Shape assertions: hash refresh is free but falls to the adaptive
+  // adversary; both message-bearing modes resist even it.
+  const bool ok = hash.messages == 0 && hash.stale_clone_rejected &&
+                  !hash.adaptive_clone_rejected &&
+                  rekey.adaptive_clone_rejected &&
+                  recluster.adaptive_clone_rejected && rekey.messages > 0 &&
+                  recluster.messages > rekey.messages;
+  std::cout << (ok ? "\nAll refresh-mode properties held.\n"
+                   : "\nUNEXPECTED refresh-mode behaviour.\n");
+  return ok ? 0 : 1;
+}

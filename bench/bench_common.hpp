@@ -1,0 +1,68 @@
+#pragma once
+/// Shared plumbing for the figure-reproduction benches: trial counts,
+/// the paper's node-count scale, and SeriesComparison assembly.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/paper_data.hpp"
+#include "analysis/report.hpp"
+#include "core/runner.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ldke::bench {
+
+/// Trials per sweep point; override with LDKE_BENCH_TRIALS for quick runs.
+inline std::size_t trials() {
+  if (const char* env = std::getenv("LDKE_BENCH_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 10;
+}
+
+/// Node count for the §V sweeps (paper: 2500–3600 deployed nodes).
+inline std::size_t paper_node_count() {
+  if (const char* env = std::getenv("LDKE_BENCH_NODES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 2500;
+}
+
+inline core::RunnerConfig base_config() {
+  core::RunnerConfig cfg;
+  cfg.side_m = 1000.0;
+  cfg.seed = 0x5eed;
+  return cfg;
+}
+
+/// Runs the §V density sweep once and hands back the aggregates.
+inline std::vector<analysis::SetupAggregate> density_sweep() {
+  support::ThreadPool pool;
+  return analysis::run_density_sweep(
+      base_config(), analysis::kPaperDensities, paper_node_count(), trials(),
+      &pool);
+}
+
+template <typename Extract>
+analysis::SeriesComparison compare(
+    std::string title, const std::vector<analysis::SetupAggregate>& sweep,
+    std::span<const double> paper, Extract&& extract) {
+  analysis::SeriesComparison cmp;
+  cmp.title = std::move(title);
+  cmp.x_label = "density";
+  for (const auto& point : sweep) {
+    cmp.x.push_back(point.density);
+    const support::RunningStats& stats = extract(point);
+    cmp.measured.push_back(stats.mean());
+    cmp.stderrs.push_back(stats.stderr_mean());
+  }
+  cmp.paper.assign(paper.begin(), paper.end());
+  return cmp;
+}
+
+}  // namespace ldke::bench

@@ -1,0 +1,122 @@
+/// Micro-benchmarks of the crypto substrate (google-benchmark): the
+/// per-packet costs behind every simulated hop — AES blocks, SHA-256,
+/// HMAC tags, and the full seal/open envelope path.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.hpp"
+#include "crypto/authenc.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keychain.hpp"
+#include "crypto/prf.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace ldke;
+
+crypto::Key128 bench_key() {
+  crypto::Key128 k;
+  for (int i = 0; i < 16; ++i) k.bytes[i] = static_cast<std::uint8_t>(i * 11);
+  return k;
+}
+
+void BM_Aes128Block(benchmark::State& state) {
+  const crypto::Aes128 aes{bench_key()};
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    aes.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+void BM_Aes128KeySchedule(benchmark::State& state) {
+  const crypto::Key128 key = bench_key();
+  for (auto _ : state) {
+    crypto::Aes128 aes{key};
+    benchmark::DoNotOptimize(aes);
+  }
+}
+BENCHMARK(BM_Aes128KeySchedule);
+
+void BM_Sha256(benchmark::State& state) {
+  support::Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    auto digest = crypto::sha256(msg);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_HmacTag(benchmark::State& state) {
+  const crypto::Key128 key = bench_key();
+  support::Bytes msg(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    auto tag = crypto::mac(key, msg);
+    benchmark::DoNotOptimize(tag);
+  }
+}
+BENCHMARK(BM_HmacTag)->Arg(36)->Arg(128);
+
+void BM_PrfDerive(benchmark::State& state) {
+  const crypto::Key128 key = bench_key();
+  std::uint64_t label = 0;
+  for (auto _ : state) {
+    auto derived = crypto::prf_u64(key, label++);
+    benchmark::DoNotOptimize(derived);
+  }
+}
+BENCHMARK(BM_PrfDerive);
+
+void BM_SealEnvelope(benchmark::State& state) {
+  const crypto::KeyPair keys = crypto::derive_pair(bench_key());
+  support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    auto sealed = crypto::seal(keys, ++nonce, payload);
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SealEnvelope)->Arg(36)->Arg(128);
+
+void BM_OpenEnvelope(benchmark::State& state) {
+  const crypto::KeyPair keys = crypto::derive_pair(bench_key());
+  support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
+  const auto sealed = crypto::seal(keys, 7, payload);
+  for (auto _ : state) {
+    auto plain = crypto::open(keys, 7, sealed);
+    benchmark::DoNotOptimize(plain);
+  }
+}
+BENCHMARK(BM_OpenEnvelope)->Arg(36)->Arg(128);
+
+void BM_KeyChainGeneration(benchmark::State& state) {
+  const crypto::Key128 seed = bench_key();
+  for (auto _ : state) {
+    crypto::KeyChain chain{seed, static_cast<std::size_t>(state.range(0))};
+    benchmark::DoNotOptimize(chain.commitment());
+  }
+}
+BENCHMARK(BM_KeyChainGeneration)->Arg(64)->Arg(1024);
+
+void BM_ChainVerify(benchmark::State& state) {
+  const crypto::Key128 seed = bench_key();
+  crypto::KeyChain chain{seed, 1024};
+  const auto k1 = *chain.reveal_next();
+  const crypto::Key128 commitment = chain.commitment();
+  for (auto _ : state) {
+    crypto::ChainVerifier verifier{commitment};
+    benchmark::DoNotOptimize(verifier.accept(k1));
+  }
+}
+BENCHMARK(BM_ChainVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

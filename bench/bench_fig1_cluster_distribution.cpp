@@ -1,0 +1,54 @@
+/// Figure 1 — "Distribution of nodes to clusters" at densities 8 and 20:
+/// the fraction of clusters having k members.  The paper's observation:
+/// at low density a larger share of clusters are singletons; higher
+/// density pushes the mass toward larger clusters.
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void report_density(double density, std::span<const double> paper) {
+  using namespace ldke;
+  const auto agg = analysis::run_setup_point(
+      bench::base_config(), density, bench::paper_node_count(),
+      bench::trials());
+  std::cout << "== Figure 1 — cluster-size distribution, density " << density
+            << " ==\n";
+  support::TextTable table(
+      {"cluster size", "paper (approx)", "measured fraction"});
+  const std::size_t top = std::max<std::size_t>(agg.cluster_sizes.max_value(),
+                                                paper.size() - 1);
+  for (std::size_t k = 1; k <= top && k <= 14; ++k) {
+    table.add_row({std::to_string(k),
+                   k < paper.size() ? support::fmt(paper[k], 3) : "-",
+                   support::fmt(agg.cluster_sizes.fraction(k), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmeasured histogram:\n"
+            << agg.cluster_sizes.render() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace ldke;
+  std::cout << "Reproducing Figure 1, N=" << bench::paper_node_count()
+            << ", " << bench::trials() << " trials per density\n\n";
+  report_density(8.0, analysis::kPaperFig1Density8);
+  report_density(20.0, analysis::kPaperFig1Density20);
+
+  // The qualitative claim: singleton fraction shrinks as density grows.
+  const auto sparse = analysis::run_setup_point(bench::base_config(), 8.0,
+                                                bench::paper_node_count(), 3);
+  const auto dense = analysis::run_setup_point(bench::base_config(), 20.0,
+                                               bench::paper_node_count(), 3);
+  const double s1 = sparse.cluster_sizes.fraction(1);
+  const double d1 = dense.cluster_sizes.fraction(1);
+  std::cout << "singleton-cluster fraction: density 8 -> "
+            << support::fmt(s1, 3) << ", density 20 -> "
+            << support::fmt(d1, 3)
+            << (s1 > d1 ? "  (decreases with density: matches paper)\n"
+                        : "  (UNEXPECTED)\n");
+  return s1 > d1 ? 0 : 1;
+}

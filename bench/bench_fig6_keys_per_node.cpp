@@ -1,0 +1,22 @@
+/// Figure 6 — "Average number of cluster keys held by sensor nodes as a
+/// function of network density."  The paper's claim: the number of
+/// stored keys is very small, grows slowly with density, and is
+/// independent of network size.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ldke;
+  std::cout << "Reproducing Figure 6 (keys per node vs density), N="
+            << bench::paper_node_count() << ", " << bench::trials()
+            << " trials per point\n\n";
+  const auto sweep = bench::density_sweep();
+  const auto cmp = bench::compare(
+      "Figure 6 — average cluster keys stored per node", sweep,
+      analysis::kPaperFig6KeysPerNode,
+      [](const analysis::SetupAggregate& a) -> const support::RunningStats& {
+        return a.keys_per_node;
+      });
+  analysis::print_comparison(std::cout, cmp);
+  return analysis::same_trend(cmp.paper, cmp.measured) ? 0 : 1;
+}

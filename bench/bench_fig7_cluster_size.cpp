@@ -1,0 +1,21 @@
+/// Figure 7 — "Average number of nodes in clusters as a function of
+/// network density."  Small clusters bound the damage of a single node
+/// capture (§V).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ldke;
+  std::cout << "Reproducing Figure 7 (nodes per cluster vs density), N="
+            << bench::paper_node_count() << ", " << bench::trials()
+            << " trials per point\n\n";
+  const auto sweep = bench::density_sweep();
+  const auto cmp = bench::compare(
+      "Figure 7 — average number of nodes per cluster", sweep,
+      analysis::kPaperFig7ClusterSize,
+      [](const analysis::SetupAggregate& a) -> const support::RunningStats& {
+        return a.cluster_size;
+      });
+  analysis::print_comparison(std::cout, cmp);
+  return analysis::same_trend(cmp.paper, cmp.measured) ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+/// Figure 8 — "Percentage of cluster heads with respect to total sensor
+/// nodes in the network."  Decreases with density: the denser the
+/// network, the more nodes each HELLO absorbs.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ldke;
+  std::cout << "Reproducing Figure 8 (cluster-head fraction vs density), N="
+            << bench::paper_node_count() << ", " << bench::trials()
+            << " trials per point\n\n";
+  const auto sweep = bench::density_sweep();
+  const auto cmp = bench::compare(
+      "Figure 8 — cluster heads / network size", sweep,
+      analysis::kPaperFig8HeadFraction,
+      [](const analysis::SetupAggregate& a) -> const support::RunningStats& {
+        return a.head_fraction;
+      });
+  analysis::print_comparison(std::cout, cmp);
+  return analysis::same_trend(cmp.paper, cmp.measured) ? 0 : 1;
+}

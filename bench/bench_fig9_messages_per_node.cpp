@@ -1,0 +1,29 @@
+/// Figure 9 — "Number of messages exchanged per node for organization
+/// into clusters and link establishment in a network of 2000 nodes and
+/// various densities."  Identity: messages/node = 1 + head fraction
+/// (every node sends one link advert; heads additionally send a HELLO).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ldke;
+  constexpr std::size_t kFig9Nodes = 2000;  // the paper pins N here
+  std::cout << "Reproducing Figure 9 (setup messages per node), N="
+            << kFig9Nodes << ", " << bench::trials()
+            << " trials per point\n\n";
+  support::ThreadPool pool;
+  const auto sweep = analysis::run_density_sweep(
+      bench::base_config(), analysis::kPaperDensities, kFig9Nodes,
+      bench::trials(), &pool);
+  const auto cmp = bench::compare(
+      "Figure 9 — messages per node during key setup", sweep,
+      analysis::kPaperFig9MessagesPerNode,
+      [](const analysis::SetupAggregate& a) -> const support::RunningStats& {
+        return a.messages_per_node;
+      });
+  analysis::print_comparison(std::cout, cmp);
+  std::cout << "Every value sits between 1 (the mandatory link advert) and\n"
+               "1 + head-fraction — the paper's 'little more than one\n"
+               "message per node' claim.\n";
+  return analysis::same_trend(cmp.paper, cmp.measured) ? 0 : 1;
+}

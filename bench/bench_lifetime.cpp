@@ -1,0 +1,100 @@
+/// Network-lifetime consequence of the paper's §II energy argument: "an
+/// effective technique to extend sensor network lifetime is to limit
+/// the amount of data sent".  Workload: every round each node broadcasts
+/// one encrypted reading to its neighborhood.  LDKE spends one
+/// transmission per round; pairwise-keyed schemes spend one per
+/// neighbor, and every neighbor's radio pays to receive each copy.
+/// Lifetime = rounds until the first node exhausts its battery
+/// (first-order radio model, fixed per-node budget).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "baselines/ldke_adapter.hpp"
+#include "baselines/pairwise.hpp"
+#include "baselines/random_predist.hpp"
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ldke;
+
+/// Per-round energy for every node given a per-node transmission count.
+std::vector<double> per_round_energy(const net::Topology& topo,
+                                     const baselines::KeyScheme& scheme,
+                                     std::size_t packet_bytes) {
+  const net::EnergyConfig e;
+  const double bits = static_cast<double>(packet_bytes + 11) * 8.0;
+  const double tx_j = e.e_elec_j_per_bit * bits +
+                      e.e_amp_j_per_bit_m2 * bits * topo.range() * topo.range();
+  const double rx_j = e.e_elec_j_per_bit * bits;
+
+  std::vector<double> joules(topo.size(), 0.0);
+  for (net::NodeId u = 0; u < topo.size(); ++u) {
+    const double tx_count =
+        static_cast<double>(scheme.broadcast_transmissions(u));
+    joules[u] += tx_count * tx_j;
+    // Every transmission by u is heard by all of u's radio neighbors.
+    for (net::NodeId v : topo.neighbors(u)) {
+      joules[v] += tx_count * rx_j;
+    }
+  }
+  return joules;
+}
+
+double first_death_rounds(const std::vector<double>& per_round,
+                          double battery_j) {
+  double worst = 0.0;
+  for (double j : per_round) worst = std::max(worst, j);
+  return worst > 0.0 ? battery_j / worst : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1500;
+  const std::size_t kReadingBytes = 36;
+  const double kBatteryJ = 2.0;  // a small fraction of two AA cells
+  std::cout << "Network lifetime under a per-round neighborhood-broadcast\n"
+               "workload (battery " << kBatteryJ << " J/node, reading "
+            << kReadingBytes << " B), N=" << n << "\n\n";
+
+  support::TextTable table({"density", "LDKE rounds", "pairwise rounds",
+                            "EG rounds", "LDKE/pairwise"});
+  bool ldke_always_wins = true;
+  for (double density : {8.0, 12.5, 20.0}) {
+    core::RunnerConfig cfg = ldke::bench::base_config();
+    cfg.node_count = n;
+    cfg.density = density;
+    core::ProtocolRunner runner{cfg};
+    runner.run_key_setup();
+    const auto& topo = runner.network().topology();
+
+    baselines::LdkeAdapter ldke_scheme{runner};
+    support::Xoshiro256 rng{5};
+    baselines::PairwiseScheme pairwise;
+    baselines::RandomPredistScheme eg;
+    pairwise.setup(topo, rng);
+    eg.setup(topo, rng);
+
+    const double r_ldke = first_death_rounds(
+        per_round_energy(topo, ldke_scheme, kReadingBytes), kBatteryJ);
+    const double r_pw = first_death_rounds(
+        per_round_energy(topo, pairwise, kReadingBytes), kBatteryJ);
+    const double r_eg = first_death_rounds(
+        per_round_energy(topo, eg, kReadingBytes), kBatteryJ);
+
+    table.add_row({support::fmt(density, 1), support::fmt(r_ldke, 0),
+                   support::fmt(r_pw, 0), support::fmt(r_eg, 0),
+                   support::fmt(r_ldke / r_pw, 1)});
+    if (r_ldke <= 2.0 * r_pw) ldke_always_wins = false;
+  }
+  table.print(std::cout);
+  std::cout << "\nOne cluster-key transmission per broadcast translates\n"
+               "directly into first-node-death lifetime; the gap widens\n"
+               "with density because pairwise costs scale with degree on\n"
+               "both the transmit and the receive side.\n";
+  return ldke_always_wins ? 0 : 1;
+}

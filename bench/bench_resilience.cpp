@@ -1,0 +1,128 @@
+/// §VI resilience to node capture, quantified against the §III
+/// baselines along two axes:
+///
+///   1. overall fraction of secure links (between uncaptured nodes) an
+///      adversary can read after capturing x nodes, and
+///   2. the *locality* of the damage — the same fraction restricted to
+///      links more than three radio ranges away from every captured node
+///      (3r is the exact geometric reach of a captured key set).
+///
+/// The paper's claim is the second axis: "compromised keys in one part
+/// of the network do not allow an adversary to obtain access in some
+/// other part of it".  LDKE's distant-link compromise is exactly zero;
+/// random predistribution leaks distant links at a rate that grows with
+/// x; the global key collapses everywhere after one capture.
+
+#include <iostream>
+
+#include "baselines/global_key.hpp"
+#include "baselines/ldke_adapter.hpp"
+#include "baselines/leap.hpp"
+#include "baselines/pairwise.hpp"
+#include "baselines/random_predist.hpp"
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ldke;
+  core::RunnerConfig cfg = bench::base_config();
+  cfg.node_count = bench::paper_node_count();
+  cfg.density = 12.0;
+  std::cout << "Resilience vs node capture, N=" << cfg.node_count
+            << ", density " << cfg.density << "\n\n";
+
+  core::ProtocolRunner runner{cfg};
+  runner.run_key_setup();
+  baselines::LdkeAdapter ldke{runner};
+
+  support::Xoshiro256 scheme_rng{999};
+  baselines::GlobalKeyScheme global;
+  baselines::PairwiseScheme pairwise;
+  baselines::RandomPredistScheme eg{{10000, 83, 1}};
+  baselines::RandomPredistScheme qcomp{{1000, 60, 2}};
+  const auto& topo = runner.network().topology();
+  global.setup(topo, scheme_rng);
+  pairwise.setup(topo, scheme_rng);
+  eg.setup(topo, scheme_rng);
+  qcomp.setup(topo, scheme_rng);
+
+  support::Xoshiro256 capture_rng{4242};
+  std::vector<net::NodeId> captured;
+  auto grow_captures = [&](std::size_t x) {
+    while (captured.size() < x) {
+      const auto candidate = static_cast<net::NodeId>(
+          capture_rng.uniform_u64(runner.node_count()));
+      if (std::find(captured.begin(), captured.end(), candidate) ==
+          captured.end()) {
+        captured.push_back(candidate);
+      }
+    }
+  };
+  // Locality filter: both endpoints farther than 3r from every capture.
+  // 3r is the exact geometric reach of a captured key set S: a revealed
+  // bordering cluster's farthest member sits at most
+  // r (capture->member) + r (member->head) + r (head->other member) away.
+  const double far2 = 9.0 * topo.range() * topo.range();
+  const baselines::KeyScheme::LinkFilter distant =
+      [&](net::NodeId u, net::NodeId v) {
+        for (net::NodeId c : captured) {
+          if (net::distance_squared(topo.position(u), topo.position(c)) <
+                  far2 ||
+              net::distance_squared(topo.position(v), topo.position(c)) <
+                  far2) {
+            return false;
+          }
+        }
+        return true;
+      };
+
+  std::cout << "(a) all links between uncaptured nodes\n";
+  support::TextTable all_table(
+      {"captured", "LDKE", "EG", "q-composite", "global", "pairwise"});
+  std::cout.flush();
+  std::vector<std::size_t> xs = {0, 1, 2, 5, 10, 20, 35, 50};
+  for (std::size_t x : xs) {
+    grow_captures(x);
+    all_table.add_row(
+        {std::to_string(x), support::fmt(ldke.compromised_link_fraction(captured)),
+         support::fmt(eg.compromised_link_fraction(captured)),
+         support::fmt(qcomp.compromised_link_fraction(captured)),
+         support::fmt(global.compromised_link_fraction(captured)),
+         support::fmt(pairwise.compromised_link_fraction(captured))});
+  }
+  all_table.print(std::cout);
+
+  std::cout << "\n(b) only links > 3 radio ranges from every captured node "
+               "(the paper's locality claim)\n";
+  support::TextTable far_table(
+      {"captured", "LDKE", "EG", "q-composite", "global", "pairwise"});
+  captured.clear();
+  double ldke_far_max = 0.0, eg_far_max = 0.0;
+  for (std::size_t x : xs) {
+    grow_captures(x);
+    const double f_ldke = ldke.compromised_link_fraction(captured, &distant);
+    const double f_eg = eg.compromised_link_fraction(captured, &distant);
+    ldke_far_max = std::max(ldke_far_max, f_ldke);
+    eg_far_max = std::max(eg_far_max, f_eg);
+    far_table.add_row(
+        {std::to_string(x), support::fmt(f_ldke), support::fmt(f_eg),
+         support::fmt(qcomp.compromised_link_fraction(captured, &distant)),
+         support::fmt(global.compromised_link_fraction(captured, &distant)),
+         support::fmt(pairwise.compromised_link_fraction(captured, &distant))});
+  }
+  far_table.print(std::cout);
+
+  std::cout << "\nShape checks:\n";
+  const std::vector<net::NodeId> one_capture = {0};
+  const bool global_collapses =
+      global.compromised_link_fraction(one_capture) == 1.0;
+  const bool ldke_distant_zero = ldke_far_max == 0.0;
+  const bool eg_leaks_distant = eg_far_max > 0.01;
+  std::cout << "  global key collapses after one capture: "
+            << (global_collapses ? "yes" : "NO") << '\n'
+            << "  LDKE never compromises a distant link: "
+            << (ldke_distant_zero ? "yes" : "NO") << '\n'
+            << "  random predistribution leaks distant links: "
+            << (eg_leaks_distant ? "yes" : "NO") << '\n';
+  return (global_collapses && ldke_distant_zero && eg_leaks_distant) ? 0 : 1;
+}

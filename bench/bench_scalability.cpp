@@ -1,0 +1,39 @@
+/// §V / §VII scalability claim: "our protocol behaves the same way in a
+/// network with 2000 or 20000 nodes" — every per-node statistic depends
+/// on the density alone.  This bench fixes density and sweeps size.
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ldke;
+  const std::size_t trials = std::max<std::size_t>(3, bench::trials() / 3);
+  std::cout << "Scalability: density fixed, size swept (" << trials
+            << " trials per point)\n\n";
+
+  for (double density : {8.0, 12.5, 20.0}) {
+    support::TextTable table({"nodes", "keys/node", "cluster size",
+                              "head fraction", "msgs/node"});
+    std::vector<double> keys_means;
+    for (std::size_t n : analysis::kPaperScaleSizes) {
+      const auto agg =
+          analysis::run_setup_point(bench::base_config(), density, n, trials);
+      table.add_row({std::to_string(n), agg.keys_per_node.summary(),
+                     agg.cluster_size.summary(), agg.head_fraction.summary(),
+                     agg.messages_per_node.summary()});
+      keys_means.push_back(agg.keys_per_node.mean());
+    }
+    std::cout << "== density " << density << " ==\n";
+    table.print(std::cout);
+    const double spread =
+        (*std::max_element(keys_means.begin(), keys_means.end()) -
+         *std::min_element(keys_means.begin(), keys_means.end())) /
+        support::mean_of(keys_means);
+    std::cout << "keys/node spread across a 10x size range: "
+              << support::fmt(spread * 100.0, 1) << "%"
+              << (spread < 0.10 ? "  (size-invariant: matches paper)\n\n"
+                                : "  (UNEXPECTEDLY SIZE-DEPENDENT)\n\n");
+    if (spread >= 0.10) return 1;
+  }
+  return 0;
+}

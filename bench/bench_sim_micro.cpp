@@ -1,0 +1,78 @@
+/// Micro-benchmarks of the simulation substrate (google-benchmark):
+/// event-queue throughput, topology construction, and the end-to-end
+/// cost of simulating one complete key-setup phase at paper scale.
+
+#include <benchmark/benchmark.h>
+
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ldke;
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator{1};
+    const auto count = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < count; ++i) {
+      simulator.schedule_in(
+          sim::SimTime::from_ns(static_cast<std::int64_t>((i * 7919) % 1000)),
+          [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1000)->Arg(100000);
+
+void BM_TopologyConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    support::Xoshiro256 rng{42};
+    auto topo = net::Topology::random_with_density(
+        static_cast<std::size_t>(state.range(0)), 1000.0, 12.0, rng);
+    benchmark::DoNotOptimize(topo.mean_degree());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TopologyConstruction)->Arg(2000)->Arg(20000);
+
+void BM_FullKeySetup(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::RunnerConfig cfg;
+    cfg.node_count = static_cast<std::size_t>(state.range(0));
+    cfg.density = 12.0;
+    cfg.seed = seed++;
+    core::ProtocolRunner runner{cfg};
+    runner.run_key_setup();
+    benchmark::DoNotOptimize(core::collect_setup_metrics(runner));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FullKeySetup)->Unit(benchmark::kMillisecond)->Arg(500)->Arg(2000);
+
+void BM_RoutingFlood(benchmark::State& state) {
+  std::uint64_t seed = 11;
+  for (auto _ : state) {
+    core::RunnerConfig cfg;
+    cfg.node_count = 1000;
+    cfg.density = 12.0;
+    cfg.seed = seed++;
+    core::ProtocolRunner runner{cfg};
+    runner.run_key_setup();
+    runner.run_routing_setup();
+    benchmark::DoNotOptimize(runner.sim().events_executed());
+  }
+}
+BENCHMARK(BM_RoutingFlood)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+/// \file attack_resilience.cpp
+/// Walks through the §VI security analysis experimentally: a passive
+/// eavesdropper, a HELLO flood during setup, a clone planted far from
+/// its origin, and selective forwarding — each attack measured against
+/// the property the paper claims.
+///
+///   $ ./attack_resilience [node_count]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "attacks/adversary.hpp"
+#include "attacks/clone.hpp"
+#include "attacks/eavesdropper.hpp"
+#include "attacks/hello_flood.hpp"
+#include "core/runner.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldke;
+  core::RunnerConfig cfg;
+  cfg.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+  cfg.density = 12.0;
+  cfg.side_m = 500.0;
+  cfg.seed = 31337;
+  bool all_good = true;
+
+  // ---- 1. HELLO flood during cluster formation (§VI) ----------------
+  {
+    core::ProtocolRunner runner{cfg};
+    const auto flood = attacks::run_hello_flood(
+        runner, {cfg.side_m / 2, cfg.side_m / 2}, cfg.side_m, 25,
+        /*adversary_knows_km=*/false);
+    std::cout << "[1] HELLO flood during setup: " << flood.auth_failures
+              << " forged HELLOs rejected, " << flood.victims_joined
+              << " nodes captured."
+              << (flood.victims_joined == 0 ? "  OK\n" : "  BROKEN\n");
+    all_good &= flood.victims_joined == 0;
+  }
+
+  core::ProtocolRunner runner{cfg};
+  attacks::Eavesdropper ear;
+  ear.attach(runner.network());
+  runner.run_key_setup();
+  runner.run_routing_setup();
+
+  // Generate traffic for the eavesdropper to chew on.
+  for (net::NodeId id = 1; id < runner.node_count(); id += 7) {
+    runner.node(id).send_reading(runner.network(), support::bytes_of("r"));
+  }
+  runner.run_for(10.0);
+
+  // ---- 2. passive eavesdropping -------------------------------------
+  attacks::Adversary adversary{runner};
+  std::cout << "[2] Eavesdropper recorded " << ear.packets_seen()
+            << " packets (" << ear.bytes_seen() << " bytes), "
+            << ear.data_packets_seen() << " data envelopes; readable before "
+            << "any capture: " << ear.readable_data_packets(adversary)
+            << ".  "
+            << (ear.readable_data_packets(adversary) == 0 ? "OK\n" : "BROKEN\n");
+  all_good &= ear.readable_data_packets(adversary) == 0;
+
+  // ---- 3. capture + clone far away -----------------------------------
+  const net::NodeId victim = 77;
+  const auto& material = adversary.capture(victim);
+  const auto vpos = runner.network().topology().position(victim);
+  const net::Vec2 far{vpos.x < cfg.side_m / 2 ? cfg.side_m * 0.9
+                                              : cfg.side_m * 0.1,
+                      vpos.y < cfg.side_m / 2 ? cfg.side_m * 0.9
+                                              : cfg.side_m * 0.1};
+  const auto clone_far = attacks::run_clone_attack(
+      runner, material, far, runner.network().topology().range());
+  const auto clone_near = attacks::run_clone_attack(
+      runner, material, vpos, runner.network().topology().range());
+  std::cout << "[3] Clone of node " << victim << ": near origin accepted by "
+            << clone_near.accepted << "/" << clone_near.receivers
+            << "; far away accepted by " << clone_far.accepted << "/"
+            << clone_far.receivers << " (keys are localized).  "
+            << (clone_far.accepted == 0 ? "OK\n" : "BROKEN\n");
+  all_good &= clone_far.accepted == 0;
+
+  // Post-capture readability is local too.
+  const double readable_fraction =
+      static_cast<double>(ear.readable_data_packets(adversary)) /
+      static_cast<double>(std::max<std::uint64_t>(1, ear.data_packets_seen()));
+  std::cout << "    After the capture the eavesdropper can open "
+            << support::fmt(readable_fraction * 100.0, 1)
+            << "% of recorded data envelopes (local clusters only).\n";
+
+  // ---- 4. selective forwarding ---------------------------------------
+  const auto before = runner.base_station()->readings().size();
+  net::NodeId mule = net::kNoNode;
+  for (net::NodeId id = 1; id < runner.node_count(); ++id) {
+    if (runner.node(id).routing().hop() == 1) {
+      mule = id;
+      break;
+    }
+  }
+  runner.node(mule).set_forward_drop_probability(1.0);
+  std::size_t through_mule = 0;
+  for (net::NodeId id = 1; id < runner.node_count(); ++id) {
+    if (runner.node(id).routing().parent() == mule) {
+      runner.node(id).send_reading(runner.network(), support::bytes_of("s"));
+      ++through_mule;
+    }
+  }
+  runner.run_for(10.0);
+  const auto dropped =
+      runner.network().counters().value("data.maliciously_dropped");
+  std::cout << "[4] Selective forwarding: node " << mule << " dropped "
+            << dropped << "/" << through_mule
+            << " readings routed through it (base station received "
+            << runner.base_station()->readings().size() - before
+            << ").  The paper notes nearby nodes retain access to the same\n"
+               "    information via their cluster keys; recovery is a "
+               "routing-layer concern.\n";
+
+  std::cout << (all_good ? "\nAll §VI properties held.\n"
+                         : "\nSOME PROPERTIES FAILED.\n");
+  return all_good ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+/// \file interest_driven_monitoring.cpp
+/// Directed-diffusion workload (the paper's reference [5], §I's data
+/// fusion motivation) on top of the LDKE key structure: the base
+/// station asks for a phenomenon by name, sensors near it answer, and
+/// after one exploratory round the traffic collapses onto a reinforced
+/// path — every control and data message authenticated hop-by-hop with
+/// cluster keys.
+///
+///   $ ./interest_driven_monitoring [node_count]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldke;
+  core::RunnerConfig cfg;
+  cfg.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  cfg.density = 14.0;
+  cfg.side_m = 450.0;
+  cfg.seed = 90210;
+
+  core::ProtocolRunner runner{cfg};
+  runner.run_key_setup();
+  std::cout << "Key structure up (" << runner.node_count()
+            << " sensors).  The sink floods an interest...\n";
+
+  constexpr core::InterestId kSeismic = 0x5E15;
+  runner.base_station()->subscribe_interest(
+      runner.network(), kSeismic, support::bytes_of("seismic-activity"));
+  runner.run_for(5.0);
+
+  std::size_t gradients = 0;
+  for (net::NodeId id = 1; id < runner.node_count(); ++id) {
+    if (runner.node(id).diffusion_entry(kSeismic) != nullptr) ++gradients;
+  }
+  std::cout << "Interest gradients at " << gradients << "/"
+            << runner.node_count() - 1 << " nodes.\n\n";
+
+  // A sensor at the far corner observes the phenomenon.
+  const auto& topo = runner.network().topology();
+  net::NodeId source = 1;
+  double best = 0.0;
+  for (net::NodeId id = 1; id < runner.node_count(); ++id) {
+    const double d = net::distance(topo.position(0), topo.position(id));
+    if (d > best) {
+      best = d;
+      source = id;
+    }
+  }
+
+  support::TextTable table(
+      {"sample", "mode", "flood fwds", "path fwds", "delivered"});
+  const auto& counters = runner.network().counters();
+  for (int k = 1; k <= 5; ++k) {
+    const auto flood_before = counters.value("diffusion.exploratory_forwarded");
+    const auto path_before = counters.value("diffusion.path_forwarded");
+    runner.node(source).publish_sample(
+        runner.network(), kSeismic,
+        support::bytes_of("magnitude=" + std::to_string(k)));
+    runner.run_for(6.0);
+    const auto* entry = runner.node(source).diffusion_entry(kSeismic);
+    table.add_row(
+        {std::to_string(k),
+         entry != nullptr && entry->on_reinforced_path ? "path" : "flood",
+         std::to_string(counters.value("diffusion.exploratory_forwarded") -
+                        flood_before),
+         std::to_string(counters.value("diffusion.path_forwarded") -
+                        path_before),
+         std::to_string(
+             runner.base_station()->diffusion_samples().size())});
+  }
+  table.print(std::cout);
+
+  const auto& samples = runner.base_station()->diffusion_samples();
+  std::cout << "\nSink received " << samples.size()
+            << " samples; after the exploratory round the per-sample cost\n"
+               "dropped from a network-wide flood to one re-encryption per\n"
+               "hop of the reinforced path.\n";
+  return samples.size() == 5 ? 0 : 1;
+}

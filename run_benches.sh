@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every bench at full fidelity, teeing per-bench outputs into
+# results/.  Honors LDKE_BENCH_TRIALS / LDKE_BENCH_NODES for quick runs.
+cd "$(dirname "$0")"
+mkdir -p results
+status=0
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" > "results/$name.txt" 2>&1
+  rc=$?
+  echo "exit=$rc ($name)"
+  [ $rc -ne 0 ] && status=1
+done
+exit $status

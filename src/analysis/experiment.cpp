@@ -1,0 +1,59 @@
+#include "analysis/experiment.hpp"
+
+#include <mutex>
+
+namespace ldke::analysis {
+
+SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
+                               std::size_t node_count, std::size_t trials,
+                               support::ThreadPool* pool) {
+  SetupAggregate agg;
+  agg.density = density;
+  agg.node_count = node_count;
+  agg.trials = trials;
+
+  std::mutex merge_mutex;
+  auto one_trial = [&](std::size_t trial) {
+    core::RunnerConfig cfg = base;
+    cfg.density = density;
+    cfg.node_count = node_count;
+    cfg.seed = support::derive_seed(base.seed, trial + 1);
+    core::ProtocolRunner runner{cfg};
+    runner.run_key_setup();
+    const core::SetupMetrics m = core::collect_setup_metrics(runner);
+
+    std::lock_guard lock(merge_mutex);
+    agg.keys_per_node.add(m.mean_keys_per_node);
+    agg.cluster_size.add(m.mean_cluster_size);
+    agg.head_fraction.add(m.head_fraction);
+    agg.messages_per_node.add(m.setup_messages_per_node);
+    agg.realized_density.add(m.realized_density);
+    if (m.cluster_count > 0) {
+      agg.singleton_fraction.add(static_cast<double>(m.singleton_clusters) /
+                                 static_cast<double>(m.cluster_count));
+    }
+    agg.cluster_sizes.merge(m.cluster_sizes);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(trials, one_trial);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) one_trial(t);
+  }
+  return agg;
+}
+
+std::vector<SetupAggregate> run_density_sweep(const core::RunnerConfig& base,
+                                              std::span<const double> densities,
+                                              std::size_t node_count,
+                                              std::size_t trials,
+                                              support::ThreadPool* pool) {
+  std::vector<SetupAggregate> out;
+  out.reserve(densities.size());
+  for (double density : densities) {
+    out.push_back(run_setup_point(base, density, node_count, trials, pool));
+  }
+  return out;
+}
+
+}  // namespace ldke::analysis

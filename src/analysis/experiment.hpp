@@ -1,0 +1,47 @@
+#pragma once
+/// \file experiment.hpp
+/// Multi-seed trial harness: runs independent ProtocolRunner trials
+/// (optionally across a thread pool — each trial is single-threaded and
+/// deterministic) and aggregates the §V metrics with standard errors.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+#include "support/histogram.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ldke::analysis {
+
+/// Aggregate of collect_setup_metrics over several seeds at one
+/// (density, node count) point.
+struct SetupAggregate {
+  double density = 0.0;
+  std::size_t node_count = 0;
+  std::size_t trials = 0;
+  support::RunningStats keys_per_node;        // Fig 6
+  support::RunningStats cluster_size;         // Fig 7
+  support::RunningStats head_fraction;        // Fig 8
+  support::RunningStats messages_per_node;    // Fig 9
+  support::RunningStats realized_density;
+  support::RunningStats singleton_fraction;   // singleton clusters / clusters
+  support::IntHistogram cluster_sizes;        // Fig 1 (pooled over trials)
+};
+
+/// Runs \p trials seeds of the key-setup phase at one sweep point.
+/// \p pool may be null (sequential execution).
+[[nodiscard]] SetupAggregate run_setup_point(const core::RunnerConfig& base,
+                                             double density,
+                                             std::size_t node_count,
+                                             std::size_t trials,
+                                             support::ThreadPool* pool = nullptr);
+
+/// Sweeps the density axis at fixed node count.
+[[nodiscard]] std::vector<SetupAggregate> run_density_sweep(
+    const core::RunnerConfig& base, std::span<const double> densities,
+    std::size_t node_count, std::size_t trials,
+    support::ThreadPool* pool = nullptr);
+
+}  // namespace ldke::analysis

@@ -1,0 +1,56 @@
+#include "analysis/report.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "support/table.hpp"
+
+namespace ldke::analysis {
+
+void print_comparison(std::ostream& os, const SeriesComparison& cmp,
+                      int precision) {
+  os << "== " << cmp.title << " ==\n";
+  support::TextTable table(
+      {cmp.x_label, "paper (approx)", "measured", "stderr", "ratio"});
+  for (std::size_t i = 0; i < cmp.x.size(); ++i) {
+    const double paper = i < cmp.paper.size() ? cmp.paper[i] : 0.0;
+    const double measured = i < cmp.measured.size() ? cmp.measured[i] : 0.0;
+    const double se = i < cmp.stderrs.size() ? cmp.stderrs[i] : 0.0;
+    const double ratio = paper != 0.0 ? measured / paper : 0.0;
+    table.add_row({support::fmt(cmp.x[i], 1), support::fmt(paper, precision),
+                   support::fmt(measured, precision),
+                   support::fmt(se, precision), support::fmt(ratio, 2)});
+  }
+  table.print(os);
+  os << "trend match: " << (same_trend(cmp.paper, cmp.measured) ? "yes" : "NO")
+     << "   correlation: "
+     << support::fmt(correlation(cmp.paper, cmp.measured), 3) << "\n\n";
+}
+
+bool same_trend(std::span<const double> paper, std::span<const double> measured,
+                double tolerance) {
+  if (paper.size() != measured.size() || paper.size() < 2) return false;
+  for (std::size_t i = 1; i < paper.size(); ++i) {
+    const double dp = paper[i] - paper[i - 1];
+    const double dm = measured[i] - measured[i - 1];
+    if (dp > 0 && dm < -tolerance) return false;
+    if (dp < 0 && dm > tolerance) return false;
+  }
+  return true;
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = support::mean_of(a);
+  const double mb = support::mean_of(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace ldke::analysis

@@ -1,0 +1,39 @@
+#pragma once
+/// \file report.hpp
+/// Paper-vs-measured reporting used by every figure bench: one table per
+/// figure with the x axis, the digitized paper series and our measured
+/// series (mean ± stderr), plus a shape check (same monotone trend).
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace ldke::analysis {
+
+struct SeriesComparison {
+  std::string title;             ///< e.g. "Figure 6 — cluster keys per node"
+  std::string x_label;           ///< e.g. "density"
+  std::vector<double> x;
+  std::vector<double> paper;     ///< digitized values (approximate)
+  std::vector<double> measured;  ///< trial means
+  std::vector<double> stderrs;   ///< trial standard errors
+};
+
+/// Prints the comparison table followed by a shape summary.
+void print_comparison(std::ostream& os, const SeriesComparison& cmp,
+                      int precision = 3);
+
+/// True iff both series move in the same direction between consecutive
+/// x points (ties in the measured series tolerated within \p tolerance).
+[[nodiscard]] bool same_trend(std::span<const double> paper,
+                              std::span<const double> measured,
+                              double tolerance = 0.0);
+
+/// Pearson correlation between two equal-length series (0 if degenerate).
+[[nodiscard]] double correlation(std::span<const double> a,
+                                 std::span<const double> b);
+
+}  // namespace ldke::analysis

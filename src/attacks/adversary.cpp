@@ -1,0 +1,65 @@
+#include "attacks/adversary.hpp"
+
+namespace ldke::attacks {
+
+CapturedMaterial Adversary::capture(net::NodeId id) {
+  const core::SensorNode& victim = runner_->node(id);
+  CapturedMaterial material;
+  material.node = id;
+  material.cid = victim.cid();
+  material.node_key = victim.secrets().node_key;
+  material.master_key_available = !victim.master_erased();
+  if (material.master_key_available) {
+    material.master_key = victim.secrets().master_key;
+  }
+  for (const auto& [cid, key] : victim.captured_keys().all()) {
+    material.cluster_keys.emplace(cid, key);
+    revealed_.insert(cid);
+    revealed_keys_[cid] = key;
+  }
+  captured_nodes_.insert(id);
+  captures_.push_back(std::move(material));
+  return captures_.back();
+}
+
+double Adversary::fraction_clusters_compromised() const {
+  std::unordered_set<ClusterId> all_clusters;
+  for (const auto& node : runner_->nodes()) {
+    if (node->keys().has_own()) all_clusters.insert(node->cid());
+  }
+  if (all_clusters.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (ClusterId cid : all_clusters) {
+    if (revealed_.contains(cid)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(all_clusters.size());
+}
+
+double Adversary::fraction_links_readable() const {
+  const net::Topology& topo = runner_->network().topology();
+  std::size_t total = 0;
+  std::size_t readable = 0;
+  for (net::NodeId u = 0; u < topo.size(); ++u) {
+    if (captured_nodes_.contains(u)) continue;
+    const ClusterId cu = runner_->node(u).cid();
+    for (net::NodeId v : topo.neighbors(u)) {
+      if (u >= v || captured_nodes_.contains(v)) continue;
+      ++total;
+      const ClusterId cv = runner_->node(v).cid();
+      // Traffic between u and v is wrapped under the sender's own
+      // cluster key — readable iff either endpoint's cluster is exposed.
+      if (revealed_.contains(cu) || revealed_.contains(cv)) ++readable;
+    }
+  }
+  return total == 0
+             ? 0.0
+             : static_cast<double>(readable) / static_cast<double>(total);
+}
+
+std::optional<crypto::Key128> Adversary::key_for(ClusterId cid) const {
+  const auto it = revealed_keys_.find(cid);
+  if (it == revealed_keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ldke::attacks

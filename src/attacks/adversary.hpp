@@ -1,0 +1,71 @@
+#pragma once
+/// \file adversary.hpp
+/// Node-capture adversary (§VI).  Physical capture of an unattended
+/// sensor reads out its entire memory: the key set S, the node key Ki,
+/// and — if the capture happens before the erase deadline — the master
+/// key Km.  The protocol's localization claim is that this material only
+/// opens the victim's own cluster and its bordering clusters.
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace ldke::attacks {
+
+using core::ClusterId;
+
+/// Everything a capture of one node yields.
+struct CapturedMaterial {
+  net::NodeId node = net::kNoNode;
+  ClusterId cid = core::kNoCluster;
+  std::map<ClusterId, crypto::Key128> cluster_keys;  ///< the victim's S
+  crypto::Key128 node_key;                           ///< Ki
+  bool master_key_available = false;  ///< capture beat the erase deadline
+  crypto::Key128 master_key;
+};
+
+class Adversary {
+ public:
+  explicit Adversary(core::ProtocolRunner& runner) : runner_(&runner) {}
+
+  /// Captures \p id and accumulates its key material.  Returned by value
+  /// so the result stays valid across later captures.
+  CapturedMaterial capture(net::NodeId id);
+
+  [[nodiscard]] const std::vector<CapturedMaterial>& captures()
+      const noexcept {
+    return captures_;
+  }
+
+  /// Whether the adversary holds the (current) key of cluster \p cid.
+  [[nodiscard]] bool can_read_cluster(ClusterId cid) const {
+    return revealed_.contains(cid);
+  }
+
+  [[nodiscard]] const std::unordered_set<ClusterId>& revealed_clusters()
+      const noexcept {
+    return revealed_;
+  }
+
+  /// Fraction of clusters in the deployment whose key is revealed.
+  [[nodiscard]] double fraction_clusters_compromised() const;
+
+  /// Fraction of radio links between uncaptured nodes whose hop traffic
+  /// the adversary can read — the §VI locality metric.
+  [[nodiscard]] double fraction_links_readable() const;
+
+  /// The key the adversary would use to forge traffic of cluster \p cid
+  /// (nullopt if it has no capture covering that cluster).
+  [[nodiscard]] std::optional<crypto::Key128> key_for(ClusterId cid) const;
+
+ private:
+  core::ProtocolRunner* runner_;
+  std::vector<CapturedMaterial> captures_;
+  std::unordered_set<net::NodeId> captured_nodes_;
+  std::unordered_set<ClusterId> revealed_;
+  std::map<ClusterId, crypto::Key128> revealed_keys_;
+};
+
+}  // namespace ldke::attacks

@@ -1,0 +1,31 @@
+#pragma once
+/// \file clone.hpp
+/// Node replication attack (§II, §VI "Sybil attacks"): the adversary
+/// builds clones of a captured node and plants them elsewhere.  The
+/// protocol's localization claim: a clone is only *accepted* by nodes
+/// that hold the captured cluster's key — i.e. inside or bordering the
+/// victim's cluster — and is cryptographically rejected everywhere else
+/// ("key material from one part of the network cannot be used to disrupt
+/// communications to some other part of it").
+
+#include "attacks/adversary.hpp"
+#include "net/vec2.hpp"
+
+namespace ldke::attacks {
+
+struct CloneAttackResult {
+  std::size_t receivers = 0;        ///< nodes in radio range of the clone
+  std::uint64_t accepted = 0;       ///< envelopes that authenticated
+  std::uint64_t rejected_no_key = 0;///< receivers without the cluster key
+  std::uint64_t rejected_auth = 0;  ///< MAC verification failures
+};
+
+/// Transmits one forged data envelope from \p position with \p radius
+/// using the cluster key captured in \p material, then advances the
+/// simulation until delivery completes.  Returns per-outcome counts
+/// (derived from the network's diagnostic counters).
+CloneAttackResult run_clone_attack(core::ProtocolRunner& runner,
+                                   const CapturedMaterial& material,
+                                   net::Vec2 position, double radius);
+
+}  // namespace ldke::attacks

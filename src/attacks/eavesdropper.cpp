@@ -1,0 +1,35 @@
+#include "attacks/eavesdropper.hpp"
+
+#include "wsn/messages.hpp"
+
+namespace ldke::attacks {
+
+void Eavesdropper::attach(net::Network& net) {
+  net.channel().set_sniffer([this](const net::Packet& pkt) {
+    ++packets_seen_;
+    bytes_seen_ += pkt.size_bytes();
+    if (pkt.kind == net::PacketKind::kData) {
+      support::Bytes sealed;
+      if (const auto header = wsn::decode_data_header(pkt.payload, sealed)) {
+        data_headers_.push_back(header->cid);
+      }
+    }
+  });
+}
+
+std::uint64_t Eavesdropper::readable_data_packets(
+    const Adversary& adversary) const {
+  std::uint64_t readable = 0;
+  for (core::ClusterId cid : data_headers_) {
+    if (adversary.can_read_cluster(cid)) ++readable;
+  }
+  return readable;
+}
+
+void Eavesdropper::reset() noexcept {
+  packets_seen_ = 0;
+  bytes_seen_ = 0;
+  data_headers_.clear();
+}
+
+}  // namespace ldke::attacks

@@ -1,0 +1,32 @@
+#pragma once
+/// \file hello_flood.hpp
+/// HELLO-flood attack against LDKE's cluster formation (§VI): a
+/// laptop-class transmitter broadcasts cluster-head HELLOs over a large
+/// radius.  Without Km the forgeries fail authentication; the
+/// with-master-key variant models an adversary that beat the setup-time
+/// assumption, quantifying how many nodes it would capture — the reason
+/// the paper's "short setup window" argument matters.
+/// (The corresponding LEAP attack is modeled in baselines/leap.hpp.)
+
+#include "core/runner.hpp"
+#include "net/vec2.hpp"
+
+namespace ldke::attacks {
+
+struct HelloFloodResult {
+  std::size_t receivers = 0;          ///< nodes inside the blast radius
+  std::uint64_t auth_failures = 0;    ///< forged HELLOs rejected
+  std::uint64_t victims_joined = 0;   ///< nodes that joined the fake cluster
+};
+
+/// Launches \p hello_count forged HELLOs from \p position with
+/// \p radius at the very start of cluster formation, then runs the key
+/// setup to completion.  \p adversary_knows_km selects whether the fake
+/// HELLOs are sealed with the real master key (capture faster than the
+/// erase deadline) or with a random key.
+HelloFloodResult run_hello_flood(core::ProtocolRunner& runner,
+                                 net::Vec2 position, double radius,
+                                 std::size_t hello_count,
+                                 bool adversary_knows_km);
+
+}  // namespace ldke::attacks

@@ -1,0 +1,30 @@
+#pragma once
+/// \file sybil.hpp
+/// Sybil attack (§VI): a captured node presents multiple identities.
+/// With the captured cluster key the hop layer cannot distinguish the
+/// fake identities (any member can wrap traffic), but "since every node
+/// shares a unique symmetric key with the trusted base station, a single
+/// node cannot present multiple identities" *to the base station* — the
+/// Step-1 check pins each reading to a real Ki.
+
+#include "attacks/adversary.hpp"
+#include "net/vec2.hpp"
+
+namespace ldke::attacks {
+
+struct SybilResult {
+  std::size_t identities = 0;          ///< fake sources claimed
+  std::uint64_t hop_accepted = 0;      ///< envelopes the hop layer passed
+  std::uint64_t bs_accepted = 0;       ///< readings the BS attributed
+  std::uint64_t bs_rejected = 0;       ///< e2e auth / counter failures
+};
+
+/// From the victim's position, emits one end-to-end "reading" per fake
+/// identity (ids the adversary does not own Ki for), wrapped correctly
+/// under the captured cluster key and routed at the victim's parent.
+/// Measures how far each layer lets the Sybil identities through.
+SybilResult run_sybil_attack(core::ProtocolRunner& runner,
+                             const CapturedMaterial& material,
+                             std::size_t identities);
+
+}  // namespace ldke::attacks

@@ -1,0 +1,30 @@
+#pragma once
+/// \file wormhole.hpp
+/// Wormhole attack (§VI "Sinkhole and wormhole attacks"): an adversary
+/// with an out-of-band link records traffic near one point of the
+/// network and replays it verbatim at a distant point, trying to distort
+/// the routing gradient so traffic funnels into the tunnel.  The paper
+/// argues the attack fails here because every routing beacon is wrapped
+/// under the sender's cluster key, which distant receivers do not hold.
+
+#include "core/runner.hpp"
+#include "net/vec2.hpp"
+
+namespace ldke::attacks {
+
+struct WormholeResult {
+  std::uint64_t tunneled = 0;         ///< beacons replayed at the far end
+  std::uint64_t rejected_no_key = 0;  ///< distant receivers lacked the key
+  std::uint64_t rejected_other = 0;   ///< auth/freshness/replay rejections
+  std::uint64_t accepted = 0;         ///< envelopes that verified anyway
+  std::size_t corrupted_routes = 0;   ///< nodes whose parent is impossible
+};
+
+/// Installs a tunnel from \p end_a to \p end_b (each an (position,
+/// radius) disc), runs a routing round, and reports what the replayed
+/// beacons achieved.  The tunnel forwards each sender's beacon once.
+WormholeResult run_wormhole_attack(core::ProtocolRunner& runner,
+                                   net::Vec2 end_a, net::Vec2 end_b,
+                                   double radius);
+
+}  // namespace ldke::attacks

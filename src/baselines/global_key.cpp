@@ -1,0 +1,11 @@
+#include "baselines/global_key.hpp"
+
+namespace ldke::baselines {
+
+void GlobalKeyScheme::setup(const net::Topology& topo,
+                            support::Xoshiro256& rng) {
+  remember_topology(topo);
+  for (auto& b : key_.bytes) b = static_cast<std::uint8_t>(rng.next());
+}
+
+}  // namespace ldke::baselines

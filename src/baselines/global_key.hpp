@@ -1,0 +1,45 @@
+#pragma once
+/// \file global_key.hpp
+/// Pebblenets-style single network-wide key [4] (§III): minimal storage
+/// and one-transmission broadcast, but "compromise of even a single node
+/// will reveal the universal key".
+
+#include "baselines/scheme.hpp"
+#include "crypto/key.hpp"
+
+namespace ldke::baselines {
+
+class GlobalKeyScheme final : public KeyScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "global-key (pebblenets)";
+  }
+
+  void setup(const net::Topology& topo, support::Xoshiro256& rng) override;
+
+  [[nodiscard]] std::size_t keys_stored(NodeId) const override { return 1; }
+  [[nodiscard]] std::uint64_t setup_transmissions() const override {
+    return 0;  // the key is pre-loaded; no bootstrap traffic at all
+  }
+  [[nodiscard]] std::size_t broadcast_transmissions(NodeId) const override {
+    return 1;
+  }
+  [[nodiscard]] bool link_secured(NodeId, NodeId) const override {
+    return true;
+  }
+  [[nodiscard]] double compromised_link_fraction(
+      std::span<const NodeId> captured,
+      const LinkFilter* /*filter*/ = nullptr) const override {
+    // One capture reveals the universal key: everything is readable.
+    return captured.empty() ? 0.0 : 1.0;
+  }
+
+  [[nodiscard]] const crypto::Key128& network_key() const noexcept {
+    return key_;
+  }
+
+ private:
+  crypto::Key128 key_;
+};
+
+}  // namespace ldke::baselines

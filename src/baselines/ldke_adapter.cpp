@@ -1,0 +1,53 @@
+#include "baselines/ldke_adapter.hpp"
+
+#include <unordered_set>
+
+namespace ldke::baselines {
+
+LdkeAdapter::LdkeAdapter(const core::ProtocolRunner& runner) {
+  remember_topology(runner.network().topology());
+  const auto& nodes = runner.nodes();
+  own_cid_.resize(nodes.size(), core::kNoCluster);
+  held_cids_.resize(nodes.size());
+  key_counts_.resize(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& keys = nodes[i]->keys();
+    own_cid_[i] = keys.own_cid();
+    key_counts_[i] = keys.size();
+    held_cids_[i].reserve(keys.all().size());
+    for (const auto& [cid, key] : keys.all()) held_cids_[i].push_back(cid);
+    setup_tx_ += nodes[i]->setup_messages_sent();
+  }
+}
+
+double LdkeAdapter::compromised_link_fraction(
+    std::span<const NodeId> captured, const LinkFilter* filter) const {
+  // Capturing a node reveals its whole set S: its own cluster key and
+  // the keys of bordering clusters (§VI).  A link (u, v) between
+  // uncaptured nodes is readable iff the cluster key either endpoint
+  // wraps traffic with — its own cluster's — has been revealed.
+  std::unordered_set<core::ClusterId> revealed;
+  std::unordered_set<NodeId> captured_set(captured.begin(), captured.end());
+  for (NodeId id : captured) {
+    revealed.insert(held_cids_[id].begin(), held_cids_[id].end());
+  }
+  const net::Topology& topo = *topology();
+  std::size_t total = 0;
+  std::size_t compromised = 0;
+  for (NodeId u = 0; u < topo.size(); ++u) {
+    if (captured_set.contains(u)) continue;
+    for (NodeId v : topo.neighbors(u)) {
+      if (u >= v || captured_set.contains(v)) continue;
+      if (filter != nullptr && !(*filter)(u, v)) continue;
+      ++total;
+      if (revealed.contains(own_cid_[u]) || revealed.contains(own_cid_[v])) {
+        ++compromised;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(compromised) /
+                          static_cast<double>(total);
+}
+
+}  // namespace ldke::baselines

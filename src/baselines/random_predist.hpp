@@ -1,0 +1,66 @@
+#pragma once
+/// \file random_predist.hpp
+/// Random key predistribution baselines (§III):
+///  - Eschenauer–Gligor basic scheme [7]: each node draws a ring of m
+///    keys from a pool of P; a link is secured by any one shared key.
+///  - Chan–Perrig–Song q-composite [8]: a link needs >= q shared keys and
+///    its key is the hash of all of them.
+///
+/// The paper's critique: "the more keys are stored in a node, the more
+/// links become compromised (even not neighboring ones) in case of node
+/// capture ... these schemes offer only probabilistic security".  The
+/// resilience metric here quantifies exactly that.
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/scheme.hpp"
+
+namespace ldke::baselines {
+
+struct RandomPredistConfig {
+  std::uint32_t pool_size = 10000;  ///< P
+  std::uint32_t ring_size = 83;     ///< m (p_share ≈ 0.5 at these defaults)
+  std::uint32_t q = 1;              ///< required shared keys (1 = EG basic)
+};
+
+class RandomPredistScheme final : public KeyScheme {
+ public:
+  explicit RandomPredistScheme(RandomPredistConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return config_.q <= 1 ? "random predistribution (EG)"
+                          : "random predistribution (q-composite)";
+  }
+
+  void setup(const net::Topology& topo, support::Xoshiro256& rng) override;
+
+  [[nodiscard]] std::size_t keys_stored(NodeId) const override {
+    return config_.ring_size;
+  }
+  [[nodiscard]] std::uint64_t setup_transmissions() const override;
+  [[nodiscard]] std::size_t broadcast_transmissions(NodeId id) const override;
+  [[nodiscard]] bool link_secured(NodeId u, NodeId v) const override;
+  [[nodiscard]] double compromised_link_fraction(
+      std::span<const NodeId> captured,
+      const LinkFilter* filter = nullptr) const override;
+
+  [[nodiscard]] const RandomPredistConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Shared pool-key indices between two rings (sorted).
+  [[nodiscard]] std::vector<std::uint32_t> shared_keys(NodeId u,
+                                                       NodeId v) const;
+
+  /// Analytic probability that two rings share at least one key:
+  /// 1 - C(P-m, m)/C(P, m) — for validation against the simulation.
+  [[nodiscard]] double analytic_share_probability() const;
+
+ private:
+  RandomPredistConfig config_;
+  std::vector<std::vector<std::uint32_t>> rings_;  // sorted per node
+};
+
+}  // namespace ldke::baselines

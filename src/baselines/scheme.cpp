@@ -1,0 +1,31 @@
+#include "baselines/scheme.hpp"
+
+namespace ldke::baselines {
+
+std::vector<Edge> undirected_edges(const net::Topology& topo) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < topo.size(); ++u) {
+    for (NodeId v : topo.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+double KeyScheme::secure_connectivity() const {
+  const net::Topology* topo = topology();
+  if (topo == nullptr) return 0.0;
+  std::size_t secured = 0;
+  std::size_t total = 0;
+  for (NodeId u = 0; u < topo->size(); ++u) {
+    for (NodeId v : topo->neighbors(u)) {
+      if (u >= v) continue;
+      ++total;
+      if (link_secured(u, v)) ++secured;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(secured) / static_cast<double>(total);
+}
+
+}  // namespace ldke::baselines

@@ -1,0 +1,82 @@
+#pragma once
+/// \file scheme.hpp
+/// Common interface for the key-management schemes the paper compares
+/// against (§III): pebblenets' global key [4], full pairwise keying,
+/// Eschenauer–Gligor random predistribution [7], q-composite [8] and
+/// LEAP [11].  These are evaluated at graph level over the same
+/// Topology the packet-level protocol uses; the metrics are the ones the
+/// paper argues about — storage, broadcast cost, and resilience to node
+/// capture.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace ldke::baselines {
+
+using net::NodeId;
+
+/// Undirected radio edge (u < v).
+using Edge = std::pair<NodeId, NodeId>;
+
+/// All undirected edges of the communication graph.
+[[nodiscard]] std::vector<Edge> undirected_edges(const net::Topology& topo);
+
+class KeyScheme {
+ public:
+  virtual ~KeyScheme() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Establishes key material for every node of \p topo.
+  virtual void setup(const net::Topology& topo, support::Xoshiro256& rng) = 0;
+
+  /// Keys a node must store at steady state (storage metric).
+  [[nodiscard]] virtual std::size_t keys_stored(NodeId id) const = 0;
+
+  /// Total transmissions the bootstrap phase needs (communication
+  /// overhead metric; the paper's Fig 9 analogue).
+  [[nodiscard]] virtual std::uint64_t setup_transmissions() const = 0;
+
+  /// Encrypted transmissions needed for \p id to broadcast one message
+  /// to all of its neighbors (the paper's energy argument, §II).
+  [[nodiscard]] virtual std::size_t broadcast_transmissions(
+      NodeId id) const = 0;
+
+  /// Whether neighbors \p u and \p v can communicate securely at all
+  /// (random predistribution gives probabilistic connectivity).
+  [[nodiscard]] virtual bool link_secured(NodeId u, NodeId v) const = 0;
+
+  /// Optional restriction of the resilience metric to a subset of links
+  /// (e.g. only links far away from every captured node — the locality
+  /// axis of §VI).  Returns true if the link (u, v) should be counted.
+  using LinkFilter = std::function<bool(NodeId u, NodeId v)>;
+
+  /// Fraction of secured links between *uncaptured* nodes whose traffic
+  /// an adversary holding the key material of \p captured can read.
+  /// This is the §VI resilience metric.  When \p filter is non-null only
+  /// links it accepts enter numerator and denominator.
+  [[nodiscard]] virtual double compromised_link_fraction(
+      std::span<const NodeId> captured,
+      const LinkFilter* filter = nullptr) const = 0;
+
+  /// Fraction of neighbor pairs that ended up with a secure link.
+  [[nodiscard]] double secure_connectivity() const;
+
+ protected:
+  [[nodiscard]] const net::Topology* topology() const noexcept {
+    return topo_;
+  }
+  void remember_topology(const net::Topology& topo) noexcept { topo_ = &topo; }
+
+ private:
+  const net::Topology* topo_ = nullptr;
+};
+
+}  // namespace ldke::baselines

@@ -1,0 +1,65 @@
+#pragma once
+/// \file config.hpp
+/// Tunable parameters of the LDKE protocol phases (§IV).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/mutesla.hpp"
+
+namespace ldke::core {
+
+struct ProtocolConfig {
+  // ---- cluster key setup (§IV-B.1) ----
+  /// Mean of the exponential back-off before a node declares itself a
+  /// cluster head.  Smaller values finish faster but create more
+  /// simultaneous heads (timers that expire within one HELLO airtime).
+  double mean_election_delay_s = 0.5;
+  /// Election timers are truncated to this deadline so the phase has a
+  /// known end; stragglers simply become singleton heads (§IV-B.1 notes
+  /// memberless heads are harmless).
+  double election_deadline_s = 5.0;
+
+  // ---- secure link establishment (§IV-B.2) ----
+  /// Link adverts are sent at a uniform time in
+  /// [link_phase_start_s, link_phase_start_s + link_phase_jitter_s].
+  double link_phase_start_s = 5.0;
+  double link_phase_jitter_s = 0.5;
+  /// How many times each node broadcasts its link advert.  The paper's
+  /// setup is one-shot (1); lossy or contended channels break the
+  /// "every node knows every bordering cluster" invariant, and 2-3
+  /// staggered repeats restore it (extension; see DESIGN.md §5).
+  std::uint32_t link_advert_repeats = 1;
+  /// When every node erases the master key Km (§IV-B.2: "after the
+  /// completion of the key setup phase, all nodes erase key Km").
+  double master_erase_s = 6.0;
+
+  // ---- routing gradient ----
+  double routing_start_s = 6.5;
+  /// Random re-broadcast jitter for beacon improvements (de-synchronizes
+  /// the flood).
+  double beacon_jitter_s = 0.02;
+
+  // ---- secure message forwarding (§IV-C) ----
+  /// Acceptance window for the hop timestamp τ.
+  double freshness_window_s = 0.5;
+  /// Base-station tolerance for skipped end-to-end counters (lost
+  /// packets advance the source counter without the BS seeing it).
+  std::uint32_t counter_window = 16;
+  /// Step 1 on/off: true = only the base station can read D; false =
+  /// data-fusion mode, intermediate nodes can "peek" at D (§IV-C).
+  bool e2e_encrypt = true;
+
+  // ---- eviction / addition (§IV-D, §IV-E) ----
+  std::size_t revocation_chain_length = 64;
+  /// How long a joining node collects JOIN replies before committing to
+  /// a cluster and erasing KMC.
+  double join_window_s = 0.25;
+
+  // ---- µTESLA command channel (SPINS, the paper's reference [6]) ----
+  /// Parameters of the base station's authenticated-broadcast chain;
+  /// the epoch is anchored at simulation time 0.
+  MuTeslaConfig mutesla;
+};
+
+}  // namespace ldke::core

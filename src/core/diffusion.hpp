@@ -1,0 +1,90 @@
+#pragma once
+/// \file diffusion.hpp
+/// A secured miniature of Directed Diffusion (Intanagonwiwat et al., the
+/// paper's reference [5]) running on top of the LDKE key structure —
+/// demonstrating the §IV-C claim that the established keys secure "no
+/// matter what routing protocol is followed":
+///
+///   1. a sink floods an *interest* (named query); every node remembers
+///      the neighbor the interest arrived from first (gradient toward
+///      the sink) and re-floods once;
+///   2. a matching source answers with *exploratory* data, flooded the
+///      same way; forwarders remember the neighbor it arrived from
+///      (gradient toward the source);
+///   3. the sink *reinforces* the first-delivering neighbor; the
+///      reinforcement walks the source-gradient back to the source,
+///      marking the path;
+///   4. subsequent samples travel only along the reinforced path.
+///
+/// Every message rides in a standard hop envelope under the sender's
+/// cluster key, so all of §VI's protections (authentication, locality,
+/// freshness) apply to the diffusion control plane too.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "net/topology.hpp"
+#include "support/hex.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::core {
+
+using InterestId = std::uint32_t;
+
+/// Interest flood body.
+struct InterestBody {
+  InterestId interest = 0;
+  support::Bytes descriptor;  ///< what is being asked for
+};
+
+/// Data body, both exploratory (flooded) and reinforced-path samples.
+struct DiffusionDataBody {
+  InterestId interest = 0;
+  std::uint32_t seq = 0;
+  net::NodeId source = net::kNoNode;
+  std::uint8_t exploratory = 0;
+  support::Bytes payload;
+};
+
+/// Reinforcement walking back toward the source.
+struct ReinforceBody {
+  InterestId interest = 0;
+};
+
+[[nodiscard]] support::Bytes encode(const InterestBody& body);
+[[nodiscard]] std::optional<InterestBody> decode_interest(
+    std::span<const std::uint8_t> data);
+[[nodiscard]] support::Bytes encode(const DiffusionDataBody& body);
+[[nodiscard]] std::optional<DiffusionDataBody> decode_diffusion_data(
+    std::span<const std::uint8_t> data);
+[[nodiscard]] support::Bytes encode(const ReinforceBody& body);
+[[nodiscard]] std::optional<ReinforceBody> decode_reinforce(
+    std::span<const std::uint8_t> data);
+
+/// A sample delivered at the sink.
+struct DiffusionSample {
+  InterestId interest = 0;
+  std::uint32_t seq = 0;
+  net::NodeId source = net::kNoNode;
+  bool exploratory = false;
+  support::Bytes payload;
+};
+
+/// Per-node diffusion state for one interest.
+struct DiffusionEntry {
+  bool is_sink = false;            ///< this node originated the interest
+  bool interest_forwarded = false;
+  net::NodeId toward_sink = net::kNoNode;    ///< first interest sender
+  net::NodeId toward_source = net::kNoNode;  ///< first exploratory sender
+  /// Downstream hop of the reinforced path (the reinforcement's sender);
+  /// path data follows this, not the interest gradient — the two can
+  /// differ when the fastest exploratory route beat the interest flood.
+  net::NodeId path_toward_sink = net::kNoNode;
+  bool on_reinforced_path = false;
+  bool sink_reinforced = false;    ///< sink already sent reinforcement
+  std::set<std::uint64_t> seen_samples;  ///< (source << 32 | seq) dedupe
+  support::Bytes descriptor;
+};
+
+}  // namespace ldke::core

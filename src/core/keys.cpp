@@ -1,0 +1,40 @@
+#include "core/keys.hpp"
+
+#include "crypto/prf.hpp"
+
+namespace ldke::core {
+
+void ClusterKeySet::set_own(ClusterId cid, const crypto::Key128& key) {
+  if (own_cid_ != kNoCluster && own_cid_ != cid) keys_.erase(own_cid_);
+  own_cid_ = cid;
+  keys_[cid] = key;
+}
+
+bool ClusterKeySet::add_neighbor(ClusterId cid, const crypto::Key128& key) {
+  if (cid == own_cid_) return false;
+  return keys_.emplace(cid, key).second;
+}
+
+std::optional<crypto::Key128> ClusterKeySet::key_for(ClusterId cid) const {
+  const auto it = keys_.find(cid);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ClusterKeySet::replace(ClusterId cid, const crypto::Key128& key) {
+  const auto it = keys_.find(cid);
+  if (it == keys_.end()) return false;
+  it->second = key;
+  return true;
+}
+
+bool ClusterKeySet::revoke(ClusterId cid) {
+  if (cid == own_cid_) own_cid_ = kNoCluster;
+  return keys_.erase(cid) > 0;
+}
+
+void ClusterKeySet::hash_refresh_all() {
+  for (auto& [cid, key] : keys_) key = crypto::one_way(key);
+}
+
+}  // namespace ldke::core

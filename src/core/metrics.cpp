@@ -1,0 +1,49 @@
+#include "core/metrics.hpp"
+
+#include <map>
+
+namespace ldke::core {
+
+SetupMetrics collect_setup_metrics(const ProtocolRunner& runner) {
+  SetupMetrics m;
+  const auto& nodes = runner.nodes();
+  m.node_count = nodes.size();
+  if (nodes.empty()) return m;
+
+  std::map<ClusterId, std::size_t> cluster_members;
+  std::size_t heads = 0;
+  std::size_t total_keys = 0;
+  std::uint64_t total_setup_messages = 0;
+
+  for (const auto& node : nodes) {
+    if (node->was_head()) ++heads;
+    if (node->role() == Role::kUndecided) ++m.undecided_nodes;
+    if (node->keys().has_own()) ++cluster_members[node->cid()];
+    total_keys += node->keys().size();
+    total_setup_messages += node->setup_messages_sent();
+  }
+
+  const auto n = static_cast<double>(nodes.size());
+  m.cluster_count = cluster_members.size();
+  m.head_fraction = static_cast<double>(heads) / n;
+  m.mean_keys_per_node = static_cast<double>(total_keys) / n;
+  m.setup_messages_per_node =
+      static_cast<double>(total_setup_messages) / n;
+
+  std::size_t member_total = 0;
+  for (const auto& [cid, members] : cluster_members) {
+    m.cluster_sizes.add(members);
+    member_total += members;
+    if (members == 1) ++m.singleton_clusters;
+  }
+  if (m.cluster_count > 0) {
+    m.mean_cluster_size = static_cast<double>(member_total) /
+                          static_cast<double>(m.cluster_count);
+  }
+
+  m.realized_density = runner.network().topology().mean_degree();
+  m.setup_span_s = runner.config().protocol.master_erase_s;
+  return m;
+}
+
+}  // namespace ldke::core

@@ -1,0 +1,32 @@
+#pragma once
+/// \file metrics.hpp
+/// Post-setup measurements matching the paper's evaluation (§V):
+/// cluster-size distribution (Fig 1), keys per node (Fig 6), nodes per
+/// cluster (Fig 7), head fraction (Fig 8) and setup messages per node
+/// (Fig 9).
+
+#include "core/runner.hpp"
+#include "support/histogram.hpp"
+
+namespace ldke::core {
+
+struct SetupMetrics {
+  std::size_t node_count = 0;
+  double realized_density = 0.0;       ///< mean neighbors per node
+  std::size_t cluster_count = 0;
+  double head_fraction = 0.0;          ///< Fig 8
+  double mean_cluster_size = 0.0;      ///< Fig 7
+  double mean_keys_per_node = 0.0;     ///< Fig 6 (|S| = own + neighbors)
+  double setup_messages_per_node = 0.0;///< Fig 9 (HELLOs + link adverts)
+  support::IntHistogram cluster_sizes; ///< Fig 1 (per-cluster member count)
+  std::size_t singleton_clusters = 0;  ///< heads with no members
+  std::size_t undecided_nodes = 0;     ///< should be 0 after setup
+  /// Simulated time at which the last setup transmission completed —
+  /// the "small duration" the security argument of §IV-B relies on.
+  double setup_span_s = 0.0;
+};
+
+/// Collects the §V metrics after run_key_setup().
+[[nodiscard]] SetupMetrics collect_setup_metrics(const ProtocolRunner& runner);
+
+}  // namespace ldke::core

@@ -1,0 +1,183 @@
+#include "core/mutesla.hpp"
+
+#include <algorithm>
+
+#include "crypto/prf.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::core {
+
+support::Bytes encode(const AuthCommand& cmd) {
+  wsn::Writer w;
+  w.u32(cmd.interval);
+  w.u32(cmd.seq);
+  w.var_bytes(cmd.payload);
+  w.fixed(cmd.tag);
+  return w.take();
+}
+
+std::optional<AuthCommand> decode_auth_command(
+    std::span<const std::uint8_t> data) {
+  wsn::Reader r{data};
+  AuthCommand cmd;
+  const auto interval = r.u32();
+  const auto seq = r.u32();
+  auto payload = r.var_bytes();
+  const auto tag = r.fixed<crypto::kMacTagBytes>();
+  if (!interval || !seq || !payload || !tag || !r.exhausted()) {
+    return std::nullopt;
+  }
+  cmd.interval = *interval;
+  cmd.seq = *seq;
+  cmd.payload = std::move(*payload);
+  cmd.tag = *tag;
+  return cmd;
+}
+
+support::Bytes encode(const KeyDisclosure& disclosure) {
+  wsn::Writer w;
+  w.u32(disclosure.interval);
+  w.fixed(disclosure.key.bytes);
+  return w.take();
+}
+
+std::optional<KeyDisclosure> decode_key_disclosure(
+    std::span<const std::uint8_t> data) {
+  wsn::Reader r{data};
+  KeyDisclosure d;
+  const auto interval = r.u32();
+  const auto raw = r.fixed<crypto::kKeyBytes>();
+  if (!interval || !raw || !r.exhausted()) return std::nullopt;
+  d.interval = *interval;
+  d.key.bytes = *raw;
+  return d;
+}
+
+crypto::MacTag command_tag(const crypto::Key128& interval_key,
+                           std::uint32_t interval, std::uint32_t seq,
+                           std::span<const std::uint8_t> payload) {
+  wsn::Writer w;
+  w.u32(interval);
+  w.u32(seq);
+  w.var_bytes(payload);
+  return crypto::mac(interval_key, w.buffer());
+}
+
+// ---------------------------------------------------------------------------
+
+MuTeslaBroadcaster::MuTeslaBroadcaster(const crypto::Key128& chain_seed,
+                                       const MuTeslaConfig& config,
+                                       sim::SimTime epoch_start)
+    : chain_(chain_seed, config.chain_length),
+      chain_commitment_(chain_.commitment()),
+      config_(config),
+      epoch_start_(epoch_start) {}
+
+std::uint32_t MuTeslaBroadcaster::interval_at(sim::SimTime now) const noexcept {
+  if (now < epoch_start_) return 0;
+  const double elapsed = (now - epoch_start_).seconds();
+  return 1 + static_cast<std::uint32_t>(elapsed / config_.interval_s);
+}
+
+std::optional<AuthCommand> MuTeslaBroadcaster::make_command(
+    sim::SimTime now, std::span<const std::uint8_t> payload) {
+  const std::uint32_t interval = interval_at(now);
+  const auto key = chain_.element(interval);
+  if (interval == 0 || !key) return std::nullopt;  // before epoch / expired
+  AuthCommand cmd;
+  cmd.interval = interval;
+  cmd.seq = next_seq_++;
+  cmd.payload.assign(payload.begin(), payload.end());
+  cmd.tag = command_tag(*key, cmd.interval, cmd.seq, cmd.payload);
+  return cmd;
+}
+
+std::optional<KeyDisclosure> MuTeslaBroadcaster::disclosure_at(
+    sim::SimTime now) const {
+  const std::uint32_t interval = interval_at(now);
+  if (interval <= config_.disclosure_delay) return std::nullopt;
+  const std::uint32_t disclosed = interval - config_.disclosure_delay;
+  const auto key = chain_.element(disclosed);
+  if (!key) return std::nullopt;
+  return KeyDisclosure{disclosed, *key};
+}
+
+// ---------------------------------------------------------------------------
+
+MuTeslaReceiver::MuTeslaReceiver(const crypto::Key128& commitment,
+                                 const MuTeslaConfig& config,
+                                 sim::SimTime epoch_start)
+    : last_key_(commitment), config_(config), epoch_start_(epoch_start) {}
+
+std::uint32_t MuTeslaReceiver::interval_at(sim::SimTime now) const noexcept {
+  if (now < epoch_start_) return 0;
+  const double elapsed = (now - epoch_start_).seconds();
+  return 1 + static_cast<std::uint32_t>(elapsed / config_.interval_s);
+}
+
+bool MuTeslaReceiver::on_command(sim::SimTime now, const AuthCommand& cmd) {
+  // Security condition: the sender's disclosure schedule, evaluated
+  // pessimistically with our clock error, must not have released K_i
+  // yet — otherwise anyone could have forged this command.
+  const sim::SimTime latest_sender_now =
+      now + sim::SimTime::from_seconds(config_.max_sync_error_s);
+  const std::uint32_t sender_interval_bound = interval_at(latest_sender_now);
+  if (cmd.interval + config_.disclosure_delay <= sender_interval_bound) {
+    ++rejected_unsafe_;
+    return false;
+  }
+  // Already-verified intervals cannot gain new commands either.
+  if (cmd.interval <= last_interval_) {
+    ++rejected_unsafe_;
+    return false;
+  }
+  const auto id = std::make_pair(cmd.interval, cmd.seq);
+  if (std::find(seen_.begin(), seen_.end(), id) != seen_.end()) return false;
+  seen_.push_back(id);
+  buffer_.push_back(cmd);
+  return true;
+}
+
+bool MuTeslaReceiver::on_disclosure(const KeyDisclosure& disclosure) {
+  if (disclosure.interval <= last_interval_) return false;  // replay/old
+  // Walk the chain: F^(interval - last_interval)(key) must equal the
+  // last verified element.
+  crypto::Key128 walker = disclosure.key;
+  const std::uint32_t steps = disclosure.interval - last_interval_;
+  if (steps > 4096) {
+    ++rejected_bad_key_;
+    return false;
+  }
+  for (std::uint32_t s = 0; s < steps; ++s) walker = crypto::one_way(walker);
+  if (!(walker == last_key_)) {
+    ++rejected_bad_key_;
+    return false;
+  }
+  last_key_ = disclosure.key;
+  last_interval_ = disclosure.interval;
+
+  // Authenticate and deliver everything buffered for this interval;
+  // drop buffered commands from even older intervals (their keys were
+  // skipped — without the key they can never be verified).
+  auto it = buffer_.begin();
+  while (it != buffer_.end()) {
+    if (it->interval > disclosure.interval) {
+      ++it;
+      continue;
+    }
+    if (it->interval == disclosure.interval) {
+      if (support::constant_time_equal(
+              command_tag(disclosure.key, it->interval, it->seq, it->payload),
+              it->tag)) {
+        ++delivered_;
+        if (deliver_) deliver_(it->seq, it->payload);
+      } else {
+        ++rejected_bad_tag_;
+      }
+    }
+    it = buffer_.erase(it);
+  }
+  return true;
+}
+
+}  // namespace ldke::core

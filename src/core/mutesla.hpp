@@ -1,0 +1,152 @@
+#pragma once
+/// \file mutesla.hpp
+/// µTESLA broadcast authentication (Perrig et al., SPINS — the paper's
+/// reference [6]): the command channel from the base station to the
+/// whole network.
+///
+/// The base station divides time into intervals and owns a one-way key
+/// chain with one element per interval.  A command sent during interval
+/// i carries MAC_{K_i}(payload); K_i itself is only *disclosed* d
+/// intervals later.  Receivers buffer commands whose key cannot have
+/// been disclosed yet (the security condition), verify each disclosed
+/// key against their chain commitment, and only then authenticate and
+/// deliver the buffered commands.  Asymmetry from time, no public-key
+/// operations — exactly the trust model the protocol's revocation
+/// channel (§IV-D) sketches, generalized to arbitrary commands.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/key.hpp"
+#include "crypto/keychain.hpp"
+#include "sim/time.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::core {
+
+struct MuTeslaConfig {
+  double interval_s = 1.0;          ///< key-chain interval length
+  std::uint32_t disclosure_delay = 2;  ///< d intervals before key release
+  std::size_t chain_length = 128;   ///< broadcast lifetime in intervals
+  /// Receiver-side bound on clock disagreement with the base station
+  /// (our simulator is perfectly synchronous; the margin still guards
+  /// the security condition).
+  double max_sync_error_s = 0.05;
+};
+
+/// Over-the-air command: interval index, sequence, payload, MAC.
+struct AuthCommand {
+  std::uint32_t interval = 0;
+  std::uint32_t seq = 0;
+  support::Bytes payload;
+  crypto::MacTag tag{};
+};
+
+/// Over-the-air key disclosure.
+struct KeyDisclosure {
+  std::uint32_t interval = 0;
+  crypto::Key128 key;
+};
+
+[[nodiscard]] support::Bytes encode(const AuthCommand& cmd);
+[[nodiscard]] std::optional<AuthCommand> decode_auth_command(
+    std::span<const std::uint8_t> data);
+[[nodiscard]] support::Bytes encode(const KeyDisclosure& disclosure);
+[[nodiscard]] std::optional<KeyDisclosure> decode_key_disclosure(
+    std::span<const std::uint8_t> data);
+
+/// MAC input for a command (interval | seq | payload).
+[[nodiscard]] crypto::MacTag command_tag(const crypto::Key128& interval_key,
+                                         std::uint32_t interval,
+                                         std::uint32_t seq,
+                                         std::span<const std::uint8_t> payload);
+
+/// Base-station side: owns the chain, stamps commands, emits disclosures.
+class MuTeslaBroadcaster {
+ public:
+  /// \p epoch_start anchors interval 1 at that simulation time.
+  MuTeslaBroadcaster(const crypto::Key128& chain_seed,
+                     const MuTeslaConfig& config, sim::SimTime epoch_start);
+
+  [[nodiscard]] const crypto::Key128& commitment() const noexcept {
+    return chain_commitment_;
+  }
+
+  /// Interval index active at \p now (1-based; 0 = before the epoch).
+  [[nodiscard]] std::uint32_t interval_at(sim::SimTime now) const noexcept;
+
+  /// Builds an authenticated command for the current interval.
+  /// std::nullopt once the chain is exhausted.
+  [[nodiscard]] std::optional<AuthCommand> make_command(
+      sim::SimTime now, std::span<const std::uint8_t> payload);
+
+  /// The disclosure due at \p now: the key of interval (current - d),
+  /// if that is >= 1.  Idempotent — callers emit one per interval.
+  [[nodiscard]] std::optional<KeyDisclosure> disclosure_at(
+      sim::SimTime now) const;
+
+ private:
+  crypto::KeyChain chain_;
+  crypto::Key128 chain_commitment_;
+  MuTeslaConfig config_;
+  sim::SimTime epoch_start_;
+  std::uint32_t next_seq_ = 1;
+};
+
+/// Node side: buffers commands, verifies disclosures, delivers payloads.
+class MuTeslaReceiver {
+ public:
+  using DeliveryHandler =
+      std::function<void(std::uint32_t seq, const support::Bytes& payload)>;
+
+  MuTeslaReceiver(const crypto::Key128& commitment,
+                  const MuTeslaConfig& config, sim::SimTime epoch_start);
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  /// Handles an incoming command at local time \p now.  Returns true if
+  /// the command was buffered (the security condition held and it is
+  /// new), false if rejected or duplicate.
+  bool on_command(sim::SimTime now, const AuthCommand& cmd);
+
+  /// Handles a key disclosure; on success authenticates and delivers
+  /// every buffered command of that interval.  Returns true iff the key
+  /// verified against the chain.
+  bool on_disclosure(const KeyDisclosure& disclosure);
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t rejected_unsafe() const noexcept {
+    return rejected_unsafe_;
+  }
+  [[nodiscard]] std::uint64_t rejected_bad_tag() const noexcept {
+    return rejected_bad_tag_;
+  }
+  [[nodiscard]] std::uint64_t rejected_bad_key() const noexcept {
+    return rejected_bad_key_;
+  }
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t interval_at(sim::SimTime now) const noexcept;
+
+  crypto::Key128 last_key_;          // verified chain element
+  std::uint32_t last_interval_ = 0;  // its interval (0 = commitment)
+  MuTeslaConfig config_;
+  sim::SimTime epoch_start_;
+  std::vector<AuthCommand> buffer_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> seen_;  // (interval, seq)
+  DeliveryHandler deliver_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t rejected_unsafe_ = 0;
+  std::uint64_t rejected_bad_tag_ = 0;
+  std::uint64_t rejected_bad_key_ = 0;
+};
+
+}  // namespace ldke::core

@@ -1,0 +1,59 @@
+#include "core/provisioning.hpp"
+
+#include "crypto/prf.hpp"
+
+namespace ldke::core {
+
+DeploymentSecrets make_deployment(std::uint64_t seed) {
+  crypto::Drbg drbg{seed};
+  DeploymentSecrets roots;
+  roots.node_key_root = drbg.next_key();
+  roots.master_key = drbg.next_key();
+  roots.kmc = drbg.next_key();
+  roots.chain_seed = drbg.next_key();
+  return roots;
+}
+
+crypto::Key128 node_key_of(const DeploymentSecrets& roots, net::NodeId id) {
+  return crypto::prf_u64(roots.node_key_root, id);
+}
+
+crypto::Key128 cluster_key_of(const DeploymentSecrets& roots, net::NodeId id) {
+  return crypto::prf_u64(roots.kmc, id);
+}
+
+crypto::Key128 mutesla_seed_of(const DeploymentSecrets& roots) {
+  static constexpr std::uint8_t kLabel[] = {'m', 'u', 't', 'e', 's', 'l', 'a'};
+  return crypto::prf(roots.chain_seed, kLabel);
+}
+
+NodeSecrets provision_node(const DeploymentSecrets& roots, net::NodeId id,
+                           const crypto::Key128& commitment,
+                           const crypto::Key128& mutesla_commitment) {
+  NodeSecrets secrets;
+  secrets.id = id;
+  secrets.node_key = node_key_of(roots, id);
+  secrets.cluster_key = cluster_key_of(roots, id);
+  secrets.master_key = roots.master_key;
+  secrets.commitment = commitment;
+  secrets.mutesla_commitment = mutesla_commitment;
+  return secrets;
+}
+
+NodeSecrets provision_new_node(const DeploymentSecrets& roots, net::NodeId id,
+                               const crypto::Key128& commitment,
+                               const crypto::Key128& mutesla_commitment) {
+  NodeSecrets secrets;
+  secrets.id = id;
+  secrets.node_key = node_key_of(roots, id);
+  secrets.cluster_key = cluster_key_of(roots, id);
+  // §IV-E: new nodes never learn Km; they carry KMC instead and derive
+  // cluster keys from advertised CIDs.
+  secrets.commitment = commitment;
+  secrets.mutesla_commitment = mutesla_commitment;
+  secrets.kmc = roots.kmc;
+  secrets.has_kmc = true;
+  return secrets;
+}
+
+}  // namespace ldke::core

@@ -1,0 +1,54 @@
+#pragma once
+/// \file provisioning.hpp
+/// Initialization phase (§IV-A): key material assigned "during the
+/// manufacturing phase, before deployment".  All per-node keys derive
+/// from deployment roots via the PRF F, so the base station can
+/// reconstruct any node key from its id (the paper gives the BS "all the
+/// ID numbers and keys").
+
+#include <cstdint>
+
+#include "core/keys.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/key.hpp"
+
+namespace ldke::core {
+
+/// Roots held by the manufacturer / base station, never by sensor nodes.
+struct DeploymentSecrets {
+  crypto::Key128 node_key_root;  ///< Ki  = F(node_key_root, i)
+  crypto::Key128 master_key;     ///< Km  (same on every node, erased)
+  crypto::Key128 kmc;            ///< KMC: Kci = F(KMC, i)   (§IV-E)
+  crypto::Key128 chain_seed;     ///< K_n of the revocation chain (§IV-D)
+};
+
+/// Draws fresh deployment roots from a seeded DRBG.
+[[nodiscard]] DeploymentSecrets make_deployment(std::uint64_t seed);
+
+/// Ki for node \p id (base-station side reconstruction).
+[[nodiscard]] crypto::Key128 node_key_of(const DeploymentSecrets& roots,
+                                         net::NodeId id);
+
+/// Seed of the µTESLA command chain (domain-separated from the
+/// revocation chain's seed).
+[[nodiscard]] crypto::Key128 mutesla_seed_of(const DeploymentSecrets& roots);
+
+/// Kci for node \p id — the key that becomes the cluster key if \p id is
+/// elected head (§IV-A), derived as F(KMC, i) per §IV-E.
+[[nodiscard]] crypto::Key128 cluster_key_of(const DeploymentSecrets& roots,
+                                            net::NodeId id);
+
+/// Loads one original node (knows Km, not KMC).  \p commitment is K0 of
+/// the revocation chain, \p mutesla_commitment K0 of the command chain.
+[[nodiscard]] NodeSecrets provision_node(
+    const DeploymentSecrets& roots, net::NodeId id,
+    const crypto::Key128& commitment,
+    const crypto::Key128& mutesla_commitment = {});
+
+/// Loads one late-deployed node (§IV-E): carries KMC instead of Km.
+[[nodiscard]] NodeSecrets provision_new_node(
+    const DeploymentSecrets& roots, net::NodeId id,
+    const crypto::Key128& commitment,
+    const crypto::Key128& mutesla_commitment = {});
+
+}  // namespace ldke::core

@@ -1,0 +1,86 @@
+#include "core/runner.hpp"
+
+namespace ldke::core {
+
+ProtocolRunner::ProtocolRunner(RunnerConfig config)
+    : config_(config),
+      sim_(config.seed),
+      roots_(make_deployment(support::derive_seed(config.seed, 0x4b455953))) {
+  // K0, the hash-chain commitment, is preloaded into every node (§IV-D).
+  commitment_ =
+      crypto::KeyChain(roots_.chain_seed, config_.protocol.revocation_chain_length)
+          .commitment();
+  mutesla_commitment_ =
+      crypto::KeyChain(mutesla_seed_of(roots_), config_.protocol.mutesla.chain_length)
+          .commitment();
+
+  auto topology = net::Topology::random_with_density(
+      config_.node_count, config_.side_m, config_.density, sim_.rng());
+  network_.emplace(sim_, std::move(topology), config_.channel,
+                   config_.energy);
+
+  nodes_.reserve(config_.node_count);
+  for (net::NodeId id = 0; id < config_.node_count; ++id) {
+    NodeSecrets secrets =
+        provision_node(roots_, id, commitment_, mutesla_commitment_);
+    if (id == 0 && config_.with_base_station) {
+      auto bs = std::make_unique<BaseStation>(std::move(secrets),
+                                              config_.protocol, roots_);
+      base_station_ = bs.get();
+      nodes_.push_back(std::move(bs));
+    } else {
+      nodes_.push_back(
+          std::make_unique<SensorNode>(std::move(secrets), config_.protocol));
+    }
+    network_->attach(*nodes_.back());
+  }
+}
+
+void ProtocolRunner::run_key_setup() {
+  network_->start_all();
+  const double end = config_.protocol.master_erase_s + 0.05;
+  sim_.run(sim::SimTime::from_seconds(end));
+}
+
+void ProtocolRunner::run_routing_setup(double settle_s) {
+  if (base_station_ == nullptr) return;
+  // Each call is a fresh beacon round: forget previous gradients so the
+  // flood propagates again (late-deployed nodes get routes this way).
+  for (auto& node : nodes_) node->reset_routing();
+  base_station_->start_routing_root(*network_);
+  sim_.run(sim_.now() + sim::SimTime::from_seconds(settle_s));
+}
+
+void ProtocolRunner::run_for(double seconds) {
+  sim_.run(sim_.now() + sim::SimTime::from_seconds(seconds));
+}
+
+void ProtocolRunner::run_recluster_round() {
+  const ProtocolConfig& p = config_.protocol;
+  for (auto& node : nodes_) node->begin_recluster(*network_);
+  for (auto& node : nodes_) {
+    const double link_at =
+        p.link_phase_start_s + sim_.rng().uniform(0.0, p.link_phase_jitter_s);
+    SensorNode* raw = node.get();
+    sim_.schedule_in(sim::SimTime::from_seconds(link_at),
+                     [raw, this] { raw->send_recluster_link_advert(*network_); });
+    sim_.schedule_in(sim::SimTime::from_seconds(p.master_erase_s),
+                     [raw, this] { raw->finish_recluster(*network_); });
+  }
+  sim_.run(sim_.now() + sim::SimTime::from_seconds(p.master_erase_s + 0.05));
+  // The hop-envelope keys changed: rebuild the gradient under new keys.
+  if (base_station_ != nullptr) run_routing_setup();
+}
+
+SensorNode& ProtocolRunner::deploy_new_node(net::Vec2 pos) {
+  const net::NodeId id = network_->deploy_position(pos);
+  NodeSecrets secrets =
+      provision_new_node(roots_, id, commitment_, mutesla_commitment_);
+  nodes_.push_back(
+      std::make_unique<SensorNode>(std::move(secrets), config_.protocol));
+  network_->attach(*nodes_.back());
+  nodes_.back()->start(*network_);
+  return *nodes_.back();
+}
+
+}  // namespace ldke::core

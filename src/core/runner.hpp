@@ -1,0 +1,92 @@
+#pragma once
+/// \file runner.hpp
+/// Builds a complete deployment — simulator, topology, network, base
+/// station, provisioned sensor nodes — and drives the protocol phases.
+/// This is the main entry point of the library: examples, tests and the
+/// figure benches all run trials through ProtocolRunner.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/base_station.hpp"
+#include "core/config.hpp"
+#include "core/provisioning.hpp"
+#include "core/sensor_node.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ldke::core {
+
+struct RunnerConfig {
+  std::size_t node_count = 2000;  ///< deployed sensors (paper: 2000–3600)
+  double density = 10.0;          ///< mean neighbors per node
+  double side_m = 1000.0;         ///< deployment square side
+  std::uint64_t seed = 1;         ///< determines placement, timers, keys
+  bool with_base_station = true;  ///< node 0 doubles as the base station
+  ProtocolConfig protocol;
+  net::ChannelConfig channel;
+  net::EnergyConfig energy;
+};
+
+class ProtocolRunner {
+ public:
+  explicit ProtocolRunner(RunnerConfig config);
+
+  /// Phase 1+2 (§IV-B): election, link establishment, master-key erase.
+  /// Runs the simulator just past the erase deadline.
+  void run_key_setup();
+
+  /// Floods the routing gradient from the base station and lets it
+  /// settle.  Requires run_key_setup() first and a base station.
+  void run_routing_setup(double settle_s = 1.0);
+
+  /// Advances simulated time by \p seconds (drains due events).
+  void run_for(double seconds);
+
+  /// §IV-C's primary refresh: a full re-clustering round over the
+  /// current cluster keys (new heads, new clusters, new keys), followed
+  /// by an atomic key-set swap and a fresh routing round.  Uses the same
+  /// phase timings as the original setup.
+  void run_recluster_round();
+
+  // ---- accessors ----
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] const net::Network& network() const noexcept {
+    return *network_;
+  }
+  [[nodiscard]] const RunnerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DeploymentSecrets& roots() const noexcept {
+    return roots_;
+  }
+
+  [[nodiscard]] BaseStation* base_station() noexcept { return base_station_; }
+  [[nodiscard]] SensorNode& node(net::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const SensorNode& node(net::NodeId id) const {
+    return *nodes_.at(id);
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<SensorNode>>& nodes()
+      const noexcept {
+    return nodes_;
+  }
+
+  /// §IV-E: deploys and starts a brand-new node (provisioned with KMC) at
+  /// \p pos.  Caller advances the simulator to let the join complete.
+  SensorNode& deploy_new_node(net::Vec2 pos);
+
+ private:
+  RunnerConfig config_;
+  sim::Simulator sim_;
+  DeploymentSecrets roots_;
+  crypto::Key128 commitment_;
+  crypto::Key128 mutesla_commitment_;
+  std::optional<net::Network> network_;
+  std::vector<std::unique_ptr<SensorNode>> nodes_;
+  BaseStation* base_station_ = nullptr;
+};
+
+}  // namespace ldke::core

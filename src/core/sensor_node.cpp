@@ -1,0 +1,658 @@
+#include "core/sensor_node.hpp"
+
+#include <algorithm>
+
+#include "crypto/authenc.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/prf.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::core {
+
+namespace {
+
+using net::Packet;
+using net::PacketKind;
+
+/// Nonce for a one-shot setup message sealed under Km: unique per
+/// (kind, sender) since each node sends each setup message at most once.
+constexpr std::uint64_t setup_nonce(PacketKind kind, net::NodeId id) noexcept {
+  return (std::uint64_t{static_cast<std::uint8_t>(kind)} << 32) | id;
+}
+
+}  // namespace
+
+SensorNode::SensorNode(NodeSecrets secrets, const ProtocolConfig& config)
+    : net::Node(secrets.id),
+      secrets_(std::move(secrets)),
+      config_(config),
+      chain_(secrets_.commitment),
+      drbg_(crypto::prf_u64(secrets_.node_key, 0xd5b9)),
+      mutesla_(secrets_.mutesla_commitment, config.mutesla,
+               sim::SimTime::zero()) {
+  mutesla_.set_delivery_handler(
+      [this](std::uint32_t seq, const support::Bytes& payload) {
+        received_commands_.emplace_back(seq, payload);
+      });
+}
+
+void SensorNode::start(net::Network& net) {
+  if (secrets_.has_kmc) {
+    start_join(net);
+    return;
+  }
+  // §IV-B.1: wait a random exponential time before declaring cluster
+  // headship.  Truncated to the deadline so the phase terminates.
+  auto& rng = net.sim().rng();
+  const double delay = std::min(
+      rng.exponential(1.0 / config_.mean_election_delay_s),
+      config_.election_deadline_s * 0.999);
+  election_timer_ = net.sim().schedule_at(
+      sim::SimTime::from_seconds(delay),
+      [this, &net] { on_election_timer(net); });
+
+  // The advert is idempotent (same bytes each repeat — deliberately the
+  // same nonce, so a re-send is a verbatim re-broadcast, not a second
+  // encryption), so repeats only fight loss/collisions.  Each repeat
+  // gets its own jitter window: piling them into one window would raise
+  // contention instead of fixing it.
+  const std::uint32_t repeats = std::max(1u, config_.link_advert_repeats);
+  for (std::uint32_t k = 0; k < repeats; ++k) {
+    const double window_start = config_.link_phase_start_s +
+                                k * config_.link_phase_jitter_s;
+    const double link_at =
+        window_start + rng.uniform(0.0, config_.link_phase_jitter_s);
+    net.sim().schedule_at(sim::SimTime::from_seconds(link_at),
+                          [this, &net] { send_link_advert(net); });
+  }
+
+  net.sim().schedule_at(sim::SimTime::from_seconds(config_.master_erase_s),
+                        [this] { secrets_.erase_master(); });
+}
+
+void SensorNode::on_election_timer(net::Network& net) {
+  election_timer_ = sim::kInvalidEventId;
+  if (role_ != Role::kUndecided) return;
+  // Become a cluster head: my pre-loaded Kci is now the cluster key and
+  // my id the cluster id.
+  role_ = Role::kHead;
+  was_head_ = true;
+  keys_.set_own(id(), secrets_.cluster_key);
+
+  const wsn::HelloBody body{id(), secrets_.cluster_key};
+  Packet pkt;
+  pkt.sender = id();
+  pkt.kind = PacketKind::kHello;
+  pkt.payload = crypto::seal_with(secrets_.master_key,
+                                  setup_nonce(PacketKind::kHello, id()),
+                                  wsn::encode(body));
+  net.broadcast(pkt);
+  ++setup_messages_sent_;
+  net.counters().increment("setup.hello_sent");
+}
+
+void SensorNode::on_hello(net::Network& net, const Packet& packet) {
+  if (secrets_.master_erased() || secrets_.has_kmc) return;
+  const auto plain = crypto::open_with(
+      secrets_.master_key, setup_nonce(PacketKind::kHello, packet.sender),
+      packet.payload);
+  if (!plain) {
+    net.counters().increment("setup.hello_auth_fail");
+    return;
+  }
+  const auto body = wsn::decode_hello(*plain);
+  if (!body || body->head_id != packet.sender) {
+    net.counters().increment("setup.hello_malformed");
+    return;
+  }
+  // §IV-B.1: only undecided nodes react; decided nodes reject.
+  if (role_ != Role::kUndecided) return;
+  role_ = Role::kMember;
+  keys_.set_own(body->head_id, body->cluster_key);
+  if (election_timer_ != sim::kInvalidEventId) {
+    net.sim().cancel(election_timer_);
+    election_timer_ = sim::kInvalidEventId;
+  }
+  net.counters().increment("setup.joined");
+}
+
+void SensorNode::send_link_advert(net::Network& net) {
+  if (secrets_.master_erased() || !keys_.has_own()) return;
+  // §IV-B.2: every node broadcasts its cluster's (CID, Kc) under Km so
+  // that bordering nodes of other clusters can translate traffic.
+  const wsn::LinkAdvertBody body{keys_.own_cid(), keys_.own_key()};
+  Packet pkt;
+  pkt.sender = id();
+  pkt.kind = PacketKind::kLinkAdvert;
+  pkt.payload = crypto::seal_with(secrets_.master_key,
+                                  setup_nonce(PacketKind::kLinkAdvert, id()),
+                                  wsn::encode(body));
+  net.broadcast(pkt);
+  ++setup_messages_sent_;
+  net.counters().increment("setup.link_sent");
+}
+
+void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
+  if (secrets_.master_erased() || secrets_.has_kmc) return;
+  const auto plain = crypto::open_with(
+      secrets_.master_key, setup_nonce(PacketKind::kLinkAdvert, packet.sender),
+      packet.payload);
+  if (!plain) {
+    net.counters().increment("setup.link_auth_fail");
+    return;
+  }
+  const auto body = wsn::decode_link_advert(*plain);
+  if (!body) {
+    net.counters().increment("setup.link_malformed");
+    return;
+  }
+  // Adverts from my own cluster are ignored (§IV-B.2).
+  if (keys_.has_own() && body->cid == keys_.own_cid()) return;
+  if (keys_.add_neighbor(body->cid, body->cluster_key)) {
+    net.counters().increment("setup.neighbor_key_stored");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// data plane
+
+std::uint64_t SensorNode::next_nonce() noexcept {
+  return (std::uint64_t{id()} << 32) | ++envelope_counter_;
+}
+
+bool SensorNode::send_reading(net::Network& net,
+                              std::span<const std::uint8_t> payload) {
+  if (!keys_.has_own() || role_ == Role::kEvicted) return false;
+  if (!routing_.has_route()) return false;
+
+  wsn::DataInner inner;
+  inner.source = id();
+  if (config_.e2e_encrypt) {
+    // §IV-C Step 1: E2E protection under keys derived from Ki, with the
+    // shared counter providing semantic security.
+    inner.e2e_counter = ++e2e_counter_;
+    inner.e2e_encrypted = 1;
+    inner.body = crypto::seal(crypto::derive_pair(secrets_.node_key),
+                              inner.e2e_counter, payload);
+  } else {
+    inner.body.assign(payload.begin(), payload.end());
+  }
+  net.counters().increment("data.originated");
+  forward_inner(net, std::move(inner));
+  return true;
+}
+
+void SensorNode::forward_inner(net::Network& net, wsn::DataInner inner) {
+  // §IV-C Step 2: wrap under this node's cluster key; one broadcast
+  // serves all neighbors.  A late-joined node (§IV-E) instead uses its
+  // routing parent's cluster key from S — the only key it provably
+  // shares with its forwarder (see parent_cid_).
+  ClusterId wrap_cid = keys_.own_cid();
+  if (joined_late_ && parent_cid_ != kNoCluster &&
+      keys_.key_for(parent_cid_).has_value()) {
+    wrap_cid = parent_cid_;
+  }
+  inner.tau_ns = net.sim().now().ns();
+  inner.echoed_cid = wrap_cid;
+
+  wsn::DataHeader header;
+  header.cid = wrap_cid;
+  header.next_hop = routing_.parent();
+  header.nonce = next_nonce();
+
+  const support::Bytes header_bytes = wsn::encode(header);
+  support::Bytes sealed =
+      crypto::seal_with(*keys_.key_for(wrap_cid), header.nonce,
+                        wsn::encode(inner), header_bytes);
+
+  Packet pkt;
+  pkt.sender = id();
+  pkt.kind = PacketKind::kData;
+  pkt.payload = header_bytes;
+  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  net.broadcast(pkt);
+  net.counters().increment("data.hop_tx");
+}
+
+std::optional<support::Bytes> SensorNode::open_envelope(
+    net::Network& net, const Packet& packet, wsn::DataHeader& header) {
+  support::Bytes sealed;
+  const auto decoded = wsn::decode_data_header(packet.payload, sealed);
+  if (!decoded) {
+    net.counters().increment("envelope.malformed");
+    return std::nullopt;
+  }
+  header = *decoded;
+  const auto key = keys_.key_for(header.cid);
+  if (!key) {
+    // Not a bordering cluster: cannot translate (expected for most of the
+    // network — locality is the point).
+    net.counters().increment("envelope.no_key");
+    return std::nullopt;
+  }
+  const std::size_t header_len = packet.payload.size() - sealed.size();
+  auto plain = crypto::open_with(
+      *key, header.nonce, sealed,
+      std::span<const std::uint8_t>{packet.payload.data(), header_len});
+  if (!plain) {
+    net.counters().increment("envelope.auth_fail");
+    return std::nullopt;
+  }
+  return plain;
+}
+
+bool SensorNode::accept_envelope(net::Network& net, const Packet& packet,
+                                 const wsn::DataHeader& header,
+                                 std::int64_t tau_ns, ClusterId echoed_cid) {
+  if (echoed_cid != header.cid) {
+    net.counters().increment("envelope.cid_mismatch");
+    return false;
+  }
+  const std::int64_t now_ns = net.sim().now().ns();
+  const auto window_ns =
+      static_cast<std::int64_t>(config_.freshness_window_s * 1e9);
+  if (tau_ns > now_ns + window_ns || tau_ns < now_ns - window_ns) {
+    net.counters().increment("envelope.stale");
+    return false;
+  }
+  auto& last = last_nonce_[packet.sender];
+  if (header.nonce <= last) {
+    net.counters().increment("envelope.replay");
+    return false;
+  }
+  last = header.nonce;
+  return true;
+}
+
+void SensorNode::on_data(net::Network& net, const Packet& packet) {
+  wsn::DataHeader header;
+  const auto plain = open_envelope(net, packet, header);
+  if (!plain) return;
+  const auto inner = wsn::decode_data_inner(*plain);
+  if (!inner) {
+    net.counters().increment("envelope.malformed");
+    return;
+  }
+  if (!accept_envelope(net, packet, header, inner->tau_ns, inner->echoed_cid)) {
+    return;
+  }
+  // At this point the node has authenticated and decrypted the hop
+  // envelope: it can "peek" at the (possibly Step-1-protected) content
+  // for data-fusion decisions (§II).
+  net.counters().increment("data.peek_ok");
+  if (role_ == Role::kEvicted) return;
+  if (header.next_hop != id()) return;  // overheard, not the forwarder
+
+  if (fusion_filter_ && !fusion_filter_(*inner)) {
+    net.counters().increment("data.fusion_dropped");
+    return;
+  }
+  if (forward_drop_probability_ > 0.0 &&
+      net.sim().rng().bernoulli(forward_drop_probability_)) {
+    net.counters().increment("data.maliciously_dropped");
+    return;
+  }
+  if (routing_.hop() == 0) {
+    on_delivered(net, *inner);
+    return;
+  }
+  if (!routing_.has_route()) {
+    net.counters().increment("data.no_route");
+    return;
+  }
+  forward_inner(net, *inner);
+}
+
+void SensorNode::on_delivered(net::Network& net, const wsn::DataInner&) {
+  // Plain sensors are never a final destination; the base station
+  // subclass overrides this.
+  net.counters().increment("data.misdelivered");
+}
+
+// ---------------------------------------------------------------------------
+// routing beacons
+
+void SensorNode::start_routing_root(net::Network& net) {
+  routing_.make_root();
+  send_beacon(net);
+}
+
+void SensorNode::send_beacon(net::Network& net) {
+  beacon_pending_ = false;
+  if (!keys_.has_own() || role_ == Role::kEvicted) return;
+  wsn::BeaconInner inner;
+  inner.hop = routing_.hop();
+  inner.tau_ns = net.sim().now().ns();
+  inner.echoed_cid = keys_.own_cid();
+
+  wsn::DataHeader header;
+  header.cid = keys_.own_cid();
+  header.next_hop = net::kNoNode;
+  header.nonce = next_nonce();
+
+  const support::Bytes header_bytes = wsn::encode(header);
+  support::Bytes sealed = crypto::seal_with(
+      keys_.own_key(), header.nonce, wsn::encode(inner), header_bytes);
+
+  Packet pkt;
+  pkt.sender = id();
+  pkt.kind = PacketKind::kBeacon;
+  pkt.payload = header_bytes;
+  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  net.broadcast(pkt);
+  net.counters().increment("routing.beacon_tx");
+}
+
+void SensorNode::schedule_beacon(net::Network& net) {
+  if (beacon_pending_) return;
+  beacon_pending_ = true;
+  const double jitter =
+      net.sim().rng().uniform(0.0, config_.beacon_jitter_s);
+  net.sim().schedule_in(sim::SimTime::from_seconds(jitter),
+                        [this, &net] { send_beacon(net); });
+}
+
+void SensorNode::on_beacon(net::Network& net, const Packet& packet) {
+  wsn::DataHeader header;
+  const auto plain = open_envelope(net, packet, header);
+  if (!plain) return;
+  const auto inner = wsn::decode_beacon_inner(*plain);
+  if (!inner) {
+    net.counters().increment("envelope.malformed");
+    return;
+  }
+  if (!accept_envelope(net, packet, header, inner->tau_ns, inner->echoed_cid)) {
+    return;
+  }
+  if (role_ == Role::kEvicted) return;
+  if (routing_.offer(packet.sender, inner->hop)) {
+    parent_cid_ = header.cid;  // the parent's own cluster
+    schedule_beacon(net);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// key refresh (§IV-C)
+
+bool SensorNode::initiate_cluster_rekey(net::Network& net) {
+  if (!keys_.has_own() || role_ == Role::kEvicted) return false;
+  wsn::RefreshBody body;
+  body.cid = keys_.own_cid();
+  body.new_key = drbg_.next_key();
+  body.epoch = refresh_epoch_[body.cid] + 1;
+
+  wsn::DataHeader header;
+  header.cid = body.cid;
+  header.next_hop = net::kNoNode;
+  header.nonce = next_nonce();
+
+  const support::Bytes header_bytes = wsn::encode(header);
+  // Sealed under the *current* cluster key (§IV-C: "the current cluster
+  // key may be used" since Km is gone).
+  support::Bytes sealed = crypto::seal_with(
+      keys_.own_key(), header.nonce, wsn::encode(body), header_bytes);
+
+  Packet pkt;
+  pkt.sender = id();
+  pkt.kind = PacketKind::kRefresh;
+  pkt.payload = header_bytes;
+  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  net.broadcast(pkt);
+  net.counters().increment("refresh.initiated");
+
+  refresh_epoch_[body.cid] = body.epoch;
+  keys_.replace(body.cid, body.new_key);
+  return true;
+}
+
+void SensorNode::on_refresh(net::Network& net, const Packet& packet) {
+  wsn::DataHeader header;
+  const auto plain = open_envelope(net, packet, header);
+  if (!plain) return;
+  const auto body = wsn::decode_refresh(*plain);
+  if (!body || body->cid != header.cid) {
+    net.counters().increment("refresh.malformed");
+    return;
+  }
+  auto& epoch = refresh_epoch_[body->cid];
+  if (body->epoch <= epoch) {
+    net.counters().increment("refresh.replay");
+    return;
+  }
+  epoch = body->epoch;
+  const auto old_key = keys_.key_for(body->cid);
+  keys_.replace(body->cid, body->new_key);
+  net.counters().increment("refresh.applied");
+
+  // Members re-announce once under the *old* key so that bordering
+  // nodes up to two hops from the initiator (the cluster's diameter)
+  // also learn the new key — the "repeat the key setup phase" step of
+  // §IV-C.  The epoch check above makes the flood terminate.
+  if (body->cid == keys_.own_cid() && old_key.has_value()) {
+    wsn::DataHeader out;
+    out.cid = body->cid;
+    out.next_hop = net::kNoNode;
+    out.nonce = next_nonce();
+    const support::Bytes out_header = wsn::encode(out);
+    support::Bytes sealed = crypto::seal_with(*old_key, out.nonce,
+                                              wsn::encode(*body), out_header);
+    Packet fwd;
+    fwd.sender = id();
+    fwd.kind = PacketKind::kRefresh;
+    fwd.payload = out_header;
+    fwd.payload.insert(fwd.payload.end(), sealed.begin(), sealed.end());
+    net.broadcast(fwd);
+    net.counters().increment("refresh.reannounced");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// µTESLA command channel (reference [6])
+
+void SensorNode::on_auth_broadcast(net::Network& net, const Packet& packet) {
+  const auto cmd = decode_auth_command(packet.payload);
+  if (!cmd) {
+    net.counters().increment("mutesla.malformed");
+    return;
+  }
+  // Buffer if the security condition holds; a freshly buffered command
+  // is flooded onward exactly once (the receiver's dedup makes replays
+  // return false).
+  if (mutesla_.on_command(net.sim().now(), *cmd)) {
+    net.counters().increment("mutesla.buffered");
+    net.broadcast(Packet{id(), PacketKind::kAuthBroadcast, packet.payload});
+  }
+}
+
+void SensorNode::on_key_disclosure(net::Network& net, const Packet& packet) {
+  const auto disclosure = decode_key_disclosure(packet.payload);
+  if (!disclosure) {
+    net.counters().increment("mutesla.malformed");
+    return;
+  }
+  if (mutesla_.on_disclosure(*disclosure)) {
+    net.counters().increment("mutesla.key_verified");
+    net.broadcast(Packet{id(), PacketKind::kKeyDisclosure, packet.payload});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// revocation (§IV-D)
+
+void SensorNode::on_revoke(net::Network& net, const Packet& packet) {
+  const auto body = wsn::decode_revoke(packet.payload);
+  if (!body) {
+    net.counters().increment("revoke.malformed");
+    return;
+  }
+  // Authenticate the command: the tag must be keyed by the chain element
+  // and the element must extend our commitment through F (Figure 5).
+  const crypto::MacTag expected =
+      wsn::revoke_tag(body->chain_element, body->revoked_cids);
+  if (!support::constant_time_equal(expected, body->tag)) {
+    net.counters().increment("revoke.bad_tag");
+    return;
+  }
+  if (!chain_.accept(body->chain_element)) {
+    net.counters().increment("revoke.bad_chain");
+    return;
+  }
+  bool own_revoked = false;
+  for (ClusterId cid : body->revoked_cids) {
+    if (cid == keys_.own_cid()) own_revoked = true;
+    if (keys_.revoke(cid)) {
+      net.counters().increment("revoke.key_deleted");
+    }
+  }
+  if (own_revoked) {
+    role_ = Role::kEvicted;
+    keys_.clear();
+    net.counters().increment("revoke.evicted");
+  }
+  // Flood: each node re-broadcasts an accepted command exactly once
+  // (chain monotonicity guarantees single acceptance).
+  net.broadcast(Packet{id(), PacketKind::kRevoke, packet.payload});
+  net.counters().increment("revoke.forwarded");
+}
+
+// ---------------------------------------------------------------------------
+// node addition (§IV-E)
+
+void SensorNode::start_join(net::Network& net) {
+  role_ = Role::kJoining;
+  const wsn::JoinBody body{id()};
+  net.broadcast(Packet{id(), PacketKind::kJoin, wsn::encode(body)});
+  net.counters().increment("join.hello_sent");
+  net.sim().schedule_in(sim::SimTime::from_seconds(config_.join_window_s),
+                        [this, &net] { commit_join(net); });
+}
+
+void SensorNode::on_join(net::Network& net, const Packet& packet) {
+  if (!keys_.has_own() || role_ == Role::kEvicted || secrets_.has_kmc) return;
+  const auto body = wsn::decode_join(packet.payload);
+  if (!body) return;
+  // Reply at most once per joining node.
+  auto& replied = join_replied_[body->new_id];
+  if (replied) return;
+  replied = true;
+  // §IV-E: reply "CID, MAC_Kc(CID)" so an adversary cannot advertise
+  // clusters it has no key for (impersonation defence).
+  wsn::JoinReplyBody reply;
+  reply.cid = keys_.own_cid();
+  reply.hash_epoch = hash_epoch_;
+  reply.tag = wsn::join_reply_tag(keys_.own_key(), reply.cid, hash_epoch_);
+  const double jitter = net.sim().rng().uniform(0.0, 0.01);
+  net.sim().schedule_in(
+      sim::SimTime::from_seconds(jitter), [this, &net, reply] {
+        net.broadcast(Packet{id(), PacketKind::kJoinReply, wsn::encode(reply)});
+        net.counters().increment("join.reply_sent");
+      });
+}
+
+void SensorNode::on_join_reply(net::Network& net, const Packet& packet) {
+  if (role_ != Role::kJoining || !secrets_.has_kmc) return;
+  const auto body = wsn::decode_join_reply(packet.payload);
+  if (!body) return;
+  // Derive the advertised cluster's key from KMC — Kc = F(KMC, CID) —
+  // fast-forwarded through the advertised number of hash refreshes.
+  // Cap the epoch so a forged reply cannot make us loop for long.
+  if (body->hash_epoch > 4096) {
+    net.counters().increment("join.reply_rejected");
+    return;
+  }
+  crypto::Key128 derived = crypto::prf_u64(secrets_.kmc, body->cid);
+  for (std::uint32_t e = 0; e < body->hash_epoch; ++e) {
+    derived = crypto::one_way(derived);
+  }
+  const crypto::MacTag expected =
+      wsn::join_reply_tag(derived, body->cid, body->hash_epoch);
+  if (!support::constant_time_equal(expected, body->tag)) {
+    net.counters().increment("join.reply_rejected");
+    return;
+  }
+  hash_epoch_ = std::max(hash_epoch_, body->hash_epoch);
+  const bool known = std::any_of(
+      join_candidates_.begin(), join_candidates_.end(),
+      [&](const auto& c) { return c.first == body->cid; });
+  if (!known) join_candidates_.emplace_back(body->cid, derived);
+  net.counters().increment("join.reply_verified");
+}
+
+void SensorNode::commit_join(net::Network& net) {
+  if (role_ != Role::kJoining) return;
+  if (join_candidates_.empty()) {
+    // No cluster in range: retry later (energy permitting).
+    net.counters().increment("join.no_cluster");
+    start_join(net);
+    return;
+  }
+  // §IV-E: "a member of the first such cluster while the rest will be the
+  // neighboring ones".
+  keys_.set_own(join_candidates_.front().first,
+                join_candidates_.front().second);
+  for (std::size_t i = 1; i < join_candidates_.size(); ++i) {
+    keys_.add_neighbor(join_candidates_[i].first, join_candidates_[i].second);
+  }
+  join_candidates_.clear();
+  role_ = Role::kMember;
+  joined_late_ = true;
+  secrets_.erase_kmc();
+  net.counters().increment("join.committed");
+}
+
+// ---------------------------------------------------------------------------
+
+void SensorNode::handle_packet(net::Network& net, const Packet& packet) {
+  switch (packet.kind) {
+    case PacketKind::kHello:
+      on_hello(net, packet);
+      break;
+    case PacketKind::kLinkAdvert:
+      on_link_advert(net, packet);
+      break;
+    case PacketKind::kData:
+      on_data(net, packet);
+      break;
+    case PacketKind::kBeacon:
+      on_beacon(net, packet);
+      break;
+    case PacketKind::kRefresh:
+      on_refresh(net, packet);
+      break;
+    case PacketKind::kRevoke:
+      on_revoke(net, packet);
+      break;
+    case PacketKind::kJoin:
+      on_join(net, packet);
+      break;
+    case PacketKind::kJoinReply:
+      on_join_reply(net, packet);
+      break;
+    case PacketKind::kReclusterHello:
+      on_recluster_hello(net, packet);
+      break;
+    case PacketKind::kReclusterLink:
+      on_recluster_link(net, packet);
+      break;
+    case PacketKind::kAuthBroadcast:
+      on_auth_broadcast(net, packet);
+      break;
+    case PacketKind::kKeyDisclosure:
+      on_key_disclosure(net, packet);
+      break;
+    case PacketKind::kInterest:
+      on_interest(net, packet);
+      break;
+    case PacketKind::kDiffData:
+      on_diff_data(net, packet);
+      break;
+    case PacketKind::kReinforce:
+      on_reinforce(net, packet);
+      break;
+    default:
+      net.counters().increment("packet.unknown_kind");
+      break;
+  }
+}
+
+}  // namespace ldke::core

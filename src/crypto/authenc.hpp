@@ -1,0 +1,47 @@
+#pragma once
+/// \file authenc.hpp
+/// Encrypt-then-MAC envelope used by both protocol steps (§IV-C):
+///
+///   seal:  ct = CTR_Kencr(nonce, plain);  tag = MAC_Kmac(aad | nonce | ct)
+///   open:  verify tag, then decrypt.
+///
+/// The caller supplies a (never reused per key) nonce — the paper's shared
+/// counter for Step 1, a per-hop counter for Step 2 — and optional
+/// additional authenticated data (e.g. the cleartext CID header).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/hmac.hpp"
+#include "crypto/key.hpp"
+#include "crypto/prf.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+
+/// Sealed envelope layout: ciphertext || tag (kMacTagBytes).
+inline constexpr std::size_t kSealOverheadBytes = kMacTagBytes;
+
+/// Encrypts and authenticates \p plain.  Returns ciphertext||tag.
+[[nodiscard]] support::Bytes seal(const KeyPair& keys, std::uint64_t nonce,
+                                  std::span<const std::uint8_t> plain,
+                                  std::span<const std::uint8_t> aad = {});
+
+/// Verifies and decrypts; std::nullopt on any authentication failure.
+[[nodiscard]] std::optional<support::Bytes> open(
+    const KeyPair& keys, std::uint64_t nonce,
+    std::span<const std::uint8_t> sealed,
+    std::span<const std::uint8_t> aad = {});
+
+/// Convenience overloads deriving the (encr, mac) pair from one key via F.
+[[nodiscard]] support::Bytes seal_with(const Key128& key, std::uint64_t nonce,
+                                       std::span<const std::uint8_t> plain,
+                                       std::span<const std::uint8_t> aad = {});
+
+[[nodiscard]] std::optional<support::Bytes> open_with(
+    const Key128& key, std::uint64_t nonce,
+    std::span<const std::uint8_t> sealed,
+    std::span<const std::uint8_t> aad = {});
+
+}  // namespace ldke::crypto

@@ -1,0 +1,32 @@
+#pragma once
+/// \file ctr.hpp
+/// AES-128 counter-mode keystream encryption.  The protocol's E_K(.)
+/// operations use CTR with an explicit 64-bit nonce + 64-bit block
+/// counter, matching the paper's shared-counter construction for semantic
+/// security (§IV-C Step 1).
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.hpp"
+#include "crypto/key.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+
+/// XORs the AES-CTR keystream for (key, nonce) into \p data in place.
+/// Encryption and decryption are the same operation.
+void ctr_crypt(const Key128& key, std::uint64_t nonce,
+               std::span<std::uint8_t> data) noexcept;
+
+/// Out-of-place convenience.
+[[nodiscard]] support::Bytes ctr_encrypt(const Key128& key, std::uint64_t nonce,
+                                         std::span<const std::uint8_t> plain);
+
+[[nodiscard]] inline support::Bytes ctr_decrypt(
+    const Key128& key, std::uint64_t nonce,
+    std::span<const std::uint8_t> cipher) {
+  return ctr_encrypt(key, nonce, cipher);
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,54 @@
+#pragma once
+/// \file ctr64.hpp
+/// Counter mode over 64-bit-block ciphers (RC5, Speck64).  The counter
+/// block is the 64-bit value (nonce + block_index), big-endian — the
+/// classic construction for small-block mote ciphers.  Header-only
+/// template so any cipher exposing kBlockBytes == 8 and
+/// encrypt_block(span<uint8_t, 8>) plugs in.
+
+#include <cstdint>
+#include <span>
+
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+
+template <typename Cipher>
+void ctr64_crypt(const Cipher& cipher, std::uint64_t nonce,
+                 std::span<std::uint8_t> data) noexcept {
+  static_assert(Cipher::kBlockBytes == 8,
+                "ctr64 is for 64-bit block ciphers");
+  std::uint64_t block_index = 0;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::uint64_t counter = nonce + block_index;
+    std::array<std::uint8_t, 8> block;
+    for (int i = 0; i < 8; ++i) {
+      block[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+    }
+    cipher.encrypt_block(block);
+    const std::size_t take = std::min<std::size_t>(8, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= block[i];
+    offset += take;
+    ++block_index;
+  }
+}
+
+template <typename Cipher>
+[[nodiscard]] support::Bytes ctr64_encrypt(const Cipher& cipher,
+                                           std::uint64_t nonce,
+                                           std::span<const std::uint8_t> plain) {
+  support::Bytes out(plain.begin(), plain.end());
+  ctr64_crypt(cipher, nonce, out);
+  return out;
+}
+
+template <typename Cipher>
+[[nodiscard]] support::Bytes ctr64_decrypt(
+    const Cipher& cipher, std::uint64_t nonce,
+    std::span<const std::uint8_t> sealed) {
+  return ctr64_encrypt(cipher, nonce, sealed);
+}
+
+}  // namespace ldke::crypto

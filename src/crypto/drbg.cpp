@@ -1,0 +1,53 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+namespace ldke::crypto {
+
+namespace {
+Key128 expand_seed(std::uint64_t seed) noexcept {
+  Key128 k;
+  for (int i = 0; i < 8; ++i) {
+    k.bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+    // Second half mixes the complement so seed 0 is not the all-zero key.
+    k.bytes[8 + i] = static_cast<std::uint8_t>(~seed >> (8 * i));
+  }
+  return k;
+}
+}  // namespace
+
+Drbg::Drbg(const Key128& seed_key) noexcept : aes_(seed_key) {}
+
+Drbg::Drbg(std::uint64_t seed) noexcept : aes_(expand_seed(seed)) {}
+
+void Drbg::generate(std::span<std::uint8_t> out) noexcept {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    AesBlock block{};
+    for (int i = 0; i < 8; ++i) {
+      block[8 + i] = static_cast<std::uint8_t>(counter_ >> (56 - 8 * i));
+    }
+    ++counter_;
+    const AesBlock keystream = aes_.encrypt(block);
+    const std::size_t take =
+        std::min<std::size_t>(kAesBlockBytes, out.size() - offset);
+    std::memcpy(out.data() + offset, keystream.data(), take);
+    offset += take;
+  }
+}
+
+Key128 Drbg::next_key() noexcept {
+  Key128 k;
+  generate(k.span());
+  return k;
+}
+
+std::uint64_t Drbg::next_u64() noexcept {
+  std::uint8_t buf[8];
+  generate(buf);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{buf[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,38 @@
+#pragma once
+/// \file drbg.hpp
+/// Deterministic random *key* generation.  Provisioning draws all node
+/// keys from a CTR-mode DRBG so a whole deployment is reproducible from
+/// one seed while keys remain unpredictable without it.  (Simulation
+/// randomness — placement, timers — uses support::Xoshiro256 instead.)
+
+#include <cstdint>
+
+#include "crypto/aes128.hpp"
+#include "crypto/key.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+
+/// AES-128-CTR based deterministic random bit generator.
+class Drbg {
+ public:
+  explicit Drbg(const Key128& seed_key) noexcept;
+
+  /// Convenience: seeds from a 64-bit integer (tests, simulations).
+  explicit Drbg(std::uint64_t seed) noexcept;
+
+  /// Fills \p out with pseudo-random bytes.
+  void generate(std::span<std::uint8_t> out) noexcept;
+
+  /// Draws a fresh 128-bit key.
+  [[nodiscard]] Key128 next_key() noexcept;
+
+  /// Draws a 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+ private:
+  Aes128 aes_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace ldke::crypto

@@ -1,0 +1,58 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace ldke::crypto {
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept {
+  std::array<std::uint8_t, kSha256BlockBytes> block_key{};
+  if (key.size() > kSha256BlockBytes) {
+    const Sha256Digest digest = sha256(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kSha256BlockBytes> ipad_key{};
+  for (std::size_t i = 0; i < kSha256BlockBytes; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+  support::secure_zero(block_key);
+  support::secure_zero(ipad_key);
+}
+
+void HmacSha256::update(std::span<const std::uint8_t> data) noexcept {
+  inner_.update(data);
+}
+
+Sha256Digest HmacSha256::finish() noexcept {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message) noexcept {
+  HmacSha256 ctx{key};
+  ctx.update(message);
+  return ctx.finish();
+}
+
+MacTag mac(const Key128& key, std::span<const std::uint8_t> message) noexcept {
+  const Sha256Digest full = hmac_sha256(key.span(), message);
+  MacTag tag;
+  std::memcpy(tag.data(), full.data(), tag.size());
+  return tag;
+}
+
+bool verify_mac(const Key128& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> tag) noexcept {
+  const MacTag expected = mac(key, message);
+  return support::constant_time_equal(expected, tag);
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,49 @@
+#pragma once
+/// \file hmac.hpp
+/// RFC 2104 HMAC-SHA-256.  The protocol's MAC_K(.) operations use this
+/// with tags truncated to kMacTagBytes (TinySec-style short tags keep the
+/// over-the-air packets mote-sized; truncation of HMAC is standard).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "crypto/key.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ldke::crypto {
+
+/// Length of the truncated MAC tag carried in packets.
+inline constexpr std::size_t kMacTagBytes = 8;
+
+using MacTag = std::array<std::uint8_t, kMacTagBytes>;
+
+/// Incremental HMAC-SHA-256.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(std::span<const std::uint8_t> key) noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] Sha256Digest finish() noexcept;
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, kSha256BlockBytes> opad_key_{};
+};
+
+/// One-shot full-width HMAC.
+[[nodiscard]] Sha256Digest hmac_sha256(
+    std::span<const std::uint8_t> key,
+    std::span<const std::uint8_t> message) noexcept;
+
+/// Protocol MAC: HMAC-SHA-256 truncated to kMacTagBytes.
+[[nodiscard]] MacTag mac(const Key128& key,
+                         std::span<const std::uint8_t> message) noexcept;
+
+/// Constant-time verification of a truncated tag.
+[[nodiscard]] bool verify_mac(const Key128& key,
+                              std::span<const std::uint8_t> message,
+                              std::span<const std::uint8_t> tag) noexcept;
+
+}  // namespace ldke::crypto

@@ -1,0 +1,46 @@
+#pragma once
+/// \file key.hpp
+/// Fixed-size symmetric key type.  All protocol keys (Ki, Kci, Km, KMC,
+/// derived encryption/MAC keys, hash-chain elements) are 128-bit values.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+
+inline constexpr std::size_t kKeyBytes = 16;
+
+/// 128-bit symmetric key.  Value type; zeroize() supports the protocol
+/// steps that erase Km / KMC from node memory (§IV-B, §IV-E).
+struct Key128 {
+  std::array<std::uint8_t, kKeyBytes> bytes{};
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return bytes;
+  }
+  [[nodiscard]] std::span<std::uint8_t> span() noexcept { return bytes; }
+
+  void zeroize() noexcept { support::secure_zero(bytes); }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    std::uint8_t acc = 0;
+    for (std::uint8_t b : bytes) acc |= b;
+    return acc == 0;
+  }
+
+  friend bool operator==(const Key128&, const Key128&) = default;
+};
+
+/// Builds a key from exactly kKeyBytes bytes.
+[[nodiscard]] inline Key128 key_from_bytes(
+    std::span<const std::uint8_t> data) noexcept {
+  Key128 k;
+  const std::size_t n = data.size() < kKeyBytes ? data.size() : kKeyBytes;
+  for (std::size_t i = 0; i < n; ++i) k.bytes[i] = data[i];
+  return k;
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,45 @@
+#include "crypto/keychain.hpp"
+
+#include "crypto/prf.hpp"
+
+namespace ldke::crypto {
+
+KeyChain::KeyChain(const Key128& k_n, std::size_t length) {
+  if (length == 0) length = 1;
+  chain_.resize(length + 1);
+  chain_[length] = k_n;
+  for (std::size_t l = length; l > 0; --l) {
+    chain_[l - 1] = one_way(chain_[l]);
+  }
+}
+
+const Key128& KeyChain::commitment() const noexcept { return chain_.front(); }
+
+std::size_t KeyChain::remaining() const noexcept {
+  return chain_.size() - next_;
+}
+
+std::optional<Key128> KeyChain::reveal_next() noexcept {
+  if (next_ >= chain_.size()) return std::nullopt;
+  return chain_[next_++];
+}
+
+std::optional<Key128> KeyChain::element(std::size_t l) const noexcept {
+  if (l >= chain_.size()) return std::nullopt;
+  return chain_[l];
+}
+
+bool ChainVerifier::accept(const Key128& revealed,
+                           std::size_t max_skip) noexcept {
+  Key128 walker = revealed;
+  for (std::size_t step = 0; step < max_skip; ++step) {
+    walker = one_way(walker);
+    if (walker == commitment_) {
+      commitment_ = revealed;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,65 @@
+#pragma once
+/// \file keychain.hpp
+/// One-way hash key chains (§IV-D, Figure 5).  The base station generates
+/// K_n and derives K_{l-1} = F(K_l) down to the commitment K_0, which is
+/// preloaded into every node.  Chain elements are revealed in *reverse*
+/// generation order (K_1, K_2, ...) to authenticate revocation commands.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crypto/key.hpp"
+
+namespace ldke::crypto {
+
+/// Base-station side: owns the full chain and tracks the reveal position.
+class KeyChain {
+ public:
+  /// Generates a chain of \p length reveals from random seed \p k_n.
+  /// length must be >= 1.
+  KeyChain(const Key128& k_n, std::size_t length);
+
+  /// K_0, the public commitment preloaded into nodes.
+  [[nodiscard]] const Key128& commitment() const noexcept;
+
+  /// Number of reveals still available.
+  [[nodiscard]] std::size_t remaining() const noexcept;
+
+  /// Reveals the next element (K_1 first); std::nullopt when exhausted.
+  [[nodiscard]] std::optional<Key128> reveal_next() noexcept;
+
+  /// Random access to K_l, 0 <= l <= length (µTESLA needs the key of the
+  /// *current* interval for MACs before its scheduled disclosure).
+  [[nodiscard]] std::optional<Key128> element(std::size_t l) const noexcept;
+
+  [[nodiscard]] std::size_t length() const noexcept {
+    return chain_.size() - 1;
+  }
+
+ private:
+  std::vector<Key128> chain_;  // chain_[l] == K_l, l in [0, length]
+  std::size_t next_ = 1;
+};
+
+/// Node side: holds only the latest verified commitment.
+class ChainVerifier {
+ public:
+  explicit ChainVerifier(const Key128& commitment) noexcept
+      : commitment_(commitment) {}
+
+  [[nodiscard]] const Key128& commitment() const noexcept {
+    return commitment_;
+  }
+
+  /// Accepts \p revealed iff F applied 1..max_skip times reaches the
+  /// stored commitment (skips tolerate lost revocation messages).  On
+  /// success the commitment advances to \p revealed.
+  [[nodiscard]] bool accept(const Key128& revealed,
+                            std::size_t max_skip = 8) noexcept;
+
+ private:
+  Key128 commitment_;
+};
+
+}  // namespace ldke::crypto

@@ -1,0 +1,33 @@
+#include "crypto/prf.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace ldke::crypto {
+
+Key128 prf(const Key128& key, std::span<const std::uint8_t> data) noexcept {
+  const Sha256Digest digest = hmac_sha256(key.span(), data);
+  Key128 out;
+  std::memcpy(out.bytes.data(), digest.data(), kKeyBytes);
+  return out;
+}
+
+Key128 prf_u64(const Key128& key, std::uint64_t label) noexcept {
+  std::uint8_t encoded[8];
+  for (int i = 0; i < 8; ++i) {
+    encoded[i] = static_cast<std::uint8_t>(label >> (8 * i));
+  }
+  return prf(key, encoded);
+}
+
+Key128 one_way(const Key128& key) noexcept {
+  static constexpr std::uint8_t kLabel[] = {'c', 'h', 'a', 'i', 'n'};
+  return prf(key, kLabel);
+}
+
+KeyPair derive_pair(const Key128& key) noexcept {
+  return KeyPair{prf_u64(key, 0), prf_u64(key, 1)};
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,38 @@
+#pragma once
+/// \file prf.hpp
+/// The paper's secure pseudo-random function F, realized as HMAC-SHA-256
+/// truncated to 128 bits.  Uses:
+///   - key derivation:          Kencr = F(Ki, 0), KMAC = F(Ki, 1)  (§IV-C)
+///   - cluster-key generation:  Kci   = F(KMC, i)                  (§IV-E)
+///   - hash-chain step:         K_{l-1} = F(K_l)                   (§IV-D)
+///   - hash key refresh:        Kc <- F(Kc)                        (§IV-C)
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/key.hpp"
+
+namespace ldke::crypto {
+
+/// F(K, data): derives a 128-bit key from arbitrary input bytes.
+[[nodiscard]] Key128 prf(const Key128& key,
+                         std::span<const std::uint8_t> data) noexcept;
+
+/// F(K, i): derives a key from a 64-bit label (little-endian encoding).
+[[nodiscard]] Key128 prf_u64(const Key128& key, std::uint64_t label) noexcept;
+
+/// One-way function F(K) used by hash chains and key refresh (fixed
+/// "chain" domain-separation label).
+[[nodiscard]] Key128 one_way(const Key128& key) noexcept;
+
+/// Derived key pair for independent encryption / authentication
+/// operations, as the paper recommends ("use different keys for different
+/// cryptographic operations").
+struct KeyPair {
+  Key128 encr;  ///< Kencr = F(K, 0)
+  Key128 mac;   ///< KMAC  = F(K, 1)
+};
+
+[[nodiscard]] KeyPair derive_pair(const Key128& key) noexcept;
+
+}  // namespace ldke::crypto

@@ -1,0 +1,90 @@
+#include "crypto/rc5.hpp"
+
+#include <bit>
+
+namespace ldke::crypto {
+
+namespace {
+
+constexpr std::uint32_t kP32 = 0xb7e15163;  // Odd((e-2) * 2^32)
+constexpr std::uint32_t kQ32 = 0x9e3779b9;  // Odd((phi-1) * 2^32)
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+// Data-dependent rotations use only the low 5 bits of the shift amount.
+std::uint32_t rotl(std::uint32_t x, std::uint32_t n) noexcept {
+  return std::rotl(x, static_cast<int>(n & 31));
+}
+std::uint32_t rotr(std::uint32_t x, std::uint32_t n) noexcept {
+  return std::rotr(x, static_cast<int>(n & 31));
+}
+
+}  // namespace
+
+Rc5::Rc5(const Key128& key) noexcept {
+  // Key expansion per the RC5 paper: L = key as little-endian words,
+  // S initialized from the magic constants, then 3 mixing passes.
+  std::array<std::uint32_t, 4> l{};
+  for (int i = 0; i < 4; ++i) l[static_cast<std::size_t>(i)] = load_le32(key.bytes.data() + 4 * i);
+
+  s_[0] = kP32;
+  for (std::size_t i = 1; i < s_.size(); ++i) s_[i] = s_[i - 1] + kQ32;
+
+  std::uint32_t a = 0, b = 0;
+  std::size_t i = 0, j = 0;
+  const std::size_t iterations = 3 * s_.size();  // 3 * max(t, c), t > c
+  for (std::size_t k = 0; k < iterations; ++k) {
+    a = s_[i] = rotl(s_[i] + a + b, 3);
+    b = l[j] = rotl(l[j] + a + b, a + b);
+    i = (i + 1) % s_.size();
+    j = (j + 1) % l.size();
+  }
+}
+
+void Rc5::encrypt_block(
+    std::span<std::uint8_t, kBlockBytes> block) const noexcept {
+  std::uint32_t a = load_le32(block.data()) + s_[0];
+  std::uint32_t b = load_le32(block.data() + 4) + s_[1];
+  for (int r = 1; r <= kRounds; ++r) {
+    a = rotl(a ^ b, b) + s_[static_cast<std::size_t>(2 * r)];
+    b = rotl(b ^ a, a) + s_[static_cast<std::size_t>(2 * r + 1)];
+  }
+  store_le32(block.data(), a);
+  store_le32(block.data() + 4, b);
+}
+
+void Rc5::decrypt_block(
+    std::span<std::uint8_t, kBlockBytes> block) const noexcept {
+  std::uint32_t a = load_le32(block.data());
+  std::uint32_t b = load_le32(block.data() + 4);
+  for (int r = kRounds; r >= 1; --r) {
+    b = rotr(b - s_[static_cast<std::size_t>(2 * r + 1)], a) ^ a;
+    a = rotr(a - s_[static_cast<std::size_t>(2 * r)], b) ^ b;
+  }
+  store_le32(block.data(), a - s_[0]);
+  store_le32(block.data() + 4, b - s_[1]);
+}
+
+Rc5::Block Rc5::encrypt(const Block& in) const noexcept {
+  Block out = in;
+  encrypt_block(out);
+  return out;
+}
+
+Rc5::Block Rc5::decrypt(const Block& in) const noexcept {
+  Block out = in;
+  decrypt_block(out);
+  return out;
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,42 @@
+#pragma once
+/// \file rc5.hpp
+/// RC5-32/12/16 (Rivest, 1994): the block cipher of the paper's era —
+/// TinySec shipped it as the recommended mote cipher, and the paper's
+/// reference [3] (Carman et al.) benchmarks it for sensor networks.
+/// 64-bit blocks, 12 rounds, 128-bit keys.  Verified against the test
+/// vectors from Rivest's paper in tests/crypto/rc5_test.cpp.
+///
+/// The repository's protocol default remains AES-128 (see
+/// crypto/authenc.hpp); RC5 and Speck exist so the cipher-cost
+/// comparison of [3] can be reproduced (bench_cipher_comparison) and to
+/// demonstrate that every envelope construction is cipher-agnostic.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/key.hpp"
+
+namespace ldke::crypto {
+
+class Rc5 {
+ public:
+  static constexpr std::size_t kBlockBytes = 8;
+  static constexpr int kRounds = 12;
+
+  using Block = std::array<std::uint8_t, kBlockBytes>;
+
+  explicit Rc5(const Key128& key) noexcept;
+
+  void encrypt_block(std::span<std::uint8_t, kBlockBytes> block) const noexcept;
+  void decrypt_block(std::span<std::uint8_t, kBlockBytes> block) const noexcept;
+
+  [[nodiscard]] Block encrypt(const Block& in) const noexcept;
+  [[nodiscard]] Block decrypt(const Block& in) const noexcept;
+
+ private:
+  // Expanded key table S[0 .. 2*(r+1)-1].
+  std::array<std::uint32_t, 2 * (kRounds + 1)> s_{};
+};
+
+}  // namespace ldke::crypto

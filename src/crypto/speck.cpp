@@ -1,0 +1,92 @@
+#include "crypto/speck.hpp"
+
+#include <bit>
+
+namespace ldke::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+// One Speck round on (x, y) with round key k.
+constexpr void round_enc(std::uint32_t& x, std::uint32_t& y,
+                         std::uint32_t k) noexcept {
+  x = std::rotr(x, 8);
+  x += y;
+  x ^= k;
+  y = std::rotl(y, 3);
+  y ^= x;
+}
+
+constexpr void round_dec(std::uint32_t& x, std::uint32_t& y,
+                         std::uint32_t k) noexcept {
+  y ^= x;
+  y = std::rotr(y, 3);
+  x ^= k;
+  x -= y;
+  x = std::rotl(x, 8);
+}
+
+}  // namespace
+
+Speck64::Speck64(const Key128& key) noexcept {
+  // Key schedule: key words (little-endian order within the key bytes)
+  // k0 = key[0..3], l0..l2 = key[4..15]; the round function itself
+  // generates the schedule.
+  std::uint32_t k = load_le32(key.bytes.data());
+  std::array<std::uint32_t, 3> l = {load_le32(key.bytes.data() + 4),
+                                    load_le32(key.bytes.data() + 8),
+                                    load_le32(key.bytes.data() + 12)};
+  for (int i = 0; i < kRounds; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] = k;
+    std::uint32_t li = l[static_cast<std::size_t>(i % 3)];
+    round_enc(li, k, static_cast<std::uint32_t>(i));
+    l[static_cast<std::size_t>(i % 3)] = li;
+  }
+}
+
+void Speck64::encrypt_block(
+    std::span<std::uint8_t, kBlockBytes> block) const noexcept {
+  // Block convention from the reference implementation: the *second*
+  // word in memory is x (the "high" word).
+  std::uint32_t y = load_le32(block.data());
+  std::uint32_t x = load_le32(block.data() + 4);
+  for (std::uint32_t k : round_keys_) round_enc(x, y, k);
+  store_le32(block.data(), y);
+  store_le32(block.data() + 4, x);
+}
+
+void Speck64::decrypt_block(
+    std::span<std::uint8_t, kBlockBytes> block) const noexcept {
+  std::uint32_t y = load_le32(block.data());
+  std::uint32_t x = load_le32(block.data() + 4);
+  for (int i = kRounds - 1; i >= 0; --i) {
+    round_dec(x, y, round_keys_[static_cast<std::size_t>(i)]);
+  }
+  store_le32(block.data(), y);
+  store_le32(block.data() + 4, x);
+}
+
+Speck64::Block Speck64::encrypt(const Block& in) const noexcept {
+  Block out = in;
+  encrypt_block(out);
+  return out;
+}
+
+Speck64::Block Speck64::decrypt(const Block& in) const noexcept {
+  Block out = in;
+  decrypt_block(out);
+  return out;
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,127 @@
+#include "net/channel.hpp"
+
+namespace ldke::net {
+
+Channel::Channel(sim::Simulator& sim, const Topology& topology,
+                 EnergyModel& energy, sim::TraceCounters& counters,
+                 ChannelConfig config)
+    : sim_(sim),
+      topology_(topology),
+      energy_(energy),
+      counters_(counters),
+      config_(config) {}
+
+sim::SimTime Channel::tx_duration(const Packet& packet) const noexcept {
+  const double bits = static_cast<double>(packet.size_bytes()) * 8.0;
+  return sim::SimTime::from_seconds(bits / config_.bitrate_bps);
+}
+
+std::shared_ptr<bool> Channel::track_reception(NodeId receiver,
+                                               sim::SimTime when) {
+  auto corrupted = std::make_shared<bool>(false);
+  auto& active = active_receptions_[receiver];
+  // Prune receptions that already finished (their events have run).
+  std::erase_if(active,
+                [now = sim_.now()](const Reception& r) { return r.end <= now; });
+  for (Reception& ongoing : active) {
+    // Any temporal overlap corrupts both frames (no capture effect).
+    *ongoing.corrupted = true;
+    *corrupted = true;
+  }
+  active.push_back(Reception{when, corrupted});
+  return corrupted;
+}
+
+void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
+                                sim::SimTime when, bool charge_energy) {
+  if (config_.loss_probability > 0.0 &&
+      sim_.rng().bernoulli(config_.loss_probability)) {
+    counters_.increment("channel.lost");
+    return;
+  }
+  std::shared_ptr<bool> corrupted;
+  if (config_.model_collisions) {
+    corrupted = track_reception(receiver, when);
+  }
+  // Carrier sensing: an incoming frame keeps the receiver's medium busy
+  // until it fully arrives.
+  if (config_.csma) note_busy(receiver, when);
+  // Copy the packet per receiver: receivers must not observe each other's
+  // mutations and the sender's buffer may be reused.
+  sim_.schedule_at(when, [this, receiver, packet, charge_energy, corrupted] {
+    // The radio listened either way.
+    if (charge_energy) energy_.charge_rx(receiver, packet.size_bytes());
+    if (corrupted && *corrupted) {
+      ++collisions_;
+      counters_.increment("channel.collision");
+      return;
+    }
+    ++rx_count_;
+    counters_.increment("channel.delivered");
+    if (deliver_) deliver_(receiver, packet);
+  });
+}
+
+void Channel::note_busy(NodeId node, sim::SimTime until) {
+  auto& busy = busy_until_[node];
+  if (until > busy) busy = until;
+}
+
+void Channel::emit_now(const Packet& packet) {
+  const sim::SimTime tx_end = sim_.now() + tx_duration(packet);
+  const sim::SimTime arrival = tx_end + config_.propagation_delay;
+  if (sniffer_) sniffer_(packet);
+  ++tx_count_;
+  tx_bytes_ += packet.size_bytes();
+  counters_.increment("channel.tx");
+  energy_.charge_tx(packet.sender, packet.size_bytes(), topology_.range());
+  if (config_.csma) note_busy(packet.sender, tx_end);
+  for (NodeId receiver : topology_.neighbors(packet.sender)) {
+    schedule_delivery(receiver, packet, arrival, /*charge_energy=*/true);
+  }
+}
+
+void Channel::csma_transmit(Packet packet, int attempt) {
+  const auto it = busy_until_.find(packet.sender);
+  const bool busy = it != busy_until_.end() && it->second > sim_.now();
+  if (!busy) {
+    emit_now(packet);
+    return;
+  }
+  if (attempt >= config_.csma_max_attempts) {
+    ++csma_drops_;
+    counters_.increment("channel.csma_drop");
+    return;
+  }
+  ++csma_deferrals_;
+  counters_.increment("channel.csma_defer");
+  const sim::SimTime resume =
+      it->second + sim::SimTime::from_seconds(
+                       sim_.rng().exponential(1.0 / config_.csma_backoff_mean_s));
+  sim_.schedule_at(resume, [this, packet = std::move(packet), attempt] {
+    csma_transmit(packet, attempt + 1);
+  });
+}
+
+void Channel::broadcast(const Packet& packet) {
+  if (config_.csma) {
+    csma_transmit(packet, 0);
+  } else {
+    emit_now(packet);
+  }
+}
+
+void Channel::broadcast_from(Vec2 position, double radius,
+                             const Packet& packet) {
+  const sim::SimTime arrival =
+      sim_.now() + tx_duration(packet) + config_.propagation_delay;
+  if (sniffer_) sniffer_(packet);
+  ++tx_count_;
+  tx_bytes_ += packet.size_bytes();
+  counters_.increment("channel.tx_external");
+  for (NodeId receiver : topology_.nodes_within(position, radius)) {
+    schedule_delivery(receiver, packet, arrival, /*charge_energy=*/true);
+  }
+}
+
+}  // namespace ldke::net

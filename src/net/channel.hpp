@@ -1,0 +1,127 @@
+#pragma once
+/// \file channel.hpp
+/// Broadcast wireless medium.  A transmission by node i is delivered to
+/// every node within radio range after a serialization delay (packet
+/// bits / bitrate) plus a small propagation delay; each receiver may
+/// independently lose the packet with a configurable probability.
+///
+/// Collisions are off by default — the paper's SensorSimII experiments
+/// measure message *counts* and key statistics without MAC contention;
+/// ChannelConfig::model_collisions enables an overlap-corruption model
+/// as an ablation, and loss injection covers the "unreliable link" axis.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/energy.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace ldke::net {
+
+struct ChannelConfig {
+  double bitrate_bps = 19200.0;  ///< MICA2-class radio
+  sim::SimTime propagation_delay = sim::SimTime::from_us(1.0);
+  double loss_probability = 0.0;  ///< independent per receiver
+  /// When true, two receptions whose airtimes overlap at the same
+  /// receiver corrupt each other (no capture effect) — the collision
+  /// ablation for the §V statistics.  SensorSimII (like the paper's
+  /// numbers) did not model MAC contention; off by default.
+  bool model_collisions = false;
+  /// CSMA/CA: before transmitting, a node senses the medium (its own
+  /// reception/transmission windows) and defers with a random
+  /// exponential back-off while busy.  Removes most collisions at the
+  /// cost of latency; hidden terminals still collide.
+  bool csma = false;
+  double csma_backoff_mean_s = 0.003;
+  int csma_max_attempts = 16;
+};
+
+class Channel {
+ public:
+  /// Called once per (receiver, packet) delivery.
+  using DeliveryHandler = std::function<void(NodeId receiver, const Packet&)>;
+
+  Channel(sim::Simulator& sim, const Topology& topology, EnergyModel& energy,
+          sim::TraceCounters& counters, ChannelConfig config = {});
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  /// Passive global observer invoked for every transmission ("the
+  /// broadcast nature of the transmission medium", §I) — the
+  /// eavesdropping adversary of src/attacks records ciphertext here.
+  using SnifferHandler = std::function<void(const Packet&)>;
+  void set_sniffer(SnifferHandler sniffer) { sniffer_ = std::move(sniffer); }
+
+  /// Broadcasts from a deployed node to all of its radio neighbors;
+  /// charges tx energy to the sender and rx energy to each receiver.
+  void broadcast(const Packet& packet);
+
+  /// Broadcasts from an arbitrary position (attacker hardware that is not
+  /// part of the deployment); \p radius may exceed the network range to
+  /// model laptop-class transmitters.  No energy is charged.
+  void broadcast_from(Vec2 position, double radius, const Packet& packet);
+
+  [[nodiscard]] sim::SimTime tx_duration(const Packet& packet) const noexcept;
+
+  [[nodiscard]] std::uint64_t transmissions() const noexcept { return tx_count_; }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept { return rx_count_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+  [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
+
+ private:
+  void schedule_delivery(NodeId receiver, const Packet& packet,
+                         sim::SimTime when, bool charge_energy);
+
+  /// Ongoing reception at a receiver; `corrupted` is shared with the
+  /// scheduled delivery event so a later overlapping arrival can void it.
+  struct Reception {
+    sim::SimTime end;
+    std::shared_ptr<bool> corrupted;
+  };
+
+  /// Registers the reception window [now, when] at \p receiver and
+  /// returns its corruption flag (already true if it overlapped).
+  std::shared_ptr<bool> track_reception(NodeId receiver, sim::SimTime when);
+
+  /// CSMA: actually emits the frame, or re-schedules itself while the
+  /// sender's medium is busy.
+  void csma_transmit(Packet packet, int attempt);
+  void emit_now(const Packet& packet);
+  void note_busy(NodeId node, sim::SimTime until);
+
+  sim::Simulator& sim_;
+  const Topology& topology_;
+  EnergyModel& energy_;
+  sim::TraceCounters& counters_;
+  ChannelConfig config_;
+  DeliveryHandler deliver_;
+  SnifferHandler sniffer_;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t rx_count_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t csma_deferrals_ = 0;
+  std::uint64_t csma_drops_ = 0;
+  std::unordered_map<NodeId, std::vector<Reception>> active_receptions_;
+  std::unordered_map<NodeId, sim::SimTime> busy_until_;
+
+ public:
+  [[nodiscard]] std::uint64_t csma_deferrals() const noexcept {
+    return csma_deferrals_;
+  }
+  [[nodiscard]] std::uint64_t csma_drops() const noexcept {
+    return csma_drops_;
+  }
+};
+
+}  // namespace ldke::net

@@ -1,0 +1,45 @@
+#pragma once
+/// \file energy.hpp
+/// First-order radio energy model (Heinzelman et al.):
+///   E_tx(k bits, d) = E_elec·k + ε_amp·k·d²
+///   E_rx(k bits)    = E_elec·k
+/// The paper's energy argument — one broadcast transmission per message
+/// versus one per neighbor — is quantified through this model.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace ldke::net {
+
+struct EnergyConfig {
+  double e_elec_j_per_bit = 50e-9;       ///< electronics energy per bit
+  double e_amp_j_per_bit_m2 = 100e-12;   ///< amplifier energy per bit·m²
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyConfig config = {}) : config_(config) {}
+
+  /// Ensures accounting exists for ids < \p count.
+  void resize(std::size_t count);
+
+  void charge_tx(NodeId id, std::size_t bytes, double range_m);
+  void charge_rx(NodeId id, std::size_t bytes);
+
+  [[nodiscard]] double consumed_j(NodeId id) const noexcept;
+  [[nodiscard]] double total_j() const noexcept;
+  [[nodiscard]] double tx_j() const noexcept { return tx_total_; }
+  [[nodiscard]] double rx_j() const noexcept { return rx_total_; }
+
+  [[nodiscard]] const EnergyConfig& config() const noexcept { return config_; }
+
+ private:
+  EnergyConfig config_;
+  std::vector<double> per_node_;
+  double tx_total_ = 0.0;
+  double rx_total_ = 0.0;
+};
+
+}  // namespace ldke::net

@@ -1,0 +1,43 @@
+#include "net/network.hpp"
+
+namespace ldke::net {
+
+Network::Network(sim::Simulator& sim, Topology topology,
+                 ChannelConfig channel_cfg, EnergyConfig energy_cfg)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      energy_(energy_cfg),
+      channel_(sim, topology_, energy_, counters_, channel_cfg) {
+  energy_.resize(topology_.size());
+  nodes_.resize(topology_.size(), nullptr);
+  channel_.set_delivery_handler(
+      [this](NodeId receiver, const Packet& packet) {
+        dispatch(receiver, packet);
+      });
+}
+
+void Network::attach(Node& node) {
+  if (node.id() >= nodes_.size()) nodes_.resize(node.id() + 1, nullptr);
+  nodes_[node.id()] = &node;
+}
+
+NodeId Network::deploy_position(Vec2 pos) {
+  const NodeId id = topology_.add_node(pos);
+  energy_.resize(topology_.size());
+  if (id >= nodes_.size()) nodes_.resize(id + 1, nullptr);
+  return id;
+}
+
+void Network::start_all() {
+  for (Node* node : nodes_) {
+    if (node != nullptr) node->start(*this);
+  }
+}
+
+void Network::dispatch(NodeId receiver, const Packet& packet) {
+  if (receiver < nodes_.size() && nodes_[receiver] != nullptr) {
+    nodes_[receiver]->handle_packet(*this, packet);
+  }
+}
+
+}  // namespace ldke::net

@@ -1,0 +1,60 @@
+#pragma once
+/// \file network.hpp
+/// Glue object for one simulated deployment: topology + channel + energy
+/// accounting + the registry of attached node behaviours.  Nodes are
+/// owned by higher layers and registered here non-owning, so the same
+/// substrate serves the LDKE protocol, every baseline scheme and the
+/// attack harnesses.
+
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace ldke::net {
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, Topology topology, ChannelConfig channel_cfg = {},
+          EnergyConfig energy_cfg = {});
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] Channel& channel() noexcept { return channel_; }
+  [[nodiscard]] EnergyModel& energy() noexcept { return energy_; }
+  [[nodiscard]] sim::TraceCounters& counters() noexcept { return counters_; }
+
+  /// Registers the behaviour for an existing topology slot.
+  void attach(Node& node);
+
+  /// Deploys a brand-new node at \p pos (used by §IV-E node addition):
+  /// extends the topology, then the caller constructs a Node with the
+  /// returned id and attaches it.
+  NodeId deploy_position(Vec2 pos);
+
+  [[nodiscard]] Node* node(NodeId id) noexcept {
+    return id < nodes_.size() ? nodes_[id] : nullptr;
+  }
+
+  /// Calls start() on every attached node (in id order).
+  void start_all();
+
+  /// Broadcasts a packet from its sender to all radio neighbors.
+  void broadcast(const Packet& packet) { channel_.broadcast(packet); }
+
+ private:
+  void dispatch(NodeId receiver, const Packet& packet);
+
+  sim::Simulator& sim_;
+  Topology topology_;
+  EnergyModel energy_;
+  sim::TraceCounters counters_;
+  Channel channel_;
+  std::vector<Node*> nodes_;
+};
+
+}  // namespace ldke::net

@@ -1,0 +1,33 @@
+#pragma once
+/// \file node.hpp
+/// Behavioural interface for anything attached to the network: protocol
+/// sensor nodes, base stations, baseline-scheme nodes, attacker sniffers.
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+
+namespace ldke::net {
+
+class Network;
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Invoked once when the simulation starts (schedule initial timers).
+  virtual void start(Network& /*net*/) {}
+
+  /// Invoked for every packet the radio delivers to this node.
+  virtual void handle_packet(Network& net, const Packet& packet) = 0;
+
+ private:
+  NodeId id_;
+};
+
+}  // namespace ldke::net

@@ -1,0 +1,59 @@
+#include "net/packet_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace ldke::net {
+
+std::string_view packet_kind_name(PacketKind kind) noexcept {
+  switch (kind) {
+    case PacketKind::kHello: return "hello";
+    case PacketKind::kLinkAdvert: return "link_advert";
+    case PacketKind::kData: return "data";
+    case PacketKind::kBeacon: return "beacon";
+    case PacketKind::kRevoke: return "revoke";
+    case PacketKind::kJoin: return "join";
+    case PacketKind::kJoinReply: return "join_reply";
+    case PacketKind::kRefresh: return "refresh";
+    case PacketKind::kBaseline: return "baseline";
+    case PacketKind::kReclusterHello: return "recluster_hello";
+    case PacketKind::kReclusterLink: return "recluster_link";
+    case PacketKind::kAuthBroadcast: return "auth_broadcast";
+    case PacketKind::kKeyDisclosure: return "key_disclosure";
+  }
+  return "unknown";
+}
+
+void PacketTrace::attach(Network& net) {
+  net.channel().set_sniffer([this, &net](const Packet& pkt) {
+    ++total_seen_;
+    if (records_.size() >= capacity_) {
+      records_.erase(records_.begin(),
+                     records_.begin() +
+                         static_cast<std::ptrdiff_t>(capacity_ / 4 + 1));
+    }
+    records_.push_back(TraceRecord{net.sim().now().ns(), pkt.sender,
+                                   pkt.kind,
+                                   static_cast<std::uint32_t>(pkt.size_bytes())});
+  });
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+PacketTrace::histogram_by_kind() const {
+  std::map<std::string, std::uint64_t> counts;
+  for (const TraceRecord& r : records_) {
+    ++counts[std::string{packet_kind_name(r.kind)}];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+void PacketTrace::dump_jsonl(std::ostream& os) const {
+  for (const TraceRecord& r : records_) {
+    os << "{\"t\":" << r.time_ns << ",\"sender\":" << r.sender
+       << ",\"kind\":\"" << packet_kind_name(r.kind)
+       << "\",\"bytes\":" << r.size_bytes << "}\n";
+  }
+}
+
+}  // namespace ldke::net

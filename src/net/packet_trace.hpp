@@ -1,0 +1,67 @@
+#pragma once
+/// \file packet_trace.hpp
+/// Packet-level trace recorder: hooks the channel sniffer and keeps a
+/// bounded in-memory log of every transmission (time, sender, kind,
+/// size).  Dumps as JSON-lines for offline inspection — the debugging
+/// affordance SensorSimII's trace files provided.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ldke::net {
+
+struct TraceRecord {
+  std::int64_t time_ns = 0;
+  NodeId sender = kNoNode;
+  PacketKind kind = PacketKind::kData;
+  std::uint32_t size_bytes = 0;
+};
+
+/// Human-readable name of a packet kind ("hello", "data", ...).
+[[nodiscard]] std::string_view packet_kind_name(PacketKind kind) noexcept;
+
+class PacketTrace {
+ public:
+  /// Keeps at most \p capacity records (oldest evicted first).
+  explicit PacketTrace(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  /// Starts recording all transmissions on \p net (owns the sniffer
+  /// hook; replaces any previous one).
+  void attach(Network& net);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t total_seen() const noexcept {
+    return total_seen_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_seen_ -
+           static_cast<std::uint64_t>(records_.size());
+  }
+
+  /// Transmission count per packet kind over the retained window.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  histogram_by_kind() const;
+
+  /// One JSON object per line: {"t":..., "sender":..., "kind":"...",
+  /// "bytes":...}.
+  void dump_jsonl(std::ostream& os) const;
+
+  void clear() noexcept {
+    records_.clear();
+    total_seen_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  std::uint64_t total_seen_ = 0;
+};
+
+}  // namespace ldke::net

@@ -1,0 +1,125 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ldke::net {
+
+double Topology::range_for_density(std::size_t count, double side,
+                                   double density) noexcept {
+  return side * std::sqrt(density /
+                          (std::numbers::pi * static_cast<double>(count)));
+}
+
+Topology Topology::random_uniform(std::size_t count, double side, double range,
+                                  support::Xoshiro256& rng) {
+  Topology topo;
+  topo.side_ = side;
+  topo.range_ = range;
+  topo.positions_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    topo.positions_.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  topo.index_into_grid();
+  topo.rebuild_neighbor_lists();
+  return topo;
+}
+
+Topology Topology::random_with_density(std::size_t count, double side,
+                                       double density,
+                                       support::Xoshiro256& rng) {
+  return random_uniform(count, side, range_for_density(count, side, density),
+                        rng);
+}
+
+Topology Topology::from_positions(std::vector<Vec2> positions, double range) {
+  Topology topo;
+  double side = 1.0;
+  for (const Vec2& p : positions) side = std::max({side, p.x, p.y});
+  topo.side_ = side;
+  topo.range_ = range;
+  topo.positions_ = std::move(positions);
+  topo.index_into_grid();
+  topo.rebuild_neighbor_lists();
+  return topo;
+}
+
+std::size_t Topology::cell_index(Vec2 pos) const noexcept {
+  const double cell = side_ / static_cast<double>(grid_dim_);
+  auto clamp_dim = [this](double v) {
+    auto idx = static_cast<std::size_t>(v);
+    return std::min(idx, grid_dim_ - 1);
+  };
+  const std::size_t cx = clamp_dim(pos.x / cell);
+  const std::size_t cy = clamp_dim(pos.y / cell);
+  return cy * grid_dim_ + cx;
+}
+
+void Topology::index_into_grid() {
+  grid_dim_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(side_ / std::max(range_, 1e-9)));
+  grid_dim_ = std::min<std::size_t>(grid_dim_, 4096);
+  grid_.assign(grid_dim_ * grid_dim_, {});
+  for (NodeId id = 0; id < positions_.size(); ++id) {
+    grid_[cell_index(positions_[id])].push_back(id);
+  }
+}
+
+std::vector<NodeId> Topology::scan_neighbors(Vec2 center, double radius,
+                                             NodeId exclude) const {
+  std::vector<NodeId> out;
+  const double cell = side_ / static_cast<double>(grid_dim_);
+  const double r2 = radius * radius;
+  const int reach = static_cast<int>(std::ceil(radius / cell));
+  const int cx = static_cast<int>(center.x / cell);
+  const int cy = static_cast<int>(center.y / cell);
+  const int dim = static_cast<int>(grid_dim_);
+  for (int gy = std::max(0, cy - reach); gy <= std::min(dim - 1, cy + reach);
+       ++gy) {
+    for (int gx = std::max(0, cx - reach); gx <= std::min(dim - 1, cx + reach);
+         ++gx) {
+      for (NodeId other : grid_[static_cast<std::size_t>(gy) * grid_dim_ +
+                                static_cast<std::size_t>(gx)]) {
+        if (other == exclude) continue;
+        if (distance_squared(center, positions_[other]) <= r2) {
+          out.push_back(other);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Topology::rebuild_neighbor_lists() {
+  neighbor_lists_.assign(positions_.size(), {});
+  for (NodeId id = 0; id < positions_.size(); ++id) {
+    neighbor_lists_[id] = scan_neighbors(positions_[id], range_, id);
+  }
+}
+
+double Topology::mean_degree() const noexcept {
+  if (positions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& list : neighbor_lists_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
+}
+
+std::vector<NodeId> Topology::nodes_within(Vec2 center, double radius) const {
+  return scan_neighbors(center, radius, kNoNode);
+}
+
+NodeId Topology::add_node(Vec2 pos) {
+  const auto id = static_cast<NodeId>(positions_.size());
+  positions_.push_back(pos);
+  grid_[cell_index(pos)].push_back(id);
+  neighbor_lists_.push_back(scan_neighbors(pos, range_, id));
+  for (NodeId neighbor : neighbor_lists_.back()) {
+    auto& list = neighbor_lists_[neighbor];
+    list.insert(std::upper_bound(list.begin(), list.end(), id), id);
+  }
+  return id;
+}
+
+}  // namespace ldke::net

@@ -1,0 +1,92 @@
+#pragma once
+/// \file topology.hpp
+/// Node placement and the unit-disk communication graph.
+///
+/// The paper deploys "several thousands of nodes (2500 to 3600) in a
+/// random topology" and controls the *density* — the average number of
+/// neighbors per node.  For N nodes uniform in an L×L square with radio
+/// range r, density ≈ N·πr²/L² (ignoring edge effects), so the range that
+/// realizes a requested density is r = L·sqrt(d/(πN)).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/vec2.hpp"
+#include "support/rng.hpp"
+
+namespace ldke::net {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+/// Immutable-after-build placement + neighbor lists (grows only through
+/// add_node(), which the node-addition protocol of §IV-E uses).
+class Topology {
+ public:
+  /// Deploys \p count nodes uniformly at random in a square of side
+  /// \p side, with radio range \p range.
+  static Topology random_uniform(std::size_t count, double side, double range,
+                                 support::Xoshiro256& rng);
+
+  /// Same, but chooses the range that yields the requested average
+  /// density (mean neighbors per node).
+  static Topology random_with_density(std::size_t count, double side,
+                                      double density,
+                                      support::Xoshiro256& rng);
+
+  /// Builds from explicit positions (unit tests, worked examples).
+  static Topology from_positions(std::vector<Vec2> positions, double range);
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] double side() const noexcept { return side_; }
+  [[nodiscard]] double range() const noexcept { return range_; }
+
+  [[nodiscard]] Vec2 position(NodeId id) const { return positions_[id]; }
+
+  /// Ids of nodes within radio range of \p id (excluding \p id).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
+    return neighbor_lists_[id];
+  }
+
+  /// Average neighbor count over all nodes (realized density).
+  [[nodiscard]] double mean_degree() const noexcept;
+
+  /// Nodes within \p radius of an arbitrary position (attacker
+  /// transmissions, coverage queries).
+  [[nodiscard]] std::vector<NodeId> nodes_within(Vec2 center,
+                                                 double radius) const;
+
+  [[nodiscard]] bool in_range(NodeId a, NodeId b) const {
+    return distance_squared(positions_[a], positions_[b]) <= range_ * range_;
+  }
+
+  /// Deploys one more node at \p pos; updates neighbor lists on both
+  /// sides.  Returns the new node's id.
+  NodeId add_node(Vec2 pos);
+
+  /// Range that realizes \p density for \p count nodes in a square of
+  /// side \p side (edge effects ignored).
+  [[nodiscard]] static double range_for_density(std::size_t count, double side,
+                                                double density) noexcept;
+
+ private:
+  Topology() = default;
+  void rebuild_neighbor_lists();
+  void index_into_grid();
+  [[nodiscard]] std::vector<NodeId> scan_neighbors(Vec2 center, double radius,
+                                                   NodeId exclude) const;
+
+  std::vector<Vec2> positions_;
+  std::vector<std::vector<NodeId>> neighbor_lists_;
+  double side_ = 1.0;
+  double range_ = 0.1;
+
+  // Uniform grid for O(1)-ish neighbor queries: cell size == range.
+  std::vector<std::vector<NodeId>> grid_;
+  std::size_t grid_dim_ = 0;
+  [[nodiscard]] std::size_t cell_index(Vec2 pos) const noexcept;
+};
+
+}  // namespace ldke::net

@@ -1,0 +1,32 @@
+#pragma once
+/// \file vec2.hpp
+/// 2-D points for node placement.
+
+#include <cmath>
+
+namespace ldke::net {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+};
+
+[[nodiscard]] inline double distance_squared(Vec2 a, Vec2 b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return std::sqrt(distance_squared(a, b));
+}
+
+}  // namespace ldke::net

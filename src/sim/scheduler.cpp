@@ -1,0 +1,50 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace ldke::sim {
+
+EventId Scheduler::schedule(SimTime when, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id,
+                   std::make_shared<std::function<void()>>(std::move(action))});
+  live_ids_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (live_ids_.erase(id) == 0) return false;  // already run or cancelled
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void Scheduler::skip_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime Scheduler::next_time() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+SimTime Scheduler::run_next() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  Entry entry = heap_.top();
+  heap_.pop();
+  live_ids_.erase(entry.id);
+  --live_;
+  (*entry.action)();
+  return entry.when;
+}
+
+}  // namespace ldke::sim

@@ -1,0 +1,65 @@
+#pragma once
+/// \file scheduler.hpp
+/// Pending-event set: a binary heap of (time, sequence) ordered events.
+/// Equal-time events run in scheduling order (stable), which keeps trials
+/// bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+
+#include "sim/time.hpp"
+
+namespace ldke::sim {
+
+/// Handle that allows cancelling a scheduled event (e.g. a node cancels
+/// its cluster-head timer when it joins another cluster).
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  /// Schedules \p action at absolute time \p when; returns a cancellable id.
+  EventId schedule(SimTime when, std::function<void()> action);
+
+  /// Cancels a pending event; returns false if already run/cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Pops and runs the earliest event; returns its time.
+  /// Precondition: !empty().
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    // shared_ptr so copies made by priority_queue stay cheap to move.
+    std::shared_ptr<std::function<void()>> action;
+
+    // Min-heap on (when, id): std::priority_queue is a max-heap, so the
+    // comparison is inverted.
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_ids_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ldke::sim

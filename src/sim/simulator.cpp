@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+namespace ldke::sim {
+
+std::uint64_t Simulator::run(SimTime until) {
+  stop_requested_ = false;
+  std::uint64_t ran = 0;
+  while (!scheduler_.empty() && !stop_requested_) {
+    const SimTime when = scheduler_.next_time();
+    if (when > until) break;
+    // Advance the clock *before* running the event so actions observe
+    // now() == their scheduled time.
+    now_ = when;
+    scheduler_.run_next();
+    ++ran;
+    ++events_executed_;
+  }
+  if (until != SimTime::max() && now_ < until && !stop_requested_) {
+    now_ = until;  // advance the clock to the end of the requested window
+  }
+  return ran;
+}
+
+bool Simulator::step() {
+  if (scheduler_.empty()) return false;
+  now_ = scheduler_.next_time();
+  scheduler_.run_next();
+  ++events_executed_;
+  return true;
+}
+
+}  // namespace ldke::sim

@@ -1,0 +1,67 @@
+#pragma once
+/// \file simulator.hpp
+/// Discrete-event simulation kernel: a clock, a scheduler and a run loop.
+/// One Simulator instance owns one trial; there is no global state, so
+/// many trials can run concurrently on different threads.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "support/rng.hpp"
+
+namespace ldke::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// The trial's random stream (placement, timers, losses, workloads).
+  [[nodiscard]] support::Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Schedules \p action \p delay after now.
+  EventId schedule_in(SimTime delay, std::function<void()> action) {
+    return scheduler_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Schedules \p action at absolute time \p when (must be >= now).
+  EventId schedule_at(SimTime when, std::function<void()> action) {
+    return scheduler_.schedule(when, std::move(action));
+  }
+
+  bool cancel(EventId id) { return scheduler_.cancel(id); }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return scheduler_.pending();
+  }
+
+  /// Runs until the event set drains or \p until is reached, whichever
+  /// comes first.  Returns the number of events executed.
+  std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Runs exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  /// Requests that run() return after the current event completes.
+  void stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+ private:
+  Scheduler scheduler_;
+  support::Xoshiro256 rng_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace ldke::sim

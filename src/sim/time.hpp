@@ -1,0 +1,59 @@
+#pragma once
+/// \file time.hpp
+/// Simulation time.  Stored as integral nanoseconds so event ordering is
+/// exact and independent of floating-point accumulation.
+
+#include <compare>
+#include <cstdint>
+
+namespace ldke::sim {
+
+/// A point or duration on the simulated clock.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime from_ns(std::int64_t ns) noexcept {
+    return SimTime{ns};
+  }
+  [[nodiscard]] static constexpr SimTime from_us(double us) noexcept {
+    return SimTime{static_cast<std::int64_t>(us * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimTime from_ms(double ms) noexcept {
+    return SimTime{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{}; }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime{INT64_MAX};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double milliseconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  constexpr SimTime& operator+=(SimTime other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace ldke::sim

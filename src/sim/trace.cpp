@@ -1,0 +1,29 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace ldke::sim {
+
+void TraceCounters::increment(std::string_view name, std::uint64_t by) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string{name}, by);
+  } else {
+    it->second += by;
+  }
+}
+
+std::uint64_t TraceCounters::value(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string TraceCounters::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << '=' << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ldke::sim

@@ -1,0 +1,35 @@
+#pragma once
+/// \file trace.hpp
+/// Lightweight event counters attached to a trial.  Modules increment
+/// named counters (e.g. "hello_sent", "mac_fail"); experiments read them
+/// after the run.  A plain map keeps this dependency-free and is fast
+/// enough at simulation scale.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ldke::sim {
+
+class TraceCounters {
+ public:
+  void increment(std::string_view name, std::uint64_t by = 1);
+
+  [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
+  all() const noexcept {
+    return counters_;
+  }
+
+  void clear() noexcept { counters_.clear(); }
+
+  /// "name=value" lines, sorted by name (stable test output).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace ldke::sim

@@ -1,0 +1,34 @@
+#pragma once
+/// \file hex.hpp
+/// Byte-buffer and hex helpers shared by the crypto layer and tests.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldke::support {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of \p data.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parses hex (even length, [0-9a-fA-F]); throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Copies a string's bytes into a buffer (tests / example payloads).
+[[nodiscard]] Bytes bytes_of(std::string_view text);
+
+/// Constant-time equality over equal-length buffers; false if lengths
+/// differ.  Used for MAC tag comparison.
+[[nodiscard]] bool constant_time_equal(std::span<const std::uint8_t> a,
+                                       std::span<const std::uint8_t> b) noexcept;
+
+/// Best-effort zeroization that the optimizer must not elide; used when
+/// the protocol erases Km / KMC from node memory.
+void secure_zero(std::span<std::uint8_t> data) noexcept;
+
+}  // namespace ldke::support

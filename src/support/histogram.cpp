@@ -1,0 +1,69 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ldke::support {
+
+void IntHistogram::add(std::size_t value, std::uint64_t weight) {
+  if (value >= bins_.size()) bins_.resize(value + 1, 0);
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+}
+
+std::size_t IntHistogram::max_value() const noexcept {
+  for (std::size_t i = bins_.size(); i > 0; --i) {
+    if (bins_[i - 1] != 0) return i - 1;
+  }
+  return 0;
+}
+
+std::uint64_t IntHistogram::count(std::size_t value) const noexcept {
+  return value < bins_.size() ? bins_[value] : 0;
+}
+
+double IntHistogram::fraction(std::size_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    weighted += static_cast<double>(i) * static_cast<double>(bins_[i]);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+std::vector<double> IntHistogram::fractions() const {
+  std::vector<double> out(max_value() + 1, 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fraction(i);
+  return out;
+}
+
+std::string IntHistogram::render(std::size_t bar_width) const {
+  std::ostringstream os;
+  const std::size_t top = max_value();
+  double peak = 0.0;
+  for (std::size_t i = 0; i <= top; ++i) peak = std::max(peak, fraction(i));
+  if (peak <= 0.0) peak = 1.0;
+  for (std::size_t i = 0; i <= top; ++i) {
+    const double f = fraction(i);
+    const auto bars = static_cast<std::size_t>(f / peak * static_cast<double>(bar_width));
+    os << (i < 10 ? " " : "") << i << " | ";
+    for (std::size_t b = 0; b < bars; ++b) os << '#';
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << ' ' << f << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ldke::support

@@ -1,0 +1,40 @@
+#pragma once
+/// \file histogram.hpp
+/// Integer-valued histograms, used e.g. for the cluster-size distribution
+/// of Figure 1 (fraction of clusters having k members).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldke::support {
+
+/// Counts occurrences of small non-negative integer values.
+class IntHistogram {
+ public:
+  /// Adds one observation of \p value (bins grow on demand).
+  void add(std::size_t value, std::uint64_t weight = 1);
+
+  /// Merges another histogram bin-wise.
+  void merge(const IntHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t max_value() const noexcept;
+  [[nodiscard]] std::uint64_t count(std::size_t value) const noexcept;
+  /// Fraction of observations equal to \p value (0 if histogram empty).
+  [[nodiscard]] double fraction(std::size_t value) const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Bins as fractions, index = value, trailing zeros trimmed.
+  [[nodiscard]] std::vector<double> fractions() const;
+
+  /// Simple fixed-width ASCII bar rendering for terminal reports.
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ldke::support

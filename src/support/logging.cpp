@@ -1,0 +1,38 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ldke::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  if (level < log_level() || message.empty()) return;
+  std::lock_guard lock(g_mutex);
+  std::cerr << '[' << level_name(level) << "] " << component << ": "
+            << message << '\n';
+}
+
+}  // namespace ldke::support

@@ -1,0 +1,44 @@
+#pragma once
+/// \file logging.hpp
+/// Minimal leveled logger.  The simulator is quiet by default; examples
+/// raise the level to narrate protocol phases.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ldke::support {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log threshold (defaults to kWarn).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if \p level passes the threshold.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Stream-style helper:  LDKE_LOG(kInfo, "core") << "setup done";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ldke::support
+
+#define LDKE_LOG(level, component) \
+  ::ldke::support::LogStream(::ldke::support::LogLevel::level, component)

@@ -1,0 +1,90 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for simulations.
+///
+/// Every stochastic component of the simulator draws from an explicitly
+/// seeded generator so that a (seed, parameters) pair fully determines a
+/// trial.  The generators here are *simulation* PRNGs (fast, well
+/// distributed, reproducible); cryptographic randomness lives in
+/// crypto/drbg.hpp.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ldke::support {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Doug — java.util.SplittableRandom.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse simulation generator.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Equivalent to 2^128 calls to next(); used to derive independent
+  /// streams for parallel trials.
+  void long_jump() noexcept;
+
+  /// Returns a generator whose stream is independent of this one.
+  [[nodiscard]] Xoshiro256 split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method
+  /// (unbiased, no modulo in the common case).
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponentially distributed variate with the given rate (lambda > 0);
+  /// mean 1/lambda.  Used for the cluster-head election timers (§IV-B.1).
+  double exponential(double rate) noexcept;
+
+  /// Standard normal variate (Box–Muller, one value per call).
+  double normal() noexcept;
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Derives a child seed from (root seed, stream index) so that trials of a
+/// sweep get reproducible, independent seeds.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root,
+                                        std::uint64_t stream) noexcept;
+
+}  // namespace ldke::support

@@ -1,0 +1,51 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics used by the experiment harness to aggregate
+/// per-trial metrics into mean / stddev / standard-error summaries.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace ldke::support {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction of per-thread stats).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// "mean ± stderr" with the given precision, for report tables.
+  [[nodiscard]] std::string summary(int precision = 3) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a span (0 for empty input).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Population-style percentile via linear interpolation, p in [0, 100].
+/// Requires xs sorted ascending and non-empty.
+[[nodiscard]] double percentile_sorted(std::span<const double> xs,
+                                       double p) noexcept;
+
+}  // namespace ldke::support

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table / CSV rendering for the benchmark harness.  Every figure
+/// bench prints a table with paper-reported and measured columns.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ldke::support {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; missing cells render empty, extra cells widen table.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to \p precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Comma-separated form (no quoting; callers keep cells comma-free).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats \p v with fixed precision.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+}  // namespace ldke::support

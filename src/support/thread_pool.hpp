@@ -1,0 +1,51 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size thread pool used to run independent simulation trials in
+/// parallel (one deterministic single-threaded trial per task).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldke::support {
+
+class ThreadPool {
+ public:
+  /// \p threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks (including those submitted while
+  /// waiting) have finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  /// Exceptions escaping fn terminate (tasks must handle their errors).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ldke::support

@@ -1,0 +1,51 @@
+#include "wsn/aggregate.hpp"
+
+#include <algorithm>
+
+namespace ldke::wsn {
+
+support::Bytes encode(const Observation& obs) {
+  Writer w;
+  w.u32(obs.event_id);
+  w.u32(static_cast<std::uint32_t>(obs.value));
+  return w.take();
+}
+
+std::optional<Observation> decode_observation(
+    std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const auto event = r.u32();
+  const auto value = r.u32();
+  if (!event || !value || !r.exhausted()) return std::nullopt;
+  return Observation{*event, static_cast<std::int32_t>(*value)};
+}
+
+void Combiner::add(std::int32_t value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Combiner::mean() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void Combiner::merge(const Combiner& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+}  // namespace ldke::wsn

@@ -1,0 +1,70 @@
+#pragma once
+/// \file aggregate.hpp
+/// Data-fusion helpers (§II "Intermediate Node Accessibility of Data",
+/// §IV-C data-fusion mode).  The protocol lets a forwarder decrypt the
+/// hop envelope and decide whether a reading is redundant; these
+/// utilities implement the standard decisions: duplicate suppression by
+/// event id and in-network min/max/sum/count combining.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "support/hex.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::wsn {
+
+/// An event observation: which phenomenon was seen and the measurement.
+struct Observation {
+  std::uint32_t event_id = 0;
+  std::int32_t value = 0;
+};
+
+[[nodiscard]] support::Bytes encode(const Observation& obs);
+[[nodiscard]] std::optional<Observation> decode_observation(
+    std::span<const std::uint8_t> data);
+
+/// Forwarder-side duplicate suppression: remembers event ids it has
+/// already relayed and discards further copies ("discard extraneous
+/// messages reported back to the base station", §I).
+class DuplicateSuppressor {
+ public:
+  /// Returns true iff this observation is the first copy (forward it).
+  bool first_copy(std::uint32_t event_id) {
+    return seen_.insert(event_id).second;
+  }
+
+  [[nodiscard]] std::size_t distinct_events() const noexcept {
+    return seen_.size();
+  }
+
+  void reset() noexcept { seen_.clear(); }
+
+ private:
+  std::unordered_set<std::uint32_t> seen_;
+};
+
+/// Streaming combiner for readings of one event: the fused summary a
+/// forwarder could send instead of the raw copies.
+class Combiner {
+ public:
+  void add(std::int32_t value) noexcept;
+
+  [[nodiscard]] std::uint32_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int32_t min() const noexcept { return min_; }
+  [[nodiscard]] std::int32_t max() const noexcept { return max_; }
+  [[nodiscard]] std::int64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Merges another combiner (fusing two partial aggregates).
+  void merge(const Combiner& other) noexcept;
+
+ private:
+  std::uint32_t count_ = 0;
+  std::int32_t min_ = 0;
+  std::int32_t max_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace ldke::wsn

@@ -1,0 +1,247 @@
+#include "wsn/messages.hpp"
+
+namespace ldke::wsn {
+
+namespace {
+
+void put_key(Writer& w, const crypto::Key128& key) { w.fixed(key.bytes); }
+
+std::optional<crypto::Key128> get_key(Reader& r) {
+  auto raw = r.fixed<crypto::kKeyBytes>();
+  if (!raw) return std::nullopt;
+  crypto::Key128 k;
+  k.bytes = *raw;
+  return k;
+}
+
+}  // namespace
+
+support::Bytes encode(const HelloBody& body) {
+  Writer w;
+  w.u32(body.head_id);
+  put_key(w, body.cluster_key);
+  return w.take();
+}
+
+std::optional<HelloBody> decode_hello(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  HelloBody body;
+  const auto id = r.u32();
+  const auto key = get_key(r);
+  if (!id || !key || !r.exhausted()) return std::nullopt;
+  body.head_id = *id;
+  body.cluster_key = *key;
+  return body;
+}
+
+support::Bytes encode(const LinkAdvertBody& body) {
+  Writer w;
+  w.u32(body.cid);
+  put_key(w, body.cluster_key);
+  return w.take();
+}
+
+std::optional<LinkAdvertBody> decode_link_advert(
+    std::span<const std::uint8_t> data) {
+  Reader r{data};
+  LinkAdvertBody body;
+  const auto cid = r.u32();
+  const auto key = get_key(r);
+  if (!cid || !key || !r.exhausted()) return std::nullopt;
+  body.cid = *cid;
+  body.cluster_key = *key;
+  return body;
+}
+
+support::Bytes encode(const BeaconBody& body) {
+  Writer w;
+  w.u32(body.hop);
+  return w.take();
+}
+
+std::optional<BeaconBody> decode_beacon(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const auto hop = r.u32();
+  if (!hop || !r.exhausted()) return std::nullopt;
+  return BeaconBody{*hop};
+}
+
+support::Bytes encode(const DataHeader& header) {
+  Writer w;
+  w.u32(header.cid);
+  w.u32(header.next_hop);
+  w.u64(header.nonce);
+  return w.take();
+}
+
+std::optional<DataHeader> decode_data_header(
+    std::span<const std::uint8_t> data, support::Bytes& sealed_out) {
+  Reader r{data};
+  DataHeader header;
+  const auto cid = r.u32();
+  const auto next = r.u32();
+  const auto nonce = r.u64();
+  if (!cid || !next || !nonce) return std::nullopt;
+  header.cid = *cid;
+  header.next_hop = *next;
+  header.nonce = *nonce;
+  sealed_out = r.take_rest();
+  return header;
+}
+
+support::Bytes encode(const DataInner& inner) {
+  Writer w;
+  w.i64(inner.tau_ns);
+  w.u32(inner.echoed_cid);
+  w.u32(inner.source);
+  w.u64(inner.e2e_counter);
+  w.u8(inner.e2e_encrypted);
+  w.var_bytes(inner.body);
+  return w.take();
+}
+
+std::optional<DataInner> decode_data_inner(
+    std::span<const std::uint8_t> data) {
+  Reader r{data};
+  DataInner inner;
+  const auto tau = r.i64();
+  const auto cid = r.u32();
+  const auto source = r.u32();
+  const auto counter = r.u64();
+  const auto flag = r.u8();
+  auto body = r.var_bytes();
+  if (!tau || !cid || !source || !counter || !flag || !body || !r.exhausted()) {
+    return std::nullopt;
+  }
+  inner.tau_ns = *tau;
+  inner.echoed_cid = *cid;
+  inner.source = *source;
+  inner.e2e_counter = *counter;
+  inner.e2e_encrypted = *flag;
+  inner.body = std::move(*body);
+  return inner;
+}
+
+support::Bytes encode(const BeaconInner& inner) {
+  Writer w;
+  w.u32(inner.hop);
+  w.i64(inner.tau_ns);
+  w.u32(inner.echoed_cid);
+  return w.take();
+}
+
+std::optional<BeaconInner> decode_beacon_inner(
+    std::span<const std::uint8_t> data) {
+  Reader r{data};
+  BeaconInner inner;
+  const auto hop = r.u32();
+  const auto tau = r.i64();
+  const auto cid = r.u32();
+  if (!hop || !tau || !cid || !r.exhausted()) return std::nullopt;
+  inner.hop = *hop;
+  inner.tau_ns = *tau;
+  inner.echoed_cid = *cid;
+  return inner;
+}
+
+crypto::MacTag revoke_tag(const crypto::Key128& chain_element,
+                          const std::vector<ClusterId>& cids) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(cids.size()));
+  for (ClusterId cid : cids) w.u32(cid);
+  return crypto::mac(chain_element, w.buffer());
+}
+
+support::Bytes encode(const RevokeBody& body) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(body.revoked_cids.size()));
+  for (ClusterId cid : body.revoked_cids) w.u32(cid);
+  put_key(w, body.chain_element);
+  w.fixed(body.tag);
+  return w.take();
+}
+
+std::optional<RevokeBody> decode_revoke(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const auto count = r.u16();
+  if (!count) return std::nullopt;
+  RevokeBody body;
+  body.revoked_cids.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    const auto cid = r.u32();
+    if (!cid) return std::nullopt;
+    body.revoked_cids.push_back(*cid);
+  }
+  const auto key = get_key(r);
+  const auto tag = r.fixed<crypto::kMacTagBytes>();
+  if (!key || !tag || !r.exhausted()) return std::nullopt;
+  body.chain_element = *key;
+  body.tag = *tag;
+  return body;
+}
+
+support::Bytes encode(const JoinBody& body) {
+  Writer w;
+  w.u32(body.new_id);
+  return w.take();
+}
+
+std::optional<JoinBody> decode_join(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  const auto id = r.u32();
+  if (!id || !r.exhausted()) return std::nullopt;
+  return JoinBody{*id};
+}
+
+crypto::MacTag join_reply_tag(const crypto::Key128& cluster_key, ClusterId cid,
+                              std::uint32_t hash_epoch) {
+  Writer w;
+  w.u32(cid);
+  w.u32(hash_epoch);
+  return crypto::mac(cluster_key, w.buffer());
+}
+
+support::Bytes encode(const JoinReplyBody& body) {
+  Writer w;
+  w.u32(body.cid);
+  w.u32(body.hash_epoch);
+  w.fixed(body.tag);
+  return w.take();
+}
+
+std::optional<JoinReplyBody> decode_join_reply(
+    std::span<const std::uint8_t> data) {
+  Reader r{data};
+  JoinReplyBody body;
+  const auto cid = r.u32();
+  const auto epoch = r.u32();
+  const auto tag = r.fixed<crypto::kMacTagBytes>();
+  if (!cid || !epoch || !tag || !r.exhausted()) return std::nullopt;
+  body.cid = *cid;
+  body.hash_epoch = *epoch;
+  body.tag = *tag;
+  return body;
+}
+
+support::Bytes encode(const RefreshBody& body) {
+  Writer w;
+  w.u32(body.cid);
+  put_key(w, body.new_key);
+  w.u32(body.epoch);
+  return w.take();
+}
+
+std::optional<RefreshBody> decode_refresh(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  RefreshBody body;
+  const auto cid = r.u32();
+  const auto key = get_key(r);
+  const auto epoch = r.u32();
+  if (!cid || !key || !epoch || !r.exhausted()) return std::nullopt;
+  body.cid = *cid;
+  body.new_key = *key;
+  body.epoch = *epoch;
+  return body;
+}
+
+}  // namespace ldke::wsn

@@ -1,0 +1,163 @@
+#pragma once
+/// \file messages.hpp
+/// Plaintext message bodies for every protocol packet, with encode /
+/// decode via the bounds-checked wire layer.  Encryption wrapping is the
+/// responsibility of src/core (it owns the keys); these are the byte
+/// layouts *inside* (or, for cleartext headers, outside) the envelopes.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/key.hpp"
+#include "net/topology.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::wsn {
+
+using net::NodeId;
+
+/// Cluster identifier == the elected head's node id (§IV-B.1).
+using ClusterId = std::uint32_t;
+
+inline constexpr ClusterId kNoCluster = UINT32_MAX;
+
+/// §IV-B.1 — HELLO: "E_Km(ID_i | Kc_i | MAC)".  This body is sealed under
+/// the master key Km.
+struct HelloBody {
+  NodeId head_id = net::kNoNode;
+  crypto::Key128 cluster_key;
+};
+
+/// §IV-B.2 — link establishment: "E_Km(CID_i | Kc | MAC)".
+struct LinkAdvertBody {
+  ClusterId cid = kNoCluster;
+  crypto::Key128 cluster_key;
+};
+
+/// Routing gradient beacon (hop count to the base station).  Carried
+/// inside a hop envelope once key setup is complete.
+struct BeaconBody {
+  std::uint32_t hop = 0;
+};
+
+/// §IV-C Step 2 cleartext header: the CID tells receivers which key of
+/// their set S authenticates the envelope; next_hop designates the
+/// forwarder (all neighbors can still decrypt and "peek").
+struct DataHeader {
+  ClusterId cid = kNoCluster;
+  NodeId next_hop = net::kNoNode;
+  std::uint64_t nonce = 0;  ///< per-sender envelope nonce
+};
+
+/// §IV-C Step 2 protected interior: freshness timestamp, echoed CID
+/// (binds envelope to header), and the Step-1 block c1.
+struct DataInner {
+  std::int64_t tau_ns = 0;   ///< time() at wrapping, for freshness
+  ClusterId echoed_cid = kNoCluster;
+  NodeId source = net::kNoNode;      ///< originating sensor
+  std::uint64_t e2e_counter = 0;     ///< Step-1 counter (0 when Step 1 omitted)
+  std::uint8_t e2e_encrypted = 0;    ///< 1 iff body is a Step-1 envelope
+  support::Bytes body;               ///< D, or E2E-sealed D
+};
+
+/// Protected interior of a routing beacon (sealed like a Step-2
+/// envelope under the sender's cluster key).
+struct BeaconInner {
+  std::uint32_t hop = 0;
+  std::int64_t tau_ns = 0;
+  ClusterId echoed_cid = kNoCluster;
+};
+
+/// §IV-D — revocation command.  The chain element authenticates the
+/// chain position; the tag (keyed by that element) binds the CID list to
+/// it, µTESLA-style.
+struct RevokeBody {
+  std::vector<ClusterId> revoked_cids;
+  crypto::Key128 chain_element;
+  crypto::MacTag tag{};
+};
+
+/// Tag input for a RevokeBody: MAC over the encoded CID list, keyed by
+/// the chain element.
+[[nodiscard]] crypto::MacTag revoke_tag(const crypto::Key128& chain_element,
+                                        const std::vector<ClusterId>& cids);
+
+/// §IV-E — a joining node announces itself (cleartext; the reply is
+/// authenticated instead).
+struct JoinBody {
+  NodeId new_id = net::kNoNode;
+};
+
+/// §IV-E — "the response sent by existing nodes is simply CID,
+/// MAC_Kc(CID)" to block impersonation of fake clusters.  hash_epoch
+/// extends this with the number of hash-refresh rounds applied so far
+/// (the paper refreshes "by periodically hashing these keys at fixed
+/// time intervals"), letting the joiner fast-forward its KMC-derived key
+/// to the current epoch.  The tag covers cid | hash_epoch under the
+/// *current* cluster key.
+struct JoinReplyBody {
+  ClusterId cid = kNoCluster;
+  std::uint32_t hash_epoch = 0;
+  crypto::MacTag tag{};
+};
+
+/// Tag input for a JoinReplyBody.
+[[nodiscard]] crypto::MacTag join_reply_tag(const crypto::Key128& cluster_key,
+                                            ClusterId cid,
+                                            std::uint32_t hash_epoch);
+
+/// §IV-C — cluster-key refresh announcement (sealed under the current
+/// cluster key).
+struct RefreshBody {
+  ClusterId cid = kNoCluster;
+  crypto::Key128 new_key;
+  std::uint32_t epoch = 0;
+};
+
+// ---- encode / decode ----------------------------------------------------
+
+[[nodiscard]] support::Bytes encode(const HelloBody& body);
+[[nodiscard]] std::optional<HelloBody> decode_hello(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const LinkAdvertBody& body);
+[[nodiscard]] std::optional<LinkAdvertBody> decode_link_advert(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const BeaconBody& body);
+[[nodiscard]] std::optional<BeaconBody> decode_beacon(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const DataHeader& header);
+/// Decodes the header and returns the remaining (sealed) bytes through
+/// \p sealed_out.
+[[nodiscard]] std::optional<DataHeader> decode_data_header(
+    std::span<const std::uint8_t> data, support::Bytes& sealed_out);
+
+[[nodiscard]] support::Bytes encode(const DataInner& inner);
+[[nodiscard]] std::optional<DataInner> decode_data_inner(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const BeaconInner& inner);
+[[nodiscard]] std::optional<BeaconInner> decode_beacon_inner(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const RevokeBody& body);
+[[nodiscard]] std::optional<RevokeBody> decode_revoke(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const JoinBody& body);
+[[nodiscard]] std::optional<JoinBody> decode_join(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const JoinReplyBody& body);
+[[nodiscard]] std::optional<JoinReplyBody> decode_join_reply(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] support::Bytes encode(const RefreshBody& body);
+[[nodiscard]] std::optional<RefreshBody> decode_refresh(
+    std::span<const std::uint8_t> data);
+
+}  // namespace ldke::wsn

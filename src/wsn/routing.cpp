@@ -1,0 +1,16 @@
+#include "wsn/routing.hpp"
+
+namespace ldke::wsn {
+
+bool RoutingTable::offer(net::NodeId from, std::uint32_t hop) noexcept {
+  if (hop == kUnreachable) return false;
+  const std::uint32_t my_hop = hop + 1;
+  if (my_hop < hop_) {
+    hop_ = my_hop;
+    parent_ = from;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ldke::wsn

@@ -1,0 +1,54 @@
+#pragma once
+/// \file routing.hpp
+/// Minimum-hop gradient routing toward the base station.
+///
+/// The paper is routing-agnostic ("no matter what routing protocol is
+/// followed, intermediate nodes need to verify..."); data still has to
+/// reach the base station, so we provide the standard WSN choice: the
+/// base station floods a beacon, every node remembers its hop distance
+/// and a parent (first neighbor heard at the minimum hop), and data
+/// follows parents downhill.  Beacons are wrapped in the protocol's hop
+/// envelope by src/core once keys exist.
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+
+namespace ldke::wsn {
+
+/// Per-node routing state.
+class RoutingTable {
+ public:
+  static constexpr std::uint32_t kUnreachable = UINT32_MAX;
+
+  /// Considers a beacon advertising that \p from is \p hop hops from the
+  /// base station.  Returns true iff the offer improved this node's route
+  /// (in which case the caller should rebroadcast hop+1).
+  bool offer(net::NodeId from, std::uint32_t hop) noexcept;
+
+  [[nodiscard]] bool has_route() const noexcept {
+    return hop_ != kUnreachable;
+  }
+  /// This node's hop distance to the base station.
+  [[nodiscard]] std::uint32_t hop() const noexcept { return hop_; }
+  /// Neighbor to forward toward the base station (kNoNode if none).
+  [[nodiscard]] net::NodeId parent() const noexcept { return parent_; }
+
+  /// Declares this node the gradient root (hop 0, no parent) — the base
+  /// station calls this before flooding the first beacon.
+  void make_root() noexcept {
+    hop_ = 0;
+    parent_ = net::kNoNode;
+  }
+
+  void reset() noexcept {
+    hop_ = kUnreachable;
+    parent_ = net::kNoNode;
+  }
+
+ private:
+  std::uint32_t hop_ = kUnreachable;
+  net::NodeId parent_ = net::kNoNode;
+};
+
+}  // namespace ldke::wsn

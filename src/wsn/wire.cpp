@@ -1,0 +1,79 @@
+#include "wsn/wire.hpp"
+
+namespace ldke::wsn {
+
+void Writer::u8(std::uint8_t v) { out_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Writer::var_bytes(std::span<const std::uint8_t> data) {
+  u16(static_cast<std::uint16_t>(data.size()));
+  bytes(data);
+}
+
+std::optional<std::uint8_t> Reader::u8() noexcept {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> Reader::u16() noexcept {
+  if (remaining() < 2) return std::nullopt;
+  std::uint16_t v = data_[pos_];
+  v = static_cast<std::uint16_t>(v | (std::uint16_t{data_[pos_ + 1]} << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> Reader::u32() noexcept {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::u64() noexcept {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::optional<support::Bytes> Reader::bytes(std::size_t count) {
+  if (remaining() < count) return std::nullopt;
+  support::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                     data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+std::optional<support::Bytes> Reader::var_bytes() {
+  const auto len = u16();
+  if (!len) return std::nullopt;
+  return bytes(*len);
+}
+
+support::Bytes Reader::take_rest() {
+  support::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                     data_.end());
+  pos_ = data_.size();
+  return out;
+}
+
+}  // namespace ldke::wsn

@@ -1,0 +1,83 @@
+#pragma once
+/// \file wire.hpp
+/// Bounds-checked little-endian serialization for over-the-air message
+/// bodies.  Reader methods return std::optional so malformed (or
+/// garbled-after-decryption) packets are rejected, never UB.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "support/hex.hpp"
+
+namespace ldke::wsn {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u16) variable byte string.
+  void var_bytes(std::span<const std::uint8_t> data);
+
+  template <std::size_t N>
+  void fixed(const std::array<std::uint8_t, N>& data) {
+    bytes(std::span<const std::uint8_t>{data});
+  }
+
+  [[nodiscard]] const support::Bytes& buffer() const noexcept { return out_; }
+  [[nodiscard]] support::Bytes take() noexcept { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  support::Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() noexcept;
+  [[nodiscard]] std::optional<std::uint16_t> u16() noexcept;
+  [[nodiscard]] std::optional<std::uint32_t> u32() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> u64() noexcept;
+  [[nodiscard]] std::optional<std::int64_t> i64() noexcept {
+    const auto v = u64();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+  [[nodiscard]] std::optional<support::Bytes> bytes(std::size_t count);
+  [[nodiscard]] std::optional<support::Bytes> var_bytes();
+
+  template <std::size_t N>
+  [[nodiscard]] std::optional<std::array<std::uint8_t, N>> fixed() noexcept {
+    if (remaining() < N) return std::nullopt;
+    std::array<std::uint8_t, N> out;
+    for (std::size_t i = 0; i < N; ++i) out[i] = data_[pos_ + i];
+    pos_ += N;
+    return out;
+  }
+
+  /// All bytes not yet consumed (does not advance).
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(pos_);
+  }
+  /// Consumes and returns all remaining bytes.
+  [[nodiscard]] support::Bytes take_rest();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ldke::wsn

@@ -1,0 +1,62 @@
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::analysis {
+namespace {
+
+core::RunnerConfig base_config() {
+  core::RunnerConfig cfg;
+  cfg.side_m = 300.0;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Experiment, AggregatesRequestedTrials) {
+  const auto agg = run_setup_point(base_config(), 10.0, 120, 4);
+  EXPECT_EQ(agg.trials, 4u);
+  EXPECT_EQ(agg.keys_per_node.count(), 4u);
+  EXPECT_EQ(agg.head_fraction.count(), 4u);
+  EXPECT_DOUBLE_EQ(agg.density, 10.0);
+  EXPECT_EQ(agg.node_count, 120u);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const auto a = run_setup_point(base_config(), 10.0, 120, 3);
+  const auto b = run_setup_point(base_config(), 10.0, 120, 3);
+  EXPECT_DOUBLE_EQ(a.keys_per_node.mean(), b.keys_per_node.mean());
+  EXPECT_DOUBLE_EQ(a.head_fraction.mean(), b.head_fraction.mean());
+}
+
+TEST(Experiment, ParallelMatchesSequential) {
+  support::ThreadPool pool{3};
+  const auto seq = run_setup_point(base_config(), 12.0, 100, 5, nullptr);
+  const auto par = run_setup_point(base_config(), 12.0, 100, 5, &pool);
+  // Same trials, merged in any order: means must agree exactly.
+  EXPECT_DOUBLE_EQ(seq.keys_per_node.mean(), par.keys_per_node.mean());
+  EXPECT_DOUBLE_EQ(seq.cluster_size.mean(), par.cluster_size.mean());
+  EXPECT_EQ(seq.cluster_sizes.total(), par.cluster_sizes.total());
+}
+
+TEST(Experiment, SweepCoversAllDensities) {
+  const std::vector<double> densities = {8.0, 14.0, 20.0};
+  const auto sweep = run_density_sweep(base_config(), densities, 100, 2);
+  ASSERT_EQ(sweep.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(sweep[i].density, densities[i]);
+  }
+  // The §V trends hold across the sweep.
+  EXPECT_GT(sweep[0].head_fraction.mean(), sweep[2].head_fraction.mean());
+  EXPECT_LT(sweep[0].keys_per_node.mean(), sweep[2].keys_per_node.mean());
+}
+
+TEST(Experiment, HistogramPoolsAcrossTrials) {
+  const auto agg = run_setup_point(base_config(), 10.0, 100, 3);
+  // Total clusters pooled over 3 trials: mean cluster count * 3-ish.
+  EXPECT_GT(agg.cluster_sizes.total(), 0u);
+  EXPECT_NEAR(agg.cluster_sizes.mean(), agg.cluster_size.mean(),
+              agg.cluster_size.mean() * 0.2);
+}
+
+}  // namespace
+}  // namespace ldke::analysis

@@ -1,0 +1,89 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/paper_data.hpp"
+
+namespace ldke::analysis {
+namespace {
+
+TEST(Report, SameTrendMonotoneIncreasing) {
+  const std::vector<double> paper = {1, 2, 3};
+  const std::vector<double> good = {10, 20, 30};
+  const std::vector<double> bad = {10, 5, 30};
+  EXPECT_TRUE(same_trend(paper, good));
+  EXPECT_FALSE(same_trend(paper, bad));
+}
+
+TEST(Report, SameTrendMonotoneDecreasing) {
+  const std::vector<double> paper = {3, 2, 1};
+  const std::vector<double> good = {0.9, 0.5, 0.2};
+  EXPECT_TRUE(same_trend(paper, good));
+}
+
+TEST(Report, SameTrendToleranceAllowsSmallWiggle) {
+  const std::vector<double> paper = {1, 2, 3};
+  const std::vector<double> wiggly = {10, 9.9, 30};
+  EXPECT_FALSE(same_trend(paper, wiggly));
+  EXPECT_TRUE(same_trend(paper, wiggly, 0.2));
+}
+
+TEST(Report, SameTrendRejectsMismatchedSizes) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_FALSE(same_trend(a, b));
+}
+
+TEST(Report, CorrelationPerfectAndInverse) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  const std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Report, CorrelationDegenerateIsZero) {
+  const std::vector<double> flat = {5, 5, 5};
+  const std::vector<double> x = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(correlation(flat, x), 0.0);
+  EXPECT_DOUBLE_EQ(correlation({}, {}), 0.0);
+}
+
+TEST(Report, PrintComparisonContainsAllSections) {
+  SeriesComparison cmp;
+  cmp.title = "Figure T — test";
+  cmp.x_label = "density";
+  cmp.x = {8, 20};
+  cmp.paper = {1.0, 2.0};
+  cmp.measured = {1.1, 2.2};
+  cmp.stderrs = {0.01, 0.02};
+  std::ostringstream os;
+  print_comparison(os, cmp);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Figure T"), std::string::npos);
+  EXPECT_NE(out.find("paper (approx)"), std::string::npos);
+  EXPECT_NE(out.find("trend match: yes"), std::string::npos);
+  EXPECT_NE(out.find("1.100"), std::string::npos);
+}
+
+TEST(Report, PaperDataSeriesAreConsistentlySized) {
+  EXPECT_EQ(kPaperDensities.size(), kPaperFig6KeysPerNode.size());
+  EXPECT_EQ(kPaperDensities.size(), kPaperFig7ClusterSize.size());
+  EXPECT_EQ(kPaperDensities.size(), kPaperFig8HeadFraction.size());
+  EXPECT_EQ(kPaperDensities.size(), kPaperFig9MessagesPerNode.size());
+}
+
+TEST(Report, PaperTrendsAreAsDescribed) {
+  // Fig 6/7 increase with density; Fig 8/9 decrease.
+  for (std::size_t i = 1; i < kPaperDensities.size(); ++i) {
+    EXPECT_GT(kPaperFig6KeysPerNode[i], kPaperFig6KeysPerNode[i - 1]);
+    EXPECT_GT(kPaperFig7ClusterSize[i], kPaperFig7ClusterSize[i - 1]);
+    EXPECT_LT(kPaperFig8HeadFraction[i], kPaperFig8HeadFraction[i - 1]);
+    EXPECT_LT(kPaperFig9MessagesPerNode[i], kPaperFig9MessagesPerNode[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace ldke::analysis

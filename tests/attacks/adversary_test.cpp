@@ -1,0 +1,119 @@
+#include "attacks/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::attacks {
+namespace {
+
+std::unique_ptr<core::ProtocolRunner> setup_runner(std::uint64_t seed = 23) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 300;
+  cfg.density = 10.0;
+  cfg.side_m = 400.0;
+  cfg.seed = seed;
+  auto runner = std::make_unique<core::ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  return runner;
+}
+
+TEST(Adversary, CaptureYieldsTheVictimsKeySet) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 17;
+  const auto& material = adversary.capture(victim);
+  EXPECT_EQ(material.node, victim);
+  EXPECT_EQ(material.cid, runner->node(victim).cid());
+  EXPECT_EQ(material.cluster_keys.size(), runner->node(victim).keys().size());
+  EXPECT_EQ(material.node_key, runner->node(victim).secrets().node_key);
+}
+
+TEST(Adversary, PostSetupCaptureDoesNotGetMasterKey) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const auto& material = adversary.capture(17);
+  EXPECT_FALSE(material.master_key_available);
+}
+
+TEST(Adversary, PreEraseCaptureGetsMasterKey) {
+  // Capture during the setup window (the assumption the paper defends
+  // in §IV-B): before the erase deadline Km is still in memory.
+  core::RunnerConfig cfg;
+  cfg.node_count = 100;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+  core::ProtocolRunner runner{cfg};
+  runner.network().start_all();
+  runner.run_for(cfg.protocol.mean_election_delay_s);  // mid-election
+  Adversary adversary{runner};
+  const auto& material = adversary.capture(5);
+  EXPECT_TRUE(material.master_key_available);
+  EXPECT_EQ(material.master_key, runner.roots().master_key);
+}
+
+TEST(Adversary, RevealedClustersAreVictimsBorderingClusters) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 40;
+  adversary.capture(victim);
+  for (const auto& [cid, key] : runner->node(victim).keys().all()) {
+    EXPECT_TRUE(adversary.can_read_cluster(cid));
+  }
+  EXPECT_EQ(adversary.revealed_clusters().size(),
+            runner->node(victim).keys().size());
+}
+
+TEST(Adversary, LocalityOfSingleCapture) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  adversary.capture(60);
+  // §VI: "a single compromised node disrupts only a local portion of the
+  // network while the rest remains fully secured".
+  EXPECT_LT(adversary.fraction_clusters_compromised(), 0.2);
+  EXPECT_LT(adversary.fraction_links_readable(), 0.25);
+  EXPECT_GT(adversary.fraction_links_readable(), 0.0);
+}
+
+TEST(Adversary, DistantCapturesCompoundButStayPartial) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  adversary.capture(10);
+  const double after_one = adversary.fraction_links_readable();
+  adversary.capture(290);
+  const double after_two = adversary.fraction_links_readable();
+  EXPECT_GE(after_two, after_one);
+  EXPECT_LT(after_two, 0.5);
+}
+
+TEST(Adversary, KeyForReturnsGenuineClusterKey) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 25;
+  adversary.capture(victim);
+  const core::ClusterId cid = runner->node(victim).cid();
+  const auto key = adversary.key_for(cid);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, *runner->node(victim).keys().key_for(cid));
+  EXPECT_FALSE(adversary.key_for(0xFFFFFF).has_value());
+}
+
+TEST(Adversary, CloneKeysUselessOutsideLocality) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  adversary.capture(10);
+  // Pick a node far from the victim: its cluster must not be readable.
+  const auto& topo = runner->network().topology();
+  net::NodeId far = 10;
+  double best = 0.0;
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    const double d = net::distance(topo.position(10), topo.position(id));
+    if (d > best) {
+      best = d;
+      far = id;
+    }
+  }
+  EXPECT_FALSE(adversary.can_read_cluster(runner->node(far).cid()));
+}
+
+}  // namespace
+}  // namespace ldke::attacks

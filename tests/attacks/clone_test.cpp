@@ -1,0 +1,82 @@
+#include "attacks/clone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::attacks {
+namespace {
+
+std::unique_ptr<core::ProtocolRunner> setup_runner(std::uint64_t seed = 29) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 300;
+  cfg.density = 12.0;
+  cfg.side_m = 400.0;
+  cfg.seed = seed;
+  auto runner = std::make_unique<core::ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  return runner;
+}
+
+TEST(CloneAttack, AcceptedInsideTheVictimsNeighborhood) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 50;
+  const auto& material = adversary.capture(victim);
+  const auto pos = runner->network().topology().position(victim);
+  const auto result = run_clone_attack(*runner, material, pos,
+                                       runner->network().topology().range());
+  EXPECT_GT(result.receivers, 0u);
+  // Near the origin cluster the forged envelope authenticates.
+  EXPECT_GT(result.accepted, 0u);
+}
+
+TEST(CloneAttack, RejectedFarFromTheOriginCluster) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 50;
+  const auto& material = adversary.capture(victim);
+  // Plant the clone at the farthest corner from the victim.
+  const auto vpos = runner->network().topology().position(victim);
+  const double side = runner->config().side_m;
+  const net::Vec2 far{vpos.x < side / 2 ? side * 0.95 : side * 0.05,
+                      vpos.y < side / 2 ? side * 0.95 : side * 0.05};
+  const auto result = run_clone_attack(*runner, material, far,
+                                       runner->network().topology().range());
+  EXPECT_GT(result.receivers, 0u);
+  // §VI resilience-to-replication: nobody there holds the captured
+  // cluster's key, so the clone is cryptographically invisible.
+  EXPECT_EQ(result.accepted, 0u);
+  EXPECT_EQ(result.rejected_no_key, result.receivers);
+}
+
+TEST(CloneAttack, LaptopClassRadiusStillLocalized) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 50;
+  const auto& material = adversary.capture(victim);
+  const auto vpos = runner->network().topology().position(victim);
+  const double blast = runner->config().side_m;  // covers everything
+  const auto result = run_clone_attack(*runner, material, vpos, blast);
+  EXPECT_GT(result.receivers, runner->node_count() / 2);
+  // Even a network-wide transmission is only accepted by the handful of
+  // nodes holding the captured cluster's key.
+  EXPECT_GT(result.accepted, 0u);
+  EXPECT_LT(result.accepted, result.receivers / 4);
+}
+
+TEST(CloneAttack, AcceptanceBoundedByKeyHolders) {
+  auto runner = setup_runner();
+  Adversary adversary{*runner};
+  const net::NodeId victim = 111;
+  const auto& material = adversary.capture(victim);
+  std::size_t holders = 0;
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    if (runner->node(id).keys().key_for(material.cid)) ++holders;
+  }
+  const auto vpos = runner->network().topology().position(victim);
+  const auto result =
+      run_clone_attack(*runner, material, vpos, runner->config().side_m);
+  EXPECT_LE(result.accepted, holders);
+}
+
+}  // namespace
+}  // namespace ldke::attacks

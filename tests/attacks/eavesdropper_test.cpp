@@ -1,0 +1,82 @@
+#include "attacks/eavesdropper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::attacks {
+namespace {
+
+std::unique_ptr<core::ProtocolRunner> routed_runner(std::uint64_t seed = 37) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 250;
+  cfg.density = 12.0;
+  cfg.side_m = 350.0;
+  cfg.seed = seed;
+  auto runner = std::make_unique<core::ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  runner->run_routing_setup();
+  return runner;
+}
+
+void send_some_traffic(core::ProtocolRunner& runner, std::size_t stride = 9) {
+  for (net::NodeId id = 1; id < runner.node_count(); id += stride) {
+    runner.node(id).send_reading(runner.network(), support::bytes_of("t"));
+  }
+  runner.run_for(10.0);
+}
+
+TEST(Eavesdropper, RecordsAllTraffic) {
+  auto runner = routed_runner();
+  Eavesdropper ear;
+  ear.attach(runner->network());
+  send_some_traffic(*runner);
+  EXPECT_GT(ear.packets_seen(), 0u);
+  EXPECT_GT(ear.bytes_seen(), ear.packets_seen());  // > 1 byte per packet
+  EXPECT_GT(ear.data_packets_seen(), 0u);
+}
+
+TEST(Eavesdropper, NothingReadableWithoutCaptures) {
+  auto runner = routed_runner();
+  Eavesdropper ear;
+  ear.attach(runner->network());
+  send_some_traffic(*runner);
+  Adversary adversary{*runner};
+  EXPECT_EQ(ear.readable_data_packets(adversary), 0u);
+}
+
+TEST(Eavesdropper, CapturesOpenOnlyLocalTraffic) {
+  auto runner = routed_runner();
+  Eavesdropper ear;
+  ear.attach(runner->network());
+  send_some_traffic(*runner);
+  Adversary adversary{*runner};
+  adversary.capture(99);
+  const auto readable = ear.readable_data_packets(adversary);
+  EXPECT_LT(readable, ear.data_packets_seen());
+}
+
+TEST(Eavesdropper, MoreCapturesReadMore) {
+  auto runner = routed_runner();
+  Eavesdropper ear;
+  ear.attach(runner->network());
+  send_some_traffic(*runner, 5);
+  Adversary adversary{*runner};
+  adversary.capture(20);
+  const auto one = ear.readable_data_packets(adversary);
+  adversary.capture(120);
+  adversary.capture(220);
+  const auto three = ear.readable_data_packets(adversary);
+  EXPECT_GE(three, one);
+}
+
+TEST(Eavesdropper, ResetClearsRecording) {
+  auto runner = routed_runner();
+  Eavesdropper ear;
+  ear.attach(runner->network());
+  send_some_traffic(*runner);
+  ear.reset();
+  EXPECT_EQ(ear.packets_seen(), 0u);
+  EXPECT_EQ(ear.data_packets_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace ldke::attacks

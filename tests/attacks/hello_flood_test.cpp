@@ -1,0 +1,63 @@
+#include "attacks/hello_flood.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::attacks {
+namespace {
+
+core::RunnerConfig attack_config(std::uint64_t seed = 31) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 200;
+  cfg.density = 10.0;
+  cfg.side_m = 300.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(HelloFlood, WithoutMasterKeyEveryForgeryRejected) {
+  core::ProtocolRunner runner{attack_config()};
+  const auto result =
+      run_hello_flood(runner, {150.0, 150.0}, 300.0, 20,
+                      /*adversary_knows_km=*/false);
+  EXPECT_GT(result.receivers, 0u);
+  EXPECT_GT(result.auth_failures, 0u);
+  // §VI: "since messages are authenticated this attack is not possible".
+  EXPECT_EQ(result.victims_joined, 0u);
+  // The protocol still converges normally.
+  for (const auto& node : runner.nodes()) {
+    EXPECT_TRUE(node->keys().has_own());
+    EXPECT_LT(node->cid(), 0xFFF00000u);
+  }
+}
+
+TEST(HelloFlood, WithMasterKeyVictimsAreCaptured) {
+  // The counterfactual that motivates the setup-time assumption: an
+  // adversary that recovers Km before the erase deadline owns the
+  // election.
+  core::ProtocolRunner runner{attack_config()};
+  const auto result = run_hello_flood(runner, {150.0, 150.0}, 300.0, 3,
+                                      /*adversary_knows_km=*/true);
+  EXPECT_GT(result.victims_joined, 0u);
+}
+
+TEST(HelloFlood, FloodDoesNotDisruptDistantNodes) {
+  // Attack with a small radius: nodes outside it never even hear it.
+  core::ProtocolRunner runner{attack_config(33)};
+  const double radius = 40.0;
+  const auto result = run_hello_flood(runner, {40.0, 40.0}, radius, 10,
+                                      /*adversary_knows_km=*/false);
+  EXPECT_LT(result.receivers, runner.node_count());
+  EXPECT_EQ(result.victims_joined, 0u);
+}
+
+TEST(HelloFlood, AuthFailuresScaleWithFloodSize) {
+  core::ProtocolRunner small_runner{attack_config(35)};
+  const auto small = run_hello_flood(small_runner, {150, 150}, 300.0, 5,
+                                     false);
+  core::ProtocolRunner big_runner{attack_config(35)};
+  const auto big = run_hello_flood(big_runner, {150, 150}, 300.0, 40, false);
+  EXPECT_GT(big.auth_failures, small.auth_failures);
+}
+
+}  // namespace
+}  // namespace ldke::attacks

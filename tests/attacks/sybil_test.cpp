@@ -1,0 +1,62 @@
+#include "attacks/sybil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::attacks {
+namespace {
+
+std::unique_ptr<core::ProtocolRunner> routed_runner(std::uint64_t seed = 53) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 300;
+  cfg.density = 12.0;
+  cfg.side_m = 400.0;
+  cfg.seed = seed;
+  auto runner = std::make_unique<core::ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  runner->run_routing_setup();
+  return runner;
+}
+
+TEST(Sybil, HopLayerCannotDistinguishButBaseStationCan) {
+  auto runner = routed_runner();
+  Adversary adversary{*runner};
+  const auto& material = adversary.capture(150);
+  const auto result = run_sybil_attack(*runner, material, 10);
+  EXPECT_EQ(result.identities, 10u);
+  // The captured cluster key makes the envelopes verify locally...
+  EXPECT_GT(result.hop_accepted, 0u);
+  // ...but the base station accepts none of the claimed identities: the
+  // attacker cannot produce a valid Step-1 envelope without each Ki.
+  EXPECT_EQ(result.bs_accepted, 0u);
+  EXPECT_GE(result.bs_rejected, 1u);
+}
+
+TEST(Sybil, ScalesWithIdentitiesButNeverReachesTheBaseStation) {
+  auto runner = routed_runner(59);
+  Adversary adversary{*runner};
+  const auto& material = adversary.capture(77);
+  const auto small = run_sybil_attack(*runner, material, 3);
+  const auto large = run_sybil_attack(*runner, material, 30);
+  EXPECT_GE(large.hop_accepted, small.hop_accepted);
+  EXPECT_EQ(small.bs_accepted + large.bs_accepted, 0u);
+}
+
+TEST(Sybil, LegitimateTrafficUnaffectedDuringAttack) {
+  auto runner = routed_runner(61);
+  Adversary adversary{*runner};
+  const auto& material = adversary.capture(200);
+  (void)run_sybil_attack(*runner, material, 15);
+  const auto before = runner->base_station()->readings().size();
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner->node_count(); id += 43) {
+    if (runner->node(id).send_reading(runner->network(),
+                                      support::bytes_of("legit"))) {
+      ++sent;
+    }
+  }
+  runner->run_for(10.0);
+  EXPECT_EQ(runner->base_station()->readings().size(), before + sent);
+}
+
+}  // namespace
+}  // namespace ldke::attacks

@@ -1,0 +1,78 @@
+#include "attacks/wormhole.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::attacks {
+namespace {
+
+std::unique_ptr<core::ProtocolRunner> setup_runner(std::uint64_t seed = 41) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 400;
+  cfg.density = 12.0;
+  cfg.side_m = 500.0;
+  cfg.seed = seed;
+  auto runner = std::make_unique<core::ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  runner->run_routing_setup();
+  return runner;
+}
+
+TEST(Wormhole, TunneledBeaconsAreRejectedByKeyLocality) {
+  auto runner = setup_runner();
+  const double side = runner->config().side_m;
+  const double r = runner->network().topology().range();
+  // Tunnel from one corner region to the opposite corner.
+  const auto result = run_wormhole_attack(*runner, {side * 0.1, side * 0.1},
+                                          {side * 0.9, side * 0.9}, 2.0 * r);
+  EXPECT_GT(result.tunneled, 0u);
+  // Distant receivers lack the senders' cluster keys: rejections pile
+  // up, nothing is accepted, no route points into the tunnel.
+  EXPECT_GT(result.rejected_no_key, 0u);
+  EXPECT_EQ(result.accepted, 0u);
+  EXPECT_EQ(result.corrupted_routes, 0u);
+}
+
+TEST(Wormhole, RoutingStillConvergesThroughTheAttack) {
+  auto runner = setup_runner(43);
+  const double side = runner->config().side_m;
+  const double r = runner->network().topology().range();
+  (void)run_wormhole_attack(*runner, {side * 0.2, side * 0.2},
+                            {side * 0.8, side * 0.8}, 2.0 * r);
+  std::size_t routed = 0;
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    if (runner->node(id).routing().has_route()) ++routed;
+  }
+  EXPECT_GT(routed, runner->node_count() * 9 / 10);
+  // End-to-end traffic is unaffected.
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner->node_count(); id += 37) {
+    if (runner->node(id).send_reading(runner->network(),
+                                      support::bytes_of("x"))) {
+      ++sent;
+    }
+  }
+  runner->run_for(10.0);
+  EXPECT_EQ(runner->base_station()->readings().size(), sent);
+}
+
+TEST(Wormhole, ShortTunnelDamageIsConfinedToTheNeighborhood) {
+  // Inside the key-locality radius the defense cannot apply: receivers
+  // that border the sender's cluster verify the replayed beacon and may
+  // adopt an out-of-range parent.  The cryptography bounds the damage
+  // to the tunnel's vicinity; it does not make local replays harmless.
+  auto runner = setup_runner(47);
+  const double side = runner->config().side_m;
+  const double r = runner->network().topology().range();
+  const net::Vec2 spot{side * 0.5, side * 0.5};
+  const auto result =
+      run_wormhole_attack(*runner, spot, {spot.x + r * 0.5, spot.y}, 1.5 * r);
+  EXPECT_GT(result.tunneled, 0u);
+  // Bounded: only nodes around the tunnel can be affected, a tiny share
+  // of the network.
+  EXPECT_LT(result.corrupted_routes, runner->node_count() / 20);
+  // And the long-range variant (the attack that matters) stays at zero —
+  // asserted in TunneledBeaconsAreRejectedByKeyLocality.
+}
+
+}  // namespace
+}  // namespace ldke::attacks

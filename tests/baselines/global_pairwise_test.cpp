@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "baselines/global_key.hpp"
+#include "baselines/pairwise.hpp"
+
+namespace ldke::baselines {
+namespace {
+
+net::Topology small_topology(std::uint64_t seed = 11) {
+  support::Xoshiro256 rng{seed};
+  return net::Topology::random_with_density(300, 200.0, 10.0, rng);
+}
+
+TEST(GlobalKey, MinimalStorageAndBroadcast) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng{1};
+  GlobalKeyScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.keys_stored(0), 1u);
+  EXPECT_EQ(scheme.broadcast_transmissions(5), 1u);
+  EXPECT_EQ(scheme.setup_transmissions(), 0u);
+  EXPECT_DOUBLE_EQ(scheme.secure_connectivity(), 1.0);
+}
+
+TEST(GlobalKey, SingleCaptureCompromisesEverything) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng{1};
+  GlobalKeyScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_DOUBLE_EQ(scheme.compromised_link_fraction({}), 0.0);
+  const net::NodeId one[] = {42};
+  EXPECT_DOUBLE_EQ(scheme.compromised_link_fraction(one), 1.0);
+}
+
+TEST(GlobalKey, NetworkKeyIsRandomized) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng1{1}, rng2{2};
+  GlobalKeyScheme a, b;
+  a.setup(topo, rng1);
+  b.setup(topo, rng2);
+  EXPECT_NE(a.network_key(), b.network_key());
+}
+
+TEST(Pairwise, StorageEqualsDegree) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng{1};
+  PairwiseScheme scheme;
+  scheme.setup(topo, rng);
+  for (net::NodeId id = 0; id < topo.size(); ++id) {
+    EXPECT_EQ(scheme.keys_stored(id), topo.neighbors(id).size());
+  }
+}
+
+TEST(Pairwise, AllPairsVariantStoresNminus1) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng{1};
+  PairwiseScheme scheme{/*preloaded_all_pairs=*/true};
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.keys_stored(0), topo.size() - 1);
+  EXPECT_EQ(scheme.setup_transmissions(), 0u);
+}
+
+TEST(Pairwise, BroadcastCostsOneTransmissionPerNeighbor) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng{1};
+  PairwiseScheme scheme;
+  scheme.setup(topo, rng);
+  for (net::NodeId id = 0; id < 20; ++id) {
+    const std::size_t deg = topo.neighbors(id).size();
+    EXPECT_EQ(scheme.broadcast_transmissions(id), std::max<std::size_t>(1, deg));
+  }
+}
+
+TEST(Pairwise, PerfectCaptureResilience) {
+  auto topo = small_topology();
+  support::Xoshiro256 rng{1};
+  PairwiseScheme scheme;
+  scheme.setup(topo, rng);
+  std::vector<net::NodeId> captured = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(scheme.compromised_link_fraction(captured), 0.0);
+}
+
+TEST(Edges, UndirectedEdgesAreUniqueAndOrdered) {
+  auto topo = small_topology();
+  const auto edges = undirected_edges(topo);
+  std::size_t expected = 0;
+  for (net::NodeId id = 0; id < topo.size(); ++id) {
+    expected += topo.neighbors(id).size();
+  }
+  EXPECT_EQ(edges.size(), expected / 2);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+}  // namespace
+}  // namespace ldke::baselines

@@ -1,0 +1,83 @@
+#include "baselines/ldke_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace ldke::baselines {
+namespace {
+
+std::unique_ptr<core::ProtocolRunner> setup_runner(std::uint64_t seed = 21) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 300;
+  cfg.density = 10.0;
+  cfg.side_m = 400.0;
+  cfg.seed = seed;
+  auto runner = std::make_unique<core::ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  return runner;
+}
+
+TEST(LdkeAdapter, StorageMatchesKeySetSizes) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    EXPECT_EQ(adapter.keys_stored(id), runner->node(id).keys().size());
+  }
+}
+
+TEST(LdkeAdapter, SingleBroadcastTransmission) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  EXPECT_EQ(adapter.broadcast_transmissions(5), 1u);
+  EXPECT_DOUBLE_EQ(adapter.secure_connectivity(), 1.0);
+}
+
+TEST(LdkeAdapter, SetupTransmissionsMatchProtocolCount) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  const auto m = core::collect_setup_metrics(*runner);
+  EXPECT_NEAR(static_cast<double>(adapter.setup_transmissions()),
+              m.setup_messages_per_node * static_cast<double>(m.node_count),
+              0.5);
+}
+
+TEST(LdkeAdapter, NoCaptureNoCompromise) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  EXPECT_DOUBLE_EQ(adapter.compromised_link_fraction({}), 0.0);
+}
+
+TEST(LdkeAdapter, CaptureCompromisesOnlyLocalLinks) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  const net::NodeId victim = 42;
+  const std::vector<net::NodeId> captured = {victim};
+  const double fraction = adapter.compromised_link_fraction(captured);
+  EXPECT_GT(fraction, 0.0);  // the victim's own and bordering clusters
+  EXPECT_LT(fraction, 0.25);  // but only a small, local region
+}
+
+TEST(LdkeAdapter, CompromiseGrowsSublinearlyNearCaptures) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  std::vector<net::NodeId> captured;
+  double last = 0.0;
+  for (net::NodeId id = 10; id < 40; id += 10) {
+    captured.push_back(id);
+    const double f = adapter.compromised_link_fraction(captured);
+    EXPECT_GE(f, last);
+    last = f;
+  }
+  EXPECT_LT(last, 0.6);
+}
+
+TEST(LdkeAdapter, MoreResilientThanGlobalKeyAlways) {
+  auto runner = setup_runner();
+  LdkeAdapter adapter{*runner};
+  const std::vector<net::NodeId> captured = {7};
+  EXPECT_LT(adapter.compromised_link_fraction(captured), 1.0);
+}
+
+}  // namespace
+}  // namespace ldke::baselines

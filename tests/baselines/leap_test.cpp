@@ -1,0 +1,110 @@
+#include "baselines/leap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::baselines {
+namespace {
+
+net::Topology topo_of(std::uint64_t seed = 19) {
+  support::Xoshiro256 rng{seed};
+  return net::Topology::random_with_density(300, 200.0, 10.0, rng);
+}
+
+TEST(Leap, SingleTransmissionBroadcast) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{1};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.broadcast_transmissions(3), 1u);
+}
+
+TEST(Leap, StorageProportionalToNeighborhood) {
+  // §III: "storage requirements ... proportional to its actual
+  // neighbors" — strictly more than LDKE's handful of cluster keys.
+  auto topo = topo_of();
+  support::Xoshiro256 rng{2};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  for (net::NodeId id = 0; id < 20; ++id) {
+    const std::size_t deg = topo.neighbors(id).size();
+    EXPECT_EQ(scheme.keys_stored(id), 1 + deg + 1 + deg);
+  }
+}
+
+TEST(Leap, BootstrapCostExceedsOneMessagePerNode) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{3};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  // "More expensive bootstrapping phase": > 1 tx per node whenever
+  // anyone has neighbors.
+  EXPECT_GT(scheme.setup_transmissions(), topo.size());
+}
+
+TEST(Leap, PairwiseKeyDerivationIsDeterministic) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{4};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.pairwise_key(1, 2), scheme.pairwise_key(1, 2));
+  // Directional derivation: K_uv = F(K_v, u) differs from F(K_u, v).
+  EXPECT_NE(scheme.pairwise_key(1, 2), scheme.pairwise_key(2, 1));
+}
+
+TEST(Leap, BaselineResilienceIsLocal) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{5};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  std::vector<net::NodeId> captured = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(scheme.compromised_link_fraction(captured), 0.0);
+}
+
+TEST(Leap, WithoutAttackExposureEqualsNeighborhood) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{6};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  const net::NodeId victim = 10;
+  EXPECT_EQ(scheme.pairwise_keys_exposed_by_capture(victim),
+            topo.neighbors(victim).size());
+}
+
+TEST(Leap, HelloFloodInflatesVictimKeyStore) {
+  // The attack the paper reports (§III): spoofed HELLOs force the victim
+  // to compute pairwise keys with arbitrary ids.
+  auto topo = topo_of();
+  support::Xoshiro256 rng{7};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  const net::NodeId victim = 10;
+  const std::size_t before = scheme.pairwise_keys_exposed_by_capture(victim);
+  scheme.inject_hello_flood(victim, 150);
+  const std::size_t after = scheme.pairwise_keys_exposed_by_capture(victim);
+  EXPECT_GE(after, before + 100);
+}
+
+TEST(Leap, FullFloodCoversAlmostTheWholeNetwork) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{8};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  const net::NodeId victim = 10;
+  scheme.inject_hello_flood(victim, topo.size());
+  // "A key shared between the compromised node and all other nodes".
+  EXPECT_EQ(scheme.pairwise_keys_exposed_by_capture(victim),
+            topo.size() - 1);
+}
+
+TEST(Leap, FloodOnOneVictimDoesNotAffectOthers) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{9};
+  LeapScheme scheme;
+  scheme.setup(topo, rng);
+  scheme.inject_hello_flood(10, 100);
+  EXPECT_EQ(scheme.pairwise_keys_exposed_by_capture(11),
+            topo.neighbors(11).size());
+}
+
+}  // namespace
+}  // namespace ldke::baselines

@@ -1,0 +1,135 @@
+#include "baselines/random_predist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::baselines {
+namespace {
+
+net::Topology topo_of(std::uint64_t seed = 13) {
+  support::Xoshiro256 rng{seed};
+  return net::Topology::random_with_density(400, 200.0, 12.0, rng);
+}
+
+TEST(RandomPredist, RingsHaveRequestedSizeAndRange) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{1};
+  RandomPredistConfig cfg;
+  cfg.pool_size = 1000;
+  cfg.ring_size = 40;
+  RandomPredistScheme scheme{cfg};
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.keys_stored(7), 40u);
+  const auto shared = scheme.shared_keys(0, 1);
+  for (std::uint32_t k : shared) EXPECT_LT(k, 1000u);
+}
+
+TEST(RandomPredist, ShareProbabilityMatchesAnalytic) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{2};
+  RandomPredistConfig cfg;
+  cfg.pool_size = 10000;
+  cfg.ring_size = 83;
+  RandomPredistScheme scheme{cfg};
+  scheme.setup(topo, rng);
+  const double analytic = scheme.analytic_share_probability();
+  EXPECT_NEAR(analytic, 0.5, 0.05);  // defaults were chosen for ~0.5
+  EXPECT_NEAR(scheme.secure_connectivity(), analytic, 0.06);
+}
+
+TEST(RandomPredist, LargerRingsShareMoreOften) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng1{3}, rng2{3};
+  RandomPredistScheme small{{10000, 40, 1}};
+  RandomPredistScheme large{{10000, 120, 1}};
+  small.setup(topo, rng1);
+  large.setup(topo, rng2);
+  EXPECT_GT(large.secure_connectivity(), small.secure_connectivity());
+}
+
+TEST(RandomPredist, SharedKeysSymmetric) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{4};
+  RandomPredistScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.shared_keys(3, 9), scheme.shared_keys(9, 3));
+}
+
+TEST(RandomPredist, NoCaptureNoCompromise) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{5};
+  RandomPredistScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_DOUBLE_EQ(scheme.compromised_link_fraction({}), 0.0);
+}
+
+TEST(RandomPredist, CompromiseGrowsWithCaptures) {
+  // The paper's §III critique: captured rings expose *distant* links
+  // with growing probability.
+  auto topo = topo_of();
+  support::Xoshiro256 rng{6};
+  RandomPredistScheme scheme{{2000, 60, 1}};
+  scheme.setup(topo, rng);
+  std::vector<net::NodeId> captured;
+  double previous = 0.0;
+  for (net::NodeId id = 0; id < 24; id += 4) {
+    for (net::NodeId k = id; k < id + 4; ++k) captured.push_back(k);
+    const double fraction = scheme.compromised_link_fraction(captured);
+    EXPECT_GE(fraction, previous);
+    previous = fraction;
+  }
+  EXPECT_GT(previous, 0.3);  // 24 rings of 60 from a pool of 2000
+}
+
+TEST(RandomPredist, QCompositeMoreResilientAtSmallCaptures) {
+  // Chan–Perrig–Song's headline property: for few captures, requiring
+  // q >= 2 shared keys leaves fewer links exposed.
+  auto topo = topo_of();
+  support::Xoshiro256 rng1{7}, rng2{7};
+  RandomPredistScheme eg{{1000, 60, 1}};
+  RandomPredistScheme qcomp{{1000, 60, 2}};
+  eg.setup(topo, rng1);
+  qcomp.setup(topo, rng2);
+  std::vector<net::NodeId> captured = {0, 1, 2, 3};
+  EXPECT_LT(qcomp.compromised_link_fraction(captured),
+            eg.compromised_link_fraction(captured));
+}
+
+TEST(RandomPredist, QCompositeRequiresQSharedKeys) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{8};
+  RandomPredistScheme scheme{{1000, 30, 3}};
+  scheme.setup(topo, rng);
+  for (net::NodeId u = 0; u < 30; ++u) {
+    for (net::NodeId v : topo.neighbors(u)) {
+      if (u >= v) continue;
+      EXPECT_EQ(scheme.link_secured(u, v),
+                scheme.shared_keys(u, v).size() >= 3);
+    }
+  }
+}
+
+TEST(RandomPredist, BroadcastNeedsOneTransmissionPerSecuredNeighbor) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{9};
+  RandomPredistScheme scheme;
+  scheme.setup(topo, rng);
+  for (net::NodeId id = 0; id < 10; ++id) {
+    std::size_t secured = 0;
+    for (net::NodeId v : topo.neighbors(id)) {
+      if (scheme.link_secured(id, v)) ++secured;
+    }
+    EXPECT_EQ(scheme.broadcast_transmissions(id),
+              std::max<std::size_t>(1, secured));
+  }
+}
+
+TEST(RandomPredist, SetupTransmissionsIsOnePerNode) {
+  auto topo = topo_of();
+  support::Xoshiro256 rng{10};
+  RandomPredistScheme scheme;
+  scheme.setup(topo, rng);
+  EXPECT_EQ(scheme.setup_transmissions(), topo.size());
+}
+
+}  // namespace
+}  // namespace ldke::baselines

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/provisioning.hpp"
+#include "test_helpers.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::small_config;
+
+class ClusterFormation : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { runner_ = after_key_setup().release(); }
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+  }
+  static ProtocolRunner* runner_;
+};
+ProtocolRunner* ClusterFormation::runner_ = nullptr;
+
+TEST_F(ClusterFormation, EveryNodeDecided) {
+  for (const auto& node : runner_->nodes()) {
+    EXPECT_TRUE(node->role() == Role::kHead || node->role() == Role::kMember)
+        << "node " << node->id();
+    EXPECT_TRUE(node->keys().has_own());
+  }
+}
+
+TEST_F(ClusterFormation, HeadsUseTheirOwnIdAsClusterId) {
+  for (const auto& node : runner_->nodes()) {
+    if (node->was_head()) {
+      EXPECT_EQ(node->cid(), node->id());
+      EXPECT_EQ(node->keys().own_key(), node->secrets().cluster_key);
+    }
+  }
+}
+
+TEST_F(ClusterFormation, MembersJoinedARadioNeighborThatIsAHead) {
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    if (node->was_head()) continue;
+    const ClusterId cid = node->cid();
+    // The head must be a direct radio neighbor (HELLO is one-hop).
+    const auto nbrs = topo.neighbors(node->id());
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), cid))
+        << "node " << node->id() << " joined non-neighbor head " << cid;
+    // And that node must indeed have declared headship.
+    EXPECT_TRUE(runner_->node(cid).was_head());
+  }
+}
+
+TEST_F(ClusterFormation, MembersHoldTheHeadsClusterKey) {
+  for (const auto& node : runner_->nodes()) {
+    const ClusterId cid = node->cid();
+    EXPECT_EQ(node->keys().own_key(), runner_->node(cid).secrets().cluster_key);
+  }
+}
+
+TEST_F(ClusterFormation, ClusterDiameterIsAtMostTwoHops) {
+  // All members sit within one radio range of the head (Fig 2's "maximum
+  // distance between two nodes in a cluster is two hops").
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    const double d = net::distance(topo.position(node->id()),
+                                   topo.position(node->cid()));
+    EXPECT_LE(d, topo.range() + 1e-9);
+  }
+}
+
+TEST_F(ClusterFormation, MasterKeyErasedEverywhere) {
+  for (const auto& node : runner_->nodes()) {
+    EXPECT_TRUE(node->master_erased()) << "node " << node->id();
+  }
+}
+
+TEST_F(ClusterFormation, HeadsDemoteLogically) {
+  // No hierarchical state survives: heads are ordinary members with the
+  // same key set rules (their own cid simply equals their id).
+  for (const auto& node : runner_->nodes()) {
+    if (node->was_head()) {
+      EXPECT_EQ(node->role(), Role::kHead);
+      EXPECT_GE(node->keys().size(), 1u);
+    }
+  }
+}
+
+TEST_F(ClusterFormation, EveryClusterHasAHeadThatSentHello) {
+  std::map<ClusterId, std::size_t> clusters;
+  for (const auto& node : runner_->nodes()) ++clusters[node->cid()];
+  for (const auto& [cid, members] : clusters) {
+    EXPECT_TRUE(runner_->node(cid).was_head());
+    EXPECT_EQ(runner_->node(cid).setup_messages_sent(), 2u)
+        << "head sends exactly HELLO + link advert";
+  }
+}
+
+TEST_F(ClusterFormation, MembersSendOnlyTheLinkAdvert) {
+  for (const auto& node : runner_->nodes()) {
+    if (!node->was_head()) {
+      EXPECT_EQ(node->setup_messages_sent(), 1u) << "node " << node->id();
+    }
+  }
+}
+
+TEST_F(ClusterFormation, NoHelloAuthFailuresAmongHonestNodes) {
+  EXPECT_EQ(runner_->network().counters().value("setup.hello_auth_fail"), 0u);
+  EXPECT_EQ(runner_->network().counters().value("setup.link_auth_fail"), 0u);
+}
+
+TEST(ClusterFormationDeterminism, SameSeedSameClusters) {
+  auto a = after_key_setup(small_config(123));
+  auto b = after_key_setup(small_config(123));
+  for (net::NodeId id = 0; id < a->node_count(); ++id) {
+    EXPECT_EQ(a->node(id).cid(), b->node(id).cid());
+    EXPECT_EQ(a->node(id).was_head(), b->node(id).was_head());
+  }
+}
+
+TEST(ClusterFormationDeterminism, DifferentSeedsDiffer) {
+  auto a = after_key_setup(small_config(1));
+  auto b = after_key_setup(small_config(2));
+  std::size_t same = 0;
+  for (net::NodeId id = 0; id < a->node_count(); ++id) {
+    if (a->node(id).was_head() == b->node(id).was_head()) ++same;
+  }
+  EXPECT_LT(same, a->node_count());
+}
+
+TEST(ClusterFormationIsolated, IsolatedNodeBecomesSingletonHead) {
+  // Density so low that some nodes are isolated: they must still decide.
+  auto runner = after_key_setup(small_config(9, 30, 1.0));
+  for (const auto& node : runner->nodes()) {
+    EXPECT_TRUE(node->keys().has_own());
+  }
+}
+
+}  // namespace
+}  // namespace ldke::core

@@ -1,0 +1,181 @@
+#include "core/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::small_config;
+
+constexpr InterestId kQuery = 0xBEEF;
+
+net::NodeId far_corner_node(const ProtocolRunner& runner) {
+  const auto& topo = runner.network().topology();
+  net::NodeId best = 1;
+  double best_d = 0.0;
+  for (net::NodeId id = 1; id < runner.node_count(); ++id) {
+    const double d = net::distance(topo.position(0), topo.position(id));
+    if (d > best_d) {
+      best_d = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+TEST(DiffusionWire, CodecsRoundTripAndReject) {
+  InterestBody interest{7, support::bytes_of("temp>30")};
+  const auto i2 = decode_interest(encode(interest));
+  ASSERT_TRUE(i2.has_value());
+  EXPECT_EQ(i2->interest, 7u);
+  EXPECT_EQ(i2->descriptor, interest.descriptor);
+
+  DiffusionDataBody data{7, 3, 42, 1, support::bytes_of("31.5C")};
+  const auto d2 = decode_diffusion_data(encode(data));
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->seq, 3u);
+  EXPECT_EQ(d2->source, 42u);
+  EXPECT_EQ(d2->exploratory, 1);
+
+  const auto r2 = decode_reinforce(encode(ReinforceBody{7}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->interest, 7u);
+
+  EXPECT_FALSE(decode_interest({}).has_value());
+  EXPECT_FALSE(decode_diffusion_data({}).has_value());
+  EXPECT_FALSE(decode_reinforce({}).has_value());
+}
+
+class Diffusion : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runner_ = after_key_setup(small_config(31, 250, 14.0));
+    sink_ = runner_->base_station();
+    source_ = far_corner_node(*runner_);
+    sink_->subscribe_interest(runner_->network(), kQuery,
+                              support::bytes_of("report-temp"));
+    runner_->run_for(5.0);  // interest flood settles
+  }
+  std::unique_ptr<ProtocolRunner> runner_;
+  BaseStation* sink_ = nullptr;
+  net::NodeId source_ = net::kNoNode;
+};
+
+TEST_F(Diffusion, InterestFloodEstablishesGradientsEverywhere) {
+  std::size_t with_gradient = 0;
+  for (net::NodeId id = 1; id < runner_->node_count(); ++id) {
+    const DiffusionEntry* entry = runner_->node(id).diffusion_entry(kQuery);
+    if (entry != nullptr && entry->interest_forwarded) {
+      ++with_gradient;
+      EXPECT_NE(entry->toward_sink, net::kNoNode);
+      EXPECT_EQ(entry->descriptor, support::bytes_of("report-temp"));
+    }
+  }
+  EXPECT_GT(with_gradient, (runner_->node_count() - 1) * 95 / 100);
+}
+
+TEST_F(Diffusion, ExploratorySampleReachesTheSink) {
+  ASSERT_TRUE(runner_->node(source_).publish_sample(
+      runner_->network(), kQuery, support::bytes_of("t=31")));
+  runner_->run_for(5.0);
+  ASSERT_GE(sink_->diffusion_samples().size(), 1u);
+  const auto& sample = sink_->diffusion_samples().front();
+  EXPECT_EQ(sample.interest, kQuery);
+  EXPECT_EQ(sample.source, source_);
+  EXPECT_TRUE(sample.exploratory);
+  EXPECT_EQ(sample.payload, support::bytes_of("t=31"));
+}
+
+TEST_F(Diffusion, ReinforcementReachesTheSourceAndSwitchesMode) {
+  runner_->node(source_).publish_sample(runner_->network(), kQuery,
+                                        support::bytes_of("t=31"));
+  runner_->run_for(5.0);  // exploratory + reinforcement walk
+  const DiffusionEntry* entry =
+      runner_->node(source_).diffusion_entry(kQuery);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->on_reinforced_path);
+
+  // Subsequent samples travel the path, not the flood.
+  const auto flood_before =
+      runner_->network().counters().value("diffusion.exploratory_forwarded");
+  const auto delivered_before = sink_->diffusion_samples().size();
+  runner_->node(source_).publish_sample(runner_->network(), kQuery,
+                                        support::bytes_of("t=32"));
+  runner_->run_for(5.0);
+  ASSERT_EQ(sink_->diffusion_samples().size(), delivered_before + 1);
+  EXPECT_FALSE(sink_->diffusion_samples().back().exploratory);
+  EXPECT_EQ(
+      runner_->network().counters().value("diffusion.exploratory_forwarded"),
+      flood_before);
+}
+
+TEST_F(Diffusion, PathModeUsesFarFewerTransmissions) {
+  runner_->node(source_).publish_sample(runner_->network(), kQuery,
+                                        support::bytes_of("t=31"));
+  runner_->run_for(5.0);
+  const auto explor_tx =
+      runner_->network().counters().value("diffusion.exploratory_forwarded");
+  runner_->node(source_).publish_sample(runner_->network(), kQuery,
+                                        support::bytes_of("t=32"));
+  runner_->run_for(5.0);
+  const auto path_tx =
+      runner_->network().counters().value("diffusion.path_forwarded");
+  EXPECT_GT(explor_tx, 4 * path_tx)
+      << "the reinforced path should beat flooding by a wide margin";
+}
+
+TEST_F(Diffusion, PublishWithoutInterestFails) {
+  EXPECT_FALSE(runner_->node(source_).publish_sample(
+      runner_->network(), 0xD00D, support::bytes_of("x")));
+}
+
+TEST_F(Diffusion, SequentialSamplesAllDeliveredInOrder) {
+  for (int k = 0; k < 4; ++k) {
+    runner_->node(source_).publish_sample(
+        runner_->network(), kQuery,
+        support::bytes_of("s" + std::to_string(k)));
+    runner_->run_for(5.0);
+  }
+  ASSERT_EQ(sink_->diffusion_samples().size(), 4u);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(sink_->diffusion_samples()[k].seq, k + 1);
+  }
+}
+
+TEST_F(Diffusion, MultipleSourcesServeOneInterest) {
+  const net::NodeId second_source = source_ > 10 ? source_ - 5 : source_ + 5;
+  runner_->node(source_).publish_sample(runner_->network(), kQuery,
+                                        support::bytes_of("a"));
+  runner_->run_for(5.0);
+  runner_->node(second_source)
+      .publish_sample(runner_->network(), kQuery, support::bytes_of("b"));
+  runner_->run_for(5.0);
+  std::set<net::NodeId> sources;
+  for (const auto& s : sink_->diffusion_samples()) sources.insert(s.source);
+  EXPECT_TRUE(sources.contains(source_));
+  EXPECT_TRUE(sources.contains(second_source));
+}
+
+TEST_F(Diffusion, ControlPlaneIsAuthenticated) {
+  // A forged interest injected without any cluster key must not create
+  // gradients.
+  net::Packet pkt;
+  pkt.sender = 12345;
+  pkt.kind = net::PacketKind::kInterest;
+  pkt.payload.assign(60, 0x5c);
+  const auto before =
+      runner_->network().counters().value("diffusion.interest_forwarded");
+  runner_->network().channel().broadcast_from(
+      {runner_->config().side_m / 2, runner_->config().side_m / 2},
+      runner_->config().side_m, pkt);
+  runner_->run_for(2.0);
+  EXPECT_EQ(
+      runner_->network().counters().value("diffusion.interest_forwarded"),
+      before);
+}
+
+}  // namespace
+}  // namespace ldke::core

@@ -1,0 +1,177 @@
+/// Edge cases across the protocol surface that the main suites do not
+/// reach: counter-window upper bounds, degenerate deployments, refresh
+/// interactions, CSMA/loss interplay.
+
+#include <gtest/gtest.h>
+
+#include "attacks/adversary.hpp"
+#include "crypto/authenc.hpp"
+#include "test_helpers.hpp"
+#include "wsn/messages.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::after_routing;
+using testing::small_config;
+
+TEST(EdgeCases, BaseStationRejectsCounterBeyondWindow) {
+  auto runner = after_routing();
+  attacks::Adversary adversary{*runner};
+  const net::NodeId bs_neighbor = runner->network().topology().neighbors(0)[0];
+  const auto& relay = adversary.capture(bs_neighbor);
+  const net::NodeId claimed = 50;
+  const auto& source_material = adversary.capture(claimed);
+
+  // A counter far above the acceptance window — even with the right Ki
+  // (captured) the base station must reject it as out-of-window.
+  const std::uint64_t huge_counter =
+      runner->config().protocol.counter_window + 100;
+  wsn::DataInner inner;
+  inner.tau_ns = runner->sim().now().ns();
+  inner.echoed_cid = relay.cid;
+  inner.source = claimed;
+  inner.e2e_counter = huge_counter;
+  inner.e2e_encrypted = 1;
+  inner.body = crypto::seal(crypto::derive_pair(source_material.node_key),
+                            huge_counter, support::bytes_of("jump"));
+  wsn::DataHeader header;
+  header.cid = relay.cid;
+  header.next_hop = 0;
+  header.nonce = (std::uint64_t{bs_neighbor} << 32) | 0xFFFFFF00ULL;
+  const auto header_bytes = wsn::encode(header);
+  auto sealed = crypto::seal_with(relay.cluster_keys.at(relay.cid),
+                                  header.nonce, wsn::encode(inner),
+                                  header_bytes);
+  net::Packet pkt;
+  pkt.sender = bs_neighbor;
+  pkt.kind = net::PacketKind::kData;
+  pkt.payload = header_bytes;
+  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  runner->network().channel().broadcast_from(
+      runner->network().topology().position(bs_neighbor),
+      runner->network().topology().range(), pkt);
+  runner->run_for(2.0);
+  EXPECT_EQ(runner->base_station()->readings().size(), 0u);
+  EXPECT_GE(runner->base_station()->counter_violations(), 1u);
+}
+
+TEST(EdgeCases, CounterWindowToleratesLostReadings) {
+  // Readings whose hop path died advance the source counter without the
+  // BS seeing them; subsequent readings inside the window must still be
+  // accepted.
+  auto cfg = small_config();
+  cfg.protocol.counter_window = 16;
+  auto runner = after_routing(cfg);
+  const net::NodeId source = 42;
+  ASSERT_TRUE(runner->node(source).routing().has_route());
+  // Simulate loss by selecting a forwarding parent that drops traffic.
+  const net::NodeId parent = runner->node(source).routing().parent();
+  if (parent != 0) {
+    runner->node(parent).set_forward_drop_probability(1.0);
+    for (int i = 0; i < 5; ++i) {
+      runner->node(source).send_reading(runner->network(),
+                                        support::bytes_of("lost"));
+      runner->run_for(1.0);
+    }
+    runner->node(parent).set_forward_drop_probability(0.0);
+  }
+  runner->node(source).send_reading(runner->network(),
+                                    support::bytes_of("arrives"));
+  runner->run_for(5.0);
+  ASSERT_GE(runner->base_station()->readings().size(), 1u);
+  EXPECT_EQ(runner->base_station()->readings().back().payload,
+            support::bytes_of("arrives"));
+  EXPECT_EQ(runner->base_station()->counter_violations(), 0u);
+}
+
+TEST(EdgeCases, TwoNodeNetworkWorks) {
+  RunnerConfig cfg;
+  cfg.node_count = 2;
+  cfg.density = 10.0;  // with n=2 the range formula yields a huge radius
+  cfg.side_m = 10.0;
+  cfg.seed = 5;
+  ProtocolRunner runner{cfg};
+  runner.run_key_setup();
+  runner.run_routing_setup();
+  EXPECT_TRUE(runner.node(0).keys().has_own());
+  EXPECT_TRUE(runner.node(1).keys().has_own());
+  if (runner.node(1).routing().has_route()) {
+    EXPECT_TRUE(runner.node(1).send_reading(runner.network(),
+                                            support::bytes_of("tiny")));
+    runner.run_for(5.0);
+    EXPECT_EQ(runner.base_station()->readings().size(), 1u);
+  }
+}
+
+TEST(EdgeCases, JoinAfterIntraClusterRekeyFailsClosed) {
+  // After a rekey the cluster key is no longer F(KMC, cid): a KMC-only
+  // joiner must *reject* the advert (fail closed), not adopt a key it
+  // cannot verify.
+  auto runner = after_key_setup();
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    if (runner->node(id).was_head()) {
+      runner->node(id).initiate_cluster_rekey(runner->network());
+    }
+  }
+  runner->run_for(3.0);
+  SensorNode& joiner = runner->deploy_new_node(
+      {runner->config().side_m / 2, runner->config().side_m / 2});
+  runner->run_for(2.0);
+  EXPECT_NE(joiner.role(), Role::kMember);
+  EXPECT_GE(runner->network().counters().value("join.reply_rejected"), 1u);
+  // Crucially, it never stored an unverifiable key.
+  EXPECT_EQ(joiner.keys().size(), 0u);
+}
+
+TEST(EdgeCases, CsmaAndLossComposeWithoutAuthFailures) {
+  auto cfg = small_config(77);
+  cfg.channel.model_collisions = true;
+  cfg.channel.csma = true;
+  cfg.channel.loss_probability = 0.05;
+  auto runner = after_key_setup(cfg);
+  for (const auto& node : runner->nodes()) {
+    EXPECT_TRUE(node->keys().has_own());
+  }
+  EXPECT_EQ(runner->network().counters().value("setup.hello_auth_fail"), 0u);
+}
+
+TEST(EdgeCases, RevokeEveryClusterLeavesNetworkDarkButStable) {
+  auto runner = after_routing();
+  std::set<ClusterId> all_cids;
+  for (const auto& node : runner->nodes()) all_cids.insert(node->cid());
+  std::vector<ClusterId> cids(all_cids.begin(), all_cids.end());
+  runner->base_station()->revoke_clusters(runner->network(), cids);
+  runner->run_for(15.0);
+  for (const auto& node : runner->nodes()) {
+    EXPECT_EQ(node->role(), Role::kEvicted);
+    EXPECT_EQ(node->keys().size(), 0u);
+    EXPECT_FALSE(node->send_reading(runner->network(),
+                                    support::bytes_of("dead")));
+  }
+}
+
+TEST(EdgeCases, RekeyByNonHeadMemberAlsoPropagates) {
+  // The paper lets "certain nodes" create refreshed keys; any member can
+  // initiate since the announcement travels under the current key.
+  auto runner = after_key_setup();
+  net::NodeId member = net::kNoNode;
+  for (net::NodeId id = 1; id < runner->node_count(); ++id) {
+    if (!runner->node(id).was_head()) {
+      member = id;
+      break;
+    }
+  }
+  ASSERT_NE(member, net::kNoNode);
+  const ClusterId cid = runner->node(member).cid();
+  const crypto::Key128 old_key = *runner->node(member).keys().key_for(cid);
+  ASSERT_TRUE(runner->node(member).initiate_cluster_rekey(runner->network()));
+  runner->run_for(3.0);
+  const crypto::Key128 new_key = *runner->node(member).keys().key_for(cid);
+  EXPECT_NE(new_key, old_key);
+  EXPECT_EQ(*runner->node(cid).keys().key_for(cid), new_key);
+}
+
+}  // namespace
+}  // namespace ldke::core

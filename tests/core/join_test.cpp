@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "test_helpers.hpp"
+#include "wsn/messages.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::after_routing;
+using testing::small_config;
+
+net::Vec2 center_of(const ProtocolRunner& runner) {
+  return {runner.config().side_m / 2.0, runner.config().side_m / 2.0};
+}
+
+TEST(Join, NewNodeBecomesMemberOfABorderingCluster) {
+  auto runner = after_key_setup();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  runner->run_for(2.0);
+  EXPECT_EQ(joiner.role(), Role::kMember);
+  ASSERT_TRUE(joiner.keys().has_own());
+  // The adopted cluster must be the cluster of some radio neighbor.
+  const auto& topo = runner->network().topology();
+  bool found = false;
+  for (net::NodeId v : topo.neighbors(joiner.id())) {
+    if (runner->node(v).cid() == joiner.cid()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Join, DerivedKeysMatchTheRealClusterKeys) {
+  auto runner = after_key_setup();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  runner->run_for(2.0);
+  for (const auto& [cid, key] : joiner.keys().all()) {
+    EXPECT_EQ(key, runner->node(cid).keys().key_for(cid))
+        << "cluster " << cid;
+  }
+}
+
+TEST(Join, KmcErasedAfterCommit) {
+  auto runner = after_key_setup();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  EXPECT_TRUE(joiner.secrets().has_kmc);
+  runner->run_for(2.0);
+  EXPECT_FALSE(joiner.secrets().has_kmc);
+  EXPECT_TRUE(joiner.secrets().kmc.is_zero());
+}
+
+TEST(Join, JoinerLearnsAllBorderingClusters) {
+  auto runner = after_key_setup();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  runner->run_for(2.0);
+  const auto& topo = runner->network().topology();
+  for (net::NodeId v : topo.neighbors(joiner.id())) {
+    const ClusterId cid = runner->node(v).cid();
+    EXPECT_TRUE(joiner.keys().key_for(cid).has_value())
+        << "missing bordering cluster " << cid;
+  }
+}
+
+TEST(Join, ImpersonatedClusterAdvertisementRejected) {
+  auto runner = after_key_setup();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+
+  // An adversary advertises a bogus cluster id with a tag it cannot
+  // compute (it has no key): §IV-E's MAC requirement blocks this.
+  wsn::JoinReplyBody fake;
+  fake.cid = 0xDEAD;
+  fake.tag.fill(0xee);
+  net::Packet pkt{net::kNoNode, net::PacketKind::kJoinReply,
+                  wsn::encode(fake)};
+  runner->network().channel().broadcast_from(
+      center_of(*runner), runner->network().topology().range(), pkt);
+  runner->run_for(2.0);
+
+  EXPECT_FALSE(joiner.keys().key_for(0xDEAD).has_value());
+  EXPECT_NE(joiner.cid(), 0xDEADu);
+  EXPECT_GE(runner->network().counters().value("join.reply_rejected"), 1u);
+}
+
+TEST(Join, JoinedNodeCanReportToBaseStation) {
+  auto runner = after_routing();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  runner->run_for(2.0);
+  ASSERT_EQ(joiner.role(), Role::kMember);
+  // A fresh beacon round gives the newcomer a route.
+  runner->run_routing_setup();
+  ASSERT_TRUE(joiner.routing().has_route());
+  const auto payload = support::bytes_of("newcomer");
+  ASSERT_TRUE(joiner.send_reading(runner->network(), payload));
+  runner->run_for(5.0);
+  ASSERT_GE(runner->base_station()->readings().size(), 1u);
+  EXPECT_EQ(runner->base_station()->readings().back().payload, payload);
+  EXPECT_EQ(runner->base_station()->readings().back().source, joiner.id());
+}
+
+TEST(Join, ExistingNodesReplyOncePerJoiner) {
+  auto runner = after_key_setup();
+  runner->deploy_new_node(center_of(*runner));
+  runner->run_for(2.0);
+  const auto replies = runner->network().counters().value("join.reply_sent");
+  const auto receivers = runner->network()
+                             .topology()
+                             .neighbors(static_cast<net::NodeId>(
+                                 runner->node_count() - 1))
+                             .size();
+  EXPECT_LE(replies, receivers);
+  EXPECT_GE(replies, 1u);
+}
+
+TEST(Join, IsolatedJoinerRetries) {
+  auto runner = after_key_setup();
+  // Deploy far outside the populated square: no replies, so it retries.
+  SensorNode& joiner = runner->deploy_new_node(
+      {runner->config().side_m * 10, runner->config().side_m * 10});
+  runner->run_for(2.0);
+  EXPECT_EQ(joiner.role(), Role::kJoining);
+  EXPECT_GE(runner->network().counters().value("join.no_cluster"), 1u);
+  EXPECT_GE(runner->network().counters().value("join.hello_sent"), 2u);
+}
+
+TEST(Join, SucceedsAfterHashRefreshRounds) {
+  // The joiner's KMC-derived keys are fast-forwarded through the
+  // advertised hash epoch, so §IV-E keeps working after §VI's
+  // recommended refresh-by-hashing.
+  auto runner = after_key_setup();
+  for (int round = 0; round < 3; ++round) {
+    for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+      runner->node(id).apply_hash_refresh();
+    }
+  }
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  runner->run_for(2.0);
+  ASSERT_EQ(joiner.role(), Role::kMember);
+  EXPECT_EQ(joiner.hash_epoch(), 3u);
+  for (const auto& [cid, key] : joiner.keys().all()) {
+    EXPECT_EQ(key, runner->node(cid).keys().key_for(cid))
+        << "cluster " << cid;
+  }
+}
+
+TEST(Join, MultipleJoinersAllSucceed) {
+  auto runner = after_key_setup();
+  std::vector<SensorNode*> joiners;
+  for (int i = 0; i < 5; ++i) {
+    const double offset = 20.0 * i;
+    joiners.push_back(&runner->deploy_new_node(
+        {runner->config().side_m / 3 + offset, runner->config().side_m / 3}));
+  }
+  runner->run_for(3.0);
+  for (SensorNode* j : joiners) {
+    EXPECT_EQ(j->role(), Role::kMember) << "joiner " << j->id();
+  }
+}
+
+TEST(Join, JoinerIgnoresHelloPackets) {
+  // A late-deployed node never holds Km, so HELLO traffic (replayed or
+  // forged) must not affect its joining process.
+  auto runner = after_key_setup();
+  SensorNode& joiner = runner->deploy_new_node(center_of(*runner));
+  net::Packet fake;
+  fake.sender = 3;
+  fake.kind = net::PacketKind::kHello;
+  fake.payload.assign(40, 0x17);
+  runner->network().channel().broadcast_from(
+      center_of(*runner), runner->network().topology().range(), fake);
+  runner->run_for(2.0);
+  EXPECT_EQ(joiner.role(), Role::kMember);  // joined via JOIN, not HELLO
+  EXPECT_NE(joiner.cid(), 3u);
+}
+
+}  // namespace
+}  // namespace ldke::core

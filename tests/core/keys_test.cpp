@@ -1,0 +1,128 @@
+#include "core/keys.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prf.hpp"
+
+namespace ldke::core {
+namespace {
+
+crypto::Key128 key_of(std::uint8_t b) {
+  crypto::Key128 k;
+  k.bytes.fill(b);
+  return k;
+}
+
+TEST(ClusterKeySet, EmptyInitially) {
+  ClusterKeySet s;
+  EXPECT_FALSE(s.has_own());
+  EXPECT_EQ(s.own_cid(), kNoCluster);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.key_for(3).has_value());
+}
+
+TEST(ClusterKeySet, SetOwnStoresKey) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  EXPECT_TRUE(s.has_own());
+  EXPECT_EQ(s.own_cid(), 5u);
+  EXPECT_EQ(s.own_key(), key_of(1));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.neighbor_count(), 0u);
+}
+
+TEST(ClusterKeySet, AddNeighborKeys) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  EXPECT_TRUE(s.add_neighbor(6, key_of(2)));
+  EXPECT_TRUE(s.add_neighbor(7, key_of(3)));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.neighbor_count(), 2u);
+  EXPECT_EQ(s.key_for(6), key_of(2));
+}
+
+TEST(ClusterKeySet, AddNeighborIgnoresDuplicatesAndOwn) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  EXPECT_FALSE(s.add_neighbor(5, key_of(9)));  // own cluster
+  EXPECT_TRUE(s.add_neighbor(6, key_of(2)));
+  EXPECT_FALSE(s.add_neighbor(6, key_of(9)));  // duplicate keeps original
+  EXPECT_EQ(s.key_for(6), key_of(2));
+  EXPECT_EQ(s.key_for(5), key_of(1));
+}
+
+TEST(ClusterKeySet, ReplaceUpdatesExistingOnly) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  s.add_neighbor(6, key_of(2));
+  EXPECT_TRUE(s.replace(6, key_of(8)));
+  EXPECT_EQ(s.key_for(6), key_of(8));
+  EXPECT_FALSE(s.replace(99, key_of(9)));
+  EXPECT_FALSE(s.key_for(99).has_value());
+}
+
+TEST(ClusterKeySet, RevokeDeletesKey) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  s.add_neighbor(6, key_of(2));
+  EXPECT_TRUE(s.revoke(6));
+  EXPECT_FALSE(s.key_for(6).has_value());
+  EXPECT_FALSE(s.revoke(6));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ClusterKeySet, RevokeOwnClearsOwnership) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  EXPECT_TRUE(s.revoke(5));
+  EXPECT_FALSE(s.has_own());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ClusterKeySet, SetOwnTwiceDropsOldOwnEntry) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  s.set_own(9, key_of(2));
+  EXPECT_EQ(s.own_cid(), 9u);
+  EXPECT_FALSE(s.key_for(5).has_value());
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ClusterKeySet, HashRefreshAppliesOneWayToEveryKey) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  s.add_neighbor(6, key_of(2));
+  s.hash_refresh_all();
+  EXPECT_EQ(s.key_for(5), crypto::one_way(key_of(1)));
+  EXPECT_EQ(s.key_for(6), crypto::one_way(key_of(2)));
+}
+
+TEST(ClusterKeySet, ClearDropsEverything) {
+  ClusterKeySet s;
+  s.set_own(5, key_of(1));
+  s.add_neighbor(6, key_of(2));
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.has_own());
+}
+
+TEST(NodeSecrets, EraseMaster) {
+  NodeSecrets secrets;
+  secrets.master_key = key_of(0x5a);
+  EXPECT_FALSE(secrets.master_erased());
+  secrets.erase_master();
+  EXPECT_TRUE(secrets.master_erased());
+  EXPECT_TRUE(secrets.master_key.is_zero());
+}
+
+TEST(NodeSecrets, EraseKmc) {
+  NodeSecrets secrets;
+  secrets.kmc = key_of(0x66);
+  secrets.has_kmc = true;
+  secrets.erase_kmc();
+  EXPECT_FALSE(secrets.has_kmc);
+  EXPECT_TRUE(secrets.kmc.is_zero());
+}
+
+}  // namespace
+}  // namespace ldke::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/provisioning.hpp"
+#include "test_helpers.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::small_config;
+
+class LinkEstablishment : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { runner_ = after_key_setup().release(); }
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+  }
+  static ProtocolRunner* runner_;
+};
+ProtocolRunner* LinkEstablishment::runner_ = nullptr;
+
+TEST_F(LinkEstablishment, EveryNodeKnowsAllBorderingClusters) {
+  // §IV-B.2: "a node is neighbor of a cluster CID when that node has
+  // within its communication range at least one member of that cluster";
+  // after link establishment it must hold that cluster's key.
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    for (net::NodeId v : topo.neighbors(node->id())) {
+      const ClusterId neighbor_cid = runner_->node(v).cid();
+      EXPECT_TRUE(node->keys().key_for(neighbor_cid).has_value())
+          << "node " << node->id() << " missing key of bordering cluster "
+          << neighbor_cid << " (via neighbor " << v << ")";
+    }
+  }
+}
+
+TEST_F(LinkEstablishment, KeySetContainsNothingBeyondBorderingClusters) {
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    std::set<ClusterId> bordering{node->cid()};
+    for (net::NodeId v : topo.neighbors(node->id())) {
+      bordering.insert(runner_->node(v).cid());
+    }
+    for (const auto& [cid, key] : node->keys().all()) {
+      EXPECT_TRUE(bordering.contains(cid))
+          << "node " << node->id() << " holds non-bordering cluster " << cid;
+    }
+    EXPECT_EQ(node->keys().size(), bordering.size());
+  }
+}
+
+TEST_F(LinkEstablishment, StoredKeysMatchTheHeadsKeys) {
+  for (const auto& node : runner_->nodes()) {
+    for (const auto& [cid, key] : node->keys().all()) {
+      EXPECT_EQ(key, runner_->node(cid).secrets().cluster_key)
+          << "node " << node->id() << " cluster " << cid;
+    }
+  }
+}
+
+TEST_F(LinkEstablishment, KeysDerivableFromKmcAsPaperRequires) {
+  // §IV-E relies on Kci = F(KMC, i); verify the invariant network-wide.
+  for (const auto& node : runner_->nodes()) {
+    for (const auto& [cid, key] : node->keys().all()) {
+      EXPECT_EQ(key, cluster_key_of(runner_->roots(), cid));
+    }
+  }
+}
+
+TEST_F(LinkEstablishment, NeighborsAlwaysShareAKey) {
+  // The paper's broadcast property: every pair of radio neighbors can
+  // authenticate each other's traffic through S.
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    for (net::NodeId v : topo.neighbors(node->id())) {
+      // v wraps with its own cluster key; u must be able to open it.
+      EXPECT_TRUE(node->keys().key_for(runner_->node(v).cid()).has_value());
+    }
+  }
+}
+
+TEST_F(LinkEstablishment, TotalSetupMessagesMatchFormula) {
+  // Phase 1 sends one HELLO per head, phase 2 exactly one advert per
+  // node: messages/node = 1 + head_fraction (Fig 9's identity).
+  const auto m = collect_setup_metrics(*runner_);
+  const auto& counters = runner_->network().counters();
+  EXPECT_EQ(counters.value("setup.link_sent"), runner_->node_count());
+  EXPECT_NEAR(m.setup_messages_per_node, 1.0 + m.head_fraction, 1e-9);
+}
+
+TEST(LinkEstablishmentLossy, LossyChannelDegradesGracefully) {
+  auto cfg = small_config(5);
+  cfg.channel.loss_probability = 0.2;
+  auto runner = after_key_setup(cfg);
+  // Every node still decides (its own timer never gets lost)...
+  for (const auto& node : runner->nodes()) {
+    EXPECT_TRUE(node->keys().has_own());
+  }
+  // ...but some link adverts are lost, so some bordering keys may be
+  // missing; the structure must still be mostly there.
+  const auto& topo = runner->network().topology();
+  std::size_t expected = 0, present = 0;
+  for (const auto& node : runner->nodes()) {
+    for (net::NodeId v : topo.neighbors(node->id())) {
+      ++expected;
+      if (node->keys().key_for(runner->node(v).cid())) ++present;
+    }
+  }
+  EXPECT_GT(static_cast<double>(present) / static_cast<double>(expected), 0.7);
+}
+
+}  // namespace
+}  // namespace ldke::core

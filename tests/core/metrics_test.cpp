@@ -1,0 +1,82 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::small_config;
+
+class Metrics : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = testing::after_key_setup().release();
+    metrics_ = new SetupMetrics(collect_setup_metrics(*runner_));
+  }
+  static void TearDownTestSuite() {
+    delete metrics_;
+    delete runner_;
+  }
+  static ProtocolRunner* runner_;
+  static SetupMetrics* metrics_;
+};
+ProtocolRunner* Metrics::runner_ = nullptr;
+SetupMetrics* Metrics::metrics_ = nullptr;
+
+TEST_F(Metrics, NodeCountMatches) {
+  EXPECT_EQ(metrics_->node_count, runner_->node_count());
+}
+
+TEST_F(Metrics, HistogramTotalEqualsClusterCount) {
+  EXPECT_EQ(metrics_->cluster_sizes.total(), metrics_->cluster_count);
+}
+
+TEST_F(Metrics, ClusterSizesSumToNodeCount) {
+  std::uint64_t members = 0;
+  for (std::size_t k = 0; k <= metrics_->cluster_sizes.max_value(); ++k) {
+    members += metrics_->cluster_sizes.count(k) * k;
+  }
+  EXPECT_EQ(members, metrics_->node_count);
+}
+
+TEST_F(Metrics, MeanClusterSizeConsistentWithHeadFraction) {
+  // clusters == heads, so mean size == 1 / head_fraction.
+  EXPECT_NEAR(metrics_->mean_cluster_size, 1.0 / metrics_->head_fraction,
+              1e-9);
+}
+
+TEST_F(Metrics, MessagesPerNodeIsOnePlusHeadFraction) {
+  EXPECT_NEAR(metrics_->setup_messages_per_node,
+              1.0 + metrics_->head_fraction, 1e-9);
+}
+
+TEST_F(Metrics, KeysPerNodeAtLeastOne) {
+  EXPECT_GE(metrics_->mean_keys_per_node, 1.0);
+}
+
+TEST_F(Metrics, NoUndecidedNodes) { EXPECT_EQ(metrics_->undecided_nodes, 0u); }
+
+TEST_F(Metrics, RealizedDensityNearConfig) {
+  EXPECT_NEAR(metrics_->realized_density, runner_->config().density,
+              runner_->config().density * 0.25);
+}
+
+TEST_F(Metrics, SingletonsCountedCorrectly) {
+  EXPECT_EQ(metrics_->singleton_clusters, metrics_->cluster_sizes.count(1));
+}
+
+TEST(MetricsTrends, DensityLowersHeadFraction) {
+  auto sparse = after_key_setup(small_config(3, 400, 8.0));
+  auto dense = after_key_setup(small_config(3, 400, 20.0));
+  const auto ms = collect_setup_metrics(*sparse);
+  const auto md = collect_setup_metrics(*dense);
+  EXPECT_GT(ms.head_fraction, md.head_fraction);
+  EXPECT_LT(ms.mean_cluster_size, md.mean_cluster_size);
+  EXPECT_LT(ms.mean_keys_per_node, md.mean_keys_per_node);
+}
+
+}  // namespace
+}  // namespace ldke::core

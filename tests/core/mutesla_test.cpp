@@ -1,0 +1,171 @@
+#include "core/mutesla.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prf.hpp"
+
+namespace ldke::core {
+namespace {
+
+crypto::Key128 seed_key() {
+  crypto::Key128 k;
+  k.bytes.fill(0x4d);
+  return k;
+}
+
+MuTeslaConfig test_config() {
+  MuTeslaConfig cfg;
+  cfg.interval_s = 1.0;
+  cfg.disclosure_delay = 2;
+  cfg.chain_length = 16;
+  cfg.max_sync_error_s = 0.0;  // the simulator is perfectly synchronous
+  return cfg;
+}
+
+sim::SimTime at(double s) { return sim::SimTime::from_seconds(s); }
+
+TEST(MuTeslaWire, CommandRoundTrip) {
+  AuthCommand cmd;
+  cmd.interval = 3;
+  cmd.seq = 9;
+  cmd.payload = support::bytes_of("report now");
+  cmd.tag.fill(0x7a);
+  const auto decoded = decode_auth_command(encode(cmd));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->interval, 3u);
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->payload, cmd.payload);
+  EXPECT_EQ(decoded->tag, cmd.tag);
+}
+
+TEST(MuTeslaWire, DisclosureRoundTripAndMalformedRejection) {
+  KeyDisclosure d;
+  d.interval = 4;
+  d.key = seed_key();
+  const auto decoded = decode_key_disclosure(encode(d));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->interval, 4u);
+  EXPECT_EQ(decoded->key, seed_key());
+  EXPECT_FALSE(decode_key_disclosure({}).has_value());
+  EXPECT_FALSE(decode_auth_command({}).has_value());
+}
+
+TEST(MuTesla, IntervalIndexing) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  EXPECT_EQ(b.interval_at(at(0.0)), 1u);
+  EXPECT_EQ(b.interval_at(at(0.99)), 1u);
+  EXPECT_EQ(b.interval_at(at(1.0)), 2u);
+  EXPECT_EQ(b.interval_at(at(7.5)), 8u);
+}
+
+TEST(MuTesla, NoDisclosureBeforeDelayElapses) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  EXPECT_FALSE(b.disclosure_at(at(0.5)).has_value());   // interval 1
+  EXPECT_FALSE(b.disclosure_at(at(1.5)).has_value());   // interval 2
+  const auto d = b.disclosure_at(at(2.5));              // interval 3 -> K1
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->interval, 1u);
+}
+
+TEST(MuTesla, HappyPathDeliversAfterDisclosure) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  support::Bytes delivered_payload;
+  r.set_delivery_handler([&](std::uint32_t, const support::Bytes& p) {
+    delivered_payload = p;
+  });
+
+  const auto cmd = b.make_command(at(0.3), support::bytes_of("sleep"));
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(r.on_command(at(0.35), *cmd));
+  EXPECT_EQ(r.buffered(), 1u);
+  EXPECT_EQ(r.delivered(), 0u);  // key not out yet
+
+  const auto d = b.disclosure_at(at(2.5));  // interval 3 discloses K1
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(r.on_disclosure(*d));
+  EXPECT_EQ(r.delivered(), 1u);
+  EXPECT_EQ(delivered_payload, support::bytes_of("sleep"));
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(MuTesla, SecurityConditionRejectsLateCommands) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  // A command MAC'd for interval 1 but arriving at t=2.5 (interval 3):
+  // K1 is being disclosed right now — an adversary could have forged it.
+  const auto cmd = b.make_command(at(0.3), support::bytes_of("x"));
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_FALSE(r.on_command(at(2.5), *cmd));
+  EXPECT_EQ(r.rejected_unsafe(), 1u);
+}
+
+TEST(MuTesla, ForgedCommandFailsTagCheck) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  auto cmd = b.make_command(at(0.3), support::bytes_of("benign"));
+  ASSERT_TRUE(cmd.has_value());
+  cmd->payload = support::bytes_of("evil!!");  // tag no longer matches
+  EXPECT_TRUE(r.on_command(at(0.35), *cmd));   // buffered (can't check yet)
+  ASSERT_TRUE(r.on_disclosure(*b.disclosure_at(at(2.5))));
+  EXPECT_EQ(r.delivered(), 0u);
+  EXPECT_EQ(r.rejected_bad_tag(), 1u);
+}
+
+TEST(MuTesla, ForgedDisclosureRejected) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  KeyDisclosure fake;
+  fake.interval = 1;
+  fake.key.bytes.fill(0xee);
+  EXPECT_FALSE(r.on_disclosure(fake));
+  EXPECT_EQ(r.rejected_bad_key(), 1u);
+  // Genuine disclosure still accepted afterwards.
+  EXPECT_TRUE(r.on_disclosure(*b.disclosure_at(at(2.5))));
+}
+
+TEST(MuTesla, ReceiverToleratesMissedDisclosures) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  // Miss K1..K3; receive K4 directly (chain walk covers the gap).
+  const auto d4 = b.disclosure_at(at(5.5));  // interval 6 -> K4
+  ASSERT_TRUE(d4.has_value());
+  ASSERT_EQ(d4->interval, 4u);
+  EXPECT_TRUE(r.on_disclosure(*d4));
+  // Replay of an older disclosure must not roll back.
+  EXPECT_FALSE(r.on_disclosure(*b.disclosure_at(at(2.5))));
+}
+
+TEST(MuTesla, DuplicateCommandsBufferedOnce) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  const auto cmd = b.make_command(at(0.3), support::bytes_of("x"));
+  EXPECT_TRUE(r.on_command(at(0.35), *cmd));
+  EXPECT_FALSE(r.on_command(at(0.4), *cmd));  // flood duplicate
+  EXPECT_EQ(r.buffered(), 1u);
+}
+
+TEST(MuTesla, ChainExhaustionStopsCommands) {
+  auto cfg = test_config();
+  cfg.chain_length = 2;
+  MuTeslaBroadcaster b{seed_key(), cfg, at(0.0)};
+  EXPECT_TRUE(b.make_command(at(0.5), support::bytes_of("a")).has_value());
+  EXPECT_TRUE(b.make_command(at(1.5), support::bytes_of("b")).has_value());
+  EXPECT_FALSE(b.make_command(at(2.5), support::bytes_of("c")).has_value());
+}
+
+TEST(MuTesla, MultipleCommandsPerIntervalAllDeliver) {
+  MuTeslaBroadcaster b{seed_key(), test_config(), at(0.0)};
+  MuTeslaReceiver r{b.commitment(), test_config(), at(0.0)};
+  for (int i = 0; i < 3; ++i) {
+    const auto cmd = b.make_command(at(0.2 + 0.1 * i),
+                                    support::bytes_of("cmd"));
+    ASSERT_TRUE(cmd.has_value());
+    EXPECT_TRUE(r.on_command(at(0.25 + 0.1 * i), *cmd));
+  }
+  ASSERT_TRUE(r.on_disclosure(*b.disclosure_at(at(2.5))));
+  EXPECT_EQ(r.delivered(), 3u);
+}
+
+}  // namespace
+}  // namespace ldke::core

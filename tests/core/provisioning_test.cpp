@@ -1,0 +1,90 @@
+#include "core/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/prf.hpp"
+
+namespace ldke::core {
+namespace {
+
+TEST(Provisioning, DeploymentIsSeedDeterministic) {
+  const DeploymentSecrets a = make_deployment(1);
+  const DeploymentSecrets b = make_deployment(1);
+  const DeploymentSecrets c = make_deployment(2);
+  EXPECT_EQ(a.master_key, b.master_key);
+  EXPECT_EQ(a.kmc, b.kmc);
+  EXPECT_NE(a.master_key, c.master_key);
+}
+
+TEST(Provisioning, RootsAreDistinctKeys) {
+  const DeploymentSecrets roots = make_deployment(3);
+  std::set<std::array<std::uint8_t, crypto::kKeyBytes>> keys{
+      roots.node_key_root.bytes, roots.master_key.bytes, roots.kmc.bytes,
+      roots.chain_seed.bytes};
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(Provisioning, NodeKeysDerivePerId) {
+  const DeploymentSecrets roots = make_deployment(4);
+  EXPECT_EQ(node_key_of(roots, 7), crypto::prf_u64(roots.node_key_root, 7));
+  EXPECT_NE(node_key_of(roots, 7), node_key_of(roots, 8));
+}
+
+TEST(Provisioning, ClusterKeyMatchesPaperDerivation) {
+  // §IV-E: Kci = F(KMC, i).
+  const DeploymentSecrets roots = make_deployment(5);
+  EXPECT_EQ(cluster_key_of(roots, 12), crypto::prf_u64(roots.kmc, 12));
+}
+
+TEST(Provisioning, OriginalNodeCarriesKmNotKmc) {
+  const DeploymentSecrets roots = make_deployment(6);
+  crypto::Key128 commitment;
+  commitment.bytes.fill(0x11);
+  const NodeSecrets s = provision_node(roots, 42, commitment);
+  EXPECT_EQ(s.id, 42u);
+  EXPECT_EQ(s.master_key, roots.master_key);
+  EXPECT_FALSE(s.has_kmc);
+  EXPECT_EQ(s.commitment, commitment);
+  EXPECT_EQ(s.node_key, node_key_of(roots, 42));
+  EXPECT_EQ(s.cluster_key, cluster_key_of(roots, 42));
+}
+
+TEST(Provisioning, NewNodeCarriesKmcNotKm) {
+  const DeploymentSecrets roots = make_deployment(7);
+  crypto::Key128 commitment;
+  commitment.bytes.fill(0x22);
+  const NodeSecrets s = provision_new_node(roots, 9, commitment);
+  EXPECT_TRUE(s.has_kmc);
+  EXPECT_EQ(s.kmc, roots.kmc);
+  // §IV-E: new nodes never see Km.
+  EXPECT_TRUE(s.master_key.is_zero());
+}
+
+TEST(Provisioning, NewNodeCanDeriveAnyClusterKey) {
+  const DeploymentSecrets roots = make_deployment(8);
+  crypto::Key128 commitment;
+  const NodeSecrets s = provision_new_node(roots, 100, commitment);
+  // Whatever node i became a head, the joiner derives its key from KMC.
+  for (net::NodeId i : {0u, 5u, 99u}) {
+    EXPECT_EQ(crypto::prf_u64(s.kmc, i), cluster_key_of(roots, i));
+  }
+}
+
+TEST(Provisioning, DistinctNodesGetDistinctKeys) {
+  const DeploymentSecrets roots = make_deployment(9);
+  crypto::Key128 commitment;
+  std::set<std::array<std::uint8_t, crypto::kKeyBytes>> node_keys;
+  std::set<std::array<std::uint8_t, crypto::kKeyBytes>> cluster_keys;
+  for (net::NodeId id = 0; id < 200; ++id) {
+    node_keys.insert(provision_node(roots, id, commitment).node_key.bytes);
+    cluster_keys.insert(
+        provision_node(roots, id, commitment).cluster_key.bytes);
+  }
+  EXPECT_EQ(node_keys.size(), 200u);
+  EXPECT_EQ(cluster_keys.size(), 200u);
+}
+
+}  // namespace
+}  // namespace ldke::core

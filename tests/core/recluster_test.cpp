@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "crypto/authenc.hpp"
+#include "test_helpers.hpp"
+#include "wsn/messages.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::after_routing;
+using testing::small_config;
+
+TEST(Recluster, EveryNodeEndsUpInANewCluster) {
+  auto runner = after_routing();
+  runner->run_recluster_round();
+  for (const auto& node : runner->nodes()) {
+    EXPECT_TRUE(node->keys().has_own()) << "node " << node->id();
+    EXPECT_FALSE(node->recluster_in_progress());
+  }
+}
+
+TEST(Recluster, KeysActuallyChange) {
+  auto runner = after_key_setup();
+  std::map<net::NodeId, crypto::Key128> old_keys;
+  for (const auto& node : runner->nodes()) {
+    old_keys[node->id()] = node->keys().own_key();
+  }
+  runner->run_recluster_round();
+  std::size_t changed = 0;
+  for (const auto& node : runner->nodes()) {
+    if (!(node->keys().own_key() == old_keys[node->id()])) ++changed;
+  }
+  // Every node's wrapping key is fresh (new clusters, new random keys).
+  EXPECT_EQ(changed, runner->node_count());
+}
+
+TEST(Recluster, NewKeysAreNotDerivableFromKmc) {
+  // Original keys satisfied Kci = F(KMC, i); the refreshed keys come
+  // from each head's embedded generator, so a KMC-holding adversary
+  // gains nothing after the first re-clustering.
+  auto runner = after_key_setup();
+  runner->run_recluster_round();
+  for (const auto& node : runner->nodes()) {
+    EXPECT_FALSE(node->keys().own_key() ==
+                 cluster_key_of(runner->roots(), node->cid()));
+  }
+}
+
+TEST(Recluster, ClusterStructureInvariantsHold) {
+  auto runner = after_key_setup();
+  runner->run_recluster_round();
+  const auto& topo = runner->network().topology();
+  for (const auto& node : runner->nodes()) {
+    const ClusterId cid = node->cid();
+    // Head is self or a radio neighbor, as in the original election.
+    if (node->id() != cid) {
+      const auto nbrs = topo.neighbors(node->id());
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), cid));
+    }
+    EXPECT_TRUE(runner->node(cid).was_head());
+    // Shared-key agreement across holders.
+    for (const auto& [held_cid, key] : node->keys().all()) {
+      EXPECT_EQ(key, runner->node(held_cid).keys().key_for(held_cid));
+    }
+  }
+}
+
+TEST(Recluster, KeySetCoversAllBorderingClusters) {
+  auto runner = after_key_setup();
+  runner->run_recluster_round();
+  const auto& topo = runner->network().topology();
+  for (const auto& node : runner->nodes()) {
+    for (net::NodeId v : topo.neighbors(node->id())) {
+      EXPECT_TRUE(node->keys().key_for(runner->node(v).cid()).has_value())
+          << "node " << node->id() << " misses cluster of neighbor " << v;
+    }
+  }
+}
+
+TEST(Recluster, ForwardingWorksAfterTheRound) {
+  auto runner = after_routing();
+  runner->run_recluster_round();
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner->node_count(); id += 29) {
+    if (runner->node(id).send_reading(runner->network(),
+                                      support::bytes_of("post-recluster"))) {
+      ++sent;
+    }
+  }
+  runner->run_for(10.0);
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(runner->base_station()->readings().size(), sent);
+}
+
+TEST(Recluster, OldKeysUselessAfterSwap) {
+  auto runner = after_routing();
+  const net::NodeId probe = 42;
+  const crypto::Key128 old_key = runner->node(probe).keys().own_key();
+  const ClusterId old_cid = runner->node(probe).cid();
+  runner->run_recluster_round();
+
+  // Forge a data envelope under the pre-refresh key: every receiver must
+  // reject it (no_key if the cid vanished, auth_fail if it survived with
+  // a new key).
+  wsn::DataInner inner;
+  inner.tau_ns = runner->sim().now().ns();
+  inner.echoed_cid = old_cid;
+  inner.source = probe;
+  inner.body = support::bytes_of("stale-key");
+  wsn::DataHeader header;
+  header.cid = old_cid;
+  header.next_hop = net::kNoNode;
+  header.nonce = (std::uint64_t{probe} << 32) | 0xFFFFFFF0ULL;
+  const auto header_bytes = wsn::encode(header);
+  auto sealed = crypto::seal_with(old_key, header.nonce, wsn::encode(inner),
+                                  header_bytes);
+  net::Packet pkt;
+  pkt.sender = probe;
+  pkt.kind = net::PacketKind::kData;
+  pkt.payload = header_bytes;
+  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+
+  const auto& c = runner->network().counters();
+  const auto peek_before = c.value("data.peek_ok");
+  const auto pos = runner->network().topology().position(probe);
+  runner->network().channel().broadcast_from(
+      pos, runner->network().topology().range(), pkt);
+  runner->run_for(2.0);
+  EXPECT_EQ(c.value("data.peek_ok"), peek_before);
+}
+
+TEST(Recluster, RoundCostsAboutOneMessagePerNodePlusHeads) {
+  auto runner = after_key_setup();
+  runner->run_recluster_round();
+  std::uint64_t total = 0;
+  std::size_t heads = 0;
+  for (const auto& node : runner->nodes()) {
+    total += node->recluster_messages_sent();
+    if (node->was_head()) ++heads;
+  }
+  EXPECT_EQ(total, runner->node_count() + heads);
+}
+
+TEST(Recluster, SecondRoundAlsoWorks) {
+  auto runner = after_routing();
+  runner->run_recluster_round();
+  runner->run_recluster_round();
+  for (const auto& node : runner->nodes()) {
+    EXPECT_TRUE(node->keys().has_own());
+  }
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner->node_count(); id += 41) {
+    if (runner->node(id).send_reading(runner->network(),
+                                      support::bytes_of("r2"))) {
+      ++sent;
+    }
+  }
+  runner->run_for(10.0);
+  EXPECT_EQ(runner->base_station()->readings().size(), sent);
+}
+
+TEST(Recluster, LateJoinerBecomesFirstClassAfterRound) {
+  auto runner = after_routing();
+  SensorNode& joiner = runner->deploy_new_node(
+      {runner->config().side_m / 2, runner->config().side_m / 2});
+  runner->run_for(2.0);
+  ASSERT_EQ(joiner.role(), Role::kMember);
+  runner->run_recluster_round();
+  // The joiner took part in the round like any original node: full
+  // bordering coverage.
+  const auto& topo = runner->network().topology();
+  for (net::NodeId v : topo.neighbors(joiner.id())) {
+    EXPECT_TRUE(joiner.keys().key_for(runner->node(v).cid()).has_value());
+  }
+  ASSERT_TRUE(joiner.send_reading(runner->network(),
+                                  support::bytes_of("integrated")));
+  runner->run_for(10.0);
+  EXPECT_GE(runner->base_station()->readings().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ldke::core

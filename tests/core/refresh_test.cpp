@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/prf.hpp"
+#include "test_helpers.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_key_setup;
+using testing::small_config;
+
+/// All nodes currently holding a key for \p cid.
+std::vector<net::NodeId> holders_of(const ProtocolRunner& runner,
+                                    ClusterId cid) {
+  std::vector<net::NodeId> out;
+  for (net::NodeId id = 0; id < runner.node_count(); ++id) {
+    if (runner.node(id).keys().key_for(cid).has_value()) out.push_back(id);
+  }
+  return out;
+}
+
+ClusterId some_head(const ProtocolRunner& runner) {
+  for (net::NodeId id = 0; id < runner.node_count(); ++id) {
+    if (runner.node(id).was_head()) return runner.node(id).cid();
+  }
+  return kNoCluster;
+}
+
+TEST(Refresh, RekeyPropagatesToEveryHolder) {
+  auto runner = after_key_setup();
+  const ClusterId cid = some_head(*runner);
+  ASSERT_NE(cid, kNoCluster);
+  const auto holders = holders_of(*runner, cid);
+  ASSERT_GE(holders.size(), 2u);
+  const crypto::Key128 old_key =
+      *runner->node(cid).keys().key_for(cid);
+
+  ASSERT_TRUE(runner->node(cid).initiate_cluster_rekey(runner->network()));
+  runner->run_for(2.0);
+
+  const crypto::Key128 new_key = *runner->node(cid).keys().key_for(cid);
+  EXPECT_NE(new_key, old_key);
+  for (net::NodeId id : holders) {
+    const auto held = runner->node(id).keys().key_for(cid);
+    ASSERT_TRUE(held.has_value()) << "holder " << id << " lost the key";
+    EXPECT_EQ(*held, new_key) << "holder " << id << " has a stale key";
+  }
+}
+
+TEST(Refresh, RekeyDoesNotTouchOtherClusters) {
+  auto runner = after_key_setup();
+  const ClusterId cid = some_head(*runner);
+  // Snapshot every (node, other-cid, key) triple.
+  std::vector<std::tuple<net::NodeId, ClusterId, crypto::Key128>> before;
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    for (const auto& [c, k] : runner->node(id).keys().all()) {
+      if (c != cid) before.emplace_back(id, c, k);
+    }
+  }
+  runner->node(cid).initiate_cluster_rekey(runner->network());
+  runner->run_for(2.0);
+  for (const auto& [id, c, k] : before) {
+    EXPECT_EQ(runner->node(id).keys().key_for(c), k);
+  }
+}
+
+TEST(Refresh, ReplayedRefreshAnnouncementIgnored) {
+  auto runner = after_key_setup();
+  const ClusterId cid = some_head(*runner);
+
+  net::Packet recorded;
+  bool have = false;
+  runner->network().channel().set_sniffer([&](const net::Packet& pkt) {
+    if (!have && pkt.kind == net::PacketKind::kRefresh) {
+      recorded = pkt;
+      have = true;
+    }
+  });
+  runner->node(cid).initiate_cluster_rekey(runner->network());
+  runner->run_for(2.0);
+  ASSERT_TRUE(have);
+  const crypto::Key128 current = *runner->node(cid).keys().key_for(cid);
+
+  auto rejections = [&runner] {
+    // A replayed announcement dies in one of three ways: the old-key
+    // envelope no longer authenticates (holders re-keyed), the envelope
+    // nonce repeats, or — for a holder that somehow kept the old key —
+    // the epoch check fires.  All reject; none roll the key back.
+    const auto& c = runner->network().counters();
+    return c.value("refresh.replay") + c.value("envelope.replay") +
+           c.value("envelope.auth_fail") + c.value("envelope.stale");
+  };
+  const auto before = rejections();
+  const auto pos = runner->network().topology().position(recorded.sender);
+  runner->network().channel().broadcast_from(
+      pos, runner->network().topology().range(), recorded);
+  runner->run_for(2.0);
+  EXPECT_GE(rejections(), before + 1);
+  EXPECT_EQ(*runner->node(cid).keys().key_for(cid), current);
+}
+
+TEST(Refresh, SecondRekeyAdvancesEpochAgain) {
+  auto runner = after_key_setup();
+  const ClusterId cid = some_head(*runner);
+  runner->node(cid).initiate_cluster_rekey(runner->network());
+  runner->run_for(2.0);
+  const crypto::Key128 first = *runner->node(cid).keys().key_for(cid);
+  runner->node(cid).initiate_cluster_rekey(runner->network());
+  runner->run_for(2.0);
+  const crypto::Key128 second = *runner->node(cid).keys().key_for(cid);
+  EXPECT_NE(first, second);
+  // All holders converged on the second key.
+  for (net::NodeId id : holders_of(*runner, cid)) {
+    EXPECT_EQ(*runner->node(id).keys().key_for(cid), second);
+  }
+}
+
+TEST(Refresh, HashRefreshKeepsHoldersConsistent) {
+  // §VI recommends refresh-by-hashing: no messages, every holder applies
+  // F at the same epoch.
+  auto runner = after_key_setup();
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    runner->node(id).apply_hash_refresh();
+  }
+  const auto& topo = runner->network().topology();
+  for (net::NodeId u = 0; u < runner->node_count(); ++u) {
+    for (net::NodeId v : topo.neighbors(u)) {
+      const ClusterId vc = runner->node(v).cid();
+      // u can still authenticate v's traffic.
+      EXPECT_EQ(runner->node(u).keys().key_for(vc),
+                runner->node(v).keys().key_for(vc));
+    }
+  }
+}
+
+TEST(Refresh, HashRefreshIsOneWay) {
+  auto runner = after_key_setup();
+  const ClusterId cid = some_head(*runner);
+  const crypto::Key128 old_key = *runner->node(cid).keys().key_for(cid);
+  runner->node(cid).apply_hash_refresh();
+  const crypto::Key128 new_key = *runner->node(cid).keys().key_for(cid);
+  EXPECT_EQ(new_key, crypto::one_way(old_key));
+  EXPECT_NE(new_key, old_key);
+}
+
+TEST(Refresh, ForwardingStillWorksAfterRekeyRound) {
+  auto runner = testing::after_routing();
+  // Rekey every cluster (former heads announce).
+  for (net::NodeId id = 0; id < runner->node_count(); ++id) {
+    if (runner->node(id).was_head()) {
+      runner->node(id).initiate_cluster_rekey(runner->network());
+    }
+  }
+  runner->run_for(3.0);
+  // A reading still reaches the base station under the new keys.
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner->node_count() && sent < 3; id += 37) {
+    if (runner->node(id).send_reading(runner->network(),
+                                      support::bytes_of("post-rekey"))) {
+      ++sent;
+    }
+  }
+  runner->run_for(5.0);
+  EXPECT_EQ(runner->base_station()->readings().size(), sent);
+}
+
+}  // namespace
+}  // namespace ldke::core

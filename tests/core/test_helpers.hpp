@@ -1,0 +1,40 @@
+#pragma once
+/// Shared fixtures for the core protocol tests: a small but realistic
+/// deployment, set up once per parameterization and reused (setup is the
+/// expensive part).
+
+#include <memory>
+
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+
+namespace ldke::core::testing {
+
+inline RunnerConfig small_config(std::uint64_t seed = 7,
+                                 std::size_t nodes = 150,
+                                 double density = 12.0) {
+  RunnerConfig cfg;
+  cfg.node_count = nodes;
+  cfg.density = density;
+  cfg.side_m = 300.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A deployment with key setup already run.
+inline std::unique_ptr<ProtocolRunner> after_key_setup(
+    RunnerConfig cfg = small_config()) {
+  auto runner = std::make_unique<ProtocolRunner>(cfg);
+  runner->run_key_setup();
+  return runner;
+}
+
+/// A deployment with key setup and routing both complete.
+inline std::unique_ptr<ProtocolRunner> after_routing(
+    RunnerConfig cfg = small_config()) {
+  auto runner = after_key_setup(cfg);
+  runner->run_routing_setup();
+  return runner;
+}
+
+}  // namespace ldke::core::testing

@@ -1,0 +1,80 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+using support::from_hex;
+using support::to_hex;
+
+Key128 key_from_hex(std::string_view hex) {
+  return key_from_bytes(from_hex(hex));
+}
+
+AesBlock block_from_hex(std::string_view hex) {
+  const auto raw = from_hex(hex);
+  AesBlock b{};
+  std::memcpy(b.data(), raw.data(), b.size());
+  return b;
+}
+
+// FIPS 197 Appendix B.
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128 aes{key_from_hex("2b7e151628aed2a6abf7158809cf4f3c")};
+  const AesBlock ct = aes.encrypt(block_from_hex("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+// FIPS 197 Appendix C.1 (key 000102...0f, plaintext 00112233...ff).
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128 aes{key_from_hex("000102030405060708090a0b0c0d0e0f")};
+  const AesBlock ct = aes.encrypt(block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// NIST SP 800-38A F.1.1 ECB-AES128 vectors (all four blocks).
+TEST(Aes128, Sp80038aEcbVectors) {
+  const Aes128 aes{key_from_hex("2b7e151628aed2a6abf7158809cf4f3c")};
+  const char* plain[] = {
+      "6bc1bee22e409f96e93d7e117393172a", "ae2d8a571e03ac9c9eb76fac45af8e51",
+      "30c81c46a35ce411e5fbc1191a0a52ef", "f69f2445df4f9b17ad2b417be66c3710"};
+  const char* cipher[] = {
+      "3ad77bb40d7a3660a89ecaf32466ef97", "f5d3d58503b9699de785895a96fdbaaf",
+      "43b1cd7f598ece23881b00e3ed030688", "7b0c785e27e8ad3f8223207104725dd4"};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(to_hex(aes.encrypt(block_from_hex(plain[i]))), cipher[i])
+        << "block " << i;
+  }
+}
+
+TEST(Aes128, EncryptBlockInPlaceMatchesEncrypt) {
+  const Aes128 aes{key_from_hex("00000000000000000000000000000000")};
+  AesBlock b = block_from_hex("80000000000000000000000000000000");
+  const AesBlock expected = aes.encrypt(b);
+  aes.encrypt_block(b);
+  EXPECT_EQ(b, expected);
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertexts) {
+  const AesBlock pt{};
+  const Aes128 a{key_from_hex("00000000000000000000000000000001")};
+  const Aes128 b{key_from_hex("00000000000000000000000000000002")};
+  EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+TEST(Aes128, DeterministicPerKey) {
+  const Key128 key = key_from_hex("0f0e0d0c0b0a09080706050403020100");
+  const Aes128 a{key};
+  const Aes128 b{key};
+  AesBlock pt;
+  for (int i = 0; i < 16; ++i) pt[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i * 7);
+  EXPECT_EQ(a.encrypt(pt), b.encrypt(pt));
+}
+
+}  // namespace
+}  // namespace ldke::crypto

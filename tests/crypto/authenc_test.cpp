@@ -1,0 +1,117 @@
+#include "crypto/authenc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+using support::Bytes;
+using support::bytes_of;
+
+KeyPair test_keys() {
+  Key128 root;
+  root.bytes.fill(0x77);
+  return derive_pair(root);
+}
+
+TEST(AuthEnc, SealOpenRoundTrip) {
+  const auto plain = bytes_of("hop-by-hop protected payload");
+  const Bytes sealed = seal(test_keys(), 1, plain);
+  EXPECT_EQ(sealed.size(), plain.size() + kSealOverheadBytes);
+  const auto opened = open(test_keys(), 1, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+}
+
+TEST(AuthEnc, RoundTripWithAad) {
+  const auto plain = bytes_of("payload");
+  const auto aad = bytes_of("cleartext header");
+  const Bytes sealed = seal(test_keys(), 2, plain, aad);
+  const auto opened = open(test_keys(), 2, sealed, aad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+}
+
+TEST(AuthEnc, EmptyPlaintext) {
+  const Bytes sealed = seal(test_keys(), 3, {});
+  EXPECT_EQ(sealed.size(), kSealOverheadBytes);
+  const auto opened = open(test_keys(), 3, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(AuthEnc, TamperedCiphertextRejected) {
+  Bytes sealed = seal(test_keys(), 4, bytes_of("integrity"));
+  sealed[0] ^= 0x01;
+  EXPECT_FALSE(open(test_keys(), 4, sealed).has_value());
+}
+
+TEST(AuthEnc, TamperedTagRejected) {
+  Bytes sealed = seal(test_keys(), 5, bytes_of("integrity"));
+  sealed.back() ^= 0x80;
+  EXPECT_FALSE(open(test_keys(), 5, sealed).has_value());
+}
+
+TEST(AuthEnc, WrongNonceRejected) {
+  const Bytes sealed = seal(test_keys(), 6, bytes_of("freshness"));
+  EXPECT_FALSE(open(test_keys(), 7, sealed).has_value());
+}
+
+TEST(AuthEnc, WrongAadRejected) {
+  const Bytes sealed =
+      seal(test_keys(), 8, bytes_of("bound"), bytes_of("header-A"));
+  EXPECT_FALSE(open(test_keys(), 8, sealed, bytes_of("header-B")).has_value());
+  EXPECT_FALSE(open(test_keys(), 8, sealed).has_value());
+}
+
+TEST(AuthEnc, WrongKeyRejected) {
+  Key128 other;
+  other.bytes.fill(0x78);
+  const Bytes sealed = seal(test_keys(), 9, bytes_of("key binding"));
+  EXPECT_FALSE(open(derive_pair(other), 9, sealed).has_value());
+}
+
+TEST(AuthEnc, TruncatedEnvelopeRejected) {
+  const Bytes sealed = seal(test_keys(), 10, bytes_of("short"));
+  const Bytes truncated(sealed.begin(), sealed.begin() + 3);
+  EXPECT_FALSE(open(test_keys(), 10, truncated).has_value());
+}
+
+TEST(AuthEnc, EnvelopeShorterThanTagRejected) {
+  const Bytes bogus(kMacTagBytes - 1, 0xab);
+  EXPECT_FALSE(open(test_keys(), 0, bogus).has_value());
+}
+
+TEST(AuthEnc, SealWithConvenienceMatchesExplicitPair) {
+  Key128 root;
+  root.bytes.fill(0x79);
+  const auto plain = bytes_of("convenience");
+  EXPECT_EQ(seal_with(root, 11, plain), seal(derive_pair(root), 11, plain));
+  const auto opened = open_with(root, 11, seal_with(root, 11, plain));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+}
+
+TEST(AuthEnc, CiphertextDiffersFromPlaintext) {
+  const auto plain = bytes_of("not-in-the-clear-not-in-the-clear");
+  const Bytes sealed = seal(test_keys(), 12, plain);
+  // The plaintext must not appear as a substring of the envelope.
+  const auto it = std::search(sealed.begin(), sealed.end(), plain.begin(),
+                              plain.end());
+  EXPECT_EQ(it, sealed.end());
+}
+
+TEST(AuthEnc, LargePayloadRoundTrip) {
+  Bytes plain(10000);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const auto opened = open(test_keys(), 13, seal(test_keys(), 13, plain));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+}
+
+}  // namespace
+}  // namespace ldke::crypto

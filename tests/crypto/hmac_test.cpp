@@ -1,0 +1,106 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+using support::Bytes;
+using support::bytes_of;
+using support::from_hex;
+using support::to_hex;
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto digest = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(digest),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto digest =
+      hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(digest),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto digest = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(digest),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, IncrementalMatchesOneShot) {
+  const auto key = bytes_of("incremental-key");
+  const auto msg = bytes_of("part1|part2|part3");
+  HmacSha256 ctx{key};
+  ctx.update(bytes_of("part1|"));
+  ctx.update(bytes_of("part2|"));
+  ctx.update(bytes_of("part3"));
+  EXPECT_EQ(ctx.finish(), hmac_sha256(key, msg));
+}
+
+TEST(TruncatedMac, IsPrefixOfFullHmac) {
+  Key128 key;
+  for (int i = 0; i < 16; ++i) key.bytes[i] = static_cast<std::uint8_t>(i);
+  const auto msg = bytes_of("tag me");
+  const MacTag tag = mac(key, msg);
+  const auto full = hmac_sha256(key.span(), msg);
+  for (std::size_t i = 0; i < tag.size(); ++i) EXPECT_EQ(tag[i], full[i]);
+}
+
+TEST(TruncatedMac, VerifyAcceptsValidTag) {
+  Key128 key;
+  key.bytes[0] = 0x42;
+  const auto msg = bytes_of("authentic");
+  const MacTag tag = mac(key, msg);
+  EXPECT_TRUE(verify_mac(key, msg, tag));
+}
+
+TEST(TruncatedMac, VerifyRejectsFlippedBit) {
+  Key128 key;
+  key.bytes[5] = 0x99;
+  const auto msg = bytes_of("authentic");
+  MacTag tag = mac(key, msg);
+  tag[0] ^= 0x01;
+  EXPECT_FALSE(verify_mac(key, msg, tag));
+}
+
+TEST(TruncatedMac, VerifyRejectsWrongKey) {
+  Key128 key_a, key_b;
+  key_a.bytes[0] = 1;
+  key_b.bytes[0] = 2;
+  const auto msg = bytes_of("authentic");
+  EXPECT_FALSE(verify_mac(key_b, msg, mac(key_a, msg)));
+}
+
+TEST(TruncatedMac, VerifyRejectsWrongMessage) {
+  Key128 key;
+  const MacTag tag = mac(key, bytes_of("msg1"));
+  EXPECT_FALSE(verify_mac(key, bytes_of("msg2"), tag));
+}
+
+TEST(TruncatedMac, VerifyRejectsWrongLengthTag) {
+  Key128 key;
+  const auto msg = bytes_of("authentic");
+  const MacTag tag = mac(key, msg);
+  EXPECT_FALSE(verify_mac(key, msg, std::span{tag}.first(4)));
+}
+
+}  // namespace
+}  // namespace ldke::crypto

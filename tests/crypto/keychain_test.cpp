@@ -1,0 +1,113 @@
+#include "crypto/keychain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prf.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+Key128 seed() {
+  Key128 k;
+  k.bytes.fill(0x9c);
+  return k;
+}
+
+TEST(KeyChain, CommitmentIsRepeatedOneWayOfSeed) {
+  const KeyChain chain{seed(), 4};
+  Key128 walker = seed();
+  for (int i = 0; i < 4; ++i) walker = one_way(walker);
+  EXPECT_EQ(chain.commitment(), walker);
+}
+
+TEST(KeyChain, RevealsInReverseGenerationOrder) {
+  KeyChain chain{seed(), 3};
+  const Key128 k1 = *chain.reveal_next();
+  const Key128 k2 = *chain.reveal_next();
+  const Key128 k3 = *chain.reveal_next();
+  EXPECT_EQ(one_way(k1), chain.commitment());
+  EXPECT_EQ(one_way(k2), k1);
+  EXPECT_EQ(one_way(k3), k2);
+  EXPECT_EQ(k3, seed());
+}
+
+TEST(KeyChain, ExhaustsAfterLengthReveals) {
+  KeyChain chain{seed(), 2};
+  EXPECT_EQ(chain.remaining(), 2u);
+  EXPECT_TRUE(chain.reveal_next().has_value());
+  EXPECT_TRUE(chain.reveal_next().has_value());
+  EXPECT_EQ(chain.remaining(), 0u);
+  EXPECT_FALSE(chain.reveal_next().has_value());
+}
+
+TEST(KeyChain, ZeroLengthClampedToOne) {
+  KeyChain chain{seed(), 0};
+  EXPECT_EQ(chain.remaining(), 1u);
+}
+
+TEST(ChainVerifier, AcceptsSequentialReveals) {
+  KeyChain chain{seed(), 5};
+  ChainVerifier verifier{chain.commitment()};
+  for (int i = 0; i < 5; ++i) {
+    const auto revealed = chain.reveal_next();
+    ASSERT_TRUE(revealed.has_value());
+    EXPECT_TRUE(verifier.accept(*revealed)) << "reveal " << i;
+  }
+}
+
+TEST(ChainVerifier, AdvancesCommitmentOnAccept) {
+  KeyChain chain{seed(), 2};
+  ChainVerifier verifier{chain.commitment()};
+  const Key128 k1 = *chain.reveal_next();
+  EXPECT_TRUE(verifier.accept(k1));
+  EXPECT_EQ(verifier.commitment(), k1);
+}
+
+TEST(ChainVerifier, RejectsReplayOfAcceptedElement) {
+  KeyChain chain{seed(), 2};
+  ChainVerifier verifier{chain.commitment()};
+  const Key128 k1 = *chain.reveal_next();
+  EXPECT_TRUE(verifier.accept(k1));
+  EXPECT_FALSE(verifier.accept(k1));  // would need F(k1) == k1
+}
+
+TEST(ChainVerifier, ToleratesSkippedReveals) {
+  KeyChain chain{seed(), 6};
+  ChainVerifier verifier{chain.commitment()};
+  (void)chain.reveal_next();  // lost in transit
+  (void)chain.reveal_next();  // lost in transit
+  const Key128 k3 = *chain.reveal_next();
+  EXPECT_TRUE(verifier.accept(k3, /*max_skip=*/4));
+}
+
+TEST(ChainVerifier, RejectsSkipBeyondLimit) {
+  KeyChain chain{seed(), 6};
+  ChainVerifier verifier{chain.commitment()};
+  (void)chain.reveal_next();
+  (void)chain.reveal_next();
+  (void)chain.reveal_next();
+  const Key128 k4 = *chain.reveal_next();
+  EXPECT_FALSE(verifier.accept(k4, /*max_skip=*/2));
+}
+
+TEST(ChainVerifier, RejectsForgedElement) {
+  KeyChain chain{seed(), 3};
+  ChainVerifier verifier{chain.commitment()};
+  Key128 forged;
+  forged.bytes.fill(0x13);
+  EXPECT_FALSE(verifier.accept(forged));
+  // And the commitment is unchanged so legitimate reveals still work.
+  EXPECT_TRUE(verifier.accept(*chain.reveal_next()));
+}
+
+TEST(ChainVerifier, RejectsOlderElementAfterAdvancing) {
+  KeyChain chain{seed(), 4};
+  ChainVerifier verifier{chain.commitment()};
+  const Key128 k1 = *chain.reveal_next();
+  const Key128 k2 = *chain.reveal_next();
+  EXPECT_TRUE(verifier.accept(k2, 4));  // skipped k1
+  EXPECT_FALSE(verifier.accept(k1, 4));  // stale: must not roll back
+}
+
+}  // namespace
+}  // namespace ldke::crypto

@@ -1,0 +1,87 @@
+#include "crypto/prf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/hmac.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+Key128 key_of_byte(std::uint8_t b) {
+  Key128 k;
+  k.bytes.fill(b);
+  return k;
+}
+
+TEST(Prf, Deterministic) {
+  const Key128 k = key_of_byte(0x11);
+  EXPECT_EQ(prf_u64(k, 7), prf_u64(k, 7));
+}
+
+TEST(Prf, LabelSeparation) {
+  const Key128 k = key_of_byte(0x22);
+  std::set<std::array<std::uint8_t, kKeyBytes>> outputs;
+  for (std::uint64_t label = 0; label < 256; ++label) {
+    outputs.insert(prf_u64(k, label).bytes);
+  }
+  EXPECT_EQ(outputs.size(), 256u);
+}
+
+TEST(Prf, KeySeparation) {
+  EXPECT_NE(prf_u64(key_of_byte(1), 0), prf_u64(key_of_byte(2), 0));
+}
+
+TEST(Prf, MatchesTruncatedHmac) {
+  const Key128 k = key_of_byte(0x33);
+  const auto msg = support::bytes_of("derive");
+  const Key128 derived = prf(k, msg);
+  const auto full = hmac_sha256(k.span(), msg);
+  for (std::size_t i = 0; i < kKeyBytes; ++i) {
+    EXPECT_EQ(derived.bytes[i], full[i]);
+  }
+}
+
+TEST(OneWay, DiffersFromInputAndIsStable) {
+  const Key128 k = key_of_byte(0x44);
+  const Key128 next = one_way(k);
+  EXPECT_NE(next, k);
+  EXPECT_EQ(one_way(k), next);
+}
+
+TEST(OneWay, ChainsDoNotCycleQuickly) {
+  Key128 walker = key_of_byte(0x55);
+  std::set<std::array<std::uint8_t, kKeyBytes>> seen;
+  for (int i = 0; i < 1000; ++i) {
+    walker = one_way(walker);
+    EXPECT_TRUE(seen.insert(walker.bytes).second) << "cycle at step " << i;
+  }
+}
+
+TEST(DerivePair, EncryptionAndMacKeysDiffer) {
+  const KeyPair pair = derive_pair(key_of_byte(0x66));
+  EXPECT_NE(pair.encr, pair.mac);
+  EXPECT_EQ(pair.encr, prf_u64(key_of_byte(0x66), 0));
+  EXPECT_EQ(pair.mac, prf_u64(key_of_byte(0x66), 1));
+}
+
+TEST(Key128, ZeroizeAndIsZero) {
+  Key128 k = key_of_byte(0xaa);
+  EXPECT_FALSE(k.is_zero());
+  k.zeroize();
+  EXPECT_TRUE(k.is_zero());
+}
+
+TEST(Key128, FromBytesCopiesExactly) {
+  support::Bytes raw(kKeyBytes);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  const Key128 k = key_from_bytes(raw);
+  for (std::size_t i = 0; i < kKeyBytes; ++i) EXPECT_EQ(k.bytes[i], raw[i]);
+}
+
+}  // namespace
+}  // namespace ldke::crypto

@@ -1,0 +1,88 @@
+#include "crypto/rc5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/ctr64.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+using support::from_hex;
+using support::to_hex;
+
+Rc5::Block block_from_hex(std::string_view hex) {
+  const auto raw = from_hex(hex);
+  Rc5::Block b{};
+  std::memcpy(b.data(), raw.data(), b.size());
+  return b;
+}
+
+// Test vectors from Rivest's RC5 paper (RC5-32/12/16, chained examples).
+TEST(Rc5, RivestVector1ZeroKeyZeroPlaintext) {
+  const Rc5 rc5{Key128{}};
+  EXPECT_EQ(to_hex(rc5.encrypt(Rc5::Block{})), "21a5dbee154b8f6d");
+}
+
+TEST(Rc5, RivestVector2) {
+  const Rc5 rc5{key_from_bytes(from_hex("915f4619be41b2516355a50110a9ce91"))};
+  EXPECT_EQ(to_hex(rc5.encrypt(block_from_hex("21a5dbee154b8f6d"))),
+            "f7c013ac5b2b8952");
+}
+
+TEST(Rc5, RivestVector3) {
+  const Rc5 rc5{key_from_bytes(from_hex("783348e75aeb0f2fd7b169bb8dc16787"))};
+  EXPECT_EQ(to_hex(rc5.encrypt(block_from_hex("f7c013ac5b2b8952"))),
+            "2f42b3b70369fc92");
+}
+
+TEST(Rc5, DecryptInvertsEncrypt) {
+  const Rc5 rc5{key_from_bytes(from_hex("00112233445566778899aabbccddeeff"))};
+  for (std::uint8_t fill : {0x00, 0x5a, 0xff}) {
+    Rc5::Block pt;
+    pt.fill(fill);
+    EXPECT_EQ(rc5.decrypt(rc5.encrypt(pt)), pt);
+  }
+}
+
+TEST(Rc5, InPlaceMatchesOutOfPlace) {
+  const Rc5 rc5{key_from_bytes(from_hex("000102030405060708090a0b0c0d0e0f"))};
+  Rc5::Block b = block_from_hex("0123456789abcdef");
+  const auto expected = rc5.encrypt(b);
+  rc5.encrypt_block(b);
+  EXPECT_EQ(b, expected);
+}
+
+TEST(Rc5, DifferentKeysDiverge) {
+  Key128 a, b;
+  a.bytes.fill(1);
+  b.bytes.fill(2);
+  EXPECT_NE(Rc5{a}.encrypt(Rc5::Block{}), Rc5{b}.encrypt(Rc5::Block{}));
+}
+
+TEST(Rc5Ctr, RoundTripArbitraryLengths) {
+  const Rc5 rc5{key_from_bytes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"))};
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 100u}) {
+    support::Bytes plain(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      plain[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    const auto ct = ctr64_encrypt(rc5, 99, plain);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(ctr64_decrypt(rc5, 99, ct), plain) << "len=" << len;
+    if (len >= 8) {
+      EXPECT_NE(ct, plain);
+    }
+  }
+}
+
+TEST(Rc5Ctr, NonceSeparation) {
+  const Rc5 rc5{key_from_bytes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"))};
+  const auto plain = support::bytes_of("nonce separation check!");
+  EXPECT_NE(ctr64_encrypt(rc5, 1, plain), ctr64_encrypt(rc5, 2, plain));
+}
+
+}  // namespace
+}  // namespace ldke::crypto

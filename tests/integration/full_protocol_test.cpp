@@ -1,0 +1,152 @@
+/// End-to-end lifecycle test: one deployment goes through every phase
+/// the paper describes — setup, routing, protected reporting, key
+/// refresh, capture + eviction, node addition — and keeps working.
+
+#include <gtest/gtest.h>
+
+#include "attacks/adversary.hpp"
+#include "attacks/clone.hpp"
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+
+namespace ldke {
+namespace {
+
+class FullLifecycle : public ::testing::Test {
+ protected:
+  static core::RunnerConfig config() {
+    core::RunnerConfig cfg;
+    cfg.node_count = 400;
+    cfg.density = 12.0;
+    cfg.side_m = 500.0;
+    cfg.seed = 101;
+    return cfg;
+  }
+};
+
+TEST_F(FullLifecycle, EveryPhaseInSequence) {
+  core::ProtocolRunner runner{config()};
+
+  // ---- Phase 1+2: key establishment -------------------------------
+  runner.run_key_setup();
+  const auto metrics = core::collect_setup_metrics(runner);
+  EXPECT_EQ(metrics.undecided_nodes, 0u);
+  EXPECT_GT(metrics.cluster_count, 10u);
+  EXPECT_GE(metrics.mean_keys_per_node, 1.0);
+  for (const auto& node : runner.nodes()) {
+    ASSERT_TRUE(node->master_erased());
+  }
+
+  // ---- Routing -----------------------------------------------------
+  runner.run_routing_setup();
+  std::size_t routed = 0;
+  for (const auto& node : runner.nodes()) {
+    if (node->routing().has_route()) ++routed;
+  }
+  EXPECT_GT(routed, runner.node_count() * 95 / 100);
+
+  // ---- Protected reporting ------------------------------------------
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner.node_count(); id += 13) {
+    if (runner.node(id).send_reading(runner.network(),
+                                     support::bytes_of("phase1"))) {
+      ++sent;
+    }
+  }
+  runner.run_for(10.0);
+  EXPECT_EQ(runner.base_station()->readings().size(), sent);
+  EXPECT_EQ(runner.base_station()->e2e_auth_failures(), 0u);
+
+  // ---- Key refresh (hash mode, §VI's recommendation) -----------------
+  for (net::NodeId id = 0; id < runner.node_count(); ++id) {
+    runner.node(id).apply_hash_refresh();
+  }
+  std::size_t sent2 = 0;
+  for (net::NodeId id = 2; id < runner.node_count(); id += 17) {
+    if (runner.node(id).send_reading(runner.network(),
+                                     support::bytes_of("phase2"))) {
+      ++sent2;
+    }
+  }
+  runner.run_for(10.0);
+  EXPECT_EQ(runner.base_station()->readings().size(), sent + sent2);
+
+  // ---- Capture, clone, revoke ----------------------------------------
+  attacks::Adversary adversary{runner};
+  const net::NodeId victim = 123;
+  const auto& material = adversary.capture(victim);
+  EXPECT_FALSE(material.master_key_available);
+
+  // Clone near the origin succeeds before revocation...
+  const auto vpos = runner.network().topology().position(victim);
+  auto clone_before = attacks::run_clone_attack(
+      runner, material, vpos, runner.network().topology().range());
+  EXPECT_GT(clone_before.accepted, 0u);
+
+  // ...the base station evicts the exposed clusters...
+  std::vector<core::ClusterId> revoked;
+  for (const auto& [cid, key] : material.cluster_keys) {
+    revoked.push_back(cid);
+  }
+  ASSERT_TRUE(runner.base_station()->revoke_clusters(runner.network(), revoked));
+  runner.run_for(15.0);
+  for (net::NodeId id = 0; id < runner.node_count(); ++id) {
+    for (core::ClusterId cid : revoked) {
+      EXPECT_FALSE(runner.node(id).keys().key_for(cid).has_value());
+    }
+  }
+
+  // ...after which the clone is useless even at the origin.
+  auto clone_after = attacks::run_clone_attack(
+      runner, material, vpos, runner.network().topology().range());
+  EXPECT_EQ(clone_after.accepted, 0u);
+
+  // ---- Node addition (§IV-E) ----------------------------------------
+  // Revoking the victim's whole key set killed its cluster *and* the
+  // bordering ones, so the immediate area is silent by design.  Fresh
+  // sensors are planted at the rim of the dead zone, where living
+  // clusters are still in radio range.
+  const double rim = 2.0 * runner.network().topology().range();
+  std::vector<core::SensorNode*> joiners;
+  for (int k = 0; k < 3; ++k) {
+    const double x = std::clamp(vpos.x + rim + 5.0 * k, 0.0, config().side_m);
+    const double y = std::clamp(vpos.y + rim, 0.0, config().side_m);
+    joiners.push_back(&runner.deploy_new_node({x, y}));
+  }
+  runner.run_for(3.0);
+  std::size_t joined = 0;
+  for (auto* j : joiners) {
+    if (j->role() == core::Role::kMember) ++joined;
+  }
+  EXPECT_GT(joined, 0u);
+
+  // Fresh routing round integrates the newcomers.
+  runner.run_routing_setup();
+  const auto before = runner.base_station()->readings().size();
+  std::size_t sent3 = 0;
+  for (auto* j : joiners) {
+    if (j->role() == core::Role::kMember &&
+        j->send_reading(runner.network(), support::bytes_of("newcomer"))) {
+      ++sent3;
+    }
+  }
+  runner.run_for(10.0);
+  EXPECT_EQ(runner.base_station()->readings().size(), before + sent3);
+}
+
+TEST_F(FullLifecycle, SetupIsFastRelativeToCompromiseTime) {
+  // §IV-B's security assumption: the window during which Km exists is
+  // short.  With mote-era numbers the whole setup is a few seconds of
+  // radio time; compare against the minutes-scale physical capture the
+  // paper cites.
+  core::ProtocolRunner runner{config()};
+  runner.run_key_setup();
+  EXPECT_LE(runner.sim().now().seconds(),
+            config().protocol.master_erase_s + 0.1);
+  const auto metrics = core::collect_setup_metrics(runner);
+  // ~1.1 transmissions per node: the claim behind Figure 9.
+  EXPECT_LT(metrics.setup_messages_per_node, 1.5);
+}
+
+}  // namespace
+}  // namespace ldke

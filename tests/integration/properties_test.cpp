@@ -1,0 +1,145 @@
+/// Property-style parameterized sweeps: the protocol invariants of §IV
+/// must hold for every (node count, density, seed) combination, not just
+/// a hand-picked fixture.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+
+namespace ldke::core {
+namespace {
+
+struct SweepParam {
+  std::size_t nodes;
+  double density;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+  return os << "n" << p.nodes << "_d" << p.density << "_s" << p.seed;
+}
+
+class ProtocolProperties : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const SweepParam p = GetParam();
+    RunnerConfig cfg;
+    cfg.node_count = p.nodes;
+    cfg.density = p.density;
+    cfg.side_m = 400.0;
+    cfg.seed = p.seed;
+    runner_ = std::make_unique<ProtocolRunner>(cfg);
+    runner_->run_key_setup();
+  }
+  std::unique_ptr<ProtocolRunner> runner_;
+};
+
+TEST_P(ProtocolProperties, EveryNodeEndsInACluster) {
+  for (const auto& node : runner_->nodes()) {
+    EXPECT_TRUE(node->keys().has_own());
+    EXPECT_TRUE(node->master_erased());
+  }
+}
+
+TEST_P(ProtocolProperties, ClustersAreDisjointWithHeadStructure) {
+  // Each cluster id is a node that declared headship and every member is
+  // its radio neighbor (clusters partition the network, §IV-B).
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    const ClusterId cid = node->cid();
+    EXPECT_TRUE(runner_->node(cid).was_head());
+    if (node->id() != cid) {
+      const auto nbrs = topo.neighbors(node->id());
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), cid));
+    }
+  }
+}
+
+TEST_P(ProtocolProperties, KeySetEqualsBorderingClustersExactly) {
+  const auto& topo = runner_->network().topology();
+  for (const auto& node : runner_->nodes()) {
+    std::set<ClusterId> bordering{node->cid()};
+    for (net::NodeId v : topo.neighbors(node->id())) {
+      bordering.insert(runner_->node(v).cid());
+    }
+    EXPECT_EQ(node->keys().size(), bordering.size());
+    for (ClusterId cid : bordering) {
+      EXPECT_TRUE(node->keys().key_for(cid).has_value());
+    }
+  }
+}
+
+TEST_P(ProtocolProperties, SharedKeysAgreeAcrossHolders) {
+  // Any two nodes holding a key for the same cluster hold the same
+  // bytes (otherwise hop-by-hop translation would break).
+  std::map<ClusterId, crypto::Key128> canonical;
+  for (const auto& node : runner_->nodes()) {
+    for (const auto& [cid, key] : node->keys().all()) {
+      const auto [it, inserted] = canonical.emplace(cid, key);
+      if (!inserted) {
+        EXPECT_EQ(it->second, key) << "cluster " << cid;
+      }
+    }
+  }
+}
+
+TEST_P(ProtocolProperties, MessageBudgetIsOnePlusHeadFraction) {
+  const auto m = collect_setup_metrics(*runner_);
+  EXPECT_NEAR(m.setup_messages_per_node, 1.0 + m.head_fraction, 1e-9);
+  EXPECT_LT(m.setup_messages_per_node, 2.0);
+}
+
+TEST_P(ProtocolProperties, KeysPerNodeSmallAndBounded) {
+  const auto m = collect_setup_metrics(*runner_);
+  // The Fig 6 claim: a handful of keys, far below the neighbor count.
+  EXPECT_LT(m.mean_keys_per_node, GetParam().density / 1.5 + 2.0);
+}
+
+TEST_P(ProtocolProperties, NoCryptoFailuresAmongHonestNodes) {
+  const auto& c = runner_->network().counters();
+  EXPECT_EQ(c.value("setup.hello_auth_fail"), 0u);
+  EXPECT_EQ(c.value("setup.link_auth_fail"), 0u);
+  EXPECT_EQ(c.value("setup.hello_malformed"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolProperties,
+    ::testing::Values(SweepParam{100, 8.0, 1}, SweepParam{100, 20.0, 2},
+                      SweepParam{250, 8.0, 3}, SweepParam{250, 14.0, 4},
+                      SweepParam{250, 20.0, 5}, SweepParam{500, 12.0, 6},
+                      SweepParam{500, 20.0, 7}, SweepParam{60, 5.0, 8},
+                      SweepParam{1000, 10.0, 9}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::ostringstream os;
+      os << info.param;
+      std::string name = os.str();
+      std::replace(name.begin(), name.end(), '.', 'p');
+      return name;
+    });
+
+// Size-invariance property behind the paper's scalability claim (§V):
+// keys-per-node depends on density, not on network size.
+class SizeInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeInvariance, KeysPerNodeIndependentOfSize) {
+  RunnerConfig cfg;
+  cfg.node_count = GetParam();
+  cfg.density = 12.0;
+  cfg.side_m = 600.0;
+  cfg.seed = 55;
+  ProtocolRunner runner{cfg};
+  runner.run_key_setup();
+  const auto m = collect_setup_metrics(runner);
+  // All sizes land on the same density-determined value (±15%).
+  EXPECT_NEAR(m.mean_keys_per_node, 3.5, 3.5 * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeInvariance,
+                         ::testing::Values(400, 800, 1600, 3200));
+
+}  // namespace
+}  // namespace ldke::core

@@ -1,0 +1,67 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::net {
+namespace {
+
+TEST(EnergyModel, TxFollowsFirstOrderModel) {
+  EnergyConfig cfg;
+  cfg.e_elec_j_per_bit = 50e-9;
+  cfg.e_amp_j_per_bit_m2 = 100e-12;
+  EnergyModel model{cfg};
+  model.charge_tx(0, /*bytes=*/10, /*range=*/100.0);
+  const double bits = 80.0;
+  const double expected = 50e-9 * bits + 100e-12 * bits * 100.0 * 100.0;
+  EXPECT_NEAR(model.consumed_j(0), expected, 1e-15);
+  EXPECT_NEAR(model.tx_j(), expected, 1e-15);
+}
+
+TEST(EnergyModel, RxChargesElectronicsOnly) {
+  EnergyModel model;
+  model.charge_rx(3, 10);
+  EXPECT_NEAR(model.consumed_j(3), 50e-9 * 80.0, 1e-15);
+  EXPECT_DOUBLE_EQ(model.tx_j(), 0.0);
+  EXPECT_GT(model.rx_j(), 0.0);
+}
+
+TEST(EnergyModel, TxCostGrowsWithRange) {
+  EnergyModel model;
+  model.charge_tx(0, 10, 10.0);
+  model.charge_tx(1, 10, 100.0);
+  EXPECT_GT(model.consumed_j(1), model.consumed_j(0));
+}
+
+TEST(EnergyModel, AccumulatesAcrossCharges) {
+  EnergyModel model;
+  model.charge_rx(0, 10);
+  const double one = model.consumed_j(0);
+  model.charge_rx(0, 10);
+  EXPECT_NEAR(model.consumed_j(0), 2 * one, 1e-15);
+}
+
+TEST(EnergyModel, UnknownNodeConsumesZero) {
+  EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.consumed_j(42), 0.0);
+}
+
+TEST(EnergyModel, TotalSumsPerNode) {
+  EnergyModel model;
+  model.charge_rx(0, 10);
+  model.charge_rx(1, 20);
+  model.charge_tx(2, 5, 50.0);
+  EXPECT_NEAR(model.total_j(),
+              model.consumed_j(0) + model.consumed_j(1) + model.consumed_j(2),
+              1e-18);
+}
+
+TEST(EnergyModel, ResizeGrowsWithoutForgetting) {
+  EnergyModel model;
+  model.charge_rx(1, 10);
+  const double before = model.consumed_j(1);
+  model.resize(100);
+  EXPECT_DOUBLE_EQ(model.consumed_j(1), before);
+}
+
+}  // namespace
+}  // namespace ldke::net

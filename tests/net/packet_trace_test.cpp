@@ -1,0 +1,119 @@
+#include "net/packet_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/runner.hpp"
+
+namespace ldke::net {
+namespace {
+
+TEST(PacketTrace, RecordsSetupTraffic) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 120;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace;
+  trace.attach(runner.network());
+  runner.run_key_setup();
+
+  // One link advert per node plus one HELLO per head.
+  EXPECT_EQ(trace.total_seen(), runner.network().channel().transmissions());
+  EXPECT_EQ(trace.dropped(), 0u);
+  const auto hist = trace.histogram_by_kind();
+  std::uint64_t hello = 0, link = 0;
+  for (const auto& [name, count] : hist) {
+    if (name == "hello") hello = count;
+    if (name == "link_advert") link = count;
+  }
+  EXPECT_EQ(link, runner.node_count());
+  EXPECT_GT(hello, 0u);
+}
+
+TEST(PacketTrace, TimesAreMonotonic) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 80;
+  cfg.density = 10.0;
+  cfg.side_m = 200.0;
+  cfg.seed = 9;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace;
+  trace.attach(runner.network());
+  runner.run_key_setup();
+  const auto& records = trace.records();
+  ASSERT_FALSE(records.empty());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time_ns, records[i].time_ns);
+  }
+}
+
+TEST(PacketTrace, BoundedCapacityEvictsOldest) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 120;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace{16};
+  trace.attach(runner.network());
+  runner.run_key_setup();
+  EXPECT_LE(trace.records().size(), 16u);
+  EXPECT_GT(trace.dropped(), 0u);
+  // The retained tail is the most recent traffic.
+  EXPECT_GT(trace.records().back().time_ns, 0);
+}
+
+TEST(PacketTrace, JsonlDumpIsWellFormedLines) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 60;
+  cfg.density = 8.0;
+  cfg.side_m = 200.0;
+  cfg.seed = 4;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace;
+  trace.attach(runner.network());
+  runner.run_key_setup();
+
+  std::ostringstream os;
+  trace.dump_jsonl(os);
+  const std::string dump = os.str();
+  const auto lines = std::count(dump.begin(), dump.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), trace.records().size());
+  EXPECT_NE(dump.find("\"kind\":\"hello\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"link_advert\""), std::string::npos);
+  // Every line starts with '{' and ends with '}'.
+  std::istringstream in{dump};
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(PacketTrace, ClearResets) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 60;
+  cfg.density = 8.0;
+  cfg.side_m = 200.0;
+  cfg.seed = 4;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace;
+  trace.attach(runner.network());
+  runner.run_key_setup();
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+  EXPECT_EQ(trace.total_seen(), 0u);
+}
+
+TEST(PacketKindName, AllKindsNamed) {
+  EXPECT_EQ(packet_kind_name(PacketKind::kData), "data");
+  EXPECT_EQ(packet_kind_name(PacketKind::kKeyDisclosure), "key_disclosure");
+  EXPECT_EQ(packet_kind_name(static_cast<PacketKind>(250)), "unknown");
+}
+
+}  // namespace
+}  // namespace ldke::net

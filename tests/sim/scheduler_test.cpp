@@ -1,0 +1,118 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ldke::sim {
+namespace {
+
+TEST(Scheduler, EmptyInitially) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(SimTime::from_ms(30), [&] { order.push_back(3); });
+  s.schedule(SimTime::from_ms(10), [&] { order.push_back(1); });
+  s.schedule(SimTime::from_ms(20), [&] { order.push_back(2); });
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, EqualTimesRunInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_ms(5);
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!s.empty()) s.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, RunNextReturnsEventTime) {
+  Scheduler s;
+  s.schedule(SimTime::from_ms(7), [] {});
+  EXPECT_EQ(s.run_next(), SimTime::from_ms(7));
+}
+
+TEST(Scheduler, NextTimePeeksWithoutRunning) {
+  Scheduler s;
+  s.schedule(SimTime::from_ms(9), [] {});
+  EXPECT_EQ(s.next_time(), SimTime::from_ms(9));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule(SimTime::from_ms(1), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule(SimTime::from_ms(1), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterRunReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule(SimTime::from_ms(1), [] {});
+  s.run_next();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelInvalidIdReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(kInvalidEventId));
+  EXPECT_FALSE(s.cancel(9999));
+}
+
+TEST(Scheduler, CancelledEventSkippedAmongOthers) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(SimTime::from_ms(1), [&] { order.push_back(1); });
+  const EventId id = s.schedule(SimTime::from_ms(2), [&] { order.push_back(2); });
+  s.schedule(SimTime::from_ms(3), [&] { order.push_back(3); });
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 2u);
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(SimTime::from_ms(1), [&] {
+    order.push_back(1);
+    s.schedule(SimTime::from_ms(2), [&] { order.push_back(2); });
+  });
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  std::vector<std::int64_t> times;
+  // Deterministic pseudo-shuffled times.
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t t = (i * 7919) % 2003;
+    s.schedule(SimTime::from_ns(t), [&times, t] { times.push_back(t); });
+  }
+  while (!s.empty()) s.run_next();
+  ASSERT_EQ(times.size(), 2000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ldke::sim

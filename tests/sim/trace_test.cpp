@@ -1,0 +1,45 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::sim {
+namespace {
+
+TEST(TraceCounters, UnknownCounterIsZero) {
+  TraceCounters c;
+  EXPECT_EQ(c.value("nothing"), 0u);
+}
+
+TEST(TraceCounters, IncrementAccumulates) {
+  TraceCounters c;
+  c.increment("tx");
+  c.increment("tx");
+  c.increment("tx", 3);
+  EXPECT_EQ(c.value("tx"), 5u);
+}
+
+TEST(TraceCounters, CountersAreIndependent) {
+  TraceCounters c;
+  c.increment("a");
+  c.increment("b", 2);
+  EXPECT_EQ(c.value("a"), 1u);
+  EXPECT_EQ(c.value("b"), 2u);
+}
+
+TEST(TraceCounters, ClearResetsEverything) {
+  TraceCounters c;
+  c.increment("x");
+  c.clear();
+  EXPECT_EQ(c.value("x"), 0u);
+  EXPECT_TRUE(c.all().empty());
+}
+
+TEST(TraceCounters, ToStringIsSortedByName) {
+  TraceCounters c;
+  c.increment("zeta");
+  c.increment("alpha", 2);
+  EXPECT_EQ(c.to_string(), "alpha=2\nzeta=1\n");
+}
+
+}  // namespace
+}  // namespace ldke::sim

@@ -1,0 +1,69 @@
+#include "support/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::support {
+namespace {
+
+TEST(Hex, EncodeKnownBytes) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+}
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(Hex, DecodeRoundTrip) {
+  const Bytes data = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, DecodeUppercase) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Hex, BytesOfCopiesText) {
+  const Bytes b = bytes_of("hi");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 'h');
+  EXPECT_EQ(b[1], 'i');
+}
+
+TEST(ConstantTimeEqual, EqualBuffers) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  EXPECT_TRUE(constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqual, DifferentContent) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 4};
+  EXPECT_FALSE(constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqual, DifferentLengths) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2};
+  EXPECT_FALSE(constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqual, EmptyBuffersAreEqual) {
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(SecureZero, ClearsEveryByte) {
+  Bytes secret = {0xde, 0xad, 0xbe, 0xef};
+  secure_zero(secret);
+  for (std::uint8_t b : secret) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace ldke::support

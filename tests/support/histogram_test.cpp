@@ -1,0 +1,77 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::support {
+namespace {
+
+TEST(IntHistogram, EmptyHistogram) {
+  IntHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.fraction(3), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(IntHistogram, CountsAndFractions) {
+  IntHistogram h;
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  h.add(5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.max_value(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.25);
+  EXPECT_DOUBLE_EQ(h.mean(), (1 + 1 + 3 + 5) / 4.0);
+}
+
+TEST(IntHistogram, WeightedAdd) {
+  IntHistogram h;
+  h.add(2, 10);
+  h.add(4, 30);
+  EXPECT_EQ(h.total(), 40u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.mean(), (2 * 10 + 4 * 30) / 40.0);
+}
+
+TEST(IntHistogram, MergeCombinesBins) {
+  IntHistogram a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.count(7), 1u);
+  EXPECT_EQ(a.max_value(), 7u);
+}
+
+TEST(IntHistogram, FractionsVectorTrimsTrailingZeros) {
+  IntHistogram h;
+  h.add(0);
+  h.add(2);
+  const auto f = h.fractions();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 0.5);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.5);
+}
+
+TEST(IntHistogram, RenderProducesOneLinePerBin) {
+  IntHistogram h;
+  h.add(1);
+  h.add(2);
+  const std::string render = h.render(10);
+  // bins 0, 1, 2 -> 3 lines
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 3);
+  EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldke::support

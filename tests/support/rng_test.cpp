@@ -1,0 +1,150 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ldke::support {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a{1234};
+  SplitMix64 b{1234};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a{99};
+  Xoshiro256 b{99};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformStaysInUnitInterval) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsNearHalf) {
+  Xoshiro256 rng{11};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformU64CoversAllResidues) {
+  Xoshiro256 rng{13};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (std::uint64_t v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(Xoshiro256, UniformU64BoundOneIsAlwaysZero) {
+  Xoshiro256 rng{13};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Xoshiro256, UniformIntInclusiveBounds) {
+  Xoshiro256 rng{17};
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng{19};
+  const double rate = 4.0;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(rate);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 1.0 / rate, 0.005);
+}
+
+TEST(Xoshiro256, NormalHasZeroMeanUnitVariance) {
+  Xoshiro256 rng{23};
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng{29};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng{31};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, SplitProducesIndependentStream) {
+  Xoshiro256 parent{41};
+  Xoshiro256 child = parent.split();
+  // The two streams should not be identical over a window.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(DeriveSeed, DistinctStreamsGetDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    seeds.insert(derive_seed(42, s));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+}
+
+}  // namespace
+}  // namespace ldke::support

@@ -1,0 +1,108 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ldke::support {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of that classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 8.0, 0.0, -1.0, 4.5};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples) {
+  RunningStats few, many;
+  for (int i = 0; i < 4; ++i) few.add(i % 2);
+  for (int i = 0; i < 400; ++i) many.add(i % 2);
+  EXPECT_GT(few.stderr_mean(), many.stderr_mean());
+}
+
+TEST(RunningStats, SummaryFormatsMeanAndError) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  // stddev of {1,3} is sqrt(2); stderr = sqrt(2)/sqrt(2) = 1.
+  EXPECT_EQ(s.summary(1), "2.0 ± 1.0");
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::vector<double> xs = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+}
+
+TEST(PercentileSorted, EndpointsAndMedian) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 25.0), 2.0);
+}
+
+TEST(PercentileSorted, InterpolatesBetweenSamples) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 10.0), 1.0);
+}
+
+TEST(PercentileSorted, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 99.0), 7.0);
+}
+
+}  // namespace
+}  // namespace ldke::support

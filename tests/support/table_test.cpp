@@ -1,0 +1,63 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ldke::support {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // header + separator + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "2"});
+  std::istringstream in(t.render());
+  std::string header, sep, row1, row2;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // "1" and "2" should start at the same column.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW({ const auto s = t.render(); });
+}
+
+TEST(TextTable, AddRowValuesFormatsPrecision) {
+  TextTable t({"x", "y"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace ldke::support

@@ -1,0 +1,83 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ldke::support {
+namespace {
+
+TEST(ThreadPool, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountReturnsImmediately) {
+  ThreadPool pool{2};
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolDoesNotBlock) {
+  ThreadPool pool{1};
+  pool.wait_idle();  // must return immediately
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksSubmittedFromTasksComplete) {
+  ThreadPool pool{2};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    pool.submit([&] { ran.fetch_add(1); });
+    ran.fetch_add(1);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, DestructionDrainsCleanly) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 10; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool{3};
+  std::vector<long> partial(64, 0);
+  pool.parallel_for(64, [&partial](std::size_t i) {
+    long sum = 0;
+    for (std::size_t k = 0; k <= i; ++k) sum += static_cast<long>(k);
+    partial[i] = sum;
+  });
+  long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  long expected = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    expected += static_cast<long>(i * (i + 1) / 2);
+  }
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace ldke::support

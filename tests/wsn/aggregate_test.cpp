@@ -1,0 +1,92 @@
+#include "wsn/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::wsn {
+namespace {
+
+TEST(Observation, RoundTrip) {
+  const Observation obs{42, -17};
+  const auto decoded = decode_observation(encode(obs));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->event_id, 42u);
+  EXPECT_EQ(decoded->value, -17);
+}
+
+TEST(Observation, RejectsMalformed) {
+  EXPECT_FALSE(decode_observation({}).has_value());
+  auto bytes = encode(Observation{1, 2});
+  bytes.pop_back();
+  EXPECT_FALSE(decode_observation(bytes).has_value());
+  bytes = encode(Observation{1, 2});
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_observation(bytes).has_value());
+}
+
+TEST(DuplicateSuppressor, FirstCopyPassesRestDrop) {
+  DuplicateSuppressor dedup;
+  EXPECT_TRUE(dedup.first_copy(7));
+  EXPECT_FALSE(dedup.first_copy(7));
+  EXPECT_FALSE(dedup.first_copy(7));
+  EXPECT_TRUE(dedup.first_copy(8));
+  EXPECT_EQ(dedup.distinct_events(), 2u);
+}
+
+TEST(DuplicateSuppressor, ResetForgets) {
+  DuplicateSuppressor dedup;
+  dedup.first_copy(1);
+  dedup.reset();
+  EXPECT_TRUE(dedup.first_copy(1));
+}
+
+TEST(Combiner, EmptyIsZero) {
+  Combiner c;
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.sum(), 0);
+  EXPECT_EQ(c.mean(), 0.0);
+}
+
+TEST(Combiner, TracksMinMaxSumMean) {
+  Combiner c;
+  for (std::int32_t v : {4, -2, 10, 0}) c.add(v);
+  EXPECT_EQ(c.count(), 4u);
+  EXPECT_EQ(c.min(), -2);
+  EXPECT_EQ(c.max(), 10);
+  EXPECT_EQ(c.sum(), 12);
+  EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+}
+
+TEST(Combiner, SingleNegativeValue) {
+  Combiner c;
+  c.add(-5);
+  EXPECT_EQ(c.min(), -5);
+  EXPECT_EQ(c.max(), -5);
+  EXPECT_DOUBLE_EQ(c.mean(), -5.0);
+}
+
+TEST(Combiner, MergeMatchesSequential) {
+  Combiner all, left, right;
+  const std::int32_t xs[] = {3, -1, 8, 8, 0, 2};
+  for (int i = 0; i < 6; ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+  EXPECT_EQ(left.sum(), all.sum());
+}
+
+TEST(Combiner, MergeWithEmptyIsIdentity) {
+  Combiner a, empty;
+  a.add(5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 5);
+}
+
+}  // namespace
+}  // namespace ldke::wsn

@@ -1,0 +1,189 @@
+#include "wsn/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::wsn {
+namespace {
+
+crypto::Key128 key_of(std::uint8_t b) {
+  crypto::Key128 k;
+  k.bytes.fill(b);
+  return k;
+}
+
+TEST(Messages, HelloRoundTrip) {
+  const HelloBody body{17, key_of(0xaa)};
+  const auto decoded = decode_hello(encode(body));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->head_id, 17u);
+  EXPECT_EQ(decoded->cluster_key, key_of(0xaa));
+}
+
+TEST(Messages, HelloRejectsTruncation) {
+  auto bytes = encode(HelloBody{17, key_of(1)});
+  bytes.pop_back();
+  EXPECT_FALSE(decode_hello(bytes).has_value());
+}
+
+TEST(Messages, HelloRejectsTrailingGarbage) {
+  auto bytes = encode(HelloBody{17, key_of(1)});
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_hello(bytes).has_value());
+}
+
+TEST(Messages, LinkAdvertRoundTrip) {
+  const LinkAdvertBody body{99, key_of(0xbb)};
+  const auto decoded = decode_link_advert(encode(body));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cid, 99u);
+  EXPECT_EQ(decoded->cluster_key, key_of(0xbb));
+}
+
+TEST(Messages, BeaconRoundTrip) {
+  const auto decoded = decode_beacon(encode(BeaconBody{7}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->hop, 7u);
+}
+
+TEST(Messages, BeaconInnerRoundTrip) {
+  BeaconInner inner;
+  inner.hop = 3;
+  inner.tau_ns = -12345;
+  inner.echoed_cid = 55;
+  const auto decoded = decode_beacon_inner(encode(inner));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->hop, 3u);
+  EXPECT_EQ(decoded->tau_ns, -12345);
+  EXPECT_EQ(decoded->echoed_cid, 55u);
+}
+
+TEST(Messages, DataHeaderRoundTripAndRest) {
+  DataHeader header;
+  header.cid = 5;
+  header.next_hop = 6;
+  header.nonce = 0xabcdef;
+  auto bytes = encode(header);
+  const support::Bytes sealed = {9, 9, 9};
+  bytes.insert(bytes.end(), sealed.begin(), sealed.end());
+
+  support::Bytes rest;
+  const auto decoded = decode_data_header(bytes, rest);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cid, 5u);
+  EXPECT_EQ(decoded->next_hop, 6u);
+  EXPECT_EQ(decoded->nonce, 0xabcdefULL);
+  EXPECT_EQ(rest, sealed);
+}
+
+TEST(Messages, DataHeaderRejectsShortBuffer) {
+  support::Bytes rest;
+  const support::Bytes tiny = {1, 2, 3};
+  EXPECT_FALSE(decode_data_header(tiny, rest).has_value());
+}
+
+TEST(Messages, DataInnerRoundTrip) {
+  DataInner inner;
+  inner.tau_ns = 123456789;
+  inner.echoed_cid = 4;
+  inner.source = 77;
+  inner.e2e_counter = 999;
+  inner.e2e_encrypted = 1;
+  inner.body = {1, 2, 3, 4};
+  const auto decoded = decode_data_inner(encode(inner));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tau_ns, inner.tau_ns);
+  EXPECT_EQ(decoded->echoed_cid, inner.echoed_cid);
+  EXPECT_EQ(decoded->source, inner.source);
+  EXPECT_EQ(decoded->e2e_counter, inner.e2e_counter);
+  EXPECT_EQ(decoded->e2e_encrypted, inner.e2e_encrypted);
+  EXPECT_EQ(decoded->body, inner.body);
+}
+
+TEST(Messages, DataInnerRejectsCorruptLengthPrefix) {
+  DataInner inner;
+  inner.body = {1, 2, 3};
+  auto bytes = encode(inner);
+  bytes.pop_back();  // body shorter than its length prefix
+  EXPECT_FALSE(decode_data_inner(bytes).has_value());
+}
+
+TEST(Messages, RevokeRoundTrip) {
+  RevokeBody body;
+  body.revoked_cids = {1, 2, 3};
+  body.chain_element = key_of(0xcc);
+  body.tag = revoke_tag(body.chain_element, body.revoked_cids);
+  const auto decoded = decode_revoke(encode(body));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->revoked_cids, body.revoked_cids);
+  EXPECT_EQ(decoded->chain_element, body.chain_element);
+  EXPECT_EQ(decoded->tag, body.tag);
+}
+
+TEST(Messages, RevokeEmptyCidListRoundTrips) {
+  RevokeBody body;
+  body.chain_element = key_of(0x01);
+  const auto decoded = decode_revoke(encode(body));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->revoked_cids.empty());
+}
+
+TEST(Messages, RevokeTagDependsOnCidsAndKey) {
+  const auto k1 = key_of(1);
+  const auto k2 = key_of(2);
+  EXPECT_NE(revoke_tag(k1, {1, 2}), revoke_tag(k1, {1, 3}));
+  EXPECT_NE(revoke_tag(k1, {1, 2}), revoke_tag(k2, {1, 2}));
+  EXPECT_EQ(revoke_tag(k1, {1, 2}), revoke_tag(k1, {1, 2}));
+}
+
+TEST(Messages, JoinRoundTrip) {
+  const auto decoded = decode_join(encode(JoinBody{4242}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->new_id, 4242u);
+}
+
+TEST(Messages, JoinReplyRoundTrip) {
+  JoinReplyBody body;
+  body.cid = 11;
+  body.hash_epoch = 5;
+  body.tag.fill(0x5e);
+  const auto decoded = decode_join_reply(encode(body));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cid, 11u);
+  EXPECT_EQ(decoded->hash_epoch, 5u);
+  EXPECT_EQ(decoded->tag, body.tag);
+}
+
+TEST(Messages, JoinReplyTagBindsCidAndEpoch) {
+  const auto key = key_of(0x21);
+  EXPECT_EQ(join_reply_tag(key, 3, 1), join_reply_tag(key, 3, 1));
+  EXPECT_NE(join_reply_tag(key, 3, 1), join_reply_tag(key, 3, 2));
+  EXPECT_NE(join_reply_tag(key, 3, 1), join_reply_tag(key, 4, 1));
+  EXPECT_NE(join_reply_tag(key, 3, 1), join_reply_tag(key_of(0x22), 3, 1));
+}
+
+TEST(Messages, RefreshRoundTrip) {
+  RefreshBody body;
+  body.cid = 12;
+  body.new_key = key_of(0x7d);
+  body.epoch = 3;
+  const auto decoded = decode_refresh(encode(body));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cid, 12u);
+  EXPECT_EQ(decoded->new_key, key_of(0x7d));
+  EXPECT_EQ(decoded->epoch, 3u);
+}
+
+TEST(Messages, AllDecodersRejectEmptyInput) {
+  EXPECT_FALSE(decode_hello({}).has_value());
+  EXPECT_FALSE(decode_link_advert({}).has_value());
+  EXPECT_FALSE(decode_beacon({}).has_value());
+  EXPECT_FALSE(decode_beacon_inner({}).has_value());
+  EXPECT_FALSE(decode_data_inner({}).has_value());
+  EXPECT_FALSE(decode_revoke({}).has_value());
+  EXPECT_FALSE(decode_join({}).has_value());
+  EXPECT_FALSE(decode_join_reply({}).has_value());
+  EXPECT_FALSE(decode_refresh({}).has_value());
+}
+
+}  // namespace
+}  // namespace ldke::wsn

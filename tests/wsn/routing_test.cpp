@@ -1,0 +1,64 @@
+#include "wsn/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::wsn {
+namespace {
+
+TEST(RoutingTable, StartsUnreachable) {
+  RoutingTable t;
+  EXPECT_FALSE(t.has_route());
+  EXPECT_EQ(t.hop(), RoutingTable::kUnreachable);
+  EXPECT_EQ(t.parent(), net::kNoNode);
+}
+
+TEST(RoutingTable, FirstOfferAccepted) {
+  RoutingTable t;
+  EXPECT_TRUE(t.offer(7, 0));
+  EXPECT_TRUE(t.has_route());
+  EXPECT_EQ(t.hop(), 1u);
+  EXPECT_EQ(t.parent(), 7u);
+}
+
+TEST(RoutingTable, BetterOfferReplacesParent) {
+  RoutingTable t;
+  EXPECT_TRUE(t.offer(7, 4));
+  EXPECT_EQ(t.hop(), 5u);
+  EXPECT_TRUE(t.offer(9, 2));
+  EXPECT_EQ(t.hop(), 3u);
+  EXPECT_EQ(t.parent(), 9u);
+}
+
+TEST(RoutingTable, EqualOrWorseOfferRejected) {
+  RoutingTable t;
+  EXPECT_TRUE(t.offer(7, 2));
+  EXPECT_FALSE(t.offer(8, 2));  // equal resulting hop
+  EXPECT_FALSE(t.offer(9, 5));  // worse
+  EXPECT_EQ(t.parent(), 7u);
+}
+
+TEST(RoutingTable, UnreachableOfferIgnored) {
+  RoutingTable t;
+  EXPECT_FALSE(t.offer(7, RoutingTable::kUnreachable));
+  EXPECT_FALSE(t.has_route());
+}
+
+TEST(RoutingTable, MakeRootSetsHopZero) {
+  RoutingTable t;
+  t.make_root();
+  EXPECT_TRUE(t.has_route());
+  EXPECT_EQ(t.hop(), 0u);
+  EXPECT_EQ(t.parent(), net::kNoNode);
+  // A root never accepts an offer (anything would be worse).
+  EXPECT_FALSE(t.offer(3, 0));
+}
+
+TEST(RoutingTable, ResetForgetsRoute) {
+  RoutingTable t;
+  t.offer(7, 1);
+  t.reset();
+  EXPECT_FALSE(t.has_route());
+}
+
+}  // namespace
+}  // namespace ldke::wsn

@@ -1,0 +1,112 @@
+#include "wsn/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldke::wsn {
+namespace {
+
+TEST(Wire, ScalarRoundTrips) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const auto& buf = w.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Wire, VarBytesRoundTrip) {
+  Writer w;
+  const support::Bytes payload = {1, 2, 3, 4, 5};
+  w.var_bytes(payload);
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.var_bytes(), payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, EmptyVarBytes) {
+  Writer w;
+  w.var_bytes({});
+  Reader r{w.buffer()};
+  const auto got = r.var_bytes();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Wire, FixedArrayRoundTrip) {
+  Writer w;
+  std::array<std::uint8_t, 4> arr = {9, 8, 7, 6};
+  w.fixed(arr);
+  Reader r{w.buffer()};
+  EXPECT_EQ(r.fixed<4>(), arr);
+}
+
+TEST(Wire, ReaderRejectsShortBuffers) {
+  const support::Bytes buf = {1, 2};
+  Reader r{buf};
+  EXPECT_FALSE(r.u32().has_value());
+  // A failed read must not consume anything usable afterwards.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_TRUE(r.u16().has_value());
+}
+
+TEST(Wire, VarBytesRejectsTruncatedPayload) {
+  Writer w;
+  w.u16(10);  // claims 10 bytes follow
+  w.u8(1);    // only one does
+  Reader r{w.buffer()};
+  EXPECT_FALSE(r.var_bytes().has_value());
+}
+
+TEST(Wire, FixedRejectsShortBuffer) {
+  const support::Bytes buf = {1, 2, 3};
+  Reader r{buf};
+  EXPECT_FALSE((r.fixed<4>().has_value()));
+}
+
+TEST(Wire, RestAndTakeRest) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  Reader r{w.buffer()};
+  (void)r.u8();
+  EXPECT_EQ(r.rest().size(), 2u);
+  EXPECT_EQ(r.remaining(), 2u);  // rest() does not consume
+  const auto rest = r.take_rest();
+  EXPECT_EQ(rest, (support::Bytes{2, 3}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, WriterSizeTracksBuffer) {
+  Writer w;
+  EXPECT_EQ(w.size(), 0u);
+  w.u64(0);
+  EXPECT_EQ(w.size(), 8u);
+}
+
+TEST(Wire, TakeMovesBufferOut) {
+  Writer w;
+  w.u8(0x42);
+  const support::Bytes taken = w.take();
+  EXPECT_EQ(taken, (support::Bytes{0x42}));
+}
+
+}  // namespace
+}  // namespace ldke::wsn

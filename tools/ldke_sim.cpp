@@ -1,0 +1,246 @@
+/// \file ldke_sim.cpp
+/// Command-line front end to the library: run deployments, sweeps and
+/// attacks without writing C++.
+///
+///   ldke_sim setup  [-n nodes] [-d density] [-s seed] [--collisions]
+///                   [--loss p] [--csv]
+///   ldke_sim sweep  [-n nodes] [-t trials] [--csv]
+///   ldke_sim attack (clone|flood|wormhole) [-n nodes] [-d density] [-s seed]
+///   ldke_sim lifecycle [-n nodes] [-d density] [-s seed]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "analysis/experiment.hpp"
+#include "analysis/paper_data.hpp"
+#include "attacks/adversary.hpp"
+#include "attacks/clone.hpp"
+#include "attacks/hello_flood.hpp"
+#include "attacks/wormhole.hpp"
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace ldke;
+
+struct CliOptions {
+  std::size_t nodes = 1000;
+  double density = 12.0;
+  std::uint64_t seed = 1;
+  std::size_t trials = 5;
+  double loss = 0.0;
+  bool collisions = false;
+  bool csv = false;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: ldke_sim <command> [options]\n"
+      "commands:\n"
+      "  setup       run one key-setup and print the cluster statistics\n"
+      "  sweep       density sweep (the paper's Figures 6-9 quantities)\n"
+      "  attack      clone | flood | wormhole demonstration\n"
+      "  lifecycle   setup -> routing -> data -> refresh -> evict -> add\n"
+      "options:\n"
+      "  -n <nodes>  deployment size          (default 1000)\n"
+      "  -d <dens>   mean neighbors per node  (default 12)\n"
+      "  -s <seed>   trial seed               (default 1)\n"
+      "  -t <k>      trials per sweep point   (default 5)\n"
+      "  --loss <p>  per-receiver loss probability\n"
+      "  --collisions  model overlapping-reception corruption\n"
+      "  --csv       machine-readable output\n";
+  return 2;
+}
+
+bool parse_options(int argc, char** argv, int first, CliOptions& opt,
+                   std::string* attack_kind = nullptr) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::strtod(argv[++i], nullptr);
+      return true;
+    };
+    double v = 0;
+    if (arg == "-n" && next_value(v)) {
+      opt.nodes = static_cast<std::size_t>(v);
+    } else if (arg == "-d" && next_value(v)) {
+      opt.density = v;
+    } else if (arg == "-s" && next_value(v)) {
+      opt.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "-t" && next_value(v)) {
+      opt.trials = static_cast<std::size_t>(v);
+    } else if (arg == "--loss" && next_value(v)) {
+      opt.loss = v;
+    } else if (arg == "--collisions") {
+      opt.collisions = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (attack_kind != nullptr && attack_kind->empty() &&
+               !arg.starts_with('-')) {
+      *attack_kind = arg;
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
+core::RunnerConfig config_of(const CliOptions& opt) {
+  core::RunnerConfig cfg;
+  cfg.node_count = opt.nodes;
+  cfg.density = opt.density;
+  cfg.side_m = 1000.0;
+  cfg.seed = opt.seed;
+  cfg.channel.loss_probability = opt.loss;
+  cfg.channel.model_collisions = opt.collisions;
+  return cfg;
+}
+
+int cmd_setup(const CliOptions& opt) {
+  core::ProtocolRunner runner{config_of(opt)};
+  runner.run_key_setup();
+  const auto m = core::collect_setup_metrics(runner);
+  support::TextTable table({"metric", "value"});
+  table.add_row({"nodes", std::to_string(m.node_count)});
+  table.add_row({"realized density", support::fmt(m.realized_density, 2)});
+  table.add_row({"clusters", std::to_string(m.cluster_count)});
+  table.add_row({"head fraction", support::fmt(m.head_fraction)});
+  table.add_row({"mean cluster size", support::fmt(m.mean_cluster_size)});
+  table.add_row({"mean keys per node", support::fmt(m.mean_keys_per_node)});
+  table.add_row({"setup messages/node",
+                 support::fmt(m.setup_messages_per_node)});
+  table.add_row({"singleton clusters", std::to_string(m.singleton_clusters)});
+  table.add_row(
+      {"channel transmissions",
+       std::to_string(runner.network().channel().transmissions())});
+  table.add_row({"energy (mJ)",
+                 support::fmt(runner.network().energy().total_j() * 1e3, 2)});
+  std::cout << (opt.csv ? table.to_csv() : table.render());
+  return 0;
+}
+
+int cmd_sweep(const CliOptions& opt) {
+  support::ThreadPool pool;
+  core::RunnerConfig base = config_of(opt);
+  support::TextTable table({"density", "keys/node", "cluster size",
+                            "head fraction", "msgs/node"});
+  for (double density : analysis::kPaperDensities) {
+    const auto agg = analysis::run_setup_point(base, density, opt.nodes,
+                                               opt.trials, &pool);
+    table.add_row({support::fmt(density, 1), agg.keys_per_node.summary(),
+                   agg.cluster_size.summary(), agg.head_fraction.summary(),
+                   agg.messages_per_node.summary()});
+  }
+  std::cout << (opt.csv ? table.to_csv() : table.render());
+  return 0;
+}
+
+int cmd_attack(const CliOptions& opt, const std::string& kind) {
+  if (kind == "clone") {
+    core::ProtocolRunner runner{config_of(opt)};
+    runner.run_key_setup();
+    attacks::Adversary adversary{runner};
+    const net::NodeId victim =
+        static_cast<net::NodeId>(runner.node_count() / 2);
+    const auto& material = adversary.capture(victim);
+    const auto vpos = runner.network().topology().position(victim);
+    const double r = runner.network().topology().range();
+    const auto near = attacks::run_clone_attack(runner, material, vpos, r);
+    const auto far = attacks::run_clone_attack(
+        runner, material,
+        {vpos.x < 500 ? 950.0 : 50.0, vpos.y < 500 ? 950.0 : 50.0}, r);
+    std::cout << "clone of node " << victim << ": near origin "
+              << near.accepted << "/" << near.receivers << " accepted, far "
+              << far.accepted << "/" << far.receivers << " accepted\n";
+    return far.accepted == 0 ? 0 : 1;
+  }
+  if (kind == "flood") {
+    core::ProtocolRunner runner{config_of(opt)};
+    const auto result = attacks::run_hello_flood(runner, {500, 500}, 1000.0,
+                                                 50, false);
+    std::cout << "hello flood: " << result.auth_failures
+              << " forgeries rejected, " << result.victims_joined
+              << " nodes captured\n";
+    return result.victims_joined == 0 ? 0 : 1;
+  }
+  if (kind == "wormhole") {
+    core::ProtocolRunner runner{config_of(opt)};
+    runner.run_key_setup();
+    runner.run_routing_setup();
+    const double r = runner.network().topology().range();
+    const auto result = attacks::run_wormhole_attack(runner, {100, 100},
+                                                     {900, 900}, 2 * r);
+    std::cout << "wormhole: " << result.tunneled << " beacons tunneled, "
+              << result.rejected_no_key << " rejected (no key), "
+              << result.corrupted_routes << " routes corrupted\n";
+    return result.corrupted_routes == 0 ? 0 : 1;
+  }
+  std::cerr << "unknown attack: " << kind << " (clone|flood|wormhole)\n";
+  return 2;
+}
+
+int cmd_lifecycle(const CliOptions& opt) {
+  core::ProtocolRunner runner{config_of(opt)};
+  std::cout << "[1/6] key setup... " << std::flush;
+  runner.run_key_setup();
+  const auto m = core::collect_setup_metrics(runner);
+  std::cout << m.cluster_count << " clusters\n[2/6] routing... "
+            << std::flush;
+  runner.run_routing_setup();
+  std::cout << "done\n[3/6] reporting... " << std::flush;
+  std::size_t sent = 0;
+  for (net::NodeId id = 1; id < runner.node_count(); id += 19) {
+    if (runner.node(id).send_reading(runner.network(),
+                                     support::bytes_of("r"))) {
+      ++sent;
+    }
+  }
+  runner.run_for(10.0);
+  std::cout << runner.base_station()->readings().size() << "/" << sent
+            << " delivered\n[4/6] re-clustering refresh... " << std::flush;
+  runner.run_recluster_round();
+  std::cout << "done\n[5/6] capture + revoke... " << std::flush;
+  attacks::Adversary adversary{runner};
+  const auto& material =
+      adversary.capture(static_cast<net::NodeId>(runner.node_count() / 3));
+  std::vector<core::ClusterId> exposed;
+  for (const auto& [cid, key] : material.cluster_keys) exposed.push_back(cid);
+  runner.base_station()->revoke_clusters(runner.network(), exposed);
+  runner.run_for(15.0);
+  std::cout << exposed.size() << " clusters revoked\n[6/6] node addition "
+            << "(KMC joins need pre-refresh keys; deploying anyway)... "
+            << std::flush;
+  auto& joiner = runner.deploy_new_node({500.0, 500.0});
+  runner.run_for(2.0);
+  std::cout << (joiner.role() == core::Role::kMember
+                    ? "joined\n"
+                    : "rejected (keys re-randomized by the refresh — "
+                      "provision newcomers with current material)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  CliOptions opt;
+  std::string attack_kind;
+  if (!parse_options(argc, argv, 2, opt, &attack_kind)) return usage();
+
+  if (command == "setup") return cmd_setup(opt);
+  if (command == "sweep") return cmd_sweep(opt);
+  if (command == "attack") {
+    if (attack_kind.empty()) return usage();
+    return cmd_attack(opt, attack_kind);
+  }
+  if (command == "lifecycle") return cmd_lifecycle(opt);
+  return usage();
+}
