@@ -9,6 +9,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/keychain.hpp"
 #include "crypto/prf.hpp"
+#include "crypto/seal_context.hpp"
 #include "crypto/sha256.hpp"
 
 namespace {
@@ -72,7 +73,45 @@ void BM_PrfDerive(benchmark::State& state) {
 }
 BENCHMARK(BM_PrfDerive);
 
+void BM_PrfDeriveCached(benchmark::State& state) {
+  const crypto::PrfContext ctx{bench_key()};
+  std::uint64_t label = 0;
+  for (auto _ : state) {
+    auto derived = ctx.u64(label++);
+    benchmark::DoNotOptimize(derived);
+  }
+}
+BENCHMARK(BM_PrfDeriveCached);
+
+// The per-packet hot path: a long-lived SealContext, per-message work
+// only.  This is what sensor_node/base_station now execute per hop.
 void BM_SealEnvelope(benchmark::State& state) {
+  const crypto::SealContext ctx{bench_key()};
+  support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    auto sealed = ctx.seal(++nonce, payload);
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SealEnvelope)->Arg(36)->Arg(128);
+
+void BM_OpenEnvelope(benchmark::State& state) {
+  const crypto::SealContext ctx{bench_key()};
+  support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
+  const auto sealed = ctx.seal(7, payload);
+  for (auto _ : state) {
+    auto plain = ctx.open(7, sealed);
+    benchmark::DoNotOptimize(plain);
+  }
+}
+BENCHMARK(BM_OpenEnvelope)->Arg(36)->Arg(128);
+
+// One-shot free-function path (key pair pre-derived, but AES schedule +
+// HMAC midstates re-computed per call) — the pre-caching baseline.
+void BM_SealEnvelopeUncached(benchmark::State& state) {
   const crypto::KeyPair keys = crypto::derive_pair(bench_key());
   support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
   std::uint64_t nonce = 0;
@@ -83,9 +122,9 @@ void BM_SealEnvelope(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_SealEnvelope)->Arg(36)->Arg(128);
+BENCHMARK(BM_SealEnvelopeUncached)->Arg(36)->Arg(128);
 
-void BM_OpenEnvelope(benchmark::State& state) {
+void BM_OpenEnvelopeUncached(benchmark::State& state) {
   const crypto::KeyPair keys = crypto::derive_pair(bench_key());
   support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
   const auto sealed = crypto::seal(keys, 7, payload);
@@ -94,7 +133,41 @@ void BM_OpenEnvelope(benchmark::State& state) {
     benchmark::DoNotOptimize(plain);
   }
 }
-BENCHMARK(BM_OpenEnvelope)->Arg(36)->Arg(128);
+BENCHMARK(BM_OpenEnvelopeUncached)->Arg(36)->Arg(128);
+
+// Worst one-shot case: single root key, pair derivation included — what
+// every seal_with/open_with call paid before context caching.
+void BM_SealEnvelopeFromRootKey(benchmark::State& state) {
+  const crypto::Key128 key = bench_key();
+  support::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x33);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    auto sealed = crypto::seal_with(key, ++nonce, payload);
+    benchmark::DoNotOptimize(sealed);
+  }
+}
+BENCHMARK(BM_SealEnvelopeFromRootKey)->Arg(36);
+
+void BM_SealContextSetup(benchmark::State& state) {
+  const crypto::Key128 key = bench_key();
+  for (auto _ : state) {
+    crypto::SealContext ctx{key};
+    benchmark::DoNotOptimize(ctx);
+  }
+}
+BENCHMARK(BM_SealContextSetup);
+
+void BM_SealContextCacheHit(benchmark::State& state) {
+  crypto::SealContextCache cache{8};
+  const crypto::Key128 key = bench_key();
+  support::Bytes payload(36, 0x33);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    auto sealed = cache.get(key).seal(++nonce, payload);
+    benchmark::DoNotOptimize(sealed);
+  }
+}
+BENCHMARK(BM_SealContextCacheHit);
 
 void BM_KeyChainGeneration(benchmark::State& state) {
   const crypto::Key128 seed = bench_key();

@@ -1,14 +1,60 @@
 #!/bin/bash
-# Runs every bench at full fidelity, teeing per-bench outputs into
-# results/.  Honors LDKE_BENCH_TRIALS / LDKE_BENCH_NODES for quick runs.
-cd "$(dirname "$0")"
+# Runs every bench at full fidelity from a dedicated *Release* build tree
+# and records the outputs into results/.  Honors LDKE_BENCH_TRIALS /
+# LDKE_BENCH_NODES for quick runs and LDKE_BENCH_BUILD_DIR to relocate
+# the build tree (default: build-bench/).
+#
+# Numbers are only worth recording from an optimized build, so this
+# script configures its own -DCMAKE_BUILD_TYPE=Release tree (the default
+# build/ tree may be Debug, or carry an empty cached CMAKE_BUILD_TYPE
+# from an old configure) and refuses to record otherwise.  The
+# google-benchmark micro suites additionally emit machine-readable JSON
+# (results/BENCH_crypto_micro.json, results/BENCH_sim_micro.json) for
+# before/after diffing.
+#
+# Note: google-benchmark's "Library was built as DEBUG" console warning
+# and the JSON's "library_build_type" field describe the *installed
+# libbenchmark package* (Debian ships it debug-built), not our code, so
+# they appear even from a Release tree.  The refusal below therefore
+# keys on the one thing this script controls and that governs our own
+# code's optimization: the build tree's cached CMAKE_BUILD_TYPE — every
+# binary run here was just built from that tree.
+set -u
+cd "$(dirname "$0")" || exit 1
+
+BUILD_DIR=${LDKE_BENCH_BUILD_DIR:-build-bench}
+
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release > /dev/null || exit 1
+cmake --build "$BUILD_DIR" -j"$(nproc)" || exit 1
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "refusing to record benches: $BUILD_DIR is '$build_type', not Release" >&2
+    exit 1
+    ;;
+esac
+
 mkdir -p results
 status=0
-for b in build/bench/bench_*; do
+
+# google-benchmark suites that also record JSON for before/after diffing.
+declare -A json_out=(
+  [bench_crypto_micro]=BENCH_crypto_micro.json
+  [bench_sim_micro]=BENCH_sim_micro.json
+)
+
+for b in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
   echo "=== $name ==="
-  "$b" > "results/$name.txt" 2>&1
+  extra=()
+  if [[ -v "json_out[$name]" ]]; then
+    extra=(--benchmark_out="results/${json_out[$name]}"
+           --benchmark_out_format=json)
+  fi
+  "$b" "${extra[@]}" > "results/$name.txt" 2>&1
   rc=$?
   echo "exit=$rc ($name)"
   [ $rc -ne 0 ] && status=1

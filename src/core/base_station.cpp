@@ -60,9 +60,13 @@ void BaseStation::on_delivered(net::Network& net,
       net.counters().increment("bs.counter_violation");
       return;
     }
-    const crypto::Key128 ki = node_key_of(roots_, inner.source);
-    auto plain = crypto::open(crypto::derive_pair(ki), inner.e2e_counter,
-                              inner.body);
+    auto ctx_it = e2e_contexts_.find(inner.source);
+    if (ctx_it == e2e_contexts_.end()) {
+      const crypto::Key128 ki = node_key_of(roots_, inner.source);
+      ctx_it = e2e_contexts_.emplace(inner.source, crypto::SealContext{ki})
+                   .first;
+    }
+    auto plain = ctx_it->second.open(inner.e2e_counter, inner.body);
     if (!plain) {
       ++e2e_auth_failures_;
       net.counters().increment("bs.e2e_auth_fail");

@@ -13,6 +13,7 @@
 #include "core/provisioning.hpp"
 #include "core/sensor_node.hpp"
 #include "crypto/keychain.hpp"
+#include "crypto/seal_context.hpp"
 
 namespace ldke::core {
 
@@ -75,6 +76,10 @@ class BaseStation : public SensorNode {
   crypto::KeyChain chain_;
   MuTeslaBroadcaster mutesla_;
   std::uint32_t last_disclosed_interval_ = 0;
+  /// Ki reconstruction + pair derivation + cipher state, cached per
+  /// source: the decrypt loop would otherwise re-run two PRF evaluations
+  /// and the AES key schedule for every Step-1 reading it verifies.
+  std::unordered_map<net::NodeId, crypto::SealContext> e2e_contexts_;
   std::unordered_map<net::NodeId, std::uint64_t> expected_counter_;
   std::vector<Reading> readings_;
   std::uint64_t e2e_auth_failures_ = 0;

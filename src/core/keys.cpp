@@ -5,7 +5,10 @@
 namespace ldke::core {
 
 void ClusterKeySet::set_own(ClusterId cid, const crypto::Key128& key) {
-  if (own_cid_ != kNoCluster && own_cid_ != cid) keys_.erase(own_cid_);
+  if (own_cid_ != kNoCluster && own_cid_ != cid) {
+    keys_.erase(own_cid_);
+    contexts_.erase(own_cid_);
+  }
   own_cid_ = cid;
   keys_[cid] = key;
 }
@@ -21,6 +24,17 @@ std::optional<crypto::Key128> ClusterKeySet::key_for(ClusterId cid) const {
   return it->second;
 }
 
+const crypto::SealContext* ClusterKeySet::context_for(ClusterId cid) const {
+  const auto it = keys_.find(cid);
+  if (it == keys_.end()) return nullptr;
+  ContextSlot& slot = contexts_[cid];
+  if (!slot.ctx || slot.key != it->second) {
+    slot.key = it->second;
+    slot.ctx = std::make_unique<crypto::SealContext>(it->second);
+  }
+  return slot.ctx.get();
+}
+
 bool ClusterKeySet::replace(ClusterId cid, const crypto::Key128& key) {
   const auto it = keys_.find(cid);
   if (it == keys_.end()) return false;
@@ -30,11 +44,12 @@ bool ClusterKeySet::replace(ClusterId cid, const crypto::Key128& key) {
 
 bool ClusterKeySet::revoke(ClusterId cid) {
   if (cid == own_cid_) own_cid_ = kNoCluster;
+  contexts_.erase(cid);
   return keys_.erase(cid) > 0;
 }
 
 void ClusterKeySet::hash_refresh_all() {
-  for (auto& [cid, key] : keys_) key = crypto::one_way(key);
+  for (auto& [cid, key] : keys_) crypto::one_way_inplace(key);
 }
 
 }  // namespace ldke::core

@@ -4,9 +4,11 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "crypto/key.hpp"
+#include "crypto/seal_context.hpp"
 #include "net/topology.hpp"
 #include "wsn/messages.hpp"
 
@@ -41,6 +43,20 @@ struct NodeSecrets {
 /// per neighboring cluster.  |S| is the storage metric of Figure 6.
 class ClusterKeySet {
  public:
+  ClusterKeySet() = default;
+  // Copies carry only the keys; the per-cluster seal contexts are a
+  // cache and rebuild lazily on the copy's first use.
+  ClusterKeySet(const ClusterKeySet& other)
+      : keys_(other.keys_), own_cid_(other.own_cid_) {}
+  ClusterKeySet& operator=(const ClusterKeySet& other) {
+    keys_ = other.keys_;
+    own_cid_ = other.own_cid_;
+    contexts_.clear();
+    return *this;
+  }
+  ClusterKeySet(ClusterKeySet&&) = default;
+  ClusterKeySet& operator=(ClusterKeySet&&) = default;
+
   void set_own(ClusterId cid, const crypto::Key128& key);
 
   /// Stores a neighboring cluster's key; returns true if it was new.
@@ -49,6 +65,13 @@ class ClusterKeySet {
   /// Key usable to authenticate traffic from cluster \p cid (own or
   /// neighboring); nullopt if the node does not border that cluster.
   [[nodiscard]] std::optional<crypto::Key128> key_for(ClusterId cid) const;
+
+  /// Cached seal/open context for cluster \p cid; nullptr if the node
+  /// does not hold that cluster's key.  Built lazily on first use and
+  /// re-validated against the stored key, so replace()/hash_refresh_all()
+  /// invalidate it automatically.  This is the per-packet hot path: every
+  /// hop envelope is sealed and opened through one of these.
+  [[nodiscard]] const crypto::SealContext* context_for(ClusterId cid) const;
 
   /// Replaces the stored key for \p cid (key refresh); returns false if
   /// the cid is unknown.
@@ -80,11 +103,20 @@ class ClusterKeySet {
 
   void clear() noexcept {
     keys_.clear();
+    contexts_.clear();
     own_cid_ = kNoCluster;
   }
 
  private:
+  struct ContextSlot {
+    crypto::Key128 key;  ///< key the context was built for (staleness check)
+    std::unique_ptr<crypto::SealContext> ctx;
+  };
+
   std::map<ClusterId, crypto::Key128> keys_;
+  /// Lazy per-cluster contexts; entries for dropped cids are pruned by
+  /// the mutators, entries for replaced keys rebuild on the key mismatch.
+  mutable std::map<ClusterId, ContextSlot> contexts_;
   ClusterId own_cid_ = kNoCluster;
 };
 

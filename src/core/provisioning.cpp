@@ -30,28 +30,42 @@ crypto::Key128 mutesla_seed_of(const DeploymentSecrets& roots) {
 NodeSecrets provision_node(const DeploymentSecrets& roots, net::NodeId id,
                            const crypto::Key128& commitment,
                            const crypto::Key128& mutesla_commitment) {
-  NodeSecrets secrets;
-  secrets.id = id;
-  secrets.node_key = node_key_of(roots, id);
-  secrets.cluster_key = cluster_key_of(roots, id);
-  secrets.master_key = roots.master_key;
-  secrets.commitment = commitment;
-  secrets.mutesla_commitment = mutesla_commitment;
-  return secrets;
+  return Provisioner{roots}.provision(id, commitment, mutesla_commitment);
 }
 
 NodeSecrets provision_new_node(const DeploymentSecrets& roots, net::NodeId id,
                                const crypto::Key128& commitment,
                                const crypto::Key128& mutesla_commitment) {
+  return Provisioner{roots}.provision_new(id, commitment, mutesla_commitment);
+}
+
+NodeSecrets Provisioner::provision(net::NodeId id,
+                                   const crypto::Key128& commitment,
+                                   const crypto::Key128& mutesla_commitment)
+    const {
   NodeSecrets secrets;
   secrets.id = id;
-  secrets.node_key = node_key_of(roots, id);
-  secrets.cluster_key = cluster_key_of(roots, id);
+  secrets.node_key = node_key(id);
+  secrets.cluster_key = cluster_key(id);
+  secrets.master_key = roots_.master_key;
+  secrets.commitment = commitment;
+  secrets.mutesla_commitment = mutesla_commitment;
+  return secrets;
+}
+
+NodeSecrets Provisioner::provision_new(net::NodeId id,
+                                       const crypto::Key128& commitment,
+                                       const crypto::Key128& mutesla_commitment)
+    const {
+  NodeSecrets secrets;
+  secrets.id = id;
+  secrets.node_key = node_key(id);
+  secrets.cluster_key = cluster_key(id);
   // §IV-E: new nodes never learn Km; they carry KMC instead and derive
   // cluster keys from advertised CIDs.
   secrets.commitment = commitment;
   secrets.mutesla_commitment = mutesla_commitment;
-  secrets.kmc = roots.kmc;
+  secrets.kmc = roots_.kmc;
   secrets.has_kmc = true;
   return secrets;
 }

@@ -11,6 +11,7 @@
 #include "core/keys.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/key.hpp"
+#include "crypto/prf.hpp"
 
 namespace ldke::core {
 
@@ -50,5 +51,38 @@ struct DeploymentSecrets {
     const DeploymentSecrets& roots, net::NodeId id,
     const crypto::Key128& commitment,
     const crypto::Key128& mutesla_commitment = {});
+
+/// Batch provisioning: caches the PRF midstates of the deployment roots
+/// so loading N nodes costs N evaluations per root instead of N full
+/// per-key HMAC setups.  Same bytes as the free functions above.
+class Provisioner {
+ public:
+  explicit Provisioner(const DeploymentSecrets& roots)
+      : roots_(roots),
+        node_key_prf_(roots.node_key_root),
+        kmc_prf_(roots.kmc) {}
+
+  [[nodiscard]] crypto::Key128 node_key(net::NodeId id) const {
+    return node_key_prf_.u64(id);
+  }
+  [[nodiscard]] crypto::Key128 cluster_key(net::NodeId id) const {
+    return kmc_prf_.u64(id);
+  }
+
+  /// provision_node equivalent (original node: knows Km).
+  [[nodiscard]] NodeSecrets provision(
+      net::NodeId id, const crypto::Key128& commitment,
+      const crypto::Key128& mutesla_commitment = {}) const;
+
+  /// provision_new_node equivalent (§IV-E addition: carries KMC).
+  [[nodiscard]] NodeSecrets provision_new(
+      net::NodeId id, const crypto::Key128& commitment,
+      const crypto::Key128& mutesla_commitment = {}) const;
+
+ private:
+  DeploymentSecrets roots_;
+  crypto::PrfContext node_key_prf_;
+  crypto::PrfContext kmc_prf_;
+};
 
 }  // namespace ldke::core

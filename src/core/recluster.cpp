@@ -21,13 +21,14 @@ using net::PacketKind;
 void SensorNode::broadcast_under_current_key(
     net::Network& net, PacketKind kind, std::span<const std::uint8_t> body,
     net::NodeId next_hop) {
+  const crypto::SealContext* ctx = keys_.context_for(keys_.own_cid());
+  if (ctx == nullptr) return;  // no cluster key (e.g. just evicted)
   wsn::DataHeader header;
   header.cid = keys_.own_cid();
   header.next_hop = next_hop;
   header.nonce = next_nonce();
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed =
-      crypto::seal_with(keys_.own_key(), header.nonce, body, header_bytes);
+  support::Bytes sealed = ctx->seal(header.nonce, body, header_bytes);
   Packet pkt;
   pkt.sender = id();
   pkt.kind = kind;

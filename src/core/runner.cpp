@@ -20,9 +20,12 @@ ProtocolRunner::ProtocolRunner(RunnerConfig config)
                    config_.energy);
 
   nodes_.reserve(config_.node_count);
+  // One Provisioner for the whole deployment: the PRF midstates of the
+  // roots are computed once, not once per node.
+  const Provisioner provisioner{roots_};
   for (net::NodeId id = 0; id < config_.node_count; ++id) {
     NodeSecrets secrets =
-        provision_node(roots_, id, commitment_, mutesla_commitment_);
+        provisioner.provision(id, commitment_, mutesla_commitment_);
     if (id == 0 && config_.with_base_station) {
       auto bs = std::make_unique<BaseStation>(std::move(secrets),
                                               config_.protocol, roots_);

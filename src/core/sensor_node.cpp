@@ -67,7 +67,13 @@ void SensorNode::start(net::Network& net) {
   }
 
   net.sim().schedule_at(sim::SimTime::from_seconds(config_.master_erase_s),
-                        [this] { secrets_.erase_master(); });
+                        [this] {
+                          // Drop the cached Km context along with Km
+                          // itself — erasure must not leave derived
+                          // state behind (§IV-B).
+                          secret_seal_cache_.invalidate(secrets_.master_key);
+                          secrets_.erase_master();
+                        });
 }
 
 void SensorNode::on_election_timer(net::Network& net) {
@@ -83,9 +89,9 @@ void SensorNode::on_election_timer(net::Network& net) {
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kHello;
-  pkt.payload = crypto::seal_with(secrets_.master_key,
-                                  setup_nonce(PacketKind::kHello, id()),
-                                  wsn::encode(body));
+  pkt.payload = secret_seal_cache_.get(secrets_.master_key)
+                    .seal(setup_nonce(PacketKind::kHello, id()),
+                          wsn::encode(body));
   net.broadcast(pkt);
   ++setup_messages_sent_;
   net.counters().increment("setup.hello_sent");
@@ -93,9 +99,9 @@ void SensorNode::on_election_timer(net::Network& net) {
 
 void SensorNode::on_hello(net::Network& net, const Packet& packet) {
   if (secrets_.master_erased() || secrets_.has_kmc) return;
-  const auto plain = crypto::open_with(
-      secrets_.master_key, setup_nonce(PacketKind::kHello, packet.sender),
-      packet.payload);
+  const auto plain = secret_seal_cache_.get(secrets_.master_key)
+                         .open(setup_nonce(PacketKind::kHello, packet.sender),
+                               packet.payload);
   if (!plain) {
     net.counters().increment("setup.hello_auth_fail");
     return;
@@ -124,9 +130,9 @@ void SensorNode::send_link_advert(net::Network& net) {
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kLinkAdvert;
-  pkt.payload = crypto::seal_with(secrets_.master_key,
-                                  setup_nonce(PacketKind::kLinkAdvert, id()),
-                                  wsn::encode(body));
+  pkt.payload = secret_seal_cache_.get(secrets_.master_key)
+                    .seal(setup_nonce(PacketKind::kLinkAdvert, id()),
+                          wsn::encode(body));
   net.broadcast(pkt);
   ++setup_messages_sent_;
   net.counters().increment("setup.link_sent");
@@ -134,9 +140,10 @@ void SensorNode::send_link_advert(net::Network& net) {
 
 void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
   if (secrets_.master_erased() || secrets_.has_kmc) return;
-  const auto plain = crypto::open_with(
-      secrets_.master_key, setup_nonce(PacketKind::kLinkAdvert, packet.sender),
-      packet.payload);
+  const auto plain =
+      secret_seal_cache_.get(secrets_.master_key)
+          .open(setup_nonce(PacketKind::kLinkAdvert, packet.sender),
+                packet.payload);
   if (!plain) {
     net.counters().increment("setup.link_auth_fail");
     return;
@@ -172,8 +179,8 @@ bool SensorNode::send_reading(net::Network& net,
     // shared counter providing semantic security.
     inner.e2e_counter = ++e2e_counter_;
     inner.e2e_encrypted = 1;
-    inner.body = crypto::seal(crypto::derive_pair(secrets_.node_key),
-                              inner.e2e_counter, payload);
+    inner.body = secret_seal_cache_.get(secrets_.node_key)
+                     .seal(inner.e2e_counter, payload);
   } else {
     inner.body.assign(payload.begin(), payload.end());
   }
@@ -201,9 +208,8 @@ void SensorNode::forward_inner(net::Network& net, wsn::DataInner inner) {
   header.nonce = next_nonce();
 
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed =
-      crypto::seal_with(*keys_.key_for(wrap_cid), header.nonce,
-                        wsn::encode(inner), header_bytes);
+  support::Bytes sealed = keys_.context_for(wrap_cid)->seal(
+      header.nonce, wsn::encode(inner), header_bytes);
 
   Packet pkt;
   pkt.sender = id();
@@ -223,16 +229,16 @@ std::optional<support::Bytes> SensorNode::open_envelope(
     return std::nullopt;
   }
   header = *decoded;
-  const auto key = keys_.key_for(header.cid);
-  if (!key) {
+  const crypto::SealContext* ctx = keys_.context_for(header.cid);
+  if (ctx == nullptr) {
     // Not a bordering cluster: cannot translate (expected for most of the
     // network — locality is the point).
     net.counters().increment("envelope.no_key");
     return std::nullopt;
   }
   const std::size_t header_len = packet.payload.size() - sealed.size();
-  auto plain = crypto::open_with(
-      *key, header.nonce, sealed,
+  auto plain = ctx->open(
+      header.nonce, sealed,
       std::span<const std::uint8_t>{packet.payload.data(), header_len});
   if (!plain) {
     net.counters().increment("envelope.auth_fail");
@@ -331,8 +337,9 @@ void SensorNode::send_beacon(net::Network& net) {
   header.nonce = next_nonce();
 
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed = crypto::seal_with(
-      keys_.own_key(), header.nonce, wsn::encode(inner), header_bytes);
+  support::Bytes sealed = keys_.context_for(keys_.own_cid())
+                              ->seal(header.nonce, wsn::encode(inner),
+                                     header_bytes);
 
   Packet pkt;
   pkt.sender = id();
@@ -389,8 +396,9 @@ bool SensorNode::initiate_cluster_rekey(net::Network& net) {
   const support::Bytes header_bytes = wsn::encode(header);
   // Sealed under the *current* cluster key (§IV-C: "the current cluster
   // key may be used" since Km is gone).
-  support::Bytes sealed = crypto::seal_with(
-      keys_.own_key(), header.nonce, wsn::encode(body), header_bytes);
+  support::Bytes sealed = keys_.context_for(keys_.own_cid())
+                              ->seal(header.nonce, wsn::encode(body),
+                                     header_bytes);
 
   Packet pkt;
   pkt.sender = id();

@@ -280,6 +280,11 @@ class SensorNode : public net::Node {
   std::vector<DiffusionSample> diffusion_samples_;
   std::unordered_map<InterestId, std::uint32_t> publish_seq_;
 
+  /// Cached seal contexts for the node's long-lived secrets: Km during
+  /// setup (invalidated when Km is erased) and Ki for Step-1 end-to-end
+  /// envelopes.  Cluster-key contexts live inside keys_ (context_for).
+  crypto::SealContextCache secret_seal_cache_{4};
+
   std::uint32_t envelope_counter_ = 0;
   std::uint32_t hash_epoch_ = 0;
   std::uint64_t e2e_counter_ = 0;

@@ -2,9 +2,34 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.hpp"
+
+#if defined(LDKE_CRYPTO_X86)
+#include <immintrin.h>
+#endif
+
 namespace ldke::crypto {
 
 namespace {
+
+#if defined(LDKE_CRYPTO_X86)
+// AES-NI path: consumes the same expanded round-key schedule as the
+// portable code (FIPS 197 byte order is what AESENC expects), so the two
+// paths are interchangeable per block.  Compiled with a target attribute
+// instead of -maes globally: only this function may execute the
+// instructions, and only after cpu_has_aesni() says so.
+__attribute__((target("aes,sse2"))) void encrypt_block_aesni(
+    const std::uint8_t* round_keys, std::uint8_t* block) noexcept {
+  const auto* rk = reinterpret_cast<const __m128i*>(round_keys);
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  s = _mm_xor_si128(s, _mm_loadu_si128(rk + 0));
+  for (int round = 1; round <= 9; ++round) {
+    s = _mm_aesenc_si128(s, _mm_loadu_si128(rk + round));
+  }
+  s = _mm_aesenclast_si128(s, _mm_loadu_si128(rk + 10));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), s);
+}
+#endif
 
 constexpr std::uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
@@ -61,6 +86,12 @@ Aes128::Aes128(const Key128& key) noexcept {
 
 void Aes128::encrypt_block(
     std::span<std::uint8_t, kAesBlockBytes> block) const noexcept {
+#if defined(LDKE_CRYPTO_X86)
+  if (detail::cpu_has_aesni()) {
+    encrypt_block_aesni(round_keys_.data(), block.data());
+    return;
+  }
+#endif
   std::uint8_t s[16];
   std::memcpy(s, block.data(), 16);
 

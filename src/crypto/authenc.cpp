@@ -1,69 +1,36 @@
 #include "crypto/authenc.hpp"
 
-#include <cstring>
-
-#include "crypto/ctr.hpp"
+#include "crypto/seal_context.hpp"
 
 namespace ldke::crypto {
 
-namespace {
-
-MacTag envelope_tag(const Key128& mac_key, std::uint64_t nonce,
-                    std::span<const std::uint8_t> cipher,
-                    std::span<const std::uint8_t> aad) noexcept {
-  HmacSha256 ctx{mac_key.span()};
-  std::uint8_t nonce_le[8];
-  for (int i = 0; i < 8; ++i) {
-    nonce_le[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
-  }
-  // Length-prefix the AAD so (aad, ct) boundaries are unambiguous.
-  std::uint8_t aad_len_le[4];
-  const auto aad_len = static_cast<std::uint32_t>(aad.size());
-  for (int i = 0; i < 4; ++i) {
-    aad_len_le[i] = static_cast<std::uint8_t>(aad_len >> (8 * i));
-  }
-  ctx.update(aad_len_le);
-  ctx.update(aad);
-  ctx.update(nonce_le);
-  ctx.update(cipher);
-  const Sha256Digest full = ctx.finish();
-  MacTag tag;
-  std::memcpy(tag.data(), full.data(), tag.size());
-  return tag;
-}
-
-}  // namespace
+// The free functions are thin one-shot wrappers over SealContext: they
+// pay the full per-key setup (pair derivation, AES key schedule, HMAC
+// midstates) on every call.  Hot paths hold a SealContext (or go through
+// a SealContextCache) instead and skip all of it.
 
 support::Bytes seal(const KeyPair& keys, std::uint64_t nonce,
                     std::span<const std::uint8_t> plain,
                     std::span<const std::uint8_t> aad) {
-  support::Bytes out = ctr_encrypt(keys.encr, nonce, plain);
-  const MacTag tag = envelope_tag(keys.mac, nonce, out, aad);
-  out.insert(out.end(), tag.begin(), tag.end());
-  return out;
+  return SealContext{keys}.seal(nonce, plain, aad);
 }
 
 std::optional<support::Bytes> open(const KeyPair& keys, std::uint64_t nonce,
                                    std::span<const std::uint8_t> sealed,
                                    std::span<const std::uint8_t> aad) {
-  if (sealed.size() < kMacTagBytes) return std::nullopt;
-  const auto cipher = sealed.first(sealed.size() - kMacTagBytes);
-  const auto tag = sealed.last(kMacTagBytes);
-  const MacTag expected = envelope_tag(keys.mac, nonce, cipher, aad);
-  if (!support::constant_time_equal(expected, tag)) return std::nullopt;
-  return ctr_decrypt(keys.encr, nonce, cipher);
+  return SealContext{keys}.open(nonce, sealed, aad);
 }
 
 support::Bytes seal_with(const Key128& key, std::uint64_t nonce,
                          std::span<const std::uint8_t> plain,
                          std::span<const std::uint8_t> aad) {
-  return seal(derive_pair(key), nonce, plain, aad);
+  return SealContext{key}.seal(nonce, plain, aad);
 }
 
 std::optional<support::Bytes> open_with(const Key128& key, std::uint64_t nonce,
                                         std::span<const std::uint8_t> sealed,
                                         std::span<const std::uint8_t> aad) {
-  return open(derive_pair(key), nonce, sealed, aad);
+  return SealContext{key}.open(nonce, sealed, aad);
 }
 
 }  // namespace ldke::crypto

@@ -8,6 +8,11 @@
 /// The caller supplies a (never reused per key) nonce — the paper's shared
 /// counter for Step 1, a per-hop counter for Step 2 — and optional
 /// additional authenticated data (e.g. the cleartext CID header).
+///
+/// These free functions are one-shot: each call re-derives the key pair,
+/// the AES key schedule and the HMAC midstates.  Hot paths should hold a
+/// crypto::SealContext (see seal_context.hpp), which produces identical
+/// bytes at a fraction of the cost.
 
 #include <cstdint>
 #include <optional>

@@ -1,0 +1,42 @@
+#pragma once
+/// \file cpu_features.hpp
+/// Runtime x86 feature detection for the hardware-accelerated primitive
+/// paths (AES-NI in aes128.cpp, SHA-NI in sha256.cpp).  Both paths are
+/// bit-identical to the portable code — same FIPS algorithms, different
+/// instructions — so dispatch is purely a perf decision, checked once.
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define LDKE_CRYPTO_X86 1
+#endif
+
+namespace ldke::crypto::detail {
+
+#if defined(LDKE_CRYPTO_X86)
+
+inline bool cpu_has_aesni() noexcept {
+  static const bool has = [] {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (__get_cpuid(1, &a, &b, &c, &d) == 0) return false;
+    return (c & (1u << 25)) != 0;  // CPUID.1:ECX.AES
+  }();
+  return has;
+}
+
+inline bool cpu_has_sha_ni() noexcept {
+  static const bool has = [] {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (__get_cpuid_count(7, 0, &a, &b, &c, &d) == 0) return false;
+    return (b & (1u << 29)) != 0;  // CPUID.7.0:EBX.SHA
+  }();
+  return has;
+}
+
+#else
+
+inline bool cpu_has_aesni() noexcept { return false; }
+inline bool cpu_has_sha_ni() noexcept { return false; }
+
+#endif
+
+}  // namespace ldke::crypto::detail

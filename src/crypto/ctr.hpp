@@ -14,8 +14,33 @@
 
 namespace ldke::crypto {
 
+/// Cached AES-CTR context: owns the expanded AES-128 round keys and
+/// encrypts/decrypts any number of messages without re-running the key
+/// schedule (the schedule costs about two block encryptions — see
+/// BM_Aes128KeySchedule vs BM_Aes128Block).
+class AesCtrContext {
+ public:
+  explicit AesCtrContext(const Key128& key) noexcept : aes_(key) {}
+
+  /// XORs the keystream for \p nonce into \p data in place.  Encryption
+  /// and decryption are the same operation.
+  void crypt(std::uint64_t nonce, std::span<std::uint8_t> data) const noexcept;
+
+  /// Out-of-place conveniences.
+  [[nodiscard]] support::Bytes encrypt(
+      std::uint64_t nonce, std::span<const std::uint8_t> plain) const;
+  [[nodiscard]] support::Bytes decrypt(
+      std::uint64_t nonce, std::span<const std::uint8_t> cipher) const {
+    return encrypt(nonce, cipher);
+  }
+
+ private:
+  Aes128 aes_;
+};
+
 /// XORs the AES-CTR keystream for (key, nonce) into \p data in place.
-/// Encryption and decryption are the same operation.
+/// Encryption and decryption are the same operation.  One-shot: re-runs
+/// the key schedule every call; hold an AesCtrContext on hot paths.
 void ctr_crypt(const Key128& key, std::uint64_t nonce,
                std::span<std::uint8_t> data) noexcept;
 

@@ -4,7 +4,8 @@
 
 namespace ldke::crypto {
 
-HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept {
+HmacMidstate HmacSha256::precompute(
+    std::span<const std::uint8_t> key) noexcept {
   std::array<std::uint8_t, kSha256BlockBytes> block_key{};
   if (key.size() > kSha256BlockBytes) {
     const Sha256Digest digest = sha256(key);
@@ -13,15 +14,29 @@ HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
 
-  std::array<std::uint8_t, kSha256BlockBytes> ipad_key{};
+  std::array<std::uint8_t, kSha256BlockBytes> pad_key{};
   for (std::size_t i = 0; i < kSha256BlockBytes; ++i) {
-    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
-    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+    pad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
   }
-  inner_.update(ipad_key);
+  Sha256 hash;
+  hash.update(pad_key);
+  HmacMidstate mid;
+  mid.inner = hash.compressed_state();
+
+  for (std::size_t i = 0; i < kSha256BlockBytes; ++i) {
+    pad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  hash.reset();
+  hash.update(pad_key);
+  mid.outer = hash.compressed_state();
+
   support::secure_zero(block_key);
-  support::secure_zero(ipad_key);
+  support::secure_zero(pad_key);
+  return mid;
 }
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) noexcept
+    : HmacSha256(precompute(key)) {}
 
 void HmacSha256::update(std::span<const std::uint8_t> data) noexcept {
   inner_.update(data);
@@ -29,8 +44,7 @@ void HmacSha256::update(std::span<const std::uint8_t> data) noexcept {
 
 Sha256Digest HmacSha256::finish() noexcept {
   const Sha256Digest inner_digest = inner_.finish();
-  Sha256 outer;
-  outer.update(opad_key_);
+  Sha256 outer = Sha256::resume(outer_mid_);
   outer.update(inner_digest);
   return outer.finish();
 }

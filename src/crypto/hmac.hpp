@@ -19,17 +19,36 @@ inline constexpr std::size_t kMacTagBytes = 8;
 
 using MacTag = std::array<std::uint8_t, kMacTagBytes>;
 
+/// Precomputed per-key HMAC state: the key-dependent ipad and opad block
+/// compressions are done exactly once; every message MACed under the same
+/// key then resumes from these midstates, skipping two of the four
+/// SHA-256 compressions a short-message HMAC costs.
+struct HmacMidstate {
+  Sha256Midstate inner;  ///< state after compressing (key ^ ipad)
+  Sha256Midstate outer;  ///< state after compressing (key ^ opad)
+};
+
 /// Incremental HMAC-SHA-256.
 class HmacSha256 {
  public:
   explicit HmacSha256(std::span<const std::uint8_t> key) noexcept;
+
+  /// Resumes from a per-key midstate (see precompute); costs two small
+  /// copies instead of the key-setup compressions.
+  explicit HmacSha256(const HmacMidstate& mid) noexcept
+      : inner_(Sha256::resume(mid.inner)), outer_mid_(mid.outer) {}
+
+  /// Runs the per-key setup once; the result can seed any number of
+  /// HmacSha256 contexts for this key.
+  [[nodiscard]] static HmacMidstate precompute(
+      std::span<const std::uint8_t> key) noexcept;
 
   void update(std::span<const std::uint8_t> data) noexcept;
   [[nodiscard]] Sha256Digest finish() noexcept;
 
  private:
   Sha256 inner_;
-  std::array<std::uint8_t, kSha256BlockBytes> opad_key_{};
+  Sha256Midstate outer_mid_{};
 };
 
 /// One-shot full-width HMAC.

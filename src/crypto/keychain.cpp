@@ -8,6 +8,9 @@ KeyChain::KeyChain(const Key128& k_n, std::size_t length) {
   if (length == 0) length = 1;
   chain_.resize(length + 1);
   chain_[length] = k_n;
+  // Each step keys HMAC afresh (the input *is* the key), so unlike the
+  // envelope path there is no midstate to cache here; the chain walk is
+  // already the minimal four compressions per element.
   for (std::size_t l = length; l > 0; --l) {
     chain_[l - 1] = one_way(chain_[l]);
   }
@@ -33,7 +36,7 @@ bool ChainVerifier::accept(const Key128& revealed,
                            std::size_t max_skip) noexcept {
   Key128 walker = revealed;
   for (std::size_t step = 0; step < max_skip; ++step) {
-    walker = one_way(walker);
+    one_way_inplace(walker);
     if (walker == commitment_) {
       commitment_ = revealed;
       return true;

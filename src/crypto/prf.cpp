@@ -26,8 +26,28 @@ Key128 one_way(const Key128& key) noexcept {
   return prf(key, kLabel);
 }
 
+void one_way_inplace(Key128& key) noexcept { key = one_way(key); }
+
 KeyPair derive_pair(const Key128& key) noexcept {
-  return KeyPair{prf_u64(key, 0), prf_u64(key, 1)};
+  return PrfContext{key}.pair();
+}
+
+Key128 PrfContext::operator()(
+    std::span<const std::uint8_t> data) const noexcept {
+  HmacSha256 ctx{mid_};
+  ctx.update(data);
+  const Sha256Digest digest = ctx.finish();
+  Key128 out;
+  std::memcpy(out.bytes.data(), digest.data(), kKeyBytes);
+  return out;
+}
+
+Key128 PrfContext::u64(std::uint64_t label) const noexcept {
+  std::uint8_t encoded[8];
+  for (int i = 0; i < 8; ++i) {
+    encoded[i] = static_cast<std::uint8_t>(label >> (8 * i));
+  }
+  return (*this)(encoded);
 }
 
 }  // namespace ldke::crypto

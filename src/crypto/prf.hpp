@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 
+#include "crypto/hmac.hpp"
 #include "crypto/key.hpp"
 
 namespace ldke::crypto {
@@ -25,6 +26,9 @@ namespace ldke::crypto {
 /// "chain" domain-separation label).
 [[nodiscard]] Key128 one_way(const Key128& key) noexcept;
 
+/// In-place variant for chain walks: key <- F(key).
+void one_way_inplace(Key128& key) noexcept;
+
 /// Derived key pair for independent encryption / authentication
 /// operations, as the paper recommends ("use different keys for different
 /// cryptographic operations").
@@ -34,5 +38,24 @@ struct KeyPair {
 };
 
 [[nodiscard]] KeyPair derive_pair(const Key128& key) noexcept;
+
+/// Cached-key PRF: precomputes the HMAC midstate for one key, so repeated
+/// F(K, .) evaluations under the same K (per-node key reconstruction at
+/// the base station, Kci = F(KMC, i) during provisioning, derive_pair)
+/// skip the per-key block compressions.  Output is byte-identical to the
+/// free functions above.
+class PrfContext {
+ public:
+  explicit PrfContext(const Key128& key) noexcept
+      : mid_(HmacSha256::precompute(key.span())) {}
+
+  [[nodiscard]] Key128 operator()(
+      std::span<const std::uint8_t> data) const noexcept;
+  [[nodiscard]] Key128 u64(std::uint64_t label) const noexcept;
+  [[nodiscard]] KeyPair pair() const noexcept { return {u64(0), u64(1)}; }
+
+ private:
+  HmacMidstate mid_;
+};
 
 }  // namespace ldke::crypto

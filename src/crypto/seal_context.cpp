@@ -1,0 +1,86 @@
+#include "crypto/seal_context.hpp"
+
+#include <cstring>
+
+namespace ldke::crypto {
+
+MacTag SealContext::envelope_tag(std::uint64_t nonce,
+                                 std::span<const std::uint8_t> cipher,
+                                 std::span<const std::uint8_t> aad)
+    const noexcept {
+  HmacSha256 ctx{mac_mid_};
+  std::uint8_t nonce_le[8];
+  for (int i = 0; i < 8; ++i) {
+    nonce_le[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  }
+  // Length-prefix the AAD so (aad, ct) boundaries are unambiguous.
+  std::uint8_t aad_len_le[4];
+  const auto aad_len = static_cast<std::uint32_t>(aad.size());
+  for (int i = 0; i < 4; ++i) {
+    aad_len_le[i] = static_cast<std::uint8_t>(aad_len >> (8 * i));
+  }
+  ctx.update(aad_len_le);
+  ctx.update(aad);
+  ctx.update(nonce_le);
+  ctx.update(cipher);
+  const Sha256Digest full = ctx.finish();
+  MacTag tag;
+  std::memcpy(tag.data(), full.data(), tag.size());
+  return tag;
+}
+
+support::Bytes SealContext::seal(std::uint64_t nonce,
+                                 std::span<const std::uint8_t> plain,
+                                 std::span<const std::uint8_t> aad) const {
+  support::Bytes out = ctr_.encrypt(nonce, plain);
+  const MacTag tag = envelope_tag(nonce, out, aad);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<support::Bytes> SealContext::open(
+    std::uint64_t nonce, std::span<const std::uint8_t> sealed,
+    std::span<const std::uint8_t> aad) const {
+  if (sealed.size() < kMacTagBytes) return std::nullopt;
+  const auto cipher = sealed.first(sealed.size() - kMacTagBytes);
+  const auto tag = sealed.last(kMacTagBytes);
+  const MacTag expected = envelope_tag(nonce, cipher, aad);
+  if (!support::constant_time_equal(expected, tag)) return std::nullopt;
+  return ctr_.decrypt(nonce, cipher);
+}
+
+const SealContext& SealContextCache::get(const Key128& key) {
+  ++clock_;
+  Slot* oldest = nullptr;
+  for (auto& slot : slots_) {
+    if (slot.key == key) {
+      slot.stamp = clock_;
+      ++hits_;
+      return *slot.ctx;
+    }
+    if (oldest == nullptr || slot.stamp < oldest->stamp) oldest = &slot;
+  }
+  ++misses_;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(
+        Slot{key, clock_, std::make_unique<SealContext>(key)});
+    return *slots_.back().ctx;
+  }
+  oldest->key = key;
+  oldest->stamp = clock_;
+  *oldest->ctx = SealContext{key};
+  return *oldest->ctx;
+}
+
+bool SealContextCache::invalidate(const Key128& key) noexcept {
+  for (auto& slot : slots_) {
+    if (slot.key == key) {
+      if (&slot != &slots_.back()) slot = std::move(slots_.back());
+      slots_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ldke::crypto

@@ -17,6 +17,14 @@ inline constexpr std::size_t kSha256BlockBytes = 64;
 
 using Sha256Digest = std::array<std::uint8_t, kSha256DigestBytes>;
 
+/// Compression state captured at a 64-byte block boundary.  Lets callers
+/// (HMAC in particular) pay for a fixed prefix's block compressions once
+/// per key and replay them per message at the cost of a small copy.
+struct Sha256Midstate {
+  std::array<std::uint32_t, 8> state{};
+  std::uint64_t total_bytes = 0;
+};
+
 /// Incremental SHA-256 context.
 class Sha256 {
  public:
@@ -27,6 +35,13 @@ class Sha256 {
   /// Finalizes and returns the digest; the context must be reset() before
   /// reuse.
   [[nodiscard]] Sha256Digest finish() noexcept;
+
+  /// Captures the compression state.  Only valid at a block boundary:
+  /// the bytes fed so far must be a multiple of kSha256BlockBytes.
+  [[nodiscard]] Sha256Midstate compressed_state() const noexcept;
+
+  /// Rebuilds a context positioned exactly where \p mid was captured.
+  [[nodiscard]] static Sha256 resume(const Sha256Midstate& mid) noexcept;
 
  private:
   void process_block(const std::uint8_t* block) noexcept;

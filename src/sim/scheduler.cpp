@@ -1,49 +1,76 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
-#include <memory>
+#include <utility>
 
 namespace ldke::sim {
 
 EventId Scheduler::schedule(SimTime when, std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id,
-                   std::make_shared<std::function<void()>>(std::move(action))});
-  live_ids_.insert(id);
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.live = true;
+  const EventId id =
+      (static_cast<EventId>(s.generation) << 32) | (slot + 1ULL);
+  heap_.push(Entry{when, next_seq_++, id});
   ++live_;
   return id;
 }
 
-bool Scheduler::cancel(EventId id) {
-  if (live_ids_.erase(id) == 0) return false;  // already run or cancelled
-  cancelled_.insert(id);
+bool Scheduler::is_live(EventId id) const noexcept {
+  if (id == kInvalidEventId) return false;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.live && s.generation == generation_of(id);
+}
+
+void Scheduler::retire(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.action = nullptr;
+  s.live = false;
+  ++s.generation;  // invalidates every outstanding id for this slot
+  free_slots_.push_back(slot);
   --live_;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!is_live(id)) return false;  // already run or cancelled
+  retire(slot_of(id));
+  // The heap entry stays behind as a tombstone; skip_dead pops it once
+  // it surfaces.
   return true;
 }
 
-void Scheduler::skip_cancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
+void Scheduler::skip_dead() {
+  while (!heap_.empty() && !is_live(heap_.top().id)) heap_.pop();
 }
 
 SimTime Scheduler::next_time() {
-  skip_cancelled();
+  skip_dead();
   assert(!heap_.empty());
   return heap_.top().when;
 }
 
 SimTime Scheduler::run_next() {
-  skip_cancelled();
+  skip_dead();
   assert(!heap_.empty());
-  Entry entry = heap_.top();
+  const Entry entry = heap_.top();
   heap_.pop();
-  live_ids_.erase(entry.id);
-  --live_;
-  (*entry.action)();
+  const std::uint32_t slot = slot_of(entry.id);
+  // Move the callable out and finish slab bookkeeping BEFORE invoking:
+  // the action may schedule new events (possibly reusing this slot) or
+  // cancel others.
+  std::function<void()> action = std::move(slots_[slot].action);
+  retire(slot);
+  action();
   return entry.when;
 }
 

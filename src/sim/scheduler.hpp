@@ -3,12 +3,18 @@
 /// Pending-event set: a binary heap of (time, sequence) ordered events.
 /// Equal-time events run in scheduling order (stable), which keeps trials
 /// bit-reproducible.
+///
+/// Layout: the heap holds 24-byte POD entries; the callables live in a
+/// slot slab indexed by the low half of the EventId.  The high half is a
+/// per-slot generation counter, so a stale id (already run or cancelled,
+/// slot since reused) is recognised without any auxiliary set.  Cancel is
+/// O(1): the slot is retired and the heap entry becomes a tombstone that
+/// `skip_dead` pops when it reaches the top.
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
-#include <unordered_set>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -16,6 +22,7 @@ namespace ldke::sim {
 
 /// Handle that allows cancelling a scheduled event (e.g. a node cancels
 /// its cluster-head timer when it joins another cluster).
+/// Encoded as (generation << 32) | (slot + 1), so 0 is never issued.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
@@ -41,24 +48,40 @@ class Scheduler {
  private:
   struct Entry {
     SimTime when;
+    std::uint64_t seq;  ///< global scheduling order: stable tie-break
     EventId id;
-    // shared_ptr so copies made by priority_queue stay cheap to move.
-    std::shared_ptr<std::function<void()>> action;
 
-    // Min-heap on (when, id): std::priority_queue is a max-heap, so the
+    // Min-heap on (when, seq): std::priority_queue is a max-heap, so the
     // comparison is inverted.
     friend bool operator<(const Entry& a, const Entry& b) noexcept {
       if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  void skip_cancelled();
+  struct Slot {
+    std::function<void()> action;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xffff'ffffU) - 1;
+  }
+  static constexpr std::uint32_t generation_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  [[nodiscard]] bool is_live(EventId id) const noexcept;
+  /// Retires a slot after run/cancel; the next schedule() may reuse it
+  /// under a bumped generation.
+  void retire(std::uint32_t slot) noexcept;
+  void skip_dead();
 
   std::priority_queue<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> live_ids_;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
 

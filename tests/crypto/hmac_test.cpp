@@ -45,6 +45,44 @@ TEST(HmacSha256, Rfc4231Case6LongKey) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+// The midstate path (precompute once per key, resume per message) must
+// reproduce the RFC 4231 vectors bit-for-bit.
+TEST(HmacMidstate, ReproducesRfc4231Vectors) {
+  struct Case {
+    Bytes key;
+    Bytes data;
+    const char* digest;
+  };
+  const Case cases[] = {
+      {Bytes(20, 0x0b), bytes_of("Hi There"),
+       "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
+      {bytes_of("Jefe"), bytes_of("what do ya want for nothing?"),
+       "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
+      {Bytes(20, 0xaa), Bytes(50, 0xdd),
+       "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"},
+      {Bytes(131, 0xaa),
+       bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"),
+       "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"},
+  };
+  for (const Case& c : cases) {
+    const HmacMidstate mid = HmacSha256::precompute(c.key);
+    HmacSha256 ctx{mid};
+    ctx.update(c.data);
+    EXPECT_EQ(to_hex(ctx.finish()), c.digest);
+  }
+}
+
+TEST(HmacMidstate, OneMidstateServesManyMessages) {
+  const auto key = bytes_of("per-key midstate");
+  const HmacMidstate mid = HmacSha256::precompute(key);
+  for (int i = 0; i < 5; ++i) {
+    Bytes msg(static_cast<std::size_t>(i) * 37, static_cast<std::uint8_t>(i));
+    HmacSha256 ctx{mid};
+    ctx.update(msg);
+    EXPECT_EQ(ctx.finish(), hmac_sha256(key, msg));
+  }
+}
+
 TEST(HmacSha256, IncrementalMatchesOneShot) {
   const auto key = bytes_of("incremental-key");
   const auto msg = bytes_of("part1|part2|part3");

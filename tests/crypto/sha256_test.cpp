@@ -87,6 +87,50 @@ TEST(Sha256, ResetAllowsReuse) {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
+// Midstate capture/resume: hashing prefix||suffix through a resumed
+// context must equal hashing the concatenation directly.  Capture is
+// only valid at 64-byte block boundaries.
+TEST(Sha256, MidstateResumeMatchesDirectHash) {
+  for (std::size_t prefix_blocks : {1u, 2u, 4u}) {
+    support::Bytes prefix(prefix_blocks * 64);
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      prefix[i] = static_cast<std::uint8_t>(i ^ 0xc3);
+    }
+    const auto suffix = bytes_of("resumed tail, any length");
+
+    Sha256 base;
+    base.update(prefix);
+    const Sha256Midstate mid = base.compressed_state();
+
+    Sha256 resumed = Sha256::resume(mid);
+    resumed.update(suffix);
+
+    support::Bytes whole = prefix;
+    whole.insert(whole.end(), suffix.begin(), suffix.end());
+    EXPECT_EQ(resumed.finish(), sha256(whole)) << "blocks=" << prefix_blocks;
+  }
+}
+
+TEST(Sha256, MidstateIsReusable) {
+  support::Bytes prefix(64, 0x36);  // an ipad-style block
+  Sha256 base;
+  base.update(prefix);
+  const Sha256Midstate mid = base.compressed_state();
+  // Two independent resumes from one midstate must not interfere.
+  Sha256 a = Sha256::resume(mid);
+  Sha256 b = Sha256::resume(mid);
+  a.update(bytes_of("message A"));
+  b.update(bytes_of("message B"));
+  support::Bytes whole_a = prefix;
+  const auto tail_a = bytes_of("message A");
+  whole_a.insert(whole_a.end(), tail_a.begin(), tail_a.end());
+  EXPECT_EQ(a.finish(), sha256(whole_a));
+  support::Bytes whole_b = prefix;
+  const auto tail_b = bytes_of("message B");
+  whole_b.insert(whole_b.end(), tail_b.begin(), tail_b.end());
+  EXPECT_EQ(b.finish(), sha256(whole_b));
+}
+
 TEST(Sha256, DistinctMessagesDistinctDigests) {
   EXPECT_NE(digest_hex("messageA"), digest_hex("messageB"));
   EXPECT_NE(digest_hex("a"), digest_hex(std::string_view("a\0", 2)));

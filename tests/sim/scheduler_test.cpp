@@ -99,6 +99,60 @@ TEST(Scheduler, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(Scheduler, StaleIdStaysDeadAfterSlotReuse) {
+  Scheduler s;
+  // Run an event so its slot goes back on the free list, then schedule a
+  // new one that reuses the slot.  The old id must not cancel the new
+  // event (generations differ).
+  const EventId old_id = s.schedule(SimTime::from_ms(1), [] {});
+  s.run_next();
+  bool ran = false;
+  const EventId new_id = s.schedule(SimTime::from_ms(2), [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(s.cancel(old_id));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_next();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, ActionMayCancelAnotherPendingEvent) {
+  Scheduler s;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  s.schedule(SimTime::from_ms(1), [&] { EXPECT_TRUE(s.cancel(second)); });
+  second = s.schedule(SimTime::from_ms(2), [&] { second_ran = true; });
+  while (!s.empty()) s.run_next();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Scheduler, RunningEventCannotCancelItself) {
+  Scheduler s;
+  EventId self = kInvalidEventId;
+  bool cancel_result = true;
+  self = s.schedule(SimTime::from_ms(1),
+                    [&] { cancel_result = s.cancel(self); });
+  s.run_next();
+  EXPECT_FALSE(cancel_result);  // already retired when the action runs
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, ChurnKeepsPendingCountConsistent) {
+  Scheduler s;
+  std::size_t executed = 0;
+  // Heavy schedule/cancel churn recycling a small number of slots.
+  for (int round = 0; round < 200; ++round) {
+    const EventId keep =
+        s.schedule(SimTime::from_ms(round), [&] { ++executed; });
+    const EventId drop = s.schedule(SimTime::from_ms(round), [&] { ++executed; });
+    EXPECT_TRUE(s.cancel(drop));
+    EXPECT_FALSE(s.cancel(drop));
+    (void)keep;
+  }
+  EXPECT_EQ(s.pending(), 200u);
+  while (!s.empty()) s.run_next();
+  EXPECT_EQ(executed, 200u);
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
   Scheduler s;
   std::vector<std::int64_t> times;
