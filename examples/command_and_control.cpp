@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   runner.network().channel().broadcast_from(
       {cfg.side_m / 2, cfg.side_m / 2}, cfg.side_m,
       net::Packet{net::kNoNode, net::PacketKind::kAuthBroadcast,
-                  core::encode(forged)});
+                  wsn::encode(forged)});
   runner.run_for(4.0);
   std::size_t poisoned = 0;
   for (net::NodeId id = 1; id < runner.node_count(); ++id) {

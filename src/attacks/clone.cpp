@@ -32,13 +32,12 @@ CloneAttackResult run_clone_attack(core::ProtocolRunner& runner,
   header.nonce = (std::uint64_t{material.node} << 32) | 0xFFFF0000ULL;
 
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed = crypto::seal_with(key_it->second, header.nonce,
-                                            wsn::encode(inner), header_bytes);
+  const support::Bytes sealed = crypto::seal_with(
+      key_it->second, header.nonce, wsn::encode(inner), header_bytes);
   net::Packet pkt;
   pkt.sender = material.node;
   pkt.kind = net::PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
 
   const auto before_peek = net.counters().value("data.peek_ok");
   const auto before_no_key = net.counters().value("envelope.no_key");

@@ -8,10 +8,14 @@ void Eavesdropper::attach(net::Network& net) {
   net.channel().set_sniffer([this](const net::Packet& pkt) {
     ++packets_seen_;
     bytes_seen_ += pkt.size_bytes();
+    const auto kind_index = static_cast<std::size_t>(pkt.kind);
+    if (kind_index < kind_counts_.size()) ++kind_counts_[kind_index];
+    // Data envelopes additionally expose their cleartext CID — the
+    // input of the readable-fraction metric.  split_envelope only reads
+    // views of the shared payload buffer; recording costs no copy.
     if (pkt.kind == net::PacketKind::kData) {
-      support::Bytes sealed;
-      if (const auto header = wsn::decode_data_header(pkt.payload, sealed)) {
-        data_headers_.push_back(header->cid);
+      if (const auto env = wsn::split_envelope(pkt.payload)) {
+        data_headers_.push_back(env->header.cid);
       }
     }
   });
@@ -29,6 +33,7 @@ std::uint64_t Eavesdropper::readable_data_packets(
 void Eavesdropper::reset() noexcept {
   packets_seen_ = 0;
   bytes_seen_ = 0;
+  kind_counts_.fill(0);
   data_headers_.clear();
 }
 

@@ -47,13 +47,12 @@ SybilResult run_sybil_attack(core::ProtocolRunner& runner,
     header.next_hop = parent;
     header.nonce = (std::uint64_t{material.node} << 32) | (0xF0000000ULL + ++counter);
     const auto header_bytes = wsn::encode(header);
-    auto sealed = crypto::seal_with(key_it->second, header.nonce,
-                                    wsn::encode(inner), header_bytes);
+    const auto sealed = crypto::seal_with(key_it->second, header.nonce,
+                                          wsn::encode(inner), header_bytes);
     net::Packet pkt;
     pkt.sender = material.node;
     pkt.kind = net::PacketKind::kData;
-    pkt.payload = header_bytes;
-    pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+    pkt.payload = wsn::join_envelope(header_bytes, sealed);
     net.channel().broadcast_from(pos, range, pkt);
     runner.run_for(0.05);
   }

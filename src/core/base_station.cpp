@@ -18,7 +18,7 @@ void BaseStation::emit_disclosure(net::Network& net) {
   if (disclosure && disclosure->interval > last_disclosed_interval_) {
     last_disclosed_interval_ = disclosure->interval;
     net.broadcast(net::Packet{id(), net::PacketKind::kKeyDisclosure,
-                              encode(*disclosure)});
+                              wsn::encode(*disclosure)});
     net.counters().increment("mutesla.disclosed");
   }
   // Keep ticking until the chain is spent.
@@ -38,7 +38,7 @@ bool BaseStation::broadcast_command(net::Network& net,
   const auto cmd = mutesla_.make_command(net.sim().now(), payload);
   if (!cmd) return false;
   net.broadcast(
-      net::Packet{id(), net::PacketKind::kAuthBroadcast, encode(*cmd)});
+      net::Packet{id(), net::PacketKind::kAuthBroadcast, wsn::encode(*cmd)});
   net.counters().increment("mutesla.command_sent");
   return true;
 }

@@ -6,51 +6,42 @@
 
 #include "core/sensor_node.hpp"
 
-namespace ldke::core {
+namespace ldke::wsn {
 
-using net::Packet;
-using net::PacketKind;
-
-support::Bytes encode(const InterestBody& body) {
-  wsn::Writer w;
+void Codec<core::InterestBody>::write(Writer& w,
+                                      const core::InterestBody& body) {
   w.u32(body.interest);
   w.var_bytes(body.descriptor);
-  return w.take();
 }
 
-std::optional<InterestBody> decode_interest(
-    std::span<const std::uint8_t> data) {
-  wsn::Reader r{data};
-  InterestBody body;
+std::optional<core::InterestBody> Codec<core::InterestBody>::read(Reader& r) {
+  core::InterestBody body;
   const auto interest = r.u32();
   auto descriptor = r.var_bytes();
-  if (!interest || !descriptor || !r.exhausted()) return std::nullopt;
+  if (!interest || !descriptor) return std::nullopt;
   body.interest = *interest;
   body.descriptor = std::move(*descriptor);
   return body;
 }
 
-support::Bytes encode(const DiffusionDataBody& body) {
-  wsn::Writer w;
+void Codec<core::DiffusionDataBody>::write(
+    Writer& w, const core::DiffusionDataBody& body) {
   w.u32(body.interest);
   w.u32(body.seq);
   w.u32(body.source);
   w.u8(body.exploratory);
   w.var_bytes(body.payload);
-  return w.take();
 }
 
-std::optional<DiffusionDataBody> decode_diffusion_data(
-    std::span<const std::uint8_t> data) {
-  wsn::Reader r{data};
-  DiffusionDataBody body;
+std::optional<core::DiffusionDataBody> Codec<core::DiffusionDataBody>::read(
+    Reader& r) {
+  core::DiffusionDataBody body;
   const auto interest = r.u32();
   const auto seq = r.u32();
   const auto source = r.u32();
   const auto exploratory = r.u8();
   auto payload = r.var_bytes();
-  if (!interest || !seq || !source || !exploratory.has_value() || !payload ||
-      !r.exhausted()) {
+  if (!interest || !seq || !source || !exploratory.has_value() || !payload) {
     return std::nullopt;
   }
   body.interest = *interest;
@@ -61,19 +52,23 @@ std::optional<DiffusionDataBody> decode_diffusion_data(
   return body;
 }
 
-support::Bytes encode(const ReinforceBody& body) {
-  wsn::Writer w;
+void Codec<core::ReinforceBody>::write(Writer& w,
+                                       const core::ReinforceBody& body) {
   w.u32(body.interest);
-  return w.take();
 }
 
-std::optional<ReinforceBody> decode_reinforce(
-    std::span<const std::uint8_t> data) {
-  wsn::Reader r{data};
+std::optional<core::ReinforceBody> Codec<core::ReinforceBody>::read(Reader& r) {
   const auto interest = r.u32();
-  if (!interest || !r.exhausted()) return std::nullopt;
-  return ReinforceBody{*interest};
+  if (!interest) return std::nullopt;
+  return core::ReinforceBody{*interest};
 }
+
+}  // namespace ldke::wsn
+
+namespace ldke::core {
+
+using net::Packet;
+using net::PacketKind;
 
 // ---------------------------------------------------------------------------
 
@@ -87,7 +82,7 @@ void SensorNode::subscribe_interest(net::Network& net, InterestId interest,
   InterestBody body;
   body.interest = interest;
   body.descriptor = entry.descriptor;
-  broadcast_under_current_key(net, PacketKind::kInterest, encode(body));
+  broadcast_under_current_key(net, PacketKind::kInterest, wsn::encode(body));
   net.counters().increment("diffusion.interest_sent");
 }
 
@@ -95,7 +90,7 @@ void SensorNode::on_interest(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto body = decode_interest(*plain);
+  const auto body = wsn::decode<InterestBody>(*plain);
   if (!body) {
     net.counters().increment("diffusion.malformed");
     return;
@@ -106,7 +101,7 @@ void SensorNode::on_interest(net::Network& net, const Packet& packet) {
   entry.interest_forwarded = true;
   entry.toward_sink = packet.sender;  // gradient toward the sink
   entry.descriptor = body->descriptor;
-  broadcast_under_current_key(net, PacketKind::kInterest, encode(*body));
+  broadcast_under_current_key(net, PacketKind::kInterest, wsn::encode(*body));
   net.counters().increment("diffusion.interest_forwarded");
 }
 
@@ -129,7 +124,7 @@ bool SensorNode::publish_sample(net::Network& net, InterestId interest,
                        : (entry.path_toward_sink != net::kNoNode
                               ? entry.path_toward_sink
                               : entry.toward_sink);
-  broadcast_under_current_key(net, PacketKind::kDiffData, encode(body),
+  broadcast_under_current_key(net, PacketKind::kDiffData, wsn::encode(body),
                               next_hop);
   net.counters().increment(body.exploratory ? "diffusion.exploratory_sent"
                                             : "diffusion.path_sent");
@@ -140,7 +135,7 @@ void SensorNode::on_diff_data(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto body = decode_diffusion_data(*plain);
+  const auto body = wsn::decode<DiffusionDataBody>(*plain);
   if (!body) {
     net.counters().increment("diffusion.malformed");
     return;
@@ -170,7 +165,7 @@ void SensorNode::on_diff_data(net::Network& net, const Packet& packet) {
     if (body->exploratory && !entry.sink_reinforced) {
       entry.sink_reinforced = true;
       broadcast_under_current_key(net, PacketKind::kReinforce,
-                                  encode(ReinforceBody{body->interest}),
+                                  wsn::encode(ReinforceBody{body->interest}),
                                   packet.sender);
       net.counters().increment("diffusion.reinforce_sent");
     }
@@ -179,7 +174,7 @@ void SensorNode::on_diff_data(net::Network& net, const Packet& packet) {
 
   if (body->exploratory != 0) {
     // Flood onward along the interest gradient.
-    broadcast_under_current_key(net, PacketKind::kDiffData, encode(*body));
+    broadcast_under_current_key(net, PacketKind::kDiffData, wsn::encode(*body));
     net.counters().increment("diffusion.exploratory_forwarded");
   } else {
     // Path data: only the addressed node on the reinforced path relays.
@@ -188,7 +183,7 @@ void SensorNode::on_diff_data(net::Network& net, const Packet& packet) {
     const net::NodeId downstream = entry.path_toward_sink != net::kNoNode
                                        ? entry.path_toward_sink
                                        : entry.toward_sink;
-    broadcast_under_current_key(net, PacketKind::kDiffData, encode(*body),
+    broadcast_under_current_key(net, PacketKind::kDiffData, wsn::encode(*body),
                                 downstream);
     net.counters().increment("diffusion.path_forwarded");
   }
@@ -198,7 +193,7 @@ void SensorNode::on_reinforce(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto body = decode_reinforce(*plain);
+  const auto body = wsn::decode<ReinforceBody>(*plain);
   if (!body) {
     net.counters().increment("diffusion.malformed");
     return;
@@ -215,7 +210,7 @@ void SensorNode::on_reinforce(net::Network& net, const Packet& packet) {
   // Continue toward the source while a gradient exists; the source
   // itself has none and the walk terminates there.
   if (entry.toward_source != net::kNoNode) {
-    broadcast_under_current_key(net, PacketKind::kReinforce, encode(*body),
+    broadcast_under_current_key(net, PacketKind::kReinforce, wsn::encode(*body),
                                 entry.toward_source);
   }
 }

@@ -26,6 +26,7 @@
 
 #include "net/topology.hpp"
 #include "support/hex.hpp"
+#include "wsn/codec.hpp"
 #include "wsn/wire.hpp"
 
 namespace ldke::core {
@@ -51,16 +52,6 @@ struct DiffusionDataBody {
 struct ReinforceBody {
   InterestId interest = 0;
 };
-
-[[nodiscard]] support::Bytes encode(const InterestBody& body);
-[[nodiscard]] std::optional<InterestBody> decode_interest(
-    std::span<const std::uint8_t> data);
-[[nodiscard]] support::Bytes encode(const DiffusionDataBody& body);
-[[nodiscard]] std::optional<DiffusionDataBody> decode_diffusion_data(
-    std::span<const std::uint8_t> data);
-[[nodiscard]] support::Bytes encode(const ReinforceBody& body);
-[[nodiscard]] std::optional<ReinforceBody> decode_reinforce(
-    std::span<const std::uint8_t> data);
 
 /// A sample delivered at the sink.
 struct DiffusionSample {
@@ -88,3 +79,26 @@ struct DiffusionEntry {
 };
 
 }  // namespace ldke::core
+
+namespace ldke::wsn {
+
+// Diffusion messages ride the same unified codec as the wsn bodies.
+template <>
+struct Codec<core::InterestBody> {
+  static void write(Writer& w, const core::InterestBody& body);
+  static std::optional<core::InterestBody> read(Reader& r);
+};
+
+template <>
+struct Codec<core::DiffusionDataBody> {
+  static void write(Writer& w, const core::DiffusionDataBody& body);
+  static std::optional<core::DiffusionDataBody> read(Reader& r);
+};
+
+template <>
+struct Codec<core::ReinforceBody> {
+  static void write(Writer& w, const core::ReinforceBody& body);
+  static std::optional<core::ReinforceBody> read(Reader& r);
+};
+
+}  // namespace ldke::wsn

@@ -5,28 +5,22 @@
 #include "crypto/prf.hpp"
 #include "wsn/wire.hpp"
 
-namespace ldke::core {
+namespace ldke::wsn {
 
-support::Bytes encode(const AuthCommand& cmd) {
-  wsn::Writer w;
+void Codec<core::AuthCommand>::write(Writer& w, const core::AuthCommand& cmd) {
   w.u32(cmd.interval);
   w.u32(cmd.seq);
   w.var_bytes(cmd.payload);
   w.fixed(cmd.tag);
-  return w.take();
 }
 
-std::optional<AuthCommand> decode_auth_command(
-    std::span<const std::uint8_t> data) {
-  wsn::Reader r{data};
-  AuthCommand cmd;
+std::optional<core::AuthCommand> Codec<core::AuthCommand>::read(Reader& r) {
+  core::AuthCommand cmd;
   const auto interval = r.u32();
   const auto seq = r.u32();
   auto payload = r.var_bytes();
   const auto tag = r.fixed<crypto::kMacTagBytes>();
-  if (!interval || !seq || !payload || !tag || !r.exhausted()) {
-    return std::nullopt;
-  }
+  if (!interval || !seq || !payload || !tag) return std::nullopt;
   cmd.interval = *interval;
   cmd.seq = *seq;
   cmd.payload = std::move(*payload);
@@ -34,24 +28,25 @@ std::optional<AuthCommand> decode_auth_command(
   return cmd;
 }
 
-support::Bytes encode(const KeyDisclosure& disclosure) {
-  wsn::Writer w;
+void Codec<core::KeyDisclosure>::write(Writer& w,
+                                       const core::KeyDisclosure& disclosure) {
   w.u32(disclosure.interval);
   w.fixed(disclosure.key.bytes);
-  return w.take();
 }
 
-std::optional<KeyDisclosure> decode_key_disclosure(
-    std::span<const std::uint8_t> data) {
-  wsn::Reader r{data};
-  KeyDisclosure d;
+std::optional<core::KeyDisclosure> Codec<core::KeyDisclosure>::read(Reader& r) {
+  core::KeyDisclosure d;
   const auto interval = r.u32();
   const auto raw = r.fixed<crypto::kKeyBytes>();
-  if (!interval || !raw || !r.exhausted()) return std::nullopt;
+  if (!interval || !raw) return std::nullopt;
   d.interval = *interval;
   d.key.bytes = *raw;
   return d;
 }
+
+}  // namespace ldke::wsn
+
+namespace ldke::core {
 
 crypto::MacTag command_tag(const crypto::Key128& interval_key,
                            std::uint32_t interval, std::uint32_t seq,

@@ -24,6 +24,7 @@
 #include "crypto/keychain.hpp"
 #include "sim/time.hpp"
 #include "support/hex.hpp"
+#include "wsn/codec.hpp"
 
 namespace ldke::core {
 
@@ -50,13 +51,6 @@ struct KeyDisclosure {
   std::uint32_t interval = 0;
   crypto::Key128 key;
 };
-
-[[nodiscard]] support::Bytes encode(const AuthCommand& cmd);
-[[nodiscard]] std::optional<AuthCommand> decode_auth_command(
-    std::span<const std::uint8_t> data);
-[[nodiscard]] support::Bytes encode(const KeyDisclosure& disclosure);
-[[nodiscard]] std::optional<KeyDisclosure> decode_key_disclosure(
-    std::span<const std::uint8_t> data);
 
 /// MAC input for a command (interval | seq | payload).
 [[nodiscard]] crypto::MacTag command_tag(const crypto::Key128& interval_key,
@@ -150,3 +144,20 @@ class MuTeslaReceiver {
 };
 
 }  // namespace ldke::core
+
+namespace ldke::wsn {
+
+// µTESLA messages ride the same unified codec as the wsn bodies.
+template <>
+struct Codec<core::AuthCommand> {
+  static void write(Writer& w, const core::AuthCommand& cmd);
+  static std::optional<core::AuthCommand> read(Reader& r);
+};
+
+template <>
+struct Codec<core::KeyDisclosure> {
+  static void write(Writer& w, const core::KeyDisclosure& disclosure);
+  static std::optional<core::KeyDisclosure> read(Reader& r);
+};
+
+}  // namespace ldke::wsn

@@ -28,12 +28,11 @@ void SensorNode::broadcast_under_current_key(
   header.next_hop = next_hop;
   header.nonce = next_nonce();
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed = ctx->seal(header.nonce, body, header_bytes);
+  const support::Bytes sealed = ctx->seal(header.nonce, body, header_bytes);
   Packet pkt;
   pkt.sender = id();
   pkt.kind = kind;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
   net.broadcast(pkt);
 }
 
@@ -76,7 +75,7 @@ void SensorNode::on_recluster_hello(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto body = wsn::decode_hello(*plain);
+  const auto body = wsn::decode<wsn::HelloBody>(*plain);
   if (!body || body->head_id != packet.sender) {
     net.counters().increment("recluster.malformed");
     return;
@@ -106,7 +105,7 @@ void SensorNode::on_recluster_link(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto body = wsn::decode_link_advert(*plain);
+  const auto body = wsn::decode<wsn::LinkAdvertBody>(*plain);
   if (!body) {
     net.counters().increment("recluster.malformed");
     return;

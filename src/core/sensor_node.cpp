@@ -106,7 +106,7 @@ void SensorNode::on_hello(net::Network& net, const Packet& packet) {
     net.counters().increment("setup.hello_auth_fail");
     return;
   }
-  const auto body = wsn::decode_hello(*plain);
+  const auto body = wsn::decode<wsn::HelloBody>(*plain);
   if (!body || body->head_id != packet.sender) {
     net.counters().increment("setup.hello_malformed");
     return;
@@ -148,7 +148,7 @@ void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
     net.counters().increment("setup.link_auth_fail");
     return;
   }
-  const auto body = wsn::decode_link_advert(*plain);
+  const auto body = wsn::decode<wsn::LinkAdvertBody>(*plain);
   if (!body) {
     net.counters().increment("setup.link_malformed");
     return;
@@ -208,27 +208,27 @@ void SensorNode::forward_inner(net::Network& net, wsn::DataInner inner) {
   header.nonce = next_nonce();
 
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed = keys_.context_for(wrap_cid)->seal(
+  const support::Bytes sealed = keys_.context_for(wrap_cid)->seal(
       header.nonce, wsn::encode(inner), header_bytes);
 
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
   net.broadcast(pkt);
   net.counters().increment("data.hop_tx");
 }
 
 std::optional<support::Bytes> SensorNode::open_envelope(
     net::Network& net, const Packet& packet, wsn::DataHeader& header) {
-  support::Bytes sealed;
-  const auto decoded = wsn::decode_data_header(packet.payload, sealed);
-  if (!decoded) {
+  // Zero-copy receive: the envelope is split into views over the shared
+  // payload buffer; only the decrypted plaintext is materialized.
+  const auto env = wsn::split_envelope(packet.payload);
+  if (!env) {
     net.counters().increment("envelope.malformed");
     return std::nullopt;
   }
-  header = *decoded;
+  header = env->header;
   const crypto::SealContext* ctx = keys_.context_for(header.cid);
   if (ctx == nullptr) {
     // Not a bordering cluster: cannot translate (expected for most of the
@@ -236,10 +236,7 @@ std::optional<support::Bytes> SensorNode::open_envelope(
     net.counters().increment("envelope.no_key");
     return std::nullopt;
   }
-  const std::size_t header_len = packet.payload.size() - sealed.size();
-  auto plain = ctx->open(
-      header.nonce, sealed,
-      std::span<const std::uint8_t>{packet.payload.data(), header_len});
+  auto plain = ctx->open(header.nonce, env->sealed, env->header_bytes);
   if (!plain) {
     net.counters().increment("envelope.auth_fail");
     return std::nullopt;
@@ -274,7 +271,7 @@ void SensorNode::on_data(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto inner = wsn::decode_data_inner(*plain);
+  const auto inner = wsn::decode<wsn::DataInner>(*plain);
   if (!inner) {
     net.counters().increment("envelope.malformed");
     return;
@@ -337,15 +334,14 @@ void SensorNode::send_beacon(net::Network& net) {
   header.nonce = next_nonce();
 
   const support::Bytes header_bytes = wsn::encode(header);
-  support::Bytes sealed = keys_.context_for(keys_.own_cid())
-                              ->seal(header.nonce, wsn::encode(inner),
-                                     header_bytes);
+  const support::Bytes sealed = keys_.context_for(keys_.own_cid())
+                                    ->seal(header.nonce, wsn::encode(inner),
+                                           header_bytes);
 
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kBeacon;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
   net.broadcast(pkt);
   net.counters().increment("routing.beacon_tx");
 }
@@ -363,7 +359,7 @@ void SensorNode::on_beacon(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto inner = wsn::decode_beacon_inner(*plain);
+  const auto inner = wsn::decode<wsn::BeaconInner>(*plain);
   if (!inner) {
     net.counters().increment("envelope.malformed");
     return;
@@ -396,15 +392,14 @@ bool SensorNode::initiate_cluster_rekey(net::Network& net) {
   const support::Bytes header_bytes = wsn::encode(header);
   // Sealed under the *current* cluster key (§IV-C: "the current cluster
   // key may be used" since Km is gone).
-  support::Bytes sealed = keys_.context_for(keys_.own_cid())
-                              ->seal(header.nonce, wsn::encode(body),
-                                     header_bytes);
+  const support::Bytes sealed = keys_.context_for(keys_.own_cid())
+                                    ->seal(header.nonce, wsn::encode(body),
+                                           header_bytes);
 
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kRefresh;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
   net.broadcast(pkt);
   net.counters().increment("refresh.initiated");
 
@@ -417,7 +412,7 @@ void SensorNode::on_refresh(net::Network& net, const Packet& packet) {
   wsn::DataHeader header;
   const auto plain = open_envelope(net, packet, header);
   if (!plain) return;
-  const auto body = wsn::decode_refresh(*plain);
+  const auto body = wsn::decode<wsn::RefreshBody>(*plain);
   if (!body || body->cid != header.cid) {
     net.counters().increment("refresh.malformed");
     return;
@@ -442,13 +437,12 @@ void SensorNode::on_refresh(net::Network& net, const Packet& packet) {
     out.next_hop = net::kNoNode;
     out.nonce = next_nonce();
     const support::Bytes out_header = wsn::encode(out);
-    support::Bytes sealed = crypto::seal_with(*old_key, out.nonce,
-                                              wsn::encode(*body), out_header);
+    const support::Bytes sealed = crypto::seal_with(
+        *old_key, out.nonce, wsn::encode(*body), out_header);
     Packet fwd;
     fwd.sender = id();
     fwd.kind = PacketKind::kRefresh;
-    fwd.payload = out_header;
-    fwd.payload.insert(fwd.payload.end(), sealed.begin(), sealed.end());
+    fwd.payload = wsn::join_envelope(out_header, sealed);
     net.broadcast(fwd);
     net.counters().increment("refresh.reannounced");
   }
@@ -457,28 +451,21 @@ void SensorNode::on_refresh(net::Network& net, const Packet& packet) {
 // ---------------------------------------------------------------------------
 // µTESLA command channel (reference [6])
 
-void SensorNode::on_auth_broadcast(net::Network& net, const Packet& packet) {
-  const auto cmd = decode_auth_command(packet.payload);
-  if (!cmd) {
-    net.counters().increment("mutesla.malformed");
-    return;
-  }
+void SensorNode::on_auth_broadcast(net::Network& net, const Packet& packet,
+                                   const AuthCommand& cmd) {
   // Buffer if the security condition holds; a freshly buffered command
   // is flooded onward exactly once (the receiver's dedup makes replays
-  // return false).
-  if (mutesla_.on_command(net.sim().now(), *cmd)) {
+  // return false).  The re-broadcast reuses the incoming payload buffer
+  // verbatim (a refcount bump, not a re-encode).
+  if (mutesla_.on_command(net.sim().now(), cmd)) {
     net.counters().increment("mutesla.buffered");
     net.broadcast(Packet{id(), PacketKind::kAuthBroadcast, packet.payload});
   }
 }
 
-void SensorNode::on_key_disclosure(net::Network& net, const Packet& packet) {
-  const auto disclosure = decode_key_disclosure(packet.payload);
-  if (!disclosure) {
-    net.counters().increment("mutesla.malformed");
-    return;
-  }
-  if (mutesla_.on_disclosure(*disclosure)) {
+void SensorNode::on_key_disclosure(net::Network& net, const Packet& packet,
+                                   const KeyDisclosure& disclosure) {
+  if (mutesla_.on_disclosure(disclosure)) {
     net.counters().increment("mutesla.key_verified");
     net.broadcast(Packet{id(), PacketKind::kKeyDisclosure, packet.payload});
   }
@@ -487,26 +474,22 @@ void SensorNode::on_key_disclosure(net::Network& net, const Packet& packet) {
 // ---------------------------------------------------------------------------
 // revocation (§IV-D)
 
-void SensorNode::on_revoke(net::Network& net, const Packet& packet) {
-  const auto body = wsn::decode_revoke(packet.payload);
-  if (!body) {
-    net.counters().increment("revoke.malformed");
-    return;
-  }
+void SensorNode::on_revoke(net::Network& net, const Packet& packet,
+                           const wsn::RevokeBody& body) {
   // Authenticate the command: the tag must be keyed by the chain element
   // and the element must extend our commitment through F (Figure 5).
   const crypto::MacTag expected =
-      wsn::revoke_tag(body->chain_element, body->revoked_cids);
-  if (!support::constant_time_equal(expected, body->tag)) {
+      wsn::revoke_tag(body.chain_element, body.revoked_cids);
+  if (!support::constant_time_equal(expected, body.tag)) {
     net.counters().increment("revoke.bad_tag");
     return;
   }
-  if (!chain_.accept(body->chain_element)) {
+  if (!chain_.accept(body.chain_element)) {
     net.counters().increment("revoke.bad_chain");
     return;
   }
   bool own_revoked = false;
-  for (ClusterId cid : body->revoked_cids) {
+  for (ClusterId cid : body.revoked_cids) {
     if (cid == keys_.own_cid()) own_revoked = true;
     if (keys_.revoke(cid)) {
       net.counters().increment("revoke.key_deleted");
@@ -535,12 +518,11 @@ void SensorNode::start_join(net::Network& net) {
                         [this, &net] { commit_join(net); });
 }
 
-void SensorNode::on_join(net::Network& net, const Packet& packet) {
+void SensorNode::on_join(net::Network& net, const Packet&,
+                         const wsn::JoinBody& body) {
   if (!keys_.has_own() || role_ == Role::kEvicted || secrets_.has_kmc) return;
-  const auto body = wsn::decode_join(packet.payload);
-  if (!body) return;
   // Reply at most once per joining node.
-  auto& replied = join_replied_[body->new_id];
+  auto& replied = join_replied_[body.new_id];
   if (replied) return;
   replied = true;
   // §IV-E: reply "CID, MAC_Kc(CID)" so an adversary cannot advertise
@@ -557,32 +539,31 @@ void SensorNode::on_join(net::Network& net, const Packet& packet) {
       });
 }
 
-void SensorNode::on_join_reply(net::Network& net, const Packet& packet) {
+void SensorNode::on_join_reply(net::Network& net, const Packet&,
+                               const wsn::JoinReplyBody& body) {
   if (role_ != Role::kJoining || !secrets_.has_kmc) return;
-  const auto body = wsn::decode_join_reply(packet.payload);
-  if (!body) return;
   // Derive the advertised cluster's key from KMC — Kc = F(KMC, CID) —
   // fast-forwarded through the advertised number of hash refreshes.
   // Cap the epoch so a forged reply cannot make us loop for long.
-  if (body->hash_epoch > 4096) {
+  if (body.hash_epoch > 4096) {
     net.counters().increment("join.reply_rejected");
     return;
   }
-  crypto::Key128 derived = crypto::prf_u64(secrets_.kmc, body->cid);
-  for (std::uint32_t e = 0; e < body->hash_epoch; ++e) {
+  crypto::Key128 derived = crypto::prf_u64(secrets_.kmc, body.cid);
+  for (std::uint32_t e = 0; e < body.hash_epoch; ++e) {
     derived = crypto::one_way(derived);
   }
   const crypto::MacTag expected =
-      wsn::join_reply_tag(derived, body->cid, body->hash_epoch);
-  if (!support::constant_time_equal(expected, body->tag)) {
+      wsn::join_reply_tag(derived, body.cid, body.hash_epoch);
+  if (!support::constant_time_equal(expected, body.tag)) {
     net.counters().increment("join.reply_rejected");
     return;
   }
-  hash_epoch_ = std::max(hash_epoch_, body->hash_epoch);
+  hash_epoch_ = std::max(hash_epoch_, body.hash_epoch);
   const bool known = std::any_of(
       join_candidates_.begin(), join_candidates_.end(),
-      [&](const auto& c) { return c.first == body->cid; });
-  if (!known) join_candidates_.emplace_back(body->cid, derived);
+      [&](const auto& c) { return c.first == body.cid; });
+  if (!known) join_candidates_.emplace_back(body.cid, derived);
   net.counters().increment("join.reply_verified");
 }
 
@@ -610,57 +591,43 @@ void SensorNode::commit_join(net::Network& net) {
 
 // ---------------------------------------------------------------------------
 
+const PacketDispatcher<SensorNode>& SensorNode::dispatcher() {
+  // Sealed-envelope kinds register raw (the handler decrypts before it
+  // can decode); cleartext kinds register decoded through the unified
+  // codec.  One registration per PacketKind — kBaseline traffic never
+  // reaches LDKE nodes and stays unregistered on purpose.
+  static const PacketDispatcher<SensorNode> table =
+      [] {
+        PacketDispatcher<SensorNode> d;
+        d.raw(PacketKind::kHello, &SensorNode::on_hello)
+            .raw(PacketKind::kLinkAdvert, &SensorNode::on_link_advert)
+            .raw(PacketKind::kData, &SensorNode::on_data)
+            .raw(PacketKind::kBeacon, &SensorNode::on_beacon)
+            .raw(PacketKind::kRefresh, &SensorNode::on_refresh)
+            .raw(PacketKind::kReclusterHello, &SensorNode::on_recluster_hello)
+            .raw(PacketKind::kReclusterLink, &SensorNode::on_recluster_link)
+            .raw(PacketKind::kInterest, &SensorNode::on_interest)
+            .raw(PacketKind::kDiffData, &SensorNode::on_diff_data)
+            .raw(PacketKind::kReinforce, &SensorNode::on_reinforce)
+            .decoded<wsn::RevokeBody>(PacketKind::kRevoke,
+                                      &SensorNode::on_revoke,
+                                      "revoke.malformed")
+            .decoded<wsn::JoinBody>(PacketKind::kJoin, &SensorNode::on_join)
+            .decoded<wsn::JoinReplyBody>(PacketKind::kJoinReply,
+                                         &SensorNode::on_join_reply)
+            .decoded<AuthCommand>(PacketKind::kAuthBroadcast,
+                                  &SensorNode::on_auth_broadcast,
+                                  "mutesla.malformed")
+            .decoded<KeyDisclosure>(PacketKind::kKeyDisclosure,
+                                    &SensorNode::on_key_disclosure,
+                                    "mutesla.malformed");
+        return d;
+      }();
+  return table;
+}
+
 void SensorNode::handle_packet(net::Network& net, const Packet& packet) {
-  switch (packet.kind) {
-    case PacketKind::kHello:
-      on_hello(net, packet);
-      break;
-    case PacketKind::kLinkAdvert:
-      on_link_advert(net, packet);
-      break;
-    case PacketKind::kData:
-      on_data(net, packet);
-      break;
-    case PacketKind::kBeacon:
-      on_beacon(net, packet);
-      break;
-    case PacketKind::kRefresh:
-      on_refresh(net, packet);
-      break;
-    case PacketKind::kRevoke:
-      on_revoke(net, packet);
-      break;
-    case PacketKind::kJoin:
-      on_join(net, packet);
-      break;
-    case PacketKind::kJoinReply:
-      on_join_reply(net, packet);
-      break;
-    case PacketKind::kReclusterHello:
-      on_recluster_hello(net, packet);
-      break;
-    case PacketKind::kReclusterLink:
-      on_recluster_link(net, packet);
-      break;
-    case PacketKind::kAuthBroadcast:
-      on_auth_broadcast(net, packet);
-      break;
-    case PacketKind::kKeyDisclosure:
-      on_key_disclosure(net, packet);
-      break;
-    case PacketKind::kInterest:
-      on_interest(net, packet);
-      break;
-    case PacketKind::kDiffData:
-      on_diff_data(net, packet);
-      break;
-    case PacketKind::kReinforce:
-      on_reinforce(net, packet);
-      break;
-    default:
-      net.counters().increment("packet.unknown_kind");
-      break;
-  }
+  dispatcher().dispatch(*this, net, packet);
 }
 
 }  // namespace ldke::core

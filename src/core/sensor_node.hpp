@@ -25,6 +25,7 @@
 
 #include "core/config.hpp"
 #include "core/diffusion.hpp"
+#include "core/dispatch.hpp"
 #include "core/keys.hpp"
 #include "core/mutesla.hpp"
 #include "crypto/drbg.hpp"
@@ -223,9 +224,12 @@ class SensorNode : public net::Node {
                                    std::span<const std::uint8_t> body,
                                    net::NodeId next_hop = net::kNoNode);
 
-  // µTESLA command channel
-  void on_auth_broadcast(net::Network& net, const net::Packet& packet);
-  void on_key_disclosure(net::Network& net, const net::Packet& packet);
+  // µTESLA command channel (cleartext kinds: bodies arrive pre-decoded
+  // by the dispatch table)
+  void on_auth_broadcast(net::Network& net, const net::Packet& packet,
+                         const AuthCommand& cmd);
+  void on_key_disclosure(net::Network& net, const net::Packet& packet,
+                         const KeyDisclosure& disclosure);
 
   // directed diffusion
   void on_interest(net::Network& net, const net::Packet& packet);
@@ -234,11 +238,19 @@ class SensorNode : public net::Node {
 
   // refresh / revocation / join
   void on_refresh(net::Network& net, const net::Packet& packet);
-  void on_revoke(net::Network& net, const net::Packet& packet);
-  void on_join(net::Network& net, const net::Packet& packet);
-  void on_join_reply(net::Network& net, const net::Packet& packet);
+  void on_revoke(net::Network& net, const net::Packet& packet,
+                 const wsn::RevokeBody& body);
+  void on_join(net::Network& net, const net::Packet& packet,
+               const wsn::JoinBody& body);
+  void on_join_reply(net::Network& net, const net::Packet& packet,
+                     const wsn::JoinReplyBody& body);
   void start_join(net::Network& net);
   void commit_join(net::Network& net);
+
+  /// The kind → handler table shared by every SensorNode (and, through
+  /// inheritance, BaseStation — virtual hooks still dispatch to
+  /// overrides).  Built once, on first use.
+  [[nodiscard]] static const PacketDispatcher<SensorNode>& dispatcher();
 
   /// Per-sender monotonically increasing envelope nonce: high 32 bits are
   /// the node id, so distinct cluster members never collide on the shared

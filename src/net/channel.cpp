@@ -9,7 +9,14 @@ Channel::Channel(sim::Simulator& sim, const Topology& topology,
       topology_(topology),
       energy_(energy),
       counters_(counters),
-      config_(config) {}
+      config_(config),
+      ctr_tx_(counters.handle("channel.tx")),
+      ctr_tx_external_(counters.handle("channel.tx_external")),
+      ctr_delivered_(counters.handle("channel.delivered")),
+      ctr_lost_(counters.handle("channel.lost")),
+      ctr_collision_(counters.handle("channel.collision")),
+      ctr_csma_defer_(counters.handle("channel.csma_defer")),
+      ctr_csma_drop_(counters.handle("channel.csma_drop")) {}
 
 sim::SimTime Channel::tx_duration(const Packet& packet) const noexcept {
   const double bits = static_cast<double>(packet.size_bytes()) * 8.0;
@@ -33,10 +40,10 @@ std::shared_ptr<bool> Channel::track_reception(NodeId receiver,
 }
 
 void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
-                                sim::SimTime when, bool charge_energy) {
+                                sim::SimTime when) {
   if (config_.loss_probability > 0.0 &&
       sim_.rng().bernoulli(config_.loss_probability)) {
-    counters_.increment("channel.lost");
+    counters_.increment(ctr_lost_);
     return;
   }
   std::shared_ptr<bool> corrupted;
@@ -46,18 +53,18 @@ void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
   // Carrier sensing: an incoming frame keeps the receiver's medium busy
   // until it fully arrives.
   if (config_.csma) note_busy(receiver, when);
-  // Copy the packet per receiver: receivers must not observe each other's
-  // mutations and the sender's buffer may be reused.
-  sim_.schedule_at(when, [this, receiver, packet, charge_energy, corrupted] {
+  // Capturing the packet by value only bumps the payload refcount — the
+  // bytes are immutable and shared across every receiver's event.
+  sim_.schedule_at(when, [this, receiver, packet, corrupted] {
     // The radio listened either way.
-    if (charge_energy) energy_.charge_rx(receiver, packet.size_bytes());
+    energy_.charge_rx(receiver, packet.size_bytes());
     if (corrupted && *corrupted) {
       ++collisions_;
-      counters_.increment("channel.collision");
+      counters_.increment(ctr_collision_);
       return;
     }
     ++rx_count_;
-    counters_.increment("channel.delivered");
+    counters_.increment(ctr_delivered_);
     if (deliver_) deliver_(receiver, packet);
   });
 }
@@ -67,18 +74,24 @@ void Channel::note_busy(NodeId node, sim::SimTime until) {
   if (until > busy) busy = until;
 }
 
-void Channel::emit_now(const Packet& packet) {
-  const sim::SimTime tx_end = sim_.now() + tx_duration(packet);
-  const sim::SimTime arrival = tx_end + config_.propagation_delay;
+void Channel::fan_out(const Packet& packet, std::span<const NodeId> receivers,
+                      sim::SimTime arrival,
+                      sim::TraceCounters::Handle tx_counter) {
   if (sniffer_) sniffer_(packet);
   ++tx_count_;
   tx_bytes_ += packet.size_bytes();
-  counters_.increment("channel.tx");
+  counters_.increment(tx_counter);
+  for (NodeId receiver : receivers) {
+    schedule_delivery(receiver, packet, arrival);
+  }
+}
+
+void Channel::emit_now(const Packet& packet) {
+  const sim::SimTime tx_end = sim_.now() + tx_duration(packet);
   energy_.charge_tx(packet.sender, packet.size_bytes(), topology_.range());
   if (config_.csma) note_busy(packet.sender, tx_end);
-  for (NodeId receiver : topology_.neighbors(packet.sender)) {
-    schedule_delivery(receiver, packet, arrival, /*charge_energy=*/true);
-  }
+  fan_out(packet, topology_.neighbors(packet.sender),
+          tx_end + config_.propagation_delay, ctr_tx_);
 }
 
 void Channel::csma_transmit(Packet packet, int attempt) {
@@ -90,11 +103,11 @@ void Channel::csma_transmit(Packet packet, int attempt) {
   }
   if (attempt >= config_.csma_max_attempts) {
     ++csma_drops_;
-    counters_.increment("channel.csma_drop");
+    counters_.increment(ctr_csma_drop_);
     return;
   }
   ++csma_deferrals_;
-  counters_.increment("channel.csma_defer");
+  counters_.increment(ctr_csma_defer_);
   const sim::SimTime resume =
       it->second + sim::SimTime::from_seconds(
                        sim_.rng().exponential(1.0 / config_.csma_backoff_mean_s));
@@ -113,15 +126,10 @@ void Channel::broadcast(const Packet& packet) {
 
 void Channel::broadcast_from(Vec2 position, double radius,
                              const Packet& packet) {
-  const sim::SimTime arrival =
-      sim_.now() + tx_duration(packet) + config_.propagation_delay;
-  if (sniffer_) sniffer_(packet);
-  ++tx_count_;
-  tx_bytes_ += packet.size_bytes();
-  counters_.increment("channel.tx_external");
-  for (NodeId receiver : topology_.nodes_within(position, radius)) {
-    schedule_delivery(receiver, packet, arrival, /*charge_energy=*/true);
-  }
+  const std::vector<NodeId> receivers = topology_.nodes_within(position, radius);
+  fan_out(packet, receivers,
+          sim_.now() + tx_duration(packet) + config_.propagation_delay,
+          ctr_tx_external_);
 }
 
 }  // namespace ldke::net

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -80,7 +81,15 @@ class Channel {
 
  private:
   void schedule_delivery(NodeId receiver, const Packet& packet,
-                         sim::SimTime when, bool charge_energy);
+                         sim::SimTime when);
+
+  /// Shared transmit path for broadcast()/broadcast_from(): notes the
+  /// frame (sniffer, byte/tx accounting, \p tx_counter) and schedules a
+  /// delivery for every receiver.  The packet's payload is captured by
+  /// refcount per receiver — O(1) buffer allocations regardless of
+  /// neighbor count.
+  void fan_out(const Packet& packet, std::span<const NodeId> receivers,
+               sim::SimTime arrival, sim::TraceCounters::Handle tx_counter);
 
   /// Ongoing reception at a receiver; `corrupted` is shared with the
   /// scheduled delivery event so a later overlapping arrival can void it.
@@ -114,6 +123,15 @@ class Channel {
   std::uint64_t csma_drops_ = 0;
   std::unordered_map<NodeId, std::vector<Reception>> active_receptions_;
   std::unordered_map<NodeId, sim::SimTime> busy_until_;
+  // Hot-path counters, resolved once: per-packet increments skip the
+  // string lookup in TraceCounters.
+  sim::TraceCounters::Handle ctr_tx_;
+  sim::TraceCounters::Handle ctr_tx_external_;
+  sim::TraceCounters::Handle ctr_delivered_;
+  sim::TraceCounters::Handle ctr_lost_;
+  sim::TraceCounters::Handle ctr_collision_;
+  sim::TraceCounters::Handle ctr_csma_defer_;
+  sim::TraceCounters::Handle ctr_csma_drop_;
 
  public:
   [[nodiscard]] std::uint64_t csma_deferrals() const noexcept {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "net/payload.hpp"
 #include "net/topology.hpp"
 #include "support/hex.hpp"
 
@@ -31,6 +32,9 @@ enum class PacketKind : std::uint8_t {
   kReinforce = 16,       ///< directed-diffusion path reinforcement
 };
 
+/// One past the largest PacketKind value — sizes dispatch tables.
+inline constexpr std::size_t kPacketKindCount = 17;
+
 /// Physical-layer framing overhead charged per transmission, matching a
 /// mote-era stack (preamble + sync + len + CRC), in bytes.
 inline constexpr std::size_t kFrameOverheadBytes = 11;
@@ -38,7 +42,10 @@ inline constexpr std::size_t kFrameOverheadBytes = 11;
 struct Packet {
   NodeId sender = kNoNode;
   PacketKind kind = PacketKind::kData;
-  support::Bytes payload;
+  /// Immutable shared bytes: copying a Packet (per-receiver delivery,
+  /// sniffer capture, forwarding) bumps a refcount instead of cloning
+  /// the buffer.  See payload.hpp.
+  PayloadRef payload;
 
   [[nodiscard]] std::size_t size_bytes() const noexcept {
     return kFrameOverheadBytes + payload.size();

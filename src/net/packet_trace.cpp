@@ -21,6 +21,9 @@ std::string_view packet_kind_name(PacketKind kind) noexcept {
     case PacketKind::kReclusterLink: return "recluster_link";
     case PacketKind::kAuthBroadcast: return "auth_broadcast";
     case PacketKind::kKeyDisclosure: return "key_disclosure";
+    case PacketKind::kInterest: return "interest";
+    case PacketKind::kDiffData: return "diff_data";
+    case PacketKind::kReinforce: return "reinforce";
   }
   return "unknown";
 }

@@ -1,0 +1,120 @@
+#pragma once
+/// \file payload.hpp
+/// Immutable, reference-counted packet payload.  A broadcast reaches
+/// every radio neighbor, so the channel used to deep-copy the payload
+/// once per receiver at delivery-scheduling time — at density 20 that is
+/// 20 allocations per transmission before a single byte is decrypted.
+/// PayloadRef freezes the bytes at send time behind a shared_ptr; every
+/// scheduled delivery, sniffer record and forwarded re-broadcast then
+/// captures a refcount bump instead of a copy.  Receivers get a
+/// read-only view; anything that wants to mutate (fuzzers, forgery
+/// harnesses) materializes its own buffer via to_bytes().
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "support/hex.hpp"
+
+namespace ldke::net {
+
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Adopts \p bytes as the shared immutable buffer (one allocation —
+  /// the control block; the byte storage moves in).
+  PayloadRef(support::Bytes&& bytes) {  // NOLINT(google-explicit-constructor)
+    if (!bytes.empty()) adopt(std::move(bytes));
+  }
+
+  /// Copies \p bytes once into a fresh shared buffer.
+  PayloadRef(const support::Bytes& bytes) {  // NOLINT(google-explicit-constructor)
+    if (!bytes.empty()) adopt(support::Bytes{bytes});
+  }
+
+  /// Copies an arbitrary byte view once into a fresh shared buffer.
+  [[nodiscard]] static PayloadRef copy_of(std::span<const std::uint8_t> data) {
+    return PayloadRef{support::Bytes{data.begin(), data.end()}};
+  }
+
+  // Copy/move of a PayloadRef itself is a refcount operation, never a
+  // byte copy — that is the whole point.
+  PayloadRef(const PayloadRef&) = default;
+  PayloadRef(PayloadRef&&) noexcept = default;
+  PayloadRef& operator=(const PayloadRef&) = default;
+  PayloadRef& operator=(PayloadRef&&) noexcept = default;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return buf_ ? buf_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return buf_ ? buf_->data() : nullptr;
+  }
+  [[nodiscard]] const std::uint8_t* begin() const noexcept { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const noexcept {
+    return data() + size();
+  }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept {
+    return (*buf_)[i];
+  }
+
+  /// Read-only view of the bytes (what the codec layer decodes from).
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return buf_ ? std::span<const std::uint8_t>{*buf_}
+                : std::span<const std::uint8_t>{};
+  }
+  operator std::span<const std::uint8_t>() const noexcept {  // NOLINT
+    return view();
+  }
+
+  /// Materializes a private mutable copy (attack harnesses, fuzzers).
+  [[nodiscard]] support::Bytes to_bytes() const {
+    return buf_ ? *buf_ : support::Bytes{};
+  }
+
+  /// True when both refs point at the same shared buffer (no copy was
+  /// made between them) — the zero-copy assertion used by tests.
+  [[nodiscard]] bool shares_buffer_with(const PayloadRef& other) const noexcept {
+    return buf_ == other.buf_;
+  }
+
+  /// Content equality (bytes, not buffer identity).
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) noexcept {
+    if (a.buf_ == b.buf_) return true;
+    const auto va = a.view();
+    const auto vb = b.view();
+    return va.size() == vb.size() &&
+           std::equal(va.begin(), va.end(), vb.begin());
+  }
+  friend bool operator==(const PayloadRef& a,
+                         const support::Bytes& b) noexcept {
+    const auto va = a.view();
+    return va.size() == b.size() && std::equal(va.begin(), va.end(), b.begin());
+  }
+
+  /// Process-wide count of shared buffers created (i.e. payload byte
+  /// allocations).  The broadcast microbenchmark and channel tests use
+  /// deltas of this to pin "O(1) allocations per transmission".
+  [[nodiscard]] static std::uint64_t buffers_created() noexcept {
+    return alloc_count().load(std::memory_order_relaxed);
+  }
+
+ private:
+  void adopt(support::Bytes&& bytes) {
+    buf_ = std::make_shared<const support::Bytes>(std::move(bytes));
+    alloc_count().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static std::atomic<std::uint64_t>& alloc_count() noexcept {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+  }
+
+  std::shared_ptr<const support::Bytes> buf_;
+};
+
+}  // namespace ldke::net

@@ -4,6 +4,15 @@
 
 namespace ldke::sim {
 
+TraceCounters::Handle TraceCounters::handle(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, 0).first;
+  }
+  pinned_.emplace(it->first);
+  return Handle{&it->second};
+}
+
 void TraceCounters::increment(std::string_view name, std::uint64_t by) {
   const auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -16,6 +25,17 @@ void TraceCounters::increment(std::string_view name, std::uint64_t by) {
 std::uint64_t TraceCounters::value(std::string_view name) const noexcept {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+void TraceCounters::clear() noexcept {
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (pinned_.contains(it->first)) {
+      it->second = 0;
+      ++it;
+    } else {
+      it = counters_.erase(it);
+    }
+  }
 }
 
 std::string TraceCounters::to_string() const {

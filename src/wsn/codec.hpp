@@ -1,0 +1,51 @@
+#pragma once
+/// \file codec.hpp
+/// The unified wire codec: one encode()/decode<Body>() pair for every
+/// over-the-air struct, replacing the per-message free-function zoo that
+/// used to be scattered across src/core and src/wsn.
+///
+/// Each wire struct specializes Codec<Body> with two primitives:
+///
+///   static void write(Writer& w, const Body& body);
+///   static std::optional<Body> read(Reader& r);
+///
+/// The generic entry points below add the envelope-wide contract on top:
+/// decode() rejects a buffer that read() did not consume *exactly* —
+/// truncated fields fail inside read() (the bounds-checked Reader returns
+/// nullopt), and trailing garbage fails the exhausted() check here.  No
+/// wire struct gets to opt out of either rule, which is what makes the
+/// property tests in tests/wsn/codec_test.cpp expressible generically.
+
+#include <optional>
+#include <span>
+
+#include "support/hex.hpp"
+#include "wsn/wire.hpp"
+
+namespace ldke::wsn {
+
+/// Per-struct serialization primitive; specialized next to each wire
+/// struct's definition (messages.hpp, core/mutesla.hpp, core/diffusion.hpp).
+template <typename Body>
+struct Codec;
+
+/// Serializes \p body to fresh bytes.
+template <typename Body>
+[[nodiscard]] support::Bytes encode(const Body& body) {
+  Writer w;
+  Codec<Body>::write(w, body);
+  return w.take();
+}
+
+/// Parses \p data as exactly one Body.  Returns std::nullopt on any
+/// truncated field *or* trailing bytes — a decoded body always
+/// re-encodes to the identical buffer.
+template <typename Body>
+[[nodiscard]] std::optional<Body> decode(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  auto body = Codec<Body>::read(r);
+  if (!body || !r.exhausted()) return std::nullopt;
+  return body;
+}
+
+}  // namespace ldke::wsn

@@ -16,67 +16,47 @@ std::optional<crypto::Key128> get_key(Reader& r) {
 
 }  // namespace
 
-support::Bytes encode(const HelloBody& body) {
-  Writer w;
+void Codec<HelloBody>::write(Writer& w, const HelloBody& body) {
   w.u32(body.head_id);
   put_key(w, body.cluster_key);
-  return w.take();
 }
 
-std::optional<HelloBody> decode_hello(std::span<const std::uint8_t> data) {
-  Reader r{data};
-  HelloBody body;
+std::optional<HelloBody> Codec<HelloBody>::read(Reader& r) {
   const auto id = r.u32();
   const auto key = get_key(r);
-  if (!id || !key || !r.exhausted()) return std::nullopt;
-  body.head_id = *id;
-  body.cluster_key = *key;
-  return body;
+  if (!id || !key) return std::nullopt;
+  return HelloBody{*id, *key};
 }
 
-support::Bytes encode(const LinkAdvertBody& body) {
-  Writer w;
+void Codec<LinkAdvertBody>::write(Writer& w, const LinkAdvertBody& body) {
   w.u32(body.cid);
   put_key(w, body.cluster_key);
-  return w.take();
 }
 
-std::optional<LinkAdvertBody> decode_link_advert(
-    std::span<const std::uint8_t> data) {
-  Reader r{data};
-  LinkAdvertBody body;
+std::optional<LinkAdvertBody> Codec<LinkAdvertBody>::read(Reader& r) {
   const auto cid = r.u32();
   const auto key = get_key(r);
-  if (!cid || !key || !r.exhausted()) return std::nullopt;
-  body.cid = *cid;
-  body.cluster_key = *key;
-  return body;
+  if (!cid || !key) return std::nullopt;
+  return LinkAdvertBody{*cid, *key};
 }
 
-support::Bytes encode(const BeaconBody& body) {
-  Writer w;
+void Codec<BeaconBody>::write(Writer& w, const BeaconBody& body) {
   w.u32(body.hop);
-  return w.take();
 }
 
-std::optional<BeaconBody> decode_beacon(std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<BeaconBody> Codec<BeaconBody>::read(Reader& r) {
   const auto hop = r.u32();
-  if (!hop || !r.exhausted()) return std::nullopt;
+  if (!hop) return std::nullopt;
   return BeaconBody{*hop};
 }
 
-support::Bytes encode(const DataHeader& header) {
-  Writer w;
+void Codec<DataHeader>::write(Writer& w, const DataHeader& header) {
   w.u32(header.cid);
   w.u32(header.next_hop);
   w.u64(header.nonce);
-  return w.take();
 }
 
-std::optional<DataHeader> decode_data_header(
-    std::span<const std::uint8_t> data, support::Bytes& sealed_out) {
-  Reader r{data};
+std::optional<DataHeader> Codec<DataHeader>::read(Reader& r) {
   DataHeader header;
   const auto cid = r.u32();
   const auto next = r.u32();
@@ -85,24 +65,19 @@ std::optional<DataHeader> decode_data_header(
   header.cid = *cid;
   header.next_hop = *next;
   header.nonce = *nonce;
-  sealed_out = r.take_rest();
   return header;
 }
 
-support::Bytes encode(const DataInner& inner) {
-  Writer w;
+void Codec<DataInner>::write(Writer& w, const DataInner& inner) {
   w.i64(inner.tau_ns);
   w.u32(inner.echoed_cid);
   w.u32(inner.source);
   w.u64(inner.e2e_counter);
   w.u8(inner.e2e_encrypted);
   w.var_bytes(inner.body);
-  return w.take();
 }
 
-std::optional<DataInner> decode_data_inner(
-    std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<DataInner> Codec<DataInner>::read(Reader& r) {
   DataInner inner;
   const auto tau = r.i64();
   const auto cid = r.u32();
@@ -110,7 +85,7 @@ std::optional<DataInner> decode_data_inner(
   const auto counter = r.u64();
   const auto flag = r.u8();
   auto body = r.var_bytes();
-  if (!tau || !cid || !source || !counter || !flag || !body || !r.exhausted()) {
+  if (!tau || !cid || !source || !counter || !flag || !body) {
     return std::nullopt;
   }
   inner.tau_ns = *tau;
@@ -122,22 +97,18 @@ std::optional<DataInner> decode_data_inner(
   return inner;
 }
 
-support::Bytes encode(const BeaconInner& inner) {
-  Writer w;
+void Codec<BeaconInner>::write(Writer& w, const BeaconInner& inner) {
   w.u32(inner.hop);
   w.i64(inner.tau_ns);
   w.u32(inner.echoed_cid);
-  return w.take();
 }
 
-std::optional<BeaconInner> decode_beacon_inner(
-    std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<BeaconInner> Codec<BeaconInner>::read(Reader& r) {
   BeaconInner inner;
   const auto hop = r.u32();
   const auto tau = r.i64();
   const auto cid = r.u32();
-  if (!hop || !tau || !cid || !r.exhausted()) return std::nullopt;
+  if (!hop || !tau || !cid) return std::nullopt;
   inner.hop = *hop;
   inner.tau_ns = *tau;
   inner.echoed_cid = *cid;
@@ -152,17 +123,14 @@ crypto::MacTag revoke_tag(const crypto::Key128& chain_element,
   return crypto::mac(chain_element, w.buffer());
 }
 
-support::Bytes encode(const RevokeBody& body) {
-  Writer w;
+void Codec<RevokeBody>::write(Writer& w, const RevokeBody& body) {
   w.u16(static_cast<std::uint16_t>(body.revoked_cids.size()));
   for (ClusterId cid : body.revoked_cids) w.u32(cid);
   put_key(w, body.chain_element);
   w.fixed(body.tag);
-  return w.take();
 }
 
-std::optional<RevokeBody> decode_revoke(std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<RevokeBody> Codec<RevokeBody>::read(Reader& r) {
   const auto count = r.u16();
   if (!count) return std::nullopt;
   RevokeBody body;
@@ -174,22 +142,19 @@ std::optional<RevokeBody> decode_revoke(std::span<const std::uint8_t> data) {
   }
   const auto key = get_key(r);
   const auto tag = r.fixed<crypto::kMacTagBytes>();
-  if (!key || !tag || !r.exhausted()) return std::nullopt;
+  if (!key || !tag) return std::nullopt;
   body.chain_element = *key;
   body.tag = *tag;
   return body;
 }
 
-support::Bytes encode(const JoinBody& body) {
-  Writer w;
+void Codec<JoinBody>::write(Writer& w, const JoinBody& body) {
   w.u32(body.new_id);
-  return w.take();
 }
 
-std::optional<JoinBody> decode_join(std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<JoinBody> Codec<JoinBody>::read(Reader& r) {
   const auto id = r.u32();
-  if (!id || !r.exhausted()) return std::nullopt;
+  if (!id) return std::nullopt;
   return JoinBody{*id};
 }
 
@@ -201,47 +166,60 @@ crypto::MacTag join_reply_tag(const crypto::Key128& cluster_key, ClusterId cid,
   return crypto::mac(cluster_key, w.buffer());
 }
 
-support::Bytes encode(const JoinReplyBody& body) {
-  Writer w;
+void Codec<JoinReplyBody>::write(Writer& w, const JoinReplyBody& body) {
   w.u32(body.cid);
   w.u32(body.hash_epoch);
   w.fixed(body.tag);
-  return w.take();
 }
 
-std::optional<JoinReplyBody> decode_join_reply(
-    std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<JoinReplyBody> Codec<JoinReplyBody>::read(Reader& r) {
   JoinReplyBody body;
   const auto cid = r.u32();
   const auto epoch = r.u32();
   const auto tag = r.fixed<crypto::kMacTagBytes>();
-  if (!cid || !epoch || !tag || !r.exhausted()) return std::nullopt;
+  if (!cid || !epoch || !tag) return std::nullopt;
   body.cid = *cid;
   body.hash_epoch = *epoch;
   body.tag = *tag;
   return body;
 }
 
-support::Bytes encode(const RefreshBody& body) {
-  Writer w;
+void Codec<RefreshBody>::write(Writer& w, const RefreshBody& body) {
   w.u32(body.cid);
   put_key(w, body.new_key);
   w.u32(body.epoch);
-  return w.take();
 }
 
-std::optional<RefreshBody> decode_refresh(std::span<const std::uint8_t> data) {
-  Reader r{data};
+std::optional<RefreshBody> Codec<RefreshBody>::read(Reader& r) {
   RefreshBody body;
   const auto cid = r.u32();
   const auto key = get_key(r);
   const auto epoch = r.u32();
-  if (!cid || !key || !epoch || !r.exhausted()) return std::nullopt;
+  if (!cid || !key || !epoch) return std::nullopt;
   body.cid = *cid;
   body.new_key = *key;
   body.epoch = *epoch;
   return body;
+}
+
+// ---- hop envelope --------------------------------------------------------
+
+std::optional<Envelope> split_envelope(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kDataHeaderBytes) return std::nullopt;
+  Reader r{payload.first(kDataHeaderBytes)};
+  auto header = Codec<DataHeader>::read(r);
+  if (!header) return std::nullopt;
+  return Envelope{*header, payload.first(kDataHeaderBytes),
+                  payload.subspan(kDataHeaderBytes)};
+}
+
+support::Bytes join_envelope(std::span<const std::uint8_t> header_bytes,
+                             std::span<const std::uint8_t> sealed) {
+  support::Bytes out;
+  out.reserve(header_bytes.size() + sealed.size());
+  out.insert(out.end(), header_bytes.begin(), header_bytes.end());
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
 }
 
 }  // namespace ldke::wsn

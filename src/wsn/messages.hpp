@@ -12,6 +12,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/key.hpp"
 #include "net/topology.hpp"
+#include "wsn/codec.hpp"
 #include "wsn/wire.hpp"
 
 namespace ldke::wsn {
@@ -116,48 +117,94 @@ struct RefreshBody {
   std::uint32_t epoch = 0;
 };
 
-// ---- encode / decode ----------------------------------------------------
+// ---- codec specializations ----------------------------------------------
+// Every body serializes through the unified codec (wsn/codec.hpp):
+// wsn::encode(body) / wsn::decode<Body>(bytes).
 
-[[nodiscard]] support::Bytes encode(const HelloBody& body);
-[[nodiscard]] std::optional<HelloBody> decode_hello(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<HelloBody> {
+  static void write(Writer& w, const HelloBody& body);
+  static std::optional<HelloBody> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const LinkAdvertBody& body);
-[[nodiscard]] std::optional<LinkAdvertBody> decode_link_advert(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<LinkAdvertBody> {
+  static void write(Writer& w, const LinkAdvertBody& body);
+  static std::optional<LinkAdvertBody> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const BeaconBody& body);
-[[nodiscard]] std::optional<BeaconBody> decode_beacon(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<BeaconBody> {
+  static void write(Writer& w, const BeaconBody& body);
+  static std::optional<BeaconBody> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const DataHeader& header);
-/// Decodes the header and returns the remaining (sealed) bytes through
-/// \p sealed_out.
-[[nodiscard]] std::optional<DataHeader> decode_data_header(
-    std::span<const std::uint8_t> data, support::Bytes& sealed_out);
+template <>
+struct Codec<DataHeader> {
+  static void write(Writer& w, const DataHeader& header);
+  static std::optional<DataHeader> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const DataInner& inner);
-[[nodiscard]] std::optional<DataInner> decode_data_inner(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<DataInner> {
+  static void write(Writer& w, const DataInner& inner);
+  static std::optional<DataInner> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const BeaconInner& inner);
-[[nodiscard]] std::optional<BeaconInner> decode_beacon_inner(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<BeaconInner> {
+  static void write(Writer& w, const BeaconInner& inner);
+  static std::optional<BeaconInner> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const RevokeBody& body);
-[[nodiscard]] std::optional<RevokeBody> decode_revoke(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<RevokeBody> {
+  static void write(Writer& w, const RevokeBody& body);
+  static std::optional<RevokeBody> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const JoinBody& body);
-[[nodiscard]] std::optional<JoinBody> decode_join(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<JoinBody> {
+  static void write(Writer& w, const JoinBody& body);
+  static std::optional<JoinBody> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const JoinReplyBody& body);
-[[nodiscard]] std::optional<JoinReplyBody> decode_join_reply(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<JoinReplyBody> {
+  static void write(Writer& w, const JoinReplyBody& body);
+  static std::optional<JoinReplyBody> read(Reader& r);
+};
 
-[[nodiscard]] support::Bytes encode(const RefreshBody& body);
-[[nodiscard]] std::optional<RefreshBody> decode_refresh(
-    std::span<const std::uint8_t> data);
+template <>
+struct Codec<RefreshBody> {
+  static void write(Writer& w, const RefreshBody& body);
+  static std::optional<RefreshBody> read(Reader& r);
+};
+
+// ---- hop envelope --------------------------------------------------------
+
+/// Encoded size of a DataHeader (cid u32 | next_hop u32 | nonce u64).
+inline constexpr std::size_t kDataHeaderBytes = 16;
+
+/// A parsed hop envelope: the cleartext header plus *views* into the
+/// original packet buffer (no copies — the payload is immutable and
+/// outlives the handler call).  header_bytes is the AAD the sealed part
+/// is authenticated against.
+struct Envelope {
+  DataHeader header;
+  std::span<const std::uint8_t> header_bytes;
+  std::span<const std::uint8_t> sealed;
+};
+
+/// Splits `header || sealed` without copying either part.  Rejects
+/// payloads shorter than a header.
+[[nodiscard]] std::optional<Envelope> split_envelope(
+    std::span<const std::uint8_t> payload);
+
+/// Concatenates `header_bytes || sealed` into one payload buffer (single
+/// allocation — the one payload allocation a transmission makes).
+[[nodiscard]] support::Bytes join_envelope(
+    std::span<const std::uint8_t> header_bytes,
+    std::span<const std::uint8_t> sealed);
 
 }  // namespace ldke::wsn

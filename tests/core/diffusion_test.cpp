@@ -28,25 +28,25 @@ net::NodeId far_corner_node(const ProtocolRunner& runner) {
 
 TEST(DiffusionWire, CodecsRoundTripAndReject) {
   InterestBody interest{7, support::bytes_of("temp>30")};
-  const auto i2 = decode_interest(encode(interest));
+  const auto i2 = wsn::decode<InterestBody>(wsn::encode(interest));
   ASSERT_TRUE(i2.has_value());
   EXPECT_EQ(i2->interest, 7u);
   EXPECT_EQ(i2->descriptor, interest.descriptor);
 
   DiffusionDataBody data{7, 3, 42, 1, support::bytes_of("31.5C")};
-  const auto d2 = decode_diffusion_data(encode(data));
+  const auto d2 = wsn::decode<DiffusionDataBody>(wsn::encode(data));
   ASSERT_TRUE(d2.has_value());
   EXPECT_EQ(d2->seq, 3u);
   EXPECT_EQ(d2->source, 42u);
   EXPECT_EQ(d2->exploratory, 1);
 
-  const auto r2 = decode_reinforce(encode(ReinforceBody{7}));
+  const auto r2 = wsn::decode<ReinforceBody>(wsn::encode(ReinforceBody{7}));
   ASSERT_TRUE(r2.has_value());
   EXPECT_EQ(r2->interest, 7u);
 
-  EXPECT_FALSE(decode_interest({}).has_value());
-  EXPECT_FALSE(decode_diffusion_data({}).has_value());
-  EXPECT_FALSE(decode_reinforce({}).has_value());
+  EXPECT_FALSE(wsn::decode<InterestBody>({}).has_value());
+  EXPECT_FALSE(wsn::decode<DiffusionDataBody>({}).has_value());
+  EXPECT_FALSE(wsn::decode<ReinforceBody>({}).has_value());
 }
 
 class Diffusion : public ::testing::Test {
@@ -165,7 +165,7 @@ TEST_F(Diffusion, ControlPlaneIsAuthenticated) {
   net::Packet pkt;
   pkt.sender = 12345;
   pkt.kind = net::PacketKind::kInterest;
-  pkt.payload.assign(60, 0x5c);
+  pkt.payload = support::Bytes(60, 0x5c);
   const auto before =
       runner_->network().counters().value("diffusion.interest_forwarded");
   runner_->network().channel().broadcast_from(

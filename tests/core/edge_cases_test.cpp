@@ -47,8 +47,7 @@ TEST(EdgeCases, BaseStationRejectsCounterBeyondWindow) {
   net::Packet pkt;
   pkt.sender = bs_neighbor;
   pkt.kind = net::PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
   runner->network().channel().broadcast_from(
       runner->network().topology().position(bs_neighbor),
       runner->network().topology().range(), pkt);

@@ -189,9 +189,11 @@ TEST(Forwarding, TamperedEnvelopeRejected) {
   ASSERT_TRUE(have);
   const auto delivered = runner->base_station()->readings().size();
 
-  recorded.payload.back() ^= 0x01;  // flip a tag bit
+  support::Bytes tampered = recorded.payload.to_bytes();
+  tampered.back() ^= 0x01;  // flip a tag bit
   // Also bump the nonce so it is not rejected as a replay first.
-  recorded.payload[8] ^= 0x40;  // nonce bytes live at offset 8..15
+  tampered[8] ^= 0x40;  // nonce bytes live at offset 8..15
+  recorded.payload = std::move(tampered);
   const auto before = runner->network().counters().value("envelope.auth_fail");
   const auto pos = runner->network().topology().position(recorded.sender);
   runner->network().channel().broadcast_from(
@@ -226,8 +228,7 @@ TEST(Forwarding, StaleTimestampRejected) {
   net::Packet pkt;
   pkt.sender = victim;
   pkt.kind = net::PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
 
   const auto before = runner->network().counters().value("envelope.stale");
   const auto pos = runner->network().topology().position(victim);
@@ -274,8 +275,7 @@ TEST(Forwarding, BaseStationRejectsReplayedEndToEndCounter) {
   net::Packet pkt;
   pkt.sender = bs_neighbor;
   pkt.kind = net::PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
 
   const auto pos = runner->network().topology().position(bs_neighbor);
   runner->network().channel().broadcast_from(
@@ -315,8 +315,7 @@ TEST(Forwarding, BaseStationRejectsForgedEndToEndBody) {
   net::Packet pkt;
   pkt.sender = bs_neighbor;
   pkt.kind = net::PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
 
   const auto pos = runner->network().topology().position(bs_neighbor);
   runner->network().channel().broadcast_from(

@@ -165,7 +165,7 @@ TEST(Join, JoinerIgnoresHelloPackets) {
   net::Packet fake;
   fake.sender = 3;
   fake.kind = net::PacketKind::kHello;
-  fake.payload.assign(40, 0x17);
+  fake.payload = support::Bytes(40, 0x17);
   runner->network().channel().broadcast_from(
       center_of(*runner), runner->network().topology().range(), fake);
   runner->run_for(2.0);

@@ -30,7 +30,7 @@ TEST(MuTeslaWire, CommandRoundTrip) {
   cmd.seq = 9;
   cmd.payload = support::bytes_of("report now");
   cmd.tag.fill(0x7a);
-  const auto decoded = decode_auth_command(encode(cmd));
+  const auto decoded = wsn::decode<AuthCommand>(wsn::encode(cmd));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->interval, 3u);
   EXPECT_EQ(decoded->seq, 9u);
@@ -42,12 +42,12 @@ TEST(MuTeslaWire, DisclosureRoundTripAndMalformedRejection) {
   KeyDisclosure d;
   d.interval = 4;
   d.key = seed_key();
-  const auto decoded = decode_key_disclosure(encode(d));
+  const auto decoded = wsn::decode<KeyDisclosure>(wsn::encode(d));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->interval, 4u);
   EXPECT_EQ(decoded->key, seed_key());
-  EXPECT_FALSE(decode_key_disclosure({}).has_value());
-  EXPECT_FALSE(decode_auth_command({}).has_value());
+  EXPECT_FALSE(wsn::decode<KeyDisclosure>({}).has_value());
+  EXPECT_FALSE(wsn::decode<AuthCommand>({}).has_value());
 }
 
 TEST(MuTesla, IntervalIndexing) {

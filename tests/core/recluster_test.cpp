@@ -121,8 +121,7 @@ TEST(Recluster, OldKeysUselessAfterSwap) {
   net::Packet pkt;
   pkt.sender = probe;
   pkt.kind = net::PacketKind::kData;
-  pkt.payload = header_bytes;
-  pkt.payload.insert(pkt.payload.end(), sealed.begin(), sealed.end());
+  pkt.payload = wsn::join_envelope(header_bytes, sealed);
 
   const auto& c = runner->network().counters();
   const auto peek_before = c.value("data.peek_ok");

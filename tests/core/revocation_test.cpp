@@ -113,7 +113,7 @@ TEST(Revocation, TamperedCidListRejected) {
   runner->run_for(10.0);
   ASSERT_TRUE(have);
 
-  auto body = wsn::decode_revoke(recorded.payload);
+  auto body = wsn::decode<wsn::RevokeBody>(recorded.payload);
   ASSERT_TRUE(body.has_value());
   body->revoked_cids = {innocent};  // tag no longer matches
   net::Packet forged{net::kNoNode, net::PacketKind::kRevoke,

@@ -73,7 +73,7 @@ TEST(CommandChannel, ForgedCommandInjectedMidNetworkNeverDelivers) {
   forged.payload = support::bytes_of("evil-command");
   forged.tag.fill(0x66);
   net::Packet pkt{net::kNoNode, net::PacketKind::kAuthBroadcast,
-                  encode(forged)};
+                  wsn::encode(forged)};
   runner->network().channel().broadcast_from(
       {200.0, 200.0}, runner->config().side_m, pkt);
   runner->run_for(5.0);  // disclosures flow; buffered forgeries get checked
@@ -90,7 +90,7 @@ TEST(CommandChannel, ForgedDisclosureDoesNotPoisonReceivers) {
   fake.interval = 1;
   fake.key.bytes.fill(0x31);
   net::Packet pkt{net::kNoNode, net::PacketKind::kKeyDisclosure,
-                  encode(fake)};
+                  wsn::encode(fake)};
   runner->network().channel().broadcast_from(
       {200.0, 200.0}, runner->config().side_m, pkt);
   runner->run_for(0.5);

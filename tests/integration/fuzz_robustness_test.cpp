@@ -68,8 +68,9 @@ TEST_P(FuzzPackets, RandomPayloadsNeverCrashOrMutateState) {
     pkt.sender = static_cast<net::NodeId>(
         fuzz.uniform_u64(runner->node_count() + 10));
     pkt.kind = kAllKinds[fuzz.uniform_u64(std::size(kAllKinds))];
-    pkt.payload.resize(fuzz.uniform_u64(120));
-    for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(fuzz.next());
+    support::Bytes garbage(fuzz.uniform_u64(120));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(fuzz.next());
+    pkt.payload = std::move(garbage);
     runner->network().channel().broadcast_from(
         {fuzz.uniform(0.0, side), fuzz.uniform(0.0, side)},
         runner->network().topology().range() * 2.0, pkt);
@@ -104,17 +105,21 @@ TEST_P(FuzzPackets, MutatedGenuineTrafficNeverAccepted) {
   for (int i = 0; i < 300; ++i) {
     net::Packet pkt = recorded[fuzz.uniform_u64(recorded.size())];
     if (pkt.payload.empty()) continue;
-    // Mutate: flip 1-4 random bits, sometimes truncate or extend.
+    // Mutate: flip 1-4 random bits, sometimes truncate or extend.  The
+    // shared payload buffer is immutable, so mutate a private copy and
+    // swap it in.
+    support::Bytes mutated = pkt.payload.to_bytes();
     const std::size_t flips = 1 + fuzz.uniform_u64(4);
     for (std::size_t f = 0; f < flips; ++f) {
-      pkt.payload[fuzz.uniform_u64(pkt.payload.size())] ^=
+      mutated[fuzz.uniform_u64(mutated.size())] ^=
           static_cast<std::uint8_t>(1u << fuzz.uniform_u64(8));
     }
     if (fuzz.bernoulli(0.2)) {
-      pkt.payload.resize(fuzz.uniform_u64(pkt.payload.size()) + 1);
+      mutated.resize(fuzz.uniform_u64(mutated.size()) + 1);
     } else if (fuzz.bernoulli(0.1)) {
-      pkt.payload.push_back(static_cast<std::uint8_t>(fuzz.next()));
+      mutated.push_back(static_cast<std::uint8_t>(fuzz.next()));
     }
+    pkt.payload = std::move(mutated);
     const auto pos =
         pkt.sender < runner->node_count()
             ? runner->network().topology().position(pkt.sender)
@@ -148,8 +153,9 @@ TEST(FuzzSetupPhase, RandomPacketsDuringElectionDoNotBreakSetup) {
     net::Packet pkt;
     pkt.sender = static_cast<net::NodeId>(fuzz.uniform_u64(500));
     pkt.kind = kAllKinds[fuzz.uniform_u64(std::size(kAllKinds))];
-    pkt.payload.resize(fuzz.uniform_u64(80));
-    for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(fuzz.next());
+    support::Bytes garbage(fuzz.uniform_u64(80));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(fuzz.next());
+    pkt.payload = std::move(garbage);
     runner.sim().schedule_at(
         sim::SimTime::from_seconds(fuzz.uniform(0.0, 5.5)),
         [&runner, pkt, &cfg] {

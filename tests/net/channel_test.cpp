@@ -28,7 +28,7 @@ struct Fixture {
     Packet p;
     p.sender = sender;
     p.kind = PacketKind::kData;
-    p.payload.assign(payload_bytes, 0xab);
+    p.payload = support::Bytes(payload_bytes, 0xab);
     return p;
   }
 };
@@ -98,7 +98,7 @@ TEST(Channel, LossProbabilityOneDropsEverything) {
   channel.set_delivery_handler([&](NodeId, const Packet&) { ++received; });
   Packet p;
   p.sender = 0;
-  p.payload.assign(10, 1);
+  p.payload = support::Bytes(10, 1);
   channel.broadcast(p);
   sim.run();
   EXPECT_EQ(received, 0);
@@ -122,7 +122,7 @@ TEST(Channel, LossProbabilityIsPerReceiver) {
   channel.set_delivery_handler([&](NodeId, const Packet&) { ++received; });
   Packet p;
   p.sender = 0;
-  p.payload.assign(10, 1);
+  p.payload = support::Bytes(10, 1);
   channel.broadcast(p);
   sim.run();
   EXPECT_GT(received, 100);
@@ -133,7 +133,7 @@ TEST(Channel, BroadcastFromArbitraryPosition) {
   Fixture f;
   Packet p;
   p.sender = 9999;  // attacker-claimed identity, not a topology slot
-  p.payload.assign(5, 0xcc);
+  p.payload = support::Bytes(5, 0xcc);
   f.channel.broadcast_from({1.0, 0.0}, 1.2, p);
   f.sim.run();
   EXPECT_EQ(f.received[0], 1);
@@ -169,10 +169,10 @@ TEST(Channel, CollisionsCorruptOverlappingReceptions) {
       [&](NodeId receiver, const Packet&) { ++received[receiver]; });
   Packet a;
   a.sender = 0;
-  a.payload.assign(30, 1);
+  a.payload = support::Bytes(30, 1);
   Packet b;
   b.sender = 2;
-  b.payload.assign(30, 2);
+  b.payload = support::Bytes(30, 2);
   channel.broadcast(a);
   channel.broadcast(b);
   sim.run();
@@ -195,12 +195,12 @@ TEST(Channel, NonOverlappingTransmissionsDoNotCollide) {
   channel.set_delivery_handler([&](NodeId, const Packet&) { ++received; });
   Packet a;
   a.sender = 0;
-  a.payload.assign(30, 1);
+  a.payload = support::Bytes(30, 1);
   channel.broadcast(a);
   sim.run();  // first frame fully received before the second starts
   Packet b;
   b.sender = 2;
-  b.payload.assign(30, 2);
+  b.payload = support::Bytes(30, 2);
   channel.broadcast(b);
   sim.run();
   EXPECT_EQ(received, 2);
@@ -223,11 +223,11 @@ TEST(Channel, CsmaDefersInsteadOfColliding) {
   // defer until the medium clears and still arrive collision-free.
   Packet a;
   a.sender = 1;
-  a.payload.assign(30, 1);
+  a.payload = support::Bytes(30, 1);
   channel.broadcast(a);
   Packet b;
   b.sender = 1;
-  b.payload.assign(30, 2);
+  b.payload = support::Bytes(30, 2);
   channel.broadcast(b);
   sim.run();
   EXPECT_EQ(received[0], 2);
@@ -251,10 +251,10 @@ TEST(Channel, CsmaSendersHearEachOther) {
       [&](NodeId receiver, const Packet&) { ++received[receiver]; });
   Packet a;
   a.sender = 0;
-  a.payload.assign(30, 1);
+  a.payload = support::Bytes(30, 1);
   Packet b;
   b.sender = 2;
-  b.payload.assign(30, 2);
+  b.payload = support::Bytes(30, 2);
   channel.broadcast(a);
   // Let the first frame start arriving so node 2 senses a busy medium.
   sim.run(sim::SimTime::from_ms(5));
@@ -278,7 +278,7 @@ TEST(Channel, CsmaGivesUpAfterMaxAttempts) {
   channel.set_delivery_handler([&](NodeId, const Packet&) { ++received; });
   Packet a;
   a.sender = 0;
-  a.payload.assign(30, 1);
+  a.payload = support::Bytes(30, 1);
   channel.broadcast(a);   // goes out (medium idle)
   channel.broadcast(a);   // medium busy, zero retries allowed -> dropped
   sim.run();
@@ -296,22 +296,36 @@ TEST(Channel, CollisionsDisabledByDefault) {
   EXPECT_EQ(f.channel.collisions(), 0u);
 }
 
-TEST(Channel, ReceiversGetIndependentCopies) {
+TEST(Channel, ReceiversShareOneImmutableBuffer) {
   Fixture f;
-  std::vector<const Packet*> seen;
-  // Mutating one delivery's payload must not affect the other's.
-  support::Bytes first_payload;
+  // Every delivery observes the same bytes through the same shared
+  // buffer: fan-out is a refcount bump, not a per-receiver copy.
+  PayloadRef first_payload;
   int count = 0;
   f.channel.set_delivery_handler([&](NodeId, const Packet& pkt) {
     if (count++ == 0) {
       first_payload = pkt.payload;
     } else {
       EXPECT_EQ(pkt.payload, first_payload);
+      EXPECT_TRUE(pkt.payload.shares_buffer_with(first_payload));
     }
   });
   f.channel.broadcast(f.packet_from(1));
   f.sim.run();
   EXPECT_EQ(count, 2);
+}
+
+TEST(Channel, BroadcastAllocatesNoPayloadBuffers) {
+  Fixture f;
+  Packet p = f.packet_from(1);
+  // The payload buffer was allocated when the packet was built; the
+  // broadcast itself — including scheduling one delivery per neighbor —
+  // must not create any further payload buffers.
+  const std::uint64_t before = PayloadRef::buffers_created();
+  f.channel.broadcast(p);
+  f.sim.run();
+  EXPECT_EQ(PayloadRef::buffers_created(), before);
+  EXPECT_EQ(f.received[0] + f.received[2], 2);
 }
 
 }  // namespace

@@ -34,6 +34,36 @@ TEST(TraceCounters, ClearResetsEverything) {
   EXPECT_TRUE(c.all().empty());
 }
 
+TEST(TraceCounters, HandleSharesSlotWithNamedCounter) {
+  TraceCounters c;
+  TraceCounters::Handle h = c.handle("channel.tx");
+  c.increment(h);
+  c.increment(h, 4);
+  c.increment("channel.tx");  // name and handle address one slot
+  EXPECT_EQ(c.value("channel.tx"), 6u);
+}
+
+TEST(TraceCounters, HandleSurvivesClear) {
+  TraceCounters c;
+  TraceCounters::Handle h = c.handle("hot");
+  c.increment(h, 3);
+  c.increment("cold");
+  c.clear();
+  // Plain counters are erased; the handle's slot is zeroed but stays
+  // registered so outstanding handles keep working.
+  EXPECT_EQ(c.value("cold"), 0u);
+  EXPECT_EQ(c.value("hot"), 0u);
+  c.increment(h, 2);
+  EXPECT_EQ(c.value("hot"), 2u);
+}
+
+TEST(TraceCounters, DefaultHandleIsInert) {
+  TraceCounters c;
+  TraceCounters::Handle h;
+  c.increment(h);  // must not crash, counts nothing
+  EXPECT_TRUE(c.all().empty());
+}
+
 TEST(TraceCounters, ToStringIsSortedByName) {
   TraceCounters c;
   c.increment("zeta");

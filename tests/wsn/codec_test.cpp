@@ -1,0 +1,225 @@
+/// Property-style tests for the unified wire codec layer: every body
+/// that travels over the air must (a) round-trip bit-exactly through
+/// encode/decode, (b) reject every strict prefix of its encoding, and
+/// (c) reject trailing garbage.  One generic checker covers all bodies
+/// — including the core-owned µTESLA and diffusion messages — so adding
+/// a wire struct without these guarantees is impossible to miss.
+
+#include "wsn/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/diffusion.hpp"
+#include "core/mutesla.hpp"
+#include "wsn/messages.hpp"
+
+namespace ldke::wsn {
+namespace {
+
+crypto::Key128 key_of(std::uint8_t b) {
+  crypto::Key128 k;
+  k.bytes.fill(b);
+  return k;
+}
+
+/// Core codec properties, checked through the wire image so no body
+/// needs an operator==: decode must invert encode (re-encoding the
+/// decoded value reproduces the exact bytes), and decode must fail on
+/// every strict prefix and on any extension of the encoding.
+template <typename Body>
+void expect_codec_properties(const Body& sample) {
+  const support::Bytes bytes = encode(sample);
+
+  const auto decoded = decode<Body>(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(encode(*decoded), bytes);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode<Body>(std::span<const std::uint8_t>{bytes}.first(len))
+            .has_value())
+        << "strict prefix of length " << len << " was accepted";
+  }
+
+  support::Bytes extended = bytes;
+  extended.push_back(0x00);
+  EXPECT_FALSE(decode<Body>(extended).has_value())
+      << "trailing garbage was accepted";
+}
+
+TEST(Codec, Hello) {
+  expect_codec_properties(HelloBody{17, key_of(0xaa)});
+  const auto d = decode<HelloBody>(encode(HelloBody{17, key_of(0xaa)}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->head_id, 17u);
+  EXPECT_EQ(d->cluster_key, key_of(0xaa));
+}
+
+TEST(Codec, LinkAdvert) {
+  expect_codec_properties(LinkAdvertBody{99, key_of(0xbb)});
+  const auto d = decode<LinkAdvertBody>(encode(LinkAdvertBody{99, key_of(0xbb)}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->cid, 99u);
+  EXPECT_EQ(d->cluster_key, key_of(0xbb));
+}
+
+TEST(Codec, Beacon) { expect_codec_properties(BeaconBody{7}); }
+
+TEST(Codec, DataHeader) {
+  DataHeader header;
+  header.cid = 5;
+  header.next_hop = 6;
+  header.nonce = 0xabcdef;
+  expect_codec_properties(header);
+  EXPECT_EQ(encode(header).size(), kDataHeaderBytes);
+}
+
+TEST(Codec, DataInner) {
+  DataInner inner;
+  inner.tau_ns = -123456789;
+  inner.echoed_cid = 4;
+  inner.source = 77;
+  inner.e2e_counter = 999;
+  inner.e2e_encrypted = 1;
+  inner.body = {1, 2, 3, 4};
+  expect_codec_properties(inner);
+  expect_codec_properties(DataInner{});  // empty body
+
+  const auto d = decode<DataInner>(encode(inner));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->tau_ns, inner.tau_ns);
+  EXPECT_EQ(d->echoed_cid, inner.echoed_cid);
+  EXPECT_EQ(d->source, inner.source);
+  EXPECT_EQ(d->e2e_counter, inner.e2e_counter);
+  EXPECT_EQ(d->e2e_encrypted, inner.e2e_encrypted);
+  EXPECT_EQ(d->body, inner.body);
+}
+
+TEST(Codec, BeaconInner) {
+  BeaconInner inner;
+  inner.hop = 3;
+  inner.tau_ns = -12345;
+  inner.echoed_cid = 55;
+  expect_codec_properties(inner);
+}
+
+TEST(Codec, Revoke) {
+  RevokeBody body;
+  body.revoked_cids = {1, 2, 3};
+  body.chain_element = key_of(0xcc);
+  body.tag = revoke_tag(body.chain_element, body.revoked_cids);
+  expect_codec_properties(body);
+
+  RevokeBody empty;
+  empty.chain_element = key_of(0x01);
+  expect_codec_properties(empty);
+  const auto d = decode<RevokeBody>(encode(empty));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->revoked_cids.empty());
+}
+
+TEST(Codec, Join) { expect_codec_properties(JoinBody{4242}); }
+
+TEST(Codec, JoinReply) {
+  JoinReplyBody body;
+  body.cid = 11;
+  body.hash_epoch = 5;
+  body.tag.fill(0x5e);
+  expect_codec_properties(body);
+}
+
+TEST(Codec, Refresh) {
+  RefreshBody body;
+  body.cid = 12;
+  body.new_key = key_of(0x7d);
+  body.epoch = 3;
+  expect_codec_properties(body);
+}
+
+TEST(Codec, AuthCommand) {
+  core::AuthCommand cmd;
+  cmd.interval = 3;
+  cmd.seq = 9;
+  cmd.payload = support::bytes_of("report now");
+  cmd.tag.fill(0x7a);
+  expect_codec_properties(cmd);
+}
+
+TEST(Codec, KeyDisclosure) {
+  core::KeyDisclosure d;
+  d.interval = 4;
+  d.key = key_of(0x4d);
+  expect_codec_properties(d);
+}
+
+TEST(Codec, Interest) {
+  expect_codec_properties(
+      core::InterestBody{7, support::bytes_of("temp>30")});
+}
+
+TEST(Codec, DiffusionData) {
+  expect_codec_properties(
+      core::DiffusionDataBody{7, 3, 42, 1, support::bytes_of("31.5C")});
+}
+
+TEST(Codec, Reinforce) { expect_codec_properties(core::ReinforceBody{7}); }
+
+TEST(CodecHelpers, RevokeTagDependsOnCidsAndKey) {
+  const auto k1 = key_of(1);
+  const auto k2 = key_of(2);
+  EXPECT_NE(revoke_tag(k1, {1, 2}), revoke_tag(k1, {1, 3}));
+  EXPECT_NE(revoke_tag(k1, {1, 2}), revoke_tag(k2, {1, 2}));
+  EXPECT_EQ(revoke_tag(k1, {1, 2}), revoke_tag(k1, {1, 2}));
+}
+
+TEST(CodecHelpers, JoinReplyTagBindsCidAndEpoch) {
+  const auto key = key_of(0x21);
+  EXPECT_EQ(join_reply_tag(key, 3, 1), join_reply_tag(key, 3, 1));
+  EXPECT_NE(join_reply_tag(key, 3, 1), join_reply_tag(key, 3, 2));
+  EXPECT_NE(join_reply_tag(key, 3, 1), join_reply_tag(key, 4, 1));
+  EXPECT_NE(join_reply_tag(key, 3, 1), join_reply_tag(key_of(0x22), 3, 1));
+}
+
+TEST(Envelope, JoinThenSplitRoundTrips) {
+  DataHeader header;
+  header.cid = 5;
+  header.next_hop = 6;
+  header.nonce = 0xdeadbeef;
+  const support::Bytes header_bytes = encode(header);
+  const support::Bytes sealed = {9, 8, 7, 6, 5};
+
+  const support::Bytes payload = join_envelope(header_bytes, sealed);
+  ASSERT_EQ(payload.size(), kDataHeaderBytes + sealed.size());
+
+  const auto env = split_envelope(payload);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->header.cid, 5u);
+  EXPECT_EQ(env->header.next_hop, 6u);
+  EXPECT_EQ(env->header.nonce, 0xdeadbeefULL);
+  EXPECT_TRUE(std::equal(env->sealed.begin(), env->sealed.end(),
+                         sealed.begin(), sealed.end()));
+}
+
+TEST(Envelope, SplitIsZeroCopy) {
+  DataHeader header;
+  const support::Bytes sealed = {1, 2, 3};
+  const support::Bytes payload = join_envelope(encode(header), sealed);
+  const auto env = split_envelope(payload);
+  ASSERT_TRUE(env.has_value());
+  // The views alias the input buffer — no bytes were copied.
+  EXPECT_EQ(env->header_bytes.data(), payload.data());
+  EXPECT_EQ(env->sealed.data(), payload.data() + kDataHeaderBytes);
+}
+
+TEST(Envelope, SplitRejectsShortPayload) {
+  for (std::size_t len = 0; len < kDataHeaderBytes; ++len) {
+    const support::Bytes tiny(len, 0x11);
+    EXPECT_FALSE(split_envelope(tiny).has_value()) << len;
+  }
+  // Exactly one header and nothing sealed is structurally valid.
+  const support::Bytes bare = join_envelope(encode(DataHeader{}), {});
+  EXPECT_TRUE(split_envelope(bare).has_value());
+}
+
+}  // namespace
+}  // namespace ldke::wsn
