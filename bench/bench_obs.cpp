@@ -1,0 +1,142 @@
+/// Micro-benchmarks of the observability layer (google-benchmark): the
+/// instrumentation lives on the simulator/channel/crypto hot paths, so a
+/// counter bump through an interned handle must cost ~1 ns and a span
+/// begin/end pair must stay well under a microsecond.  Results go to
+/// results/BENCH_obs_micro.json.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "crypto/obs.hpp"
+#include "obs/delivery.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace {
+
+using namespace ldke;
+
+void BM_CounterIncrementByName(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  for (auto _ : state) {
+    reg.increment("channel.tx");
+  }
+  benchmark::DoNotOptimize(reg.value("channel.tx"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncrementByName);
+
+void BM_CounterIncrementByHandle(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  obs::MetricRegistry::Handle h = reg.handle("channel.tx");
+  for (auto _ : state) {
+    reg.increment(h);
+  }
+  benchmark::DoNotOptimize(reg.value("channel.tx"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncrementByHandle);
+
+void BM_GaugeSetByHandle(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  obs::MetricRegistry::GaugeHandle h = reg.gauge_handle("queue.depth");
+  double v = 0.0;
+  for (auto _ : state) {
+    reg.set_gauge(h, v);
+    v += 1.0;
+  }
+  benchmark::DoNotOptimize(reg.gauge("queue.depth"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GaugeSetByHandle);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  obs::MetricRegistry::HistogramHandle h = reg.histogram_handle("latency");
+  double v = 0.001;
+  for (auto _ : state) {
+    reg.observe(h, v);
+    v = v < 1e6 ? v * 1.0001 : 0.001;
+  }
+  benchmark::DoNotOptimize(reg.histogram("latency"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanBeginEnd(benchmark::State& state) {
+  obs::PhaseTimeline timeline;
+  std::int64_t now = 0;
+  for (auto _ : state) {
+    const obs::SpanId id = timeline.begin_span("phase", now);
+    timeline.end_span(id, now + 10);
+    now += 20;
+    if (timeline.spans().size() >= 1u << 16) timeline.clear();
+  }
+  benchmark::DoNotOptimize(timeline.spans().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanBeginEnd);
+
+void BM_CryptoCounterBump(benchmark::State& state) {
+  crypto::CryptoCounters counters;
+  crypto::ScopedCryptoCounters guard{counters};
+  for (auto _ : state) {
+    // What seal()/open()/prf() pay per call when a sink is installed.
+    if (crypto::CryptoCounters* sink = crypto::crypto_counters_sink()) {
+      ++sink->seals;
+      sink->sealed_bytes += 64;
+    }
+  }
+  benchmark::DoNotOptimize(counters.seals);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CryptoCounterBump);
+
+void BM_DeliveryTrackerPair(benchmark::State& state) {
+  obs::DeliveryTracker tracker;
+  std::int64_t now = 0;
+  for (auto _ : state) {
+    tracker.on_originate(7, now);
+    tracker.on_deliver(7, now + 1000);
+    now += 2000;
+    if (tracker.delivered() >= 1u << 16) tracker.clear();
+  }
+  benchmark::DoNotOptimize(tracker.delivered());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeliveryTrackerPair);
+
+void BM_TraceSinkPacketLine(benchmark::State& state) {
+  std::ostringstream os;
+  obs::TraceSink sink{os};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sink.write_packet(t, 42, "data", 96);
+    t += 1000;
+    if (os.tellp() > (1 << 22)) {
+      os.str({});
+      os.clear();
+    }
+  }
+  benchmark::DoNotOptimize(sink.lines_written());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSinkPacketLine);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  for (int i = 0; i < 64; ++i) {
+    reg.increment("counter." + std::to_string(i), i + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot_json().dump());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

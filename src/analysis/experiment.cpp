@@ -6,7 +6,8 @@ namespace ldke::analysis {
 
 SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
                                std::size_t node_count, std::size_t trials,
-                               support::ThreadPool* pool) {
+                               support::ThreadPool* pool,
+                               RunSummary* exemplar) {
   SetupAggregate agg;
   agg.density = density;
   agg.node_count = node_count;
@@ -23,6 +24,9 @@ SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
     const core::SetupMetrics m = core::collect_setup_metrics(runner);
 
     std::lock_guard lock(merge_mutex);
+    if (exemplar != nullptr && trial == 0) {
+      *exemplar = collect_run_summary(runner, "experiment");
+    }
     agg.keys_per_node.add(m.mean_keys_per_node);
     agg.cluster_size.add(m.mean_cluster_size);
     agg.head_fraction.add(m.head_fraction);

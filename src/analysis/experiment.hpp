@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "analysis/run_artifacts.hpp"
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
 #include "support/histogram.hpp"
@@ -31,12 +32,16 @@ struct SetupAggregate {
 };
 
 /// Runs \p trials seeds of the key-setup phase at one sweep point.
-/// \p pool may be null (sequential execution).
+/// \p pool may be null (sequential execution).  When \p exemplar is
+/// non-null it receives the full RunSummary artifact of the first trial
+/// (the per-seed metrics are aggregated; the exemplar carries the
+/// channel / crypto / phase detail a single trial exposes).
 [[nodiscard]] SetupAggregate run_setup_point(const core::RunnerConfig& base,
                                              double density,
                                              std::size_t node_count,
                                              std::size_t trials,
-                                             support::ThreadPool* pool = nullptr);
+                                             support::ThreadPool* pool = nullptr,
+                                             RunSummary* exemplar = nullptr);
 
 /// Sweeps the density axis at fixed node count.
 [[nodiscard]] std::vector<SetupAggregate> run_density_sweep(

@@ -1,0 +1,322 @@
+#include "analysis/run_artifacts.hpp"
+
+#include <ostream>
+
+#include "obs/trace_sink.hpp"
+
+namespace ldke::analysis {
+
+namespace {
+
+obs::JsonValue kind_traffic_json(const std::vector<KindTraffic>& rows) {
+  obs::JsonValue out;
+  for (const KindTraffic& row : rows) {
+    obs::JsonValue entry;
+    entry.set("packets", row.packets);
+    entry.set("bytes", row.bytes);
+    out.set(row.kind, std::move(entry));
+  }
+  return out.is_null() ? obs::JsonValue{obs::JsonObject{}} : out;
+}
+
+obs::JsonValue cluster_sizes_json(const support::IntHistogram& hist) {
+  obs::JsonValue counts;
+  for (std::size_t size = 0; size <= hist.max_value(); ++size) {
+    const std::uint64_t n = hist.count(size);
+    if (n > 0) counts.set(std::to_string(size), n);
+  }
+  return counts.is_null() ? obs::JsonValue{obs::JsonObject{}} : counts;
+}
+
+obs::JsonValue phases_json(const std::vector<obs::TraceSpan>& phases) {
+  obs::JsonValue arr{obs::JsonArray{}};
+  for (const obs::TraceSpan& span : phases) {
+    obs::JsonValue entry;
+    entry.set("name", span.name);
+    entry.set("t0", span.t0_ns);
+    entry.set("t1", span.t1_ns);
+    entry.set("depth", static_cast<std::uint64_t>(span.depth));
+    arr.push(std::move(entry));
+  }
+  return arr;
+}
+
+}  // namespace
+
+RunSummary collect_run_summary(core::ProtocolRunner& runner,
+                               std::string_view tool) {
+  RunSummary s;
+  s.tool = tool;
+
+  const core::RunnerConfig& cfg = runner.config();
+  s.config.node_count = cfg.node_count;
+  s.config.density = cfg.density;
+  s.config.side_m = cfg.side_m;
+  s.config.seed = cfg.seed;
+
+  s.setup = core::collect_setup_metrics(runner);
+
+  sim::Simulator& sim = runner.sim();
+  s.sim.events_executed = sim.events_executed();
+  s.sim.queue_high_water = sim.queue_high_water();
+  s.sim.wall_seconds = sim.wall_seconds();
+  s.sim.sim_time_s = sim.now().seconds();
+
+  net::Channel& ch = runner.network().channel();
+  s.channel.transmissions = ch.transmissions();
+  s.channel.deliveries = ch.deliveries();
+  s.channel.bytes_sent = ch.bytes_sent();
+  s.channel.collisions = ch.collisions();
+  s.channel.losses = ch.losses();
+  for (std::size_t k = 0; k < net::kPacketKindCount; ++k) {
+    if (ch.tx_packets_by_kind()[k] == 0) continue;
+    s.channel.by_kind.push_back(KindTraffic{
+        std::string{net::packet_kind_name(static_cast<net::PacketKind>(k))},
+        ch.tx_packets_by_kind()[k], ch.tx_bytes_by_kind()[k]});
+  }
+
+  s.crypto = runner.crypto_totals();
+
+  net::EnergyModel& energy = runner.network().energy();
+  s.energy.total_j = energy.total_j();
+  s.energy.tx_j = energy.tx_j();
+  s.energy.rx_j = energy.rx_j();
+
+  const obs::DeliveryTracker& dt = runner.deliveries();
+  s.latency.originated = dt.originated();
+  s.latency.delivered = dt.delivered();
+  s.latency.unmatched = dt.unmatched();
+  s.latency.p50_ms = dt.latency_percentile_s(0.50) * 1e3;
+  s.latency.p90_ms = dt.latency_percentile_s(0.90) * 1e3;
+  s.latency.p99_ms = dt.latency_percentile_s(0.99) * 1e3;
+  s.latency.max_ms = dt.latency_percentile_s(1.0) * 1e3;
+
+  s.phases = runner.timeline().spans();
+  s.counters = runner.network().counters().snapshot_json();
+  return s;
+}
+
+obs::JsonValue to_json(const RunSummary& s) {
+  obs::JsonValue out;
+  out.set("schema_version", s.schema_version);
+  out.set("tool", s.tool);
+
+  obs::JsonValue config;
+  config.set("node_count", static_cast<std::uint64_t>(s.config.node_count));
+  config.set("density", s.config.density);
+  config.set("side_m", s.config.side_m);
+  config.set("seed", s.config.seed);
+  out.set("config", std::move(config));
+
+  obs::JsonValue setup;
+  setup.set("cluster_count", static_cast<std::uint64_t>(s.setup.cluster_count));
+  setup.set("head_fraction", s.setup.head_fraction);
+  setup.set("mean_cluster_size", s.setup.mean_cluster_size);
+  setup.set("mean_keys_per_node", s.setup.mean_keys_per_node);
+  setup.set("setup_messages_per_node", s.setup.setup_messages_per_node);
+  setup.set("singleton_clusters",
+            static_cast<std::uint64_t>(s.setup.singleton_clusters));
+  setup.set("undecided_nodes",
+            static_cast<std::uint64_t>(s.setup.undecided_nodes));
+  setup.set("setup_span_s", s.setup.setup_span_s);
+  setup.set("realized_density", s.setup.realized_density);
+  setup.set("cluster_sizes", cluster_sizes_json(s.setup.cluster_sizes));
+  out.set("setup", std::move(setup));
+
+  obs::JsonValue sim;
+  sim.set("events_executed", s.sim.events_executed);
+  sim.set("queue_high_water", s.sim.queue_high_water);
+  sim.set("wall_seconds", s.sim.wall_seconds);
+  sim.set("sim_time_s", s.sim.sim_time_s);
+  out.set("sim", std::move(sim));
+
+  obs::JsonValue channel;
+  channel.set("transmissions", s.channel.transmissions);
+  channel.set("deliveries", s.channel.deliveries);
+  channel.set("bytes_sent", s.channel.bytes_sent);
+  channel.set("collisions", s.channel.collisions);
+  channel.set("losses", s.channel.losses);
+  channel.set("by_kind", kind_traffic_json(s.channel.by_kind));
+  out.set("channel", std::move(channel));
+
+  obs::JsonValue crypto;
+  crypto.set("seals", s.crypto.seals);
+  crypto.set("opens", s.crypto.opens);
+  crypto.set("open_failures", s.crypto.open_failures);
+  crypto.set("prf_calls", s.crypto.prf_calls);
+  crypto.set("sealed_bytes", s.crypto.sealed_bytes);
+  crypto.set("opened_bytes", s.crypto.opened_bytes);
+  out.set("crypto", std::move(crypto));
+
+  obs::JsonValue energy;
+  energy.set("total_j", s.energy.total_j);
+  energy.set("tx_j", s.energy.tx_j);
+  energy.set("rx_j", s.energy.rx_j);
+  out.set("energy", std::move(energy));
+
+  obs::JsonValue latency;
+  latency.set("originated", s.latency.originated);
+  latency.set("delivered", s.latency.delivered);
+  latency.set("unmatched", s.latency.unmatched);
+  latency.set("p50_ms", s.latency.p50_ms);
+  latency.set("p90_ms", s.latency.p90_ms);
+  latency.set("p99_ms", s.latency.p99_ms);
+  latency.set("max_ms", s.latency.max_ms);
+  out.set("latency", std::move(latency));
+
+  out.set("phases", phases_json(s.phases));
+  out.set("counters", s.counters);
+  return out;
+}
+
+std::optional<RunSummary> run_summary_from_json(const obs::JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  RunSummary s;
+  s.schema_version = static_cast<int>(value.int_at("schema_version", 1));
+  if (s.schema_version > 1) return std::nullopt;
+  s.tool = value.string_at("tool");
+
+  if (const obs::JsonValue* config = value.find("config")) {
+    s.config.node_count =
+        static_cast<std::size_t>(config->int_at("node_count"));
+    s.config.density = config->number_at("density");
+    s.config.side_m = config->number_at("side_m");
+    s.config.seed = static_cast<std::uint64_t>(config->int_at("seed"));
+  }
+  if (const obs::JsonValue* setup = value.find("setup")) {
+    s.setup.node_count = s.config.node_count;
+    s.setup.cluster_count =
+        static_cast<std::size_t>(setup->int_at("cluster_count"));
+    s.setup.head_fraction = setup->number_at("head_fraction");
+    s.setup.mean_cluster_size = setup->number_at("mean_cluster_size");
+    s.setup.mean_keys_per_node = setup->number_at("mean_keys_per_node");
+    s.setup.setup_messages_per_node =
+        setup->number_at("setup_messages_per_node");
+    s.setup.singleton_clusters =
+        static_cast<std::size_t>(setup->int_at("singleton_clusters"));
+    s.setup.undecided_nodes =
+        static_cast<std::size_t>(setup->int_at("undecided_nodes"));
+    s.setup.setup_span_s = setup->number_at("setup_span_s");
+    s.setup.realized_density = setup->number_at("realized_density");
+    if (const obs::JsonValue* sizes = setup->find("cluster_sizes")) {
+      if (sizes->is_object()) {
+        for (const auto& [key, count] : sizes->as_object()) {
+          s.setup.cluster_sizes.add(
+              static_cast<std::size_t>(std::stoull(key)),
+              static_cast<std::uint64_t>(count.as_int()));
+        }
+      }
+    }
+  }
+  if (const obs::JsonValue* sim = value.find("sim")) {
+    s.sim.events_executed =
+        static_cast<std::uint64_t>(sim->int_at("events_executed"));
+    s.sim.queue_high_water =
+        static_cast<std::uint64_t>(sim->int_at("queue_high_water"));
+    s.sim.wall_seconds = sim->number_at("wall_seconds");
+    s.sim.sim_time_s = sim->number_at("sim_time_s");
+  }
+  if (const obs::JsonValue* channel = value.find("channel")) {
+    s.channel.transmissions =
+        static_cast<std::uint64_t>(channel->int_at("transmissions"));
+    s.channel.deliveries =
+        static_cast<std::uint64_t>(channel->int_at("deliveries"));
+    s.channel.bytes_sent =
+        static_cast<std::uint64_t>(channel->int_at("bytes_sent"));
+    s.channel.collisions =
+        static_cast<std::uint64_t>(channel->int_at("collisions"));
+    s.channel.losses = static_cast<std::uint64_t>(channel->int_at("losses"));
+    if (const obs::JsonValue* by_kind = channel->find("by_kind")) {
+      if (by_kind->is_object()) {
+        for (const auto& [kind, entry] : by_kind->as_object()) {
+          s.channel.by_kind.push_back(KindTraffic{
+              kind, static_cast<std::uint64_t>(entry.int_at("packets")),
+              static_cast<std::uint64_t>(entry.int_at("bytes"))});
+        }
+      }
+    }
+  }
+  if (const obs::JsonValue* crypto = value.find("crypto")) {
+    s.crypto.seals = static_cast<std::uint64_t>(crypto->int_at("seals"));
+    s.crypto.opens = static_cast<std::uint64_t>(crypto->int_at("opens"));
+    s.crypto.open_failures =
+        static_cast<std::uint64_t>(crypto->int_at("open_failures"));
+    s.crypto.prf_calls =
+        static_cast<std::uint64_t>(crypto->int_at("prf_calls"));
+    s.crypto.sealed_bytes =
+        static_cast<std::uint64_t>(crypto->int_at("sealed_bytes"));
+    s.crypto.opened_bytes =
+        static_cast<std::uint64_t>(crypto->int_at("opened_bytes"));
+  }
+  if (const obs::JsonValue* energy = value.find("energy")) {
+    s.energy.total_j = energy->number_at("total_j");
+    s.energy.tx_j = energy->number_at("tx_j");
+    s.energy.rx_j = energy->number_at("rx_j");
+  }
+  if (const obs::JsonValue* latency = value.find("latency")) {
+    s.latency.originated =
+        static_cast<std::uint64_t>(latency->int_at("originated"));
+    s.latency.delivered =
+        static_cast<std::uint64_t>(latency->int_at("delivered"));
+    s.latency.unmatched =
+        static_cast<std::uint64_t>(latency->int_at("unmatched"));
+    s.latency.p50_ms = latency->number_at("p50_ms");
+    s.latency.p90_ms = latency->number_at("p90_ms");
+    s.latency.p99_ms = latency->number_at("p99_ms");
+    s.latency.max_ms = latency->number_at("max_ms");
+  }
+  if (const obs::JsonValue* phases = value.find("phases")) {
+    if (phases->is_array()) {
+      for (const obs::JsonValue& entry : phases->as_array()) {
+        obs::TraceSpan span;
+        span.name = entry.string_at("name");
+        span.t0_ns = entry.int_at("t0");
+        span.t1_ns = entry.int_at("t1", -1);
+        span.depth = static_cast<std::uint32_t>(entry.int_at("depth"));
+        s.phases.push_back(std::move(span));
+      }
+    }
+  }
+  if (const obs::JsonValue* counters = value.find("counters")) {
+    s.counters = *counters;
+  }
+  return s;
+}
+
+void write_run_summary(std::ostream& os, const RunSummary& summary) {
+  os << to_json(summary).dump() << '\n';
+}
+
+void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
+                       std::string_view tool, const net::PacketTrace* trace) {
+  obs::TraceSink sink{os};
+  const core::RunnerConfig& cfg = runner.config();
+  obs::JsonValue meta;
+  meta.set("nodes", static_cast<std::uint64_t>(cfg.node_count));
+  meta.set("density", cfg.density);
+  meta.set("seed", cfg.seed);
+  meta.set("sim_time_s", runner.sim().now().seconds());
+  sink.write_meta(tool, std::move(meta));
+
+  for (const obs::TraceSpan& span : runner.timeline().spans()) {
+    sink.write_span(span);
+  }
+  if (trace != nullptr) {
+    for (const net::TraceRecord& r : trace->records()) {
+      sink.write_packet(r.time_ns, r.sender, net::packet_kind_name(r.kind),
+                        r.size_bytes);
+    }
+  }
+  for (const obs::DeliveryTracker::Sample& sample :
+       runner.deliveries().samples()) {
+    sink.write_delivery(sample);
+  }
+  sink.write_counters(runner.network().counters().snapshot_json());
+  if (trace != nullptr && (trace->dropped_records() > 0 ||
+                           trace->filtered() > 0)) {
+    sink.write_trace_drops(trace->total_seen(), trace->records().size(),
+                           trace->dropped_records(), trace->filtered());
+  }
+}
+
+}  // namespace ldke::analysis

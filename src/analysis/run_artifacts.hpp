@@ -1,0 +1,110 @@
+#pragma once
+/// \file run_artifacts.hpp
+/// Machine-readable run artifacts: RunSummary (one JSON object capturing
+/// a trial's configuration, §V metrics, sim/channel/crypto/energy stats,
+/// phase timeline and DATA latency percentiles) and the packet-level
+/// JSONL trace, both written by tools/ldke_sim and consumed by
+/// tools/ldke_trace / CI schema checks.  The JSON key names double as the
+/// stable contract between EXPERIMENTS.md figures and the artifacts —
+/// e.g. Fig 9 is summary["setup"]["setup_messages_per_node"].
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+#include "net/packet_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace ldke::analysis {
+
+/// Per-PacketKind traffic totals (kinds with zero packets are omitted).
+struct KindTraffic {
+  std::string kind;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RunSummary {
+  int schema_version = 1;
+  std::string tool;
+
+  struct {
+    std::size_t node_count = 0;
+    double density = 0.0;
+    double side_m = 0.0;
+    std::uint64_t seed = 0;
+  } config;
+
+  /// §V metrics (Figs 6–9); valid after run_key_setup().
+  core::SetupMetrics setup;
+
+  struct {
+    std::uint64_t events_executed = 0;
+    std::uint64_t queue_high_water = 0;
+    double wall_seconds = 0.0;
+    double sim_time_s = 0.0;
+  } sim;
+
+  struct {
+    std::uint64_t transmissions = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t losses = 0;
+    std::vector<KindTraffic> by_kind;
+  } channel;
+
+  /// Deployment-wide crypto totals (runner residual + every node).
+  crypto::CryptoCounters crypto;
+
+  struct {
+    double total_j = 0.0;
+    double tx_j = 0.0;
+    double rx_j = 0.0;
+  } energy;
+
+  struct {
+    std::uint64_t originated = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t unmatched = 0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  } latency;
+
+  std::vector<obs::TraceSpan> phases;
+
+  /// MetricRegistry snapshot ({"counters":..,"gauges":..,"histograms":..}).
+  obs::JsonValue counters;
+};
+
+/// Gathers everything the runner and its network expose right now.
+[[nodiscard]] RunSummary collect_run_summary(core::ProtocolRunner& runner,
+                                             std::string_view tool);
+
+[[nodiscard]] obs::JsonValue to_json(const RunSummary& summary);
+
+/// Inverse of to_json (unknown keys ignored; missing keys default).
+/// Returns nullopt when \p value is not an object or the schema version
+/// is newer than this reader.
+[[nodiscard]] std::optional<RunSummary> run_summary_from_json(
+    const obs::JsonValue& value);
+
+/// Serializes the summary as a single JSON document plus newline.
+void write_run_summary(std::ostream& os, const RunSummary& summary);
+
+/// Writes the versioned JSONL trace for a trial: meta line, phase spans,
+/// packet records (from \p trace, when attached), delivery samples,
+/// counter snapshot, and a trace_drops line when the packet log is
+/// incomplete.
+void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
+                       std::string_view tool,
+                       const net::PacketTrace* trace = nullptr);
+
+}  // namespace ldke::analysis

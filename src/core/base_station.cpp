@@ -79,6 +79,9 @@ void BaseStation::on_delivered(net::Network& net,
   }
   readings_.push_back(std::move(reading));
   net.counters().increment("bs.reading_accepted");
+  if (obs::DeliveryTracker* tracker = net.delivery_tracker()) {
+    tracker->on_deliver(inner.source, net.sim().now().ns());
+  }
 }
 
 bool BaseStation::revoke_clusters(net::Network& net,

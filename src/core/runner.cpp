@@ -2,10 +2,19 @@
 
 namespace ldke::core {
 
+namespace {
+constexpr std::int64_t seconds_to_ns(double s) noexcept {
+  return static_cast<std::int64_t>(s * 1e9);
+}
+}  // namespace
+
 ProtocolRunner::ProtocolRunner(RunnerConfig config)
     : config_(config),
       sim_(config.seed),
       roots_(make_deployment(support::derive_seed(config.seed, 0x4b455953))) {
+  // Provisioning below derives keys for every node; charge it to the
+  // runner, not to any single sensor.
+  crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   // K0, the hash-chain commitment, is preloaded into every node (§IV-D).
   commitment_ =
       crypto::KeyChain(roots_.chain_seed, config_.protocol.revocation_chain_length)
@@ -18,6 +27,7 @@ ProtocolRunner::ProtocolRunner(RunnerConfig config)
       config_.node_count, config_.side_m, config_.density, sim_.rng());
   network_.emplace(sim_, std::move(topology), config_.channel,
                    config_.energy);
+  network_->set_delivery_tracker(&delivery_tracker_);
 
   nodes_.reserve(config_.node_count);
   // One Provisioner for the whole deployment: the PRF midstates of the
@@ -40,25 +50,45 @@ ProtocolRunner::ProtocolRunner(RunnerConfig config)
 }
 
 void ProtocolRunner::run_key_setup() {
+  crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
+  const std::int64_t t0 = sim_.now().ns();
+  const obs::SpanId span = timeline_.begin_span("key_setup", t0);
+  // The phase boundaries are configuration, not measurements: record the
+  // election and link windows as sub-spans up front so offline traffic
+  // attribution can bucket packets by protocol step.
+  timeline_.add_span("election", t0,
+                     t0 + seconds_to_ns(config_.protocol.election_deadline_s));
+  timeline_.add_span("link_establishment",
+                     t0 + seconds_to_ns(config_.protocol.link_phase_start_s),
+                     t0 + seconds_to_ns(config_.protocol.master_erase_s));
   network_->start_all();
   const double end = config_.protocol.master_erase_s + 0.05;
   sim_.run(sim::SimTime::from_seconds(end));
+  timeline_.end_span(span, sim_.now().ns());
 }
 
 void ProtocolRunner::run_routing_setup(double settle_s) {
   if (base_station_ == nullptr) return;
+  crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
+  const obs::SpanId span = timeline_.begin_span("routing", sim_.now().ns());
   // Each call is a fresh beacon round: forget previous gradients so the
   // flood propagates again (late-deployed nodes get routes this way).
   for (auto& node : nodes_) node->reset_routing();
   base_station_->start_routing_root(*network_);
   sim_.run(sim_.now() + sim::SimTime::from_seconds(settle_s));
+  timeline_.end_span(span, sim_.now().ns());
 }
 
 void ProtocolRunner::run_for(double seconds) {
+  crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
+  const obs::SpanId span = timeline_.begin_span("run", sim_.now().ns());
   sim_.run(sim_.now() + sim::SimTime::from_seconds(seconds));
+  timeline_.end_span(span, sim_.now().ns());
 }
 
 void ProtocolRunner::run_recluster_round() {
+  crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
+  const obs::SpanId span = timeline_.begin_span("recluster", sim_.now().ns());
   const ProtocolConfig& p = config_.protocol;
   for (auto& node : nodes_) node->begin_recluster(*network_);
   for (auto& node : nodes_) {
@@ -71,11 +101,13 @@ void ProtocolRunner::run_recluster_round() {
                      [raw, this] { raw->finish_recluster(*network_); });
   }
   sim_.run(sim_.now() + sim::SimTime::from_seconds(p.master_erase_s + 0.05));
+  timeline_.end_span(span, sim_.now().ns());
   // The hop-envelope keys changed: rebuild the gradient under new keys.
   if (base_station_ != nullptr) run_routing_setup();
 }
 
 SensorNode& ProtocolRunner::deploy_new_node(net::Vec2 pos) {
+  crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   const net::NodeId id = network_->deploy_position(pos);
   NodeSecrets secrets =
       provision_new_node(roots_, id, commitment_, mutesla_commitment_);

@@ -13,7 +13,10 @@
 #include "core/config.hpp"
 #include "core/provisioning.hpp"
 #include "core/sensor_node.hpp"
+#include "crypto/obs.hpp"
 #include "net/network.hpp"
+#include "obs/delivery.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 
 namespace ldke::core {
@@ -78,6 +81,32 @@ class ProtocolRunner {
   /// \p pos.  Caller advances the simulator to let the join complete.
   SensorNode& deploy_new_node(net::Vec2 pos);
 
+  // ---- observability ----
+  /// Sim-time spans of the protocol phases driven through this runner
+  /// (key_setup with election/link_establishment sub-windows, routing,
+  /// run, recluster).
+  [[nodiscard]] const obs::PhaseTimeline& timeline() const noexcept {
+    return timeline_;
+  }
+  /// End-to-end DATA latency samples (origination at the source through
+  /// acceptance at the base station).
+  [[nodiscard]] const obs::DeliveryTracker& deliveries() const noexcept {
+    return delivery_tracker_;
+  }
+  /// Crypto work not attributable to a single node: deployment
+  /// provisioning (key derivation for every node) and other
+  /// runner-driven bookkeeping.
+  [[nodiscard]] const crypto::CryptoCounters& runner_crypto() const noexcept {
+    return crypto_residual_;
+  }
+  /// Deployment-wide crypto totals: the runner residual plus every
+  /// node's attributed counters.
+  [[nodiscard]] crypto::CryptoCounters crypto_totals() const noexcept {
+    crypto::CryptoCounters total = crypto_residual_;
+    for (const auto& node : nodes_) total += node->crypto_stats();
+    return total;
+  }
+
  private:
   RunnerConfig config_;
   sim::Simulator sim_;
@@ -87,6 +116,9 @@ class ProtocolRunner {
   std::optional<net::Network> network_;
   std::vector<std::unique_ptr<SensorNode>> nodes_;
   BaseStation* base_station_ = nullptr;
+  obs::PhaseTimeline timeline_;
+  obs::DeliveryTracker delivery_tracker_;
+  crypto::CryptoCounters crypto_residual_;
 };
 
 }  // namespace ldke::core

@@ -79,6 +79,7 @@ void SensorNode::start(net::Network& net) {
 void SensorNode::on_election_timer(net::Network& net) {
   election_timer_ = sim::kInvalidEventId;
   if (role_ != Role::kUndecided) return;
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
   // Become a cluster head: my pre-loaded Kci is now the cluster key and
   // my id the cluster id.
   role_ = Role::kHead;
@@ -124,6 +125,7 @@ void SensorNode::on_hello(net::Network& net, const Packet& packet) {
 
 void SensorNode::send_link_advert(net::Network& net) {
   if (secrets_.master_erased() || !keys_.has_own()) return;
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
   // §IV-B.2: every node broadcasts its cluster's (CID, Kc) under Km so
   // that bordering nodes of other clusters can translate traffic.
   const wsn::LinkAdvertBody body{keys_.own_cid(), keys_.own_key()};
@@ -171,6 +173,7 @@ bool SensorNode::send_reading(net::Network& net,
                               std::span<const std::uint8_t> payload) {
   if (!keys_.has_own() || role_ == Role::kEvicted) return false;
   if (!routing_.has_route()) return false;
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
 
   wsn::DataInner inner;
   inner.source = id();
@@ -185,6 +188,9 @@ bool SensorNode::send_reading(net::Network& net,
     inner.body.assign(payload.begin(), payload.end());
   }
   net.counters().increment("data.originated");
+  if (obs::DeliveryTracker* tracker = net.delivery_tracker()) {
+    tracker->on_originate(id(), net.sim().now().ns());
+  }
   forward_inner(net, std::move(inner));
   return true;
 }
@@ -323,6 +329,7 @@ void SensorNode::start_routing_root(net::Network& net) {
 void SensorNode::send_beacon(net::Network& net) {
   beacon_pending_ = false;
   if (!keys_.has_own() || role_ == Role::kEvicted) return;
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
   wsn::BeaconInner inner;
   inner.hop = routing_.hop();
   inner.tau_ns = net.sim().now().ns();
@@ -379,6 +386,7 @@ void SensorNode::on_beacon(net::Network& net, const Packet& packet) {
 
 bool SensorNode::initiate_cluster_rekey(net::Network& net) {
   if (!keys_.has_own() || role_ == Role::kEvicted) return false;
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
   wsn::RefreshBody body;
   body.cid = keys_.own_cid();
   body.new_key = drbg_.next_key();
@@ -627,6 +635,9 @@ const PacketDispatcher<SensorNode>& SensorNode::dispatcher() {
 }
 
 void SensorNode::handle_packet(net::Network& net, const Packet& packet) {
+  // All crypto performed while this node handles a packet — envelope
+  // opens, any forwards or replies it triggers — lands on its counters.
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
   dispatcher().dispatch(*this, net, packet);
 }
 

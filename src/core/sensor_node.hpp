@@ -30,6 +30,7 @@
 #include "core/mutesla.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/keychain.hpp"
+#include "crypto/obs.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "wsn/messages.hpp"
@@ -68,6 +69,14 @@ class SensorNode : public net::Node {
   }
   [[nodiscard]] std::uint64_t setup_messages_sent() const noexcept {
     return setup_messages_sent_;
+  }
+
+  /// Crypto work attributed to this node (seal/open/PRF counts and byte
+  /// volume).  Covers packet handling and the node's own scheduled
+  /// transmissions; deployment-wide provisioning is charged to the
+  /// runner, not to nodes.
+  [[nodiscard]] const crypto::CryptoCounters& crypto_stats() const noexcept {
+    return crypto_stats_;
   }
 
   // ---- data plane (§IV-C) ----
@@ -305,6 +314,7 @@ class SensorNode : public net::Node {
 
   sim::EventId election_timer_ = sim::kInvalidEventId;
   std::uint64_t setup_messages_sent_ = 0;
+  crypto::CryptoCounters crypto_stats_;
 
   // §IV-C re-clustering round state (inactive outside a round).
   bool recluster_active_ = false;

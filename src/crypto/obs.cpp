@@ -1,0 +1,13 @@
+#include "crypto/obs.hpp"
+
+namespace ldke::crypto {
+
+namespace {
+thread_local CryptoCounters* t_sink = nullptr;
+}  // namespace
+
+CryptoCounters* crypto_counters_sink() noexcept { return t_sink; }
+
+void set_crypto_counters_sink(CryptoCounters* sink) noexcept { t_sink = sink; }
+
+}  // namespace ldke::crypto

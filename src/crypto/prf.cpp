@@ -3,10 +3,18 @@
 #include <cstring>
 
 #include "crypto/hmac.hpp"
+#include "crypto/obs.hpp"
 
 namespace ldke::crypto {
 
+namespace {
+inline void count_prf_call() noexcept {
+  if (CryptoCounters* sink = crypto_counters_sink()) ++sink->prf_calls;
+}
+}  // namespace
+
 Key128 prf(const Key128& key, std::span<const std::uint8_t> data) noexcept {
+  count_prf_call();
   const Sha256Digest digest = hmac_sha256(key.span(), data);
   Key128 out;
   std::memcpy(out.bytes.data(), digest.data(), kKeyBytes);
@@ -34,6 +42,7 @@ KeyPair derive_pair(const Key128& key) noexcept {
 
 Key128 PrfContext::operator()(
     std::span<const std::uint8_t> data) const noexcept {
+  count_prf_call();
   HmacSha256 ctx{mid_};
   ctx.update(data);
   const Sha256Digest digest = ctx.finish();

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/obs.hpp"
+
 namespace ldke::crypto {
 
 MacTag SealContext::envelope_tag(std::uint64_t nonce,
@@ -32,6 +34,10 @@ MacTag SealContext::envelope_tag(std::uint64_t nonce,
 support::Bytes SealContext::seal(std::uint64_t nonce,
                                  std::span<const std::uint8_t> plain,
                                  std::span<const std::uint8_t> aad) const {
+  if (CryptoCounters* sink = crypto_counters_sink()) {
+    ++sink->seals;
+    sink->sealed_bytes += plain.size();
+  }
   support::Bytes out = ctr_.encrypt(nonce, plain);
   const MacTag tag = envelope_tag(nonce, out, aad);
   out.insert(out.end(), tag.begin(), tag.end());
@@ -41,11 +47,22 @@ support::Bytes SealContext::seal(std::uint64_t nonce,
 std::optional<support::Bytes> SealContext::open(
     std::uint64_t nonce, std::span<const std::uint8_t> sealed,
     std::span<const std::uint8_t> aad) const {
-  if (sealed.size() < kMacTagBytes) return std::nullopt;
+  CryptoCounters* sink = crypto_counters_sink();
+  if (sink != nullptr) {
+    ++sink->opens;
+    sink->opened_bytes += sealed.size();
+  }
+  if (sealed.size() < kMacTagBytes) {
+    if (sink != nullptr) ++sink->open_failures;
+    return std::nullopt;
+  }
   const auto cipher = sealed.first(sealed.size() - kMacTagBytes);
   const auto tag = sealed.last(kMacTagBytes);
   const MacTag expected = envelope_tag(nonce, cipher, aad);
-  if (!support::constant_time_equal(expected, tag)) return std::nullopt;
+  if (!support::constant_time_equal(expected, tag)) {
+    if (sink != nullptr) ++sink->open_failures;
+    return std::nullopt;
+  }
   return ctr_.decrypt(nonce, cipher);
 }
 

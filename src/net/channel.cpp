@@ -43,6 +43,7 @@ void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
                                 sim::SimTime when) {
   if (config_.loss_probability > 0.0 &&
       sim_.rng().bernoulli(config_.loss_probability)) {
+    ++losses_;
     counters_.increment(ctr_lost_);
     return;
   }
@@ -80,6 +81,11 @@ void Channel::fan_out(const Packet& packet, std::span<const NodeId> receivers,
   if (sniffer_) sniffer_(packet);
   ++tx_count_;
   tx_bytes_ += packet.size_bytes();
+  const auto kind = static_cast<std::size_t>(packet.kind);
+  if (kind < kPacketKindCount) {
+    ++tx_packets_by_kind_[kind];
+    tx_bytes_by_kind_[kind] += packet.size_bytes();
+  }
   counters_.increment(tx_counter);
   for (NodeId receiver : receivers) {
     schedule_delivery(receiver, packet, arrival);

@@ -10,6 +10,7 @@
 /// ChannelConfig::model_collisions enables an overlap-corruption model
 /// as an ablation, and loss injection covers the "unreliable link" axis.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -76,6 +77,17 @@ class Channel {
   [[nodiscard]] std::uint64_t deliveries() const noexcept { return rx_count_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return tx_bytes_; }
   [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+  [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
+
+  /// Per-PacketKind transmission tallies (index by the kind's numeric
+  /// value); two fixed-array increments per frame, so always on.
+  using KindArray = std::array<std::uint64_t, kPacketKindCount>;
+  [[nodiscard]] const KindArray& tx_packets_by_kind() const noexcept {
+    return tx_packets_by_kind_;
+  }
+  [[nodiscard]] const KindArray& tx_bytes_by_kind() const noexcept {
+    return tx_bytes_by_kind_;
+  }
 
   [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
 
@@ -119,6 +131,9 @@ class Channel {
   std::uint64_t rx_count_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t collisions_ = 0;
+  std::uint64_t losses_ = 0;
+  KindArray tx_packets_by_kind_{};
+  KindArray tx_bytes_by_kind_{};
   std::uint64_t csma_deferrals_ = 0;
   std::uint64_t csma_drops_ = 0;
   std::unordered_map<NodeId, std::vector<Reception>> active_receptions_;

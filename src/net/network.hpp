@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "obs/delivery.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
@@ -27,6 +28,16 @@ class Network {
   [[nodiscard]] Channel& channel() noexcept { return channel_; }
   [[nodiscard]] EnergyModel& energy() noexcept { return energy_; }
   [[nodiscard]] sim::TraceCounters& counters() noexcept { return counters_; }
+
+  /// Optional end-to-end DATA delivery tracker; protocol layers call
+  /// these at origination (a reading leaves its source) and delivery
+  /// (the final destination authenticates it).  No-ops when unset.
+  void set_delivery_tracker(obs::DeliveryTracker* tracker) noexcept {
+    delivery_tracker_ = tracker;
+  }
+  [[nodiscard]] obs::DeliveryTracker* delivery_tracker() noexcept {
+    return delivery_tracker_;
+  }
 
   /// Registers the behaviour for an existing topology slot.
   void attach(Node& node);
@@ -55,6 +66,7 @@ class Network {
   sim::TraceCounters counters_;
   Channel channel_;
   std::vector<Node*> nodes_;
+  obs::DeliveryTracker* delivery_tracker_ = nullptr;
 };
 
 }  // namespace ldke::net

@@ -31,15 +31,27 @@ std::string_view packet_kind_name(PacketKind kind) noexcept {
 void PacketTrace::attach(Network& net) {
   net.channel().set_sniffer([this, &net](const Packet& pkt) {
     ++total_seen_;
+    if (!accepts(pkt.kind)) {
+      ++filtered_;
+      return;
+    }
     if (records_.size() >= capacity_) {
+      const auto evicted = capacity_ / 4 + 1;
       records_.erase(records_.begin(),
-                     records_.begin() +
-                         static_cast<std::ptrdiff_t>(capacity_ / 4 + 1));
+                     records_.begin() + static_cast<std::ptrdiff_t>(evicted));
+      dropped_records_ += evicted;
     }
     records_.push_back(TraceRecord{net.sim().now().ns(), pkt.sender,
                                    pkt.kind,
                                    static_cast<std::uint32_t>(pkt.size_bytes())});
   });
+}
+
+void PacketTrace::set_kind_filter(std::initializer_list<PacketKind> kinds) {
+  kind_mask_ = 0;
+  for (PacketKind kind : kinds) {
+    kind_mask_ |= 1u << static_cast<unsigned>(kind);
+  }
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
@@ -56,6 +68,12 @@ void PacketTrace::dump_jsonl(std::ostream& os) const {
     os << "{\"t\":" << r.time_ns << ",\"sender\":" << r.sender
        << ",\"kind\":\"" << packet_kind_name(r.kind)
        << "\",\"bytes\":" << r.size_bytes << "}\n";
+  }
+  if (dropped_records_ > 0 || filtered_ > 0) {
+    os << "{\"type\":\"trace_drops\",\"seen\":" << total_seen_
+       << ",\"recorded\":" << records_.size()
+       << ",\"dropped\":" << dropped_records_
+       << ",\"filtered\":" << filtered_ << "}\n";
   }
 }
 

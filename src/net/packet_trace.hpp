@@ -6,6 +6,7 @@
 /// affordance SensorSimII's trace files provided.
 
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -34,15 +35,32 @@ class PacketTrace {
   /// hook; replaces any previous one).
   void attach(Network& net);
 
+  /// Restricts recording to the given kinds (empty mask = record all;
+  /// that is the default).  Packets excluded by the filter count in
+  /// total_seen() and filtered(), not in dropped_records().
+  void set_kind_filter(std::initializer_list<PacketKind> kinds);
+  void clear_kind_filter() noexcept { kind_mask_ = 0; }
+  [[nodiscard]] bool accepts(PacketKind kind) const noexcept {
+    return kind_mask_ == 0 ||
+           (kind_mask_ >> static_cast<unsigned>(kind)) & 1u;
+  }
+
   [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
     return records_;
   }
   [[nodiscard]] std::uint64_t total_seen() const noexcept {
     return total_seen_;
   }
+  /// Records evicted because the bounded buffer overflowed.  (Filtered
+  /// packets are never records, so they are not "dropped".)
+  [[nodiscard]] std::uint64_t dropped_records() const noexcept {
+    return dropped_records_;
+  }
+  /// Packets excluded by the kind filter.
+  [[nodiscard]] std::uint64_t filtered() const noexcept { return filtered_; }
+  /// Packets seen but not retained, for any reason (eviction or filter).
   [[nodiscard]] std::uint64_t dropped() const noexcept {
-    return total_seen_ -
-           static_cast<std::uint64_t>(records_.size());
+    return dropped_records_ + filtered_;
   }
 
   /// Transmission count per packet kind over the retained window.
@@ -50,18 +68,27 @@ class PacketTrace {
   histogram_by_kind() const;
 
   /// One JSON object per line: {"t":..., "sender":..., "kind":"...",
-  /// "bytes":...}.
+  /// "bytes":...}.  When any packets were evicted or filtered, a final
+  /// summary line {"type":"trace_drops","seen":...,"recorded":...,
+  /// "dropped":...,"filtered":...} reports the gap so consumers know the
+  /// dump is partial.
   void dump_jsonl(std::ostream& os) const;
 
   void clear() noexcept {
     records_.clear();
     total_seen_ = 0;
+    dropped_records_ = 0;
+    filtered_ = 0;
   }
 
  private:
   std::size_t capacity_;
   std::vector<TraceRecord> records_;
   std::uint64_t total_seen_ = 0;
+  std::uint64_t dropped_records_ = 0;
+  std::uint64_t filtered_ = 0;
+  /// Bit i set = record PacketKind(i); all-zero = no filter.
+  std::uint32_t kind_mask_ = 0;
 };
 
 }  // namespace ldke::net

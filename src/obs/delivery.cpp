@@ -1,0 +1,32 @@
+#include "obs/delivery.hpp"
+
+#include <algorithm>
+
+namespace ldke::obs {
+
+double DeliveryTracker::latency_percentile_s(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(samples_.size());
+  for (const Sample& s : samples_) latencies.push_back(s.latency_s());
+  std::sort(latencies.begin(), latencies.end());
+  if (q <= 0.0) return latencies.front();
+  if (q >= 1.0) return latencies.back();
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(latencies.size() - 1) + 0.5);
+  return latencies[std::min(idx, latencies.size() - 1)];
+}
+
+JsonValue DeliveryTracker::to_json() const {
+  JsonValue out;
+  out.set("originated", originated_);
+  out.set("delivered", delivered());
+  out.set("unmatched", unmatched_);
+  out.set("p50_ms", latency_percentile_s(0.50) * 1e3);
+  out.set("p90_ms", latency_percentile_s(0.90) * 1e3);
+  out.set("p99_ms", latency_percentile_s(0.99) * 1e3);
+  out.set("max_ms", latency_percentile_s(1.0) * 1e3);
+  return out;
+}
+
+}  // namespace ldke::obs

@@ -1,0 +1,78 @@
+#pragma once
+/// \file delivery.hpp
+/// End-to-end delivery tracking for DATA messages.  The hop envelope
+/// re-stamps its freshness timestamp at every forwarder, so origination
+/// time cannot be recovered from the wire — instead the source reports
+/// on_originate() when it wraps a reading and the final destination
+/// reports on_deliver() when the envelope authenticates.  Matching is
+/// per-source FIFO, which is exact under the tree routing this repo uses
+/// (one path per source, FIFO channel delays).
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ldke::obs {
+
+class DeliveryTracker {
+ public:
+  struct Sample {
+    std::uint32_t source = 0;
+    std::int64_t t_tx_ns = 0;
+    std::int64_t t_rx_ns = 0;
+
+    [[nodiscard]] double latency_s() const noexcept {
+      return static_cast<double>(t_rx_ns - t_tx_ns) * 1e-9;
+    }
+  };
+
+  void on_originate(std::uint32_t source, std::int64_t now_ns) {
+    outstanding_[source].push_back(now_ns);
+    ++originated_;
+  }
+
+  void on_deliver(std::uint32_t source, std::int64_t now_ns) {
+    const auto it = outstanding_.find(source);
+    if (it == outstanding_.end() || it->second.empty()) {
+      ++unmatched_;  // e.g. duplicate delivery or source outside tracking
+      return;
+    }
+    samples_.push_back(Sample{source, it->second.front(), now_ns});
+    it->second.pop_front();
+  }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t originated() const noexcept {
+    return originated_;
+  }
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] std::uint64_t unmatched() const noexcept { return unmatched_; }
+
+  /// Exact quantile over recorded latencies (sorts a copy; offline use).
+  [[nodiscard]] double latency_percentile_s(double q) const;
+
+  void clear() noexcept {
+    outstanding_.clear();
+    samples_.clear();
+    originated_ = 0;
+    unmatched_ = 0;
+  }
+
+  /// {"originated":..,"delivered":..,"p50_ms":..,...}
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::deque<std::int64_t>> outstanding_;
+  std::vector<Sample> samples_;
+  std::uint64_t originated_ = 0;
+  std::uint64_t unmatched_ = 0;
+};
+
+}  // namespace ldke::obs

@@ -1,0 +1,316 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ldke::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_at(std::string_view key,
+                            double fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return v != nullptr ? v->as_double(fallback) : fallback;
+}
+
+std::int64_t JsonValue::int_at(std::string_view key,
+                               std::int64_t fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return v != nullptr ? v->as_int(fallback) : fallback;
+}
+
+std::string JsonValue::string_at(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::string{fallback};
+}
+
+bool JsonValue::bool_at(std::string_view key, bool fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return v != nullptr ? v->as_bool(fallback) : fallback;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      if (is_int_) {
+        out += std::to_string(int_);
+        return;
+      }
+      if (!std::isfinite(num_)) {  // JSON has no inf/nan
+        out += "null";
+        return;
+      }
+      char buf[32];
+      // %.17g round-trips doubles; trim to shortest via %g first.
+      std::snprintf(buf, sizeof buf, "%g", num_);
+      double back = 0.0;
+      std::sscanf(buf, "%lf", &back);
+      if (back != num_) std::snprintf(buf, sizeof buf, "%.17g", num_);
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool eof() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+  bool consume(char c) {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return std::nullopt;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Basic-plane UTF-8 encoding (the schema emits ASCII only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos;
+    bool is_int = true;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_int = c == '-' || c == '+' ? is_int : false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty()) return std::nullopt;
+    if (is_int) {
+      std::int64_t i = 0;
+      const auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc{} && p == token.data() + token.size()) {
+        return JsonValue{i};
+      }
+    }
+    double d = 0.0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || p != token.data() + token.size()) {
+      return std::nullopt;
+    }
+    return JsonValue{d};
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > 64) return std::nullopt;
+    skip_ws();
+    if (eof()) return std::nullopt;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      JsonObject obj;
+      skip_ws();
+      if (consume('}')) return JsonValue{std::move(obj)};
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key) return std::nullopt;
+        skip_ws();
+        if (!consume(':')) return std::nullopt;
+        auto value = parse_value(depth + 1);
+        if (!value) return std::nullopt;
+        obj.emplace_back(std::move(*key), std::move(*value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return JsonValue{std::move(obj)};
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      JsonArray arr;
+      skip_ws();
+      if (consume(']')) return JsonValue{std::move(arr)};
+      while (true) {
+        auto value = parse_value(depth + 1);
+        if (!value) return std::nullopt;
+        arr.push_back(std::move(*value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return JsonValue{std::move(arr)};
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return JsonValue{std::move(*s)};
+    }
+    if (consume_literal("true")) return JsonValue{true};
+    if (consume_literal("false")) return JsonValue{false};
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser parser{text};
+  auto value = parser.parse_value(0);
+  if (!value) return std::nullopt;
+  parser.skip_ws();
+  if (!parser.eof()) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+}  // namespace ldke::obs

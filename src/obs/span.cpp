@@ -1,0 +1,74 @@
+#include "obs/span.hpp"
+
+namespace ldke::obs {
+
+SpanId PhaseTimeline::begin_span(std::string_view name, std::int64_t now_ns) {
+  TraceSpan span;
+  span.name = std::string{name};
+  span.t0_ns = now_ns;
+  span.depth = static_cast<std::uint32_t>(open_.size());
+  span.parent = open_.empty() ? kInvalidSpanId : open_.back();
+  spans_.push_back(std::move(span));
+  const SpanId id = spans_.size();
+  open_.push_back(id);
+  return id;
+}
+
+void PhaseTimeline::end_span(SpanId id, std::int64_t now_ns) {
+  if (id == kInvalidSpanId || id > spans_.size()) return;
+  TraceSpan& span = spans_[id - 1];
+  if (span.closed()) return;
+  // Close any still-open descendants first (phases end their sub-phases).
+  while (!open_.empty()) {
+    const SpanId top = open_.back();
+    open_.pop_back();
+    TraceSpan& open_span = spans_[top - 1];
+    if (!open_span.closed()) open_span.t1_ns = now_ns;
+    if (top == id) return;
+  }
+  // id was not on the open stack (already popped by an ancestor close);
+  // make sure it is closed anyway.
+  if (!span.closed()) span.t1_ns = now_ns;
+}
+
+SpanId PhaseTimeline::add_span(std::string_view name, std::int64_t t0_ns,
+                               std::int64_t t1_ns) {
+  TraceSpan span;
+  span.name = std::string{name};
+  span.t0_ns = t0_ns;
+  span.t1_ns = t1_ns;
+  span.depth = static_cast<std::uint32_t>(open_.size());
+  span.parent = open_.empty() ? kInvalidSpanId : open_.back();
+  spans_.push_back(std::move(span));
+  return spans_.size();
+}
+
+const TraceSpan* PhaseTimeline::find(std::string_view name) const noexcept {
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+double PhaseTimeline::total_s(std::string_view name) const noexcept {
+  double total = 0.0;
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) total += span.duration_s();
+  }
+  return total;
+}
+
+JsonValue PhaseTimeline::to_json() const {
+  JsonValue out{JsonArray{}};
+  for (const TraceSpan& span : spans_) {
+    JsonValue entry;
+    entry.set("name", span.name);
+    entry.set("t0", span.t0_ns);
+    entry.set("t1", span.t1_ns);
+    entry.set("depth", span.depth);
+    out.push(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace ldke::obs

@@ -1,0 +1,269 @@
+#include "obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/trace_sink.hpp"
+#include "support/table.hpp"
+
+namespace ldke::obs {
+
+std::optional<TraceData> load_trace(std::istream& in) {
+  TraceData data;
+  bool have_meta = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = JsonValue::parse(line);
+    if (!parsed || !parsed->is_object()) {
+      ++data.skipped_lines;
+      continue;
+    }
+    const std::string type = parsed->string_at("type");
+    if (type == "meta") {
+      const auto version = static_cast<int>(parsed->int_at("v"));
+      if (version > kTraceSchemaVersion) return std::nullopt;
+      data.version = version;
+      data.meta = std::move(*parsed);
+      have_meta = true;
+    } else if (type == "span") {
+      TraceSpan span;
+      span.name = parsed->string_at("name");
+      span.t0_ns = parsed->int_at("t0");
+      span.t1_ns = parsed->int_at("t1", -1);
+      span.depth = static_cast<std::uint32_t>(parsed->int_at("depth"));
+      data.spans.push_back(std::move(span));
+    } else if (type == "pkt") {
+      TracePacket pkt;
+      pkt.t_ns = parsed->int_at("t");
+      pkt.sender = static_cast<std::uint32_t>(parsed->int_at("sender"));
+      pkt.kind = parsed->string_at("kind");
+      pkt.bytes = static_cast<std::uint32_t>(parsed->int_at("bytes"));
+      data.packets.push_back(std::move(pkt));
+    } else if (type == "delivery") {
+      DeliveryTracker::Sample sample;
+      sample.source = static_cast<std::uint32_t>(parsed->int_at("src"));
+      sample.t_tx_ns = parsed->int_at("t_tx");
+      sample.t_rx_ns = parsed->int_at("t_rx");
+      data.deliveries.push_back(sample);
+    } else if (type == "counters") {
+      const JsonValue* snapshot = parsed->find("snapshot");
+      if (snapshot != nullptr) data.counters = *snapshot;
+    } else if (type == "trace_drops") {
+      data.trace_dropped += static_cast<std::uint64_t>(parsed->int_at("dropped"));
+      data.trace_filtered +=
+          static_cast<std::uint64_t>(parsed->int_at("filtered"));
+    } else {
+      ++data.skipped_lines;  // unknown type: forward-compatible skip
+    }
+  }
+  if (!have_meta) return std::nullopt;
+  return data;
+}
+
+std::vector<PhaseRow> phase_rows(const TraceData& data) {
+  std::vector<PhaseRow> rows;
+  rows.reserve(data.spans.size());
+  for (const TraceSpan& span : data.spans) {
+    PhaseRow row;
+    row.name = span.name;
+    row.depth = span.depth;
+    row.start_s = static_cast<double>(span.t0_ns) * 1e-9;
+    row.end_s = span.closed() ? static_cast<double>(span.t1_ns) * 1e-9 : -1.0;
+    for (const TracePacket& pkt : data.packets) {
+      if (span.contains(pkt.t_ns)) {
+        ++row.packets;
+        row.bytes += pkt.bytes;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+std::vector<KindRow> kind_rows_filtered(const TraceData& data,
+                                        std::int64_t t0_ns,
+                                        std::int64_t t1_ns) {
+  std::map<std::string, KindRow> by_kind;
+  for (const TracePacket& pkt : data.packets) {
+    if (pkt.t_ns < t0_ns || (t1_ns >= 0 && pkt.t_ns >= t1_ns)) continue;
+    KindRow& row = by_kind[pkt.kind];
+    row.kind = pkt.kind;
+    ++row.packets;
+    row.bytes += pkt.bytes;
+  }
+  std::vector<KindRow> rows;
+  rows.reserve(by_kind.size());
+  for (auto& [_, row] : by_kind) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const KindRow& a, const KindRow& b) {
+    return a.bytes != b.bytes ? a.bytes > b.bytes : a.kind < b.kind;
+  });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<KindRow> kind_rows(const TraceData& data) {
+  return kind_rows_filtered(data, INT64_MIN, -1);
+}
+
+std::vector<KindRow> kind_rows_in_phase(const TraceData& data,
+                                        std::string_view phase) {
+  for (const TraceSpan& span : data.spans) {
+    if (span.name == phase) {
+      return kind_rows_filtered(data, span.t0_ns,
+                                span.closed() ? span.t1_ns : -1);
+    }
+  }
+  return {};
+}
+
+std::vector<TalkerRow> top_talkers(const TraceData& data, std::size_t n) {
+  std::unordered_map<std::uint32_t, TalkerRow> by_sender;
+  for (const TracePacket& pkt : data.packets) {
+    TalkerRow& row = by_sender[pkt.sender];
+    row.sender = pkt.sender;
+    ++row.packets;
+    row.bytes += pkt.bytes;
+  }
+  std::vector<TalkerRow> rows;
+  rows.reserve(by_sender.size());
+  for (auto& [_, row] : by_sender) rows.push_back(row);
+  std::sort(rows.begin(), rows.end(),
+            [](const TalkerRow& a, const TalkerRow& b) {
+              return a.bytes != b.bytes ? a.bytes > b.bytes
+                                        : a.sender < b.sender;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+LatencyReport latency_report(const TraceData& data) {
+  LatencyReport report;
+  report.count = data.deliveries.size();
+  if (report.count == 0) return report;
+  std::vector<double> ms;
+  ms.reserve(data.deliveries.size());
+  double sum = 0.0;
+  for (const DeliveryTracker::Sample& s : data.deliveries) {
+    const double v = s.latency_s() * 1e3;
+    ms.push_back(v);
+    sum += v;
+  }
+  std::sort(ms.begin(), ms.end());
+  const auto at = [&](double q) {
+    const auto idx =
+        static_cast<std::size_t>(q * static_cast<double>(ms.size() - 1) + 0.5);
+    return ms[std::min(idx, ms.size() - 1)];
+  };
+  report.mean_ms = sum / static_cast<double>(ms.size());
+  report.p50_ms = at(0.50);
+  report.p90_ms = at(0.90);
+  report.p99_ms = at(0.99);
+  report.max_ms = ms.back();
+  return report;
+}
+
+double setup_messages_per_node(const TraceData& data) {
+  const std::int64_t nodes = data.node_count();
+  if (nodes <= 0) return 0.0;
+  std::uint64_t setup_msgs = 0;
+  for (const TracePacket& pkt : data.packets) {
+    if (pkt.kind == "hello" || pkt.kind == "link_advert") ++setup_msgs;
+  }
+  return static_cast<double>(setup_msgs) / static_cast<double>(nodes);
+}
+
+// ---- rendering ------------------------------------------------------------
+
+std::string render_phases(const TraceData& data) {
+  support::TextTable table({"phase", "start_s", "end_s", "dur_s", "pkts",
+                            "bytes"});
+  for (const PhaseRow& row : phase_rows(data)) {
+    std::string name(row.depth * 2, ' ');
+    name += row.name;
+    table.add_row({std::move(name), support::fmt(row.start_s),
+                   row.end_s < 0 ? "open" : support::fmt(row.end_s),
+                   row.end_s < 0 ? "-"
+                                 : support::fmt(row.end_s - row.start_s),
+                   std::to_string(row.packets), std::to_string(row.bytes)});
+  }
+  return table.render();
+}
+
+std::string render_traffic(const TraceData& data) {
+  std::uint64_t total_bytes = 0;
+  for (const TracePacket& pkt : data.packets) total_bytes += pkt.bytes;
+  support::TextTable table({"kind", "pkts", "bytes", "bytes/pkt", "share"});
+  for (const KindRow& row : kind_rows(data)) {
+    const double share =
+        total_bytes == 0 ? 0.0
+                         : static_cast<double>(row.bytes) /
+                               static_cast<double>(total_bytes) * 100.0;
+    table.add_row({row.kind, std::to_string(row.packets),
+                   std::to_string(row.bytes),
+                   support::fmt(static_cast<double>(row.bytes) /
+                                    static_cast<double>(row.packets),
+                                1),
+                   support::fmt(share, 1) + "%"});
+  }
+  return table.render();
+}
+
+std::string render_talkers(const TraceData& data, std::size_t n) {
+  support::TextTable table({"sender", "pkts", "bytes"});
+  for (const TalkerRow& row : top_talkers(data, n)) {
+    table.add_row({std::to_string(row.sender), std::to_string(row.packets),
+                   std::to_string(row.bytes)});
+  }
+  return table.render();
+}
+
+std::string render_latency(const TraceData& data) {
+  const LatencyReport report = latency_report(data);
+  support::TextTable table({"metric", "value"});
+  table.add_row({"delivered", std::to_string(report.count)});
+  table.add_row({"mean (ms)", support::fmt(report.mean_ms)});
+  table.add_row({"p50 (ms)", support::fmt(report.p50_ms)});
+  table.add_row({"p90 (ms)", support::fmt(report.p90_ms)});
+  table.add_row({"p99 (ms)", support::fmt(report.p99_ms)});
+  table.add_row({"max (ms)", support::fmt(report.max_ms)});
+  return table.render();
+}
+
+std::string render_summary(const TraceData& data) {
+  std::uint64_t total_bytes = 0;
+  std::int64_t last_ns = 0;
+  for (const TracePacket& pkt : data.packets) {
+    total_bytes += pkt.bytes;
+    if (pkt.t_ns > last_ns) last_ns = pkt.t_ns;
+  }
+  support::TextTable table({"metric", "value"});
+  table.add_row({"schema version", std::to_string(data.version)});
+  table.add_row({"tool", data.meta.string_at("tool", "?")});
+  table.add_row({"nodes", std::to_string(data.node_count())});
+  table.add_row({"density", support::fmt(data.meta.number_at("density"), 1)});
+  table.add_row(
+      {"seed", std::to_string(data.meta.int_at("seed"))});
+  table.add_row({"packets traced", std::to_string(data.packets.size())});
+  table.add_row({"bytes traced", std::to_string(total_bytes)});
+  table.add_row({"last packet (s)",
+                 support::fmt(static_cast<double>(last_ns) * 1e-9)});
+  table.add_row(
+      {"setup msgs/node (Fig 9)", support::fmt(setup_messages_per_node(data))});
+  table.add_row({"spans", std::to_string(data.spans.size())});
+  table.add_row({"deliveries", std::to_string(data.deliveries.size())});
+  table.add_row({"trace drops", std::to_string(data.trace_dropped)});
+  table.add_row({"trace filtered", std::to_string(data.trace_filtered)});
+  if (data.skipped_lines > 0) {
+    table.add_row({"skipped lines", std::to_string(data.skipped_lines)});
+  }
+  return table.render();
+}
+
+}  // namespace ldke::obs

@@ -1,0 +1,114 @@
+#pragma once
+/// \file trace_reader.hpp
+/// Offline side of the trace schema: loads a JSONL stream written by
+/// TraceSink and derives the reports the ldke_trace CLI prints — phase
+/// timelines with per-window traffic, per-kind tables, top talkers and
+/// end-to-end latency percentiles.  Pure string/number domain (packet
+/// kinds are the names the sink wrote), so it needs nothing above
+/// support/ and is equally usable from tests.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/delivery.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace ldke::obs {
+
+struct TracePacket {
+  std::int64_t t_ns = 0;
+  std::uint32_t sender = 0;
+  std::string kind;
+  std::uint32_t bytes = 0;
+};
+
+struct TraceData {
+  int version = 0;
+  JsonValue meta;  ///< the full meta record (tool, nodes, density, ...)
+  std::vector<TraceSpan> spans;
+  std::vector<TracePacket> packets;
+  std::vector<DeliveryTracker::Sample> deliveries;
+  JsonValue counters;  ///< last counters snapshot (null if none)
+  std::uint64_t trace_dropped = 0;   ///< records evicted by the recorder
+  std::uint64_t trace_filtered = 0;  ///< records excluded by kind filter
+  std::uint64_t skipped_lines = 0;   ///< unparseable or unknown-type lines
+
+  [[nodiscard]] std::int64_t node_count() const noexcept {
+    return meta.int_at("nodes");
+  }
+};
+
+/// Loads a whole JSONL stream.  Returns nullopt only when the stream has
+/// no valid meta record or a newer major schema version; individually
+/// malformed lines are counted in skipped_lines instead.
+[[nodiscard]] std::optional<TraceData> load_trace(std::istream& in);
+
+// ---- derived reports ------------------------------------------------------
+
+struct PhaseRow {
+  std::string name;
+  std::uint32_t depth = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;       ///< < 0 when the span never closed
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct KindRow {
+  std::string kind;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct TalkerRow {
+  std::uint32_t sender = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct LatencyReport {
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Packets/bytes per span window (a packet counts toward every span whose
+/// window contains it — parents therefore include their children).
+[[nodiscard]] std::vector<PhaseRow> phase_rows(const TraceData& data);
+
+/// Whole-run traffic per packet kind, sorted by bytes descending.
+[[nodiscard]] std::vector<KindRow> kind_rows(const TraceData& data);
+
+/// Traffic per kind within one named phase window (first span with that
+/// name); empty when the phase is absent.
+[[nodiscard]] std::vector<KindRow> kind_rows_in_phase(const TraceData& data,
+                                                      std::string_view phase);
+
+/// Top \p n senders by bytes.
+[[nodiscard]] std::vector<TalkerRow> top_talkers(const TraceData& data,
+                                                 std::size_t n);
+
+[[nodiscard]] LatencyReport latency_report(const TraceData& data);
+
+/// Setup messages per node, the paper's Fig 9 quantity, recomputed from
+/// the trace alone: (hello + link_advert packets) / nodes.  0 when the
+/// meta record carries no node count.
+[[nodiscard]] double setup_messages_per_node(const TraceData& data);
+
+// ---- rendered reports (terminal tables) -----------------------------------
+
+[[nodiscard]] std::string render_phases(const TraceData& data);
+[[nodiscard]] std::string render_traffic(const TraceData& data);
+[[nodiscard]] std::string render_talkers(const TraceData& data,
+                                         std::size_t n = 10);
+[[nodiscard]] std::string render_latency(const TraceData& data);
+[[nodiscard]] std::string render_summary(const TraceData& data);
+
+}  // namespace ldke::obs

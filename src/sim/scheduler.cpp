@@ -5,7 +5,7 @@
 
 namespace ldke::sim {
 
-EventId Scheduler::schedule(SimTime when, std::function<void()> action) {
+EventId Scheduler::schedule(SimTime when, EventFn action) {
   std::uint32_t slot;
   if (free_slots_.empty()) {
     slot = static_cast<std::uint32_t>(slots_.size());
@@ -21,6 +21,7 @@ EventId Scheduler::schedule(SimTime when, std::function<void()> action) {
       (static_cast<EventId>(s.generation) << 32) | (slot + 1ULL);
   heap_.push(Entry{when, next_seq_++, id});
   ++live_;
+  if (live_ > high_water_) high_water_ = live_;
   return id;
 }
 
@@ -68,7 +69,7 @@ SimTime Scheduler::run_next() {
   // Move the callable out and finish slab bookkeeping BEFORE invoking:
   // the action may schedule new events (possibly reusing this slot) or
   // cancel others.
-  std::function<void()> action = std::move(slots_[slot].action);
+  EventFn action = std::move(slots_[slot].action);
   retire(slot);
   action();
   return entry.when;

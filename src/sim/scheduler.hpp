@@ -12,10 +12,10 @@
 /// `skip_dead` pops when it reaches the top.
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace ldke::sim {
@@ -30,13 +30,21 @@ inline constexpr EventId kInvalidEventId = 0;
 class Scheduler {
  public:
   /// Schedules \p action at absolute time \p when; returns a cancellable id.
-  EventId schedule(SimTime when, std::function<void()> action);
+  /// EventFn keeps typical captures inline (no allocation per event).
+  EventId schedule(SimTime when, EventFn action);
 
   /// Cancels a pending event; returns false if already run/cancelled.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  /// Deepest the pending set has ever been.  Tracked at schedule() time
+  /// (the set is deepest right after a push), which keeps the run loop
+  /// free of bookkeeping.
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return high_water_;
+  }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] SimTime next_time();
@@ -60,7 +68,7 @@ class Scheduler {
   };
 
   struct Slot {
-    std::function<void()> action;
+    EventFn action;
     std::uint32_t generation = 0;
     bool live = false;
   };
@@ -83,6 +91,7 @@ class Scheduler {
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace ldke::sim

@@ -1,8 +1,45 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 namespace ldke::sim {
+namespace {
+
+/// Raw monotonic tick source for wall-time accounting.  The TSC read is
+/// a few nanoseconds — cheap enough to bracket every run() call — and
+/// wall_seconds() converts ticks to seconds by calibrating against the
+/// steady clock over the simulator's whole lifetime (invariant TSC makes
+/// the ratio constant).  Non-x86 builds fall back to the steady clock
+/// directly, where ticks already are nanoseconds.
+std::uint64_t wall_ticks_now() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 std::uint64_t Simulator::run(SimTime until) {
+  const std::uint64_t ticks_start = wall_ticks_now();
+  if (tick_epoch_ == 0) {
+    tick_epoch_ = ticks_start;
+    steady_epoch_ns_ = steady_now_ns();
+  }
   stop_requested_ = false;
   std::uint64_t ran = 0;
   while (!scheduler_.empty() && !stop_requested_) {
@@ -18,6 +55,7 @@ std::uint64_t Simulator::run(SimTime until) {
   if (until != SimTime::max() && now_ < until && !stop_requested_) {
     now_ = until;  // advance the clock to the end of the requested window
   }
+  wall_ticks_ += wall_ticks_now() - ticks_start;
   return ran;
 }
 
@@ -27,6 +65,20 @@ bool Simulator::step() {
   scheduler_.run_next();
   ++events_executed_;
   return true;
+}
+
+double Simulator::wall_seconds() const {
+#if defined(__x86_64__) || defined(__i386__)
+  if (wall_ticks_ == 0 || tick_epoch_ == 0) return 0.0;
+  const std::uint64_t ticks_span = wall_ticks_now() - tick_epoch_;
+  const std::int64_t steady_span_ns = steady_now_ns() - steady_epoch_ns_;
+  if (ticks_span == 0 || steady_span_ns <= 0) return 0.0;
+  const double ns_per_tick = static_cast<double>(steady_span_ns) /
+                             static_cast<double>(ticks_span);
+  return static_cast<double>(wall_ticks_) * ns_per_tick * 1e-9;
+#else
+  return static_cast<double>(wall_ticks_) * 1e-9;
+#endif
 }
 
 }  // namespace ldke::sim

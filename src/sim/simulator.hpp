@@ -4,18 +4,33 @@
 /// One Simulator instance owns one trial; there is no global state, so
 /// many trials can run concurrently on different threads.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "support/logging.hpp"
 #include "support/rng.hpp"
 
 namespace ldke::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {
+    // While this trial is alive, log lines on this thread carry the
+    // simulated clock.  The previous provider is restored on
+    // destruction so nested/stacked simulators behave.
+    prev_provider_ = support::sim_time_provider();
+    support::set_sim_time_provider({&Simulator::sim_time_of, this});
+  }
+
+  ~Simulator() {
+    // Only restore if we are still the installed provider (a later
+    // simulator on this thread may have replaced and restored already).
+    const auto current = support::sim_time_provider();
+    if (current.ctx == this) support::set_sim_time_provider(prev_provider_);
+  }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -27,12 +42,12 @@ class Simulator {
   [[nodiscard]] support::Xoshiro256& rng() noexcept { return rng_; }
 
   /// Schedules \p action \p delay after now.
-  EventId schedule_in(SimTime delay, std::function<void()> action) {
+  EventId schedule_in(SimTime delay, EventFn action) {
     return scheduler_.schedule(now_ + delay, std::move(action));
   }
 
   /// Schedules \p action at absolute time \p when (must be >= now).
-  EventId schedule_at(SimTime when, std::function<void()> action) {
+  EventId schedule_at(SimTime when, EventFn action) {
     return scheduler_.schedule(when, std::move(action));
   }
 
@@ -56,12 +71,31 @@ class Simulator {
     return events_executed_;
   }
 
+  /// Deepest the event queue has been over the simulator's lifetime.
+  [[nodiscard]] std::size_t queue_high_water() const noexcept {
+    return scheduler_.high_water();
+  }
+
+  /// Wall-clock time spent inside run() so far, for wall-time-per-
+  /// sim-second reporting.  Sampled with the cycle counter on x86 so the
+  /// per-run() overhead stays out of the event loop's budget; converted
+  /// to seconds lazily against the steady clock.
+  [[nodiscard]] double wall_seconds() const;
+
  private:
+  static double sim_time_of(const void* ctx) noexcept {
+    return static_cast<const Simulator*>(ctx)->now().seconds();
+  }
+
   Scheduler scheduler_;
   support::Xoshiro256 rng_;
   SimTime now_ = SimTime::zero();
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
+  std::uint64_t wall_ticks_ = 0;    ///< run() time in cycle-counter ticks
+  std::uint64_t tick_epoch_ = 0;    ///< tick reading at first run() entry
+  std::int64_t steady_epoch_ns_ = 0;  ///< steady clock at the same instant
+  support::SimTimeProvider prev_provider_;
 };
 
 }  // namespace ldke::sim

@@ -1,64 +1,16 @@
 #pragma once
 /// \file trace.hpp
-/// Lightweight event counters attached to a trial.  Modules increment
-/// named counters (e.g. "hello_sent", "mac_fail"); experiments read them
-/// after the run.  A plain map keeps this dependency-free and is fast
-/// enough at simulation scale — except on true per-packet hot paths,
-/// where the string hash/compare per increment shows up.  Those callers
-/// resolve a Handle once (handle()) and bump it through pointer
-/// indirection instead.
+/// Per-trial event counters.  Historically this file defined a counters-
+/// only TraceCounters class; the implementation moved to the unified
+/// obs::MetricRegistry (counters + gauges + histograms, all with
+/// interned hot-path handles) and TraceCounters is now an alias so every
+/// existing call site — modules incrementing named counters, hot paths
+/// bumping pre-resolved Handles — keeps compiling unchanged.
 
-#include <cstdint>
-#include <map>
-#include <set>
-#include <string>
-#include <string_view>
+#include "obs/metrics.hpp"
 
 namespace ldke::sim {
 
-class TraceCounters {
- public:
-  /// Pre-resolved counter slot for hot paths: increments through it skip
-  /// the name lookup entirely.  Obtained from handle(); stays valid for
-  /// the lifetime of the TraceCounters — clear() zeroes handle-backed
-  /// slots instead of erasing them, and std::map nodes never move.
-  class Handle {
-   public:
-    Handle() = default;
-
-   private:
-    friend class TraceCounters;
-    explicit Handle(std::uint64_t* slot) noexcept : slot_(slot) {}
-    std::uint64_t* slot_ = nullptr;
-  };
-
-  /// Resolves (registering if needed) the slot for \p name.
-  [[nodiscard]] Handle handle(std::string_view name);
-
-  void increment(std::string_view name, std::uint64_t by = 1);
-
-  /// Hot-path increment: no hashing, no string compare.
-  void increment(Handle h, std::uint64_t by = 1) noexcept {
-    if (h.slot_ != nullptr) *h.slot_ += by;
-  }
-
-  [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
-
-  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
-  all() const noexcept {
-    return counters_;
-  }
-
-  /// Erases plain counters; handle-backed slots are reset to zero but
-  /// stay registered (outstanding Handles must remain valid).
-  void clear() noexcept;
-
-  /// "name=value" lines, sorted by name (stable test output).
-  [[nodiscard]] std::string to_string() const;
-
- private:
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::set<std::string, std::less<>> pinned_;  ///< names with live Handles
-};
+using TraceCounters = obs::MetricRegistry;
 
 }  // namespace ldke::sim

@@ -1,14 +1,14 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace ldke::support {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
 
 constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
@@ -21,17 +21,61 @@ constexpr std::string_view level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+LogLevel level_from_env() noexcept {
+  const char* raw = std::getenv("LDKE_LOG");
+  if (raw == nullptr) return LogLevel::kWarn;
+  return parse_log_level(raw, LogLevel::kWarn);
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::mutex g_mutex;
+
+thread_local SimTimeProvider t_sim_time;
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept {
+  auto matches = [name](std::string_view lower) noexcept {
+    if (name.size() != lower.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const char folded =
+          (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+      if (folded != lower[i]) return false;
+    }
+    return true;
+  };
+  if (matches("trace")) return LogLevel::kTrace;
+  if (matches("debug")) return LogLevel::kDebug;
+  if (matches("info")) return LogLevel::kInfo;
+  if (matches("warn") || matches("warning")) return LogLevel::kWarn;
+  if (matches("error")) return LogLevel::kError;
+  if (matches("off") || matches("none")) return LogLevel::kOff;
+  return fallback;
+}
+
+void set_sim_time_provider(SimTimeProvider provider) noexcept {
+  t_sim_time = provider;
+}
+
+SimTimeProvider sim_time_provider() noexcept { return t_sim_time; }
+
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   if (level < log_level() || message.empty()) return;
+  char prefix[48];
+  prefix[0] = '\0';
+  if (t_sim_time.fn != nullptr) {
+    std::snprintf(prefix, sizeof prefix, "[t=%.6fs] ",
+                  t_sim_time.fn(t_sim_time.ctx));
+  }
   std::lock_guard lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << component << ": "
+  std::cerr << prefix << '[' << level_name(level) << "] " << component << ": "
             << message << '\n';
 }
 

@@ -1,7 +1,11 @@
 #pragma once
 /// \file logging.hpp
 /// Minimal leveled logger.  The simulator is quiet by default; examples
-/// raise the level to narrate protocol phases.
+/// raise the level to narrate protocol phases.  The initial threshold
+/// can be set from the environment (LDKE_LOG=trace|debug|info|warn|
+/// error|off), so tools and examples need not hard-code levels.  While a
+/// simulator is alive on the logging thread, each line is prefixed with
+/// the current simulated time.
 
 #include <sstream>
 #include <string>
@@ -11,9 +15,28 @@ namespace ldke::support {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log threshold (defaults to kWarn).
+/// Process-wide log threshold.  Defaults to kWarn unless the LDKE_LOG
+/// environment variable names another level; set_log_level() overrides
+/// both.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses a level name ("debug", "INFO", ...); nullopt-like fallback is
+/// expressed by returning \p fallback.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name,
+                                       LogLevel fallback) noexcept;
+
+/// Simulated-clock hook: while installed (thread-local), log lines carry
+/// a "t=<seconds>" prefix.  sim::Simulator installs itself here on
+/// construction; the ctx token lets nested simulators restore the outer
+/// provider on destruction without support/ depending on sim/.
+using SimTimeFn = double (*)(const void* ctx);
+struct SimTimeProvider {
+  SimTimeFn fn = nullptr;
+  const void* ctx = nullptr;
+};
+void set_sim_time_provider(SimTimeProvider provider) noexcept;
+[[nodiscard]] SimTimeProvider sim_time_provider() noexcept;
 
 /// Emits one line to stderr if \p level passes the threshold.
 void log_line(LogLevel level, std::string_view component,

@@ -94,6 +94,113 @@ TEST(PacketTrace, JsonlDumpIsWellFormedLines) {
   }
 }
 
+TEST(PacketTrace, DroppedRecordsCountsEvictionsExactly) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 120;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace{16};
+  trace.attach(runner.network());
+  runner.run_key_setup();
+  EXPECT_GT(trace.dropped_records(), 0u);
+  EXPECT_EQ(trace.filtered(), 0u);  // no filter: nothing filtered
+  EXPECT_EQ(trace.dropped(), trace.dropped_records());
+  // Everything seen is either retained or accounted as dropped.
+  EXPECT_EQ(trace.total_seen(), trace.records().size() + trace.dropped());
+}
+
+TEST(PacketTrace, KindFilterRecordsOnlySelectedKinds) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 120;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace;
+  trace.set_kind_filter({PacketKind::kHello});
+  trace.attach(runner.network());
+  runner.run_key_setup();
+
+  ASSERT_FALSE(trace.records().empty());
+  for (const TraceRecord& r : trace.records()) {
+    EXPECT_EQ(r.kind, PacketKind::kHello);
+  }
+  // Filtered packets still count in total_seen and filtered(), but are
+  // not eviction drops.
+  EXPECT_EQ(trace.total_seen(), runner.network().channel().transmissions());
+  EXPECT_GT(trace.filtered(), 0u);
+  EXPECT_EQ(trace.dropped_records(), 0u);
+  EXPECT_EQ(trace.total_seen(), trace.records().size() + trace.filtered());
+}
+
+TEST(PacketTrace, FilterPredicateAndClearing) {
+  PacketTrace trace;
+  EXPECT_TRUE(trace.accepts(PacketKind::kData));  // no filter: accept all
+  trace.set_kind_filter({PacketKind::kHello, PacketKind::kLinkAdvert});
+  EXPECT_TRUE(trace.accepts(PacketKind::kHello));
+  EXPECT_TRUE(trace.accepts(PacketKind::kLinkAdvert));
+  EXPECT_FALSE(trace.accepts(PacketKind::kData));
+  trace.clear_kind_filter();
+  EXPECT_TRUE(trace.accepts(PacketKind::kData));
+}
+
+TEST(PacketTrace, DumpReportsDropsOnlyWhenIncomplete) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 120;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+
+  {  // Complete trace: no trace_drops line.
+    core::ProtocolRunner runner{cfg};
+    PacketTrace trace;
+    trace.attach(runner.network());
+    runner.run_key_setup();
+    std::ostringstream os;
+    trace.dump_jsonl(os);
+    EXPECT_EQ(os.str().find("trace_drops"), std::string::npos);
+  }
+  {  // Overflowing trace: final summary line reports the gap.
+    core::ProtocolRunner runner{cfg};
+    PacketTrace trace{16};
+    trace.attach(runner.network());
+    runner.run_key_setup();
+    std::ostringstream os;
+    trace.dump_jsonl(os);
+    const std::string dump = os.str();
+    const auto pos = dump.find("\"type\":\"trace_drops\"");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_NE(dump.find("\"seen\":" + std::to_string(trace.total_seen())),
+              std::string::npos);
+    EXPECT_NE(dump.find("\"dropped\":" +
+                        std::to_string(trace.dropped_records())),
+              std::string::npos);
+    // The summary is the last line.
+    EXPECT_GT(pos, dump.rfind("\"kind\":"));
+  }
+}
+
+TEST(PacketTrace, ClearResetsDropAndFilterTallies) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 120;
+  cfg.density = 10.0;
+  cfg.side_m = 250.0;
+  cfg.seed = 3;
+  core::ProtocolRunner runner{cfg};
+  PacketTrace trace{16};
+  trace.set_kind_filter({PacketKind::kHello, PacketKind::kLinkAdvert});
+  trace.attach(runner.network());
+  runner.run_key_setup();
+  trace.clear();
+  EXPECT_EQ(trace.dropped_records(), 0u);
+  EXPECT_EQ(trace.filtered(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  // The kind filter itself survives clear().
+  EXPECT_FALSE(trace.accepts(PacketKind::kData));
+}
+
 TEST(PacketTrace, ClearResets) {
   core::RunnerConfig cfg;
   cfg.node_count = 60;

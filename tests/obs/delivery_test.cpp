@@ -1,0 +1,81 @@
+#include "obs/delivery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ldke::obs {
+namespace {
+
+TEST(DeliveryTracker, MatchesPerSourceFifo) {
+  DeliveryTracker t;
+  t.on_originate(7, 100);
+  t.on_originate(7, 200);
+  t.on_originate(9, 150);
+  t.on_deliver(7, 1100);  // matches the 100 origination, not the 200 one
+  t.on_deliver(9, 1150);
+  ASSERT_EQ(t.samples().size(), 2u);
+  EXPECT_EQ(t.samples()[0].source, 7u);
+  EXPECT_EQ(t.samples()[0].t_tx_ns, 100);
+  EXPECT_EQ(t.samples()[0].t_rx_ns, 1100);
+  EXPECT_EQ(t.samples()[1].source, 9u);
+  EXPECT_EQ(t.originated(), 3u);
+  EXPECT_EQ(t.delivered(), 2u);
+  EXPECT_EQ(t.unmatched(), 0u);
+}
+
+TEST(DeliveryTracker, UnmatchedDeliveriesAreCounted) {
+  DeliveryTracker t;
+  t.on_deliver(3, 500);  // never originated
+  t.on_originate(4, 0);
+  t.on_deliver(4, 100);
+  t.on_deliver(4, 200);  // duplicate: queue already drained
+  EXPECT_EQ(t.delivered(), 1u);
+  EXPECT_EQ(t.unmatched(), 2u);
+}
+
+TEST(DeliveryTracker, LatencyPercentilesAreExact) {
+  DeliveryTracker t;
+  for (int i = 1; i <= 100; ++i) {
+    t.on_originate(1, 0);
+    t.on_deliver(1, i * 1000000);  // 1..100 ms
+  }
+  EXPECT_NEAR(t.latency_percentile_s(0.5), 0.050, 0.002);
+  EXPECT_NEAR(t.latency_percentile_s(0.99), 0.099, 0.002);
+  EXPECT_DOUBLE_EQ(t.latency_percentile_s(1.0), 0.100);
+  EXPECT_DOUBLE_EQ(t.latency_percentile_s(0.0), 0.001);
+}
+
+TEST(DeliveryTracker, EmptyTrackerIsSafe) {
+  DeliveryTracker t;
+  EXPECT_DOUBLE_EQ(t.latency_percentile_s(0.5), 0.0);
+  const std::string json = t.to_json().dump();
+  EXPECT_NE(json.find("\"originated\":0"), std::string::npos);
+}
+
+TEST(DeliveryTracker, ClearResetsEverything) {
+  DeliveryTracker t;
+  t.on_originate(1, 0);
+  t.on_deliver(1, 10);
+  t.on_deliver(1, 20);
+  t.clear();
+  EXPECT_EQ(t.originated(), 0u);
+  EXPECT_EQ(t.delivered(), 0u);
+  EXPECT_EQ(t.unmatched(), 0u);
+  // Pre-clear originations must not satisfy post-clear deliveries.
+  t.on_deliver(1, 30);
+  EXPECT_EQ(t.unmatched(), 1u);
+}
+
+TEST(DeliveryTracker, JsonReportsMillisecondPercentiles) {
+  DeliveryTracker t;
+  t.on_originate(2, 0);
+  t.on_deliver(2, 250000000);  // 250 ms
+  const std::string json = t.to_json().dump();
+  EXPECT_NE(json.find("\"delivered\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ms\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ms\":250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldke::obs

@@ -1,0 +1,88 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ldke::obs {
+namespace {
+
+TEST(JsonValue, DumpScalars) {
+  EXPECT_EQ(JsonValue{}.dump(), "null");
+  EXPECT_EQ(JsonValue{true}.dump(), "true");
+  EXPECT_EQ(JsonValue{false}.dump(), "false");
+  EXPECT_EQ(JsonValue{std::int64_t{42}}.dump(), "42");
+  EXPECT_EQ(JsonValue{std::int64_t{-7}}.dump(), "-7");
+  EXPECT_EQ(JsonValue{"hi"}.dump(), "\"hi\"");
+}
+
+TEST(JsonValue, IntegersRoundTripExactly) {
+  // Nanosecond timestamps exceed 2^53; they must not pass through double.
+  const std::int64_t big = 9007199254740993;  // 2^53 + 1
+  const auto parsed = JsonValue::parse(JsonValue{big}.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_int(), big);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue obj;
+  obj.set("zeta", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonValue, StringEscaping) {
+  const std::string raw = "a\"b\\c\n\t\x01";
+  const std::string dumped = JsonValue{raw}.dump();
+  const auto parsed = JsonValue::parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), raw);
+}
+
+TEST(JsonValue, NestedRoundTrip) {
+  JsonValue inner;
+  inner.set("x", 1.5).set("flag", true);
+  JsonValue arr;
+  arr.push(1).push("two").push(nullptr);
+  JsonValue root;
+  root.set("inner", std::move(inner)).set("arr", std::move(arr));
+
+  const auto parsed = JsonValue::parse(root.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("inner")->number_at("x"), 1.5);
+  EXPECT_TRUE(parsed->find("inner")->bool_at("flag"));
+  ASSERT_TRUE(parsed->find("arr")->is_array());
+  const auto& a = parsed->find("arr")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_int(), 1);
+  EXPECT_EQ(a[1].as_string(), "two");
+  EXPECT_TRUE(a[2].is_null());
+}
+
+TEST(JsonValue, TypedLookupsFallBack) {
+  JsonValue obj;
+  obj.set("n", 4).set("s", "text");
+  EXPECT_EQ(obj.int_at("n"), 4);
+  EXPECT_EQ(obj.int_at("missing", -1), -1);
+  EXPECT_EQ(obj.string_at("s"), "text");
+  EXPECT_EQ(obj.string_at("missing", "dflt"), "dflt");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  // Lookups on a non-object are safe and return the fallback.
+  EXPECT_EQ(JsonValue{3}.int_at("k", 9), 9);
+}
+
+TEST(JsonValue, ParseRejectsMalformed) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1} extra").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+}
+
+TEST(JsonValue, ParseAcceptsWhitespace) {
+  const auto parsed = JsonValue::parse("  { \"a\" : [ 1 , 2 ] }\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("a")->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ldke::obs

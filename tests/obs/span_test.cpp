@@ -1,0 +1,141 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ldke::obs {
+namespace {
+
+TEST(PhaseTimeline, BeginEndRecordsOneClosedSpan) {
+  PhaseTimeline tl;
+  const SpanId id = tl.begin_span("setup", 100);
+  EXPECT_EQ(tl.open_depth(), 1u);
+  tl.end_span(id, 600);
+  EXPECT_EQ(tl.open_depth(), 0u);
+  ASSERT_EQ(tl.spans().size(), 1u);
+  const TraceSpan& s = tl.spans().front();
+  EXPECT_EQ(s.name, "setup");
+  EXPECT_EQ(s.t0_ns, 100);
+  EXPECT_EQ(s.t1_ns, 600);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_TRUE(s.closed());
+  EXPECT_DOUBLE_EQ(s.duration_s(), 500e-9);
+}
+
+TEST(PhaseTimeline, NestedSpansStackAndRecordDepth) {
+  PhaseTimeline tl;
+  const SpanId outer = tl.begin_span("outer", 0);
+  const SpanId inner = tl.begin_span("inner", 10);
+  EXPECT_EQ(tl.open_depth(), 2u);
+  tl.end_span(inner, 20);
+  tl.end_span(outer, 30);
+  ASSERT_EQ(tl.spans().size(), 2u);
+  // Spans are stored in begin order: outer first.
+  EXPECT_EQ(tl.spans()[0].name, "outer");
+  EXPECT_EQ(tl.spans()[0].depth, 0u);
+  EXPECT_EQ(tl.spans()[1].name, "inner");
+  EXPECT_EQ(tl.spans()[1].depth, 1u);
+  EXPECT_EQ(tl.spans()[1].parent, outer);
+}
+
+TEST(PhaseTimeline, EndingParentClosesOpenChildren) {
+  PhaseTimeline tl;
+  const SpanId outer = tl.begin_span("outer", 0);
+  (void)tl.begin_span("child_a", 5);
+  (void)tl.begin_span("child_b", 8);
+  tl.end_span(outer, 50);  // never explicitly closed the children
+  EXPECT_EQ(tl.open_depth(), 0u);
+  for (const TraceSpan& s : tl.spans()) {
+    EXPECT_TRUE(s.closed()) << s.name;
+    EXPECT_EQ(s.t1_ns, 50) << s.name;
+  }
+}
+
+TEST(PhaseTimeline, EndIgnoresInvalidAndDoubleClose) {
+  PhaseTimeline tl;
+  const SpanId id = tl.begin_span("x", 0);
+  tl.end_span(kInvalidSpanId, 10);
+  tl.end_span(id, 10);
+  tl.end_span(id, 99);  // second close must not move t1
+  EXPECT_EQ(tl.spans().front().t1_ns, 10);
+  tl.end_span(id + 100, 10);  // out-of-range id: no crash
+}
+
+TEST(PhaseTimeline, AddSpanNestsUnderInnermostOpenSpan) {
+  PhaseTimeline tl;
+  const SpanId setup = tl.begin_span("key_setup", 0);
+  const SpanId election = tl.add_span("election", 0, 1000);
+  tl.end_span(setup, 5000);
+  ASSERT_EQ(tl.spans().size(), 2u);
+  const TraceSpan& e = tl.spans()[1];
+  EXPECT_EQ(e.name, "election");
+  EXPECT_EQ(e.parent, setup);
+  EXPECT_EQ(e.depth, 1u);
+  EXPECT_TRUE(e.closed());
+  EXPECT_NE(election, kInvalidSpanId);
+}
+
+TEST(PhaseTimeline, AddSpanAtTopLevelHasNoParent) {
+  PhaseTimeline tl;
+  (void)tl.add_span("window", 10, 20);
+  EXPECT_EQ(tl.spans().front().parent, kInvalidSpanId);
+  EXPECT_EQ(tl.spans().front().depth, 0u);
+  EXPECT_EQ(tl.open_depth(), 0u);  // add_span never opens anything
+}
+
+TEST(PhaseTimeline, FindAndTotalAggregateByName) {
+  PhaseTimeline tl;
+  const SpanId a = tl.begin_span("round", 0);
+  tl.end_span(a, 1000000000);  // 1 s
+  const SpanId b = tl.begin_span("round", 2000000000);
+  tl.end_span(b, 4500000000);  // 2.5 s
+  ASSERT_NE(tl.find("round"), nullptr);
+  EXPECT_EQ(tl.find("round")->t0_ns, 0);
+  EXPECT_EQ(tl.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(tl.total_s("round"), 3.5);
+}
+
+TEST(PhaseTimeline, ContainsUsesHalfOpenWindow) {
+  TraceSpan s;
+  s.t0_ns = 10;
+  s.t1_ns = 20;
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(19));
+  EXPECT_FALSE(s.contains(20));
+  EXPECT_FALSE(s.contains(9));
+  // An open span contains everything from t0 on.
+  TraceSpan open;
+  open.t0_ns = 10;
+  EXPECT_TRUE(open.contains(1000000));
+}
+
+TEST(PhaseTimeline, ToJsonListsSpansInBeginOrder) {
+  PhaseTimeline tl;
+  const SpanId a = tl.begin_span("first", 1);
+  tl.end_span(a, 2);
+  (void)tl.begin_span("still_open", 3);
+  const std::string json = tl.to_json().dump();
+  const auto first = json.find("\"first\"");
+  const auto second = json.find("\"still_open\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_NE(json.find("\"t1\":-1"), std::string::npos);  // open span marker
+}
+
+TEST(ScopedSpan, ClosesOnDestruction) {
+  PhaseTimeline tl;
+  std::int64_t now = 100;
+  const auto clock = +[](void* ctx) { return *static_cast<std::int64_t*>(ctx); };
+  {
+    ScopedSpan guard{tl, "scoped", clock, &now};
+    now = 900;
+  }
+  ASSERT_EQ(tl.spans().size(), 1u);
+  EXPECT_EQ(tl.spans().front().t0_ns, 100);
+  EXPECT_EQ(tl.spans().front().t1_ns, 900);
+}
+
+}  // namespace
+}  // namespace ldke::obs

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace_reader.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace ldke::obs {
+namespace {
+
+/// Writes a small, fully deterministic trace: one setup phase with an
+/// election sub-window, hello/link_advert/data traffic from three
+/// senders, and one delivery sample.
+std::string make_trace() {
+  std::ostringstream os;
+  TraceSink sink{os};
+  JsonValue meta;
+  meta.set("nodes", 4).set("density", 10.0).set("seed", 7);
+  sink.write_meta("test", std::move(meta));
+
+  TraceSpan setup;
+  setup.name = "key_setup";
+  setup.t0_ns = 0;
+  setup.t1_ns = 4000;
+  sink.write_span(setup);
+  TraceSpan election;
+  election.name = "election";
+  election.t0_ns = 0;
+  election.t1_ns = 1000;
+  election.depth = 1;
+  sink.write_span(election);
+
+  sink.write_packet(100, 1, "hello", 40);
+  sink.write_packet(500, 2, "hello", 40);
+  sink.write_packet(1500, 1, "link_advert", 80);
+  sink.write_packet(2500, 3, "link_advert", 80);
+  sink.write_packet(3500, 3, "data", 120);
+
+  DeliveryTracker::Sample sample;
+  sample.source = 3;
+  sample.t_tx_ns = 3500;
+  sample.t_rx_ns = 3900;
+  sink.write_delivery(sample);
+
+  JsonValue snapshot;
+  JsonValue counters;
+  counters.set("events", 42);
+  snapshot.set("counters", std::move(counters));
+  sink.write_counters(std::move(snapshot));
+  return os.str();
+}
+
+TEST(TraceRoundTrip, SinkOutputLoadsBack) {
+  std::istringstream in{make_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->version, kTraceSchemaVersion);
+  EXPECT_EQ(data->node_count(), 4);
+  EXPECT_EQ(data->meta.int_at("seed"), 7);
+  ASSERT_EQ(data->spans.size(), 2u);
+  EXPECT_EQ(data->spans[0].name, "key_setup");
+  EXPECT_EQ(data->spans[1].depth, 1u);
+  ASSERT_EQ(data->packets.size(), 5u);
+  EXPECT_EQ(data->packets[2].kind, "link_advert");
+  EXPECT_EQ(data->packets[2].sender, 1u);
+  EXPECT_EQ(data->packets[2].bytes, 80u);
+  ASSERT_EQ(data->deliveries.size(), 1u);
+  EXPECT_EQ(data->deliveries[0].t_rx_ns, 3900);
+  EXPECT_EQ(data->counters.find("counters")->int_at("events"), 42);
+  EXPECT_EQ(data->skipped_lines, 0u);
+}
+
+TEST(TraceRoundTrip, PhaseRowsAttributeTrafficByWindow) {
+  std::istringstream in{make_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto rows = phase_rows(*data);
+  ASSERT_EQ(rows.size(), 2u);
+  // key_setup [0,4000) holds all 5 packets; election [0,1000) the 2 hellos.
+  EXPECT_EQ(rows[0].name, "key_setup");
+  EXPECT_EQ(rows[0].packets, 5u);
+  EXPECT_EQ(rows[0].bytes, 40u + 40 + 80 + 80 + 120);
+  EXPECT_EQ(rows[1].name, "election");
+  EXPECT_EQ(rows[1].packets, 2u);
+  EXPECT_EQ(rows[1].bytes, 80u);
+}
+
+TEST(TraceRoundTrip, KindRowsSortByBytesDescending) {
+  std::istringstream in{make_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto rows = kind_rows(*data);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].kind, "link_advert");  // 160 bytes
+  EXPECT_EQ(rows[1].kind, "data");         // 120 bytes
+  EXPECT_EQ(rows[2].kind, "hello");        // 80 bytes
+  EXPECT_EQ(rows[0].packets, 2u);
+
+  const auto in_election = kind_rows_in_phase(*data, "election");
+  ASSERT_EQ(in_election.size(), 1u);
+  EXPECT_EQ(in_election[0].kind, "hello");
+  EXPECT_TRUE(kind_rows_in_phase(*data, "absent").empty());
+}
+
+TEST(TraceRoundTrip, TopTalkersRankBySentBytes) {
+  std::istringstream in{make_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto talkers = top_talkers(*data, 2);
+  ASSERT_EQ(talkers.size(), 2u);
+  EXPECT_EQ(talkers[0].sender, 3u);  // 80 + 120 bytes
+  EXPECT_EQ(talkers[0].bytes, 200u);
+  EXPECT_EQ(talkers[1].sender, 1u);  // 40 + 80 bytes
+}
+
+TEST(TraceRoundTrip, LatencyAndFig9FromTraceAlone) {
+  std::istringstream in{make_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto lat = latency_report(*data);
+  EXPECT_EQ(lat.count, 1u);
+  EXPECT_DOUBLE_EQ(lat.max_ms, 400e-6);  // 400 ns
+  // Fig 9: (2 hellos + 2 link adverts) / 4 nodes.
+  EXPECT_DOUBLE_EQ(setup_messages_per_node(*data), 1.0);
+}
+
+TEST(TraceRoundTrip, UnknownLineTypesAreSkippedNotFatal) {
+  std::string text = make_trace();
+  text += "{\"type\":\"future_thing\",\"x\":1}\n";
+  text += "this line is not json\n";
+  std::istringstream in{text};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->packets.size(), 5u);
+  EXPECT_EQ(data->skipped_lines, 2u);
+}
+
+TEST(TraceRoundTrip, TraceDropsLineIsParsed) {
+  std::ostringstream os;
+  TraceSink sink{os};
+  sink.write_meta("test", JsonValue{});
+  sink.write_trace_drops(100, 60, 30, 10);
+  std::istringstream in{os.str()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->trace_dropped, 30u);
+  EXPECT_EQ(data->trace_filtered, 10u);
+}
+
+TEST(TraceRoundTrip, MissingMetaOrNewerVersionRejected) {
+  std::istringstream no_meta{"{\"type\":\"pkt\",\"t\":1}\n"};
+  EXPECT_FALSE(load_trace(no_meta).has_value());
+
+  std::ostringstream os;
+  os << "{\"type\":\"meta\",\"v\":" << (kTraceSchemaVersion + 1)
+     << ",\"tool\":\"future\"}\n";
+  std::istringstream newer{os.str()};
+  EXPECT_FALSE(load_trace(newer).has_value());
+}
+
+TEST(TraceRoundTrip, RendersAreDeterministicGolden) {
+  std::istringstream in1{make_trace()}, in2{make_trace()};
+  const auto a = load_trace(in1);
+  const auto b = load_trace(in2);
+  ASSERT_TRUE(a && b);
+  // Same trace -> byte-identical reports (diff-able golden output).
+  EXPECT_EQ(render_summary(*a), render_summary(*b));
+  EXPECT_EQ(render_phases(*a), render_phases(*b));
+  const std::string summary = render_summary(*a);
+  EXPECT_NE(summary.find("test"), std::string::npos);
+  EXPECT_NE(summary.find("1.00"), std::string::npos);  // Fig 9 quantity
+  const std::string phases = render_phases(*a);
+  EXPECT_NE(phases.find("key_setup"), std::string::npos);
+  EXPECT_NE(phases.find("election"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldke::obs

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace ldke::sim {
@@ -166,6 +170,88 @@ TEST(Scheduler, ManyEventsStressOrdering) {
   for (std::size_t i = 1; i < times.size(); ++i) {
     EXPECT_LE(times[i - 1], times[i]);
   }
+}
+
+// --- EventFn: the erased callable the scheduler slab stores ---------------
+
+TEST(EventFn, DefaultAndNullptrAreEmpty) {
+  EventFn empty;
+  EventFn null_constructed(nullptr);
+  EXPECT_FALSE(empty);
+  EXPECT_FALSE(null_constructed);
+}
+
+TEST(EventFn, InvokesSmallCaptureInline) {
+  int hits = 0;
+  EventFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, LargeCaptureFallsBackToHeapAndStillRuns) {
+  // Well past the 64-byte inline buffer.
+  std::array<std::uint64_t, 32> payload{};
+  payload.fill(7);
+  std::uint64_t sum = 0;
+  EventFn fn([payload, &sum] {
+    for (auto v : payload) sum += v;
+  });
+  fn();
+  EXPECT_EQ(sum, 7u * 32u);
+}
+
+TEST(EventFn, MoveTransfersTheCallable) {
+  int hits = 0;
+  EventFn a([&hits] { ++hits; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): testing moved-from
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    EventFn fn([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // capture keeps it alive
+    EventFn moved(std::move(fn));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // released when the callable died
+}
+
+TEST(EventFn, NullptrAssignmentReleasesTheCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  EventFn fn([token] {});
+  token.reset();
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventFn, MoveAssignOverwritesAndDestroysPreviousCapture) {
+  auto old_token = std::make_shared<int>(1);
+  std::weak_ptr<int> old_watch = old_token;
+  EventFn fn([old_token] {});
+  old_token.reset();
+
+  int hits = 0;
+  fn = EventFn([&hits] { ++hits; });
+  EXPECT_TRUE(old_watch.expired());
+  fn();
+  EXPECT_EQ(hits, 1);
 }
 
 }  // namespace

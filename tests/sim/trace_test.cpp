@@ -64,6 +64,61 @@ TEST(TraceCounters, DefaultHandleIsInert) {
   EXPECT_TRUE(c.all().empty());
 }
 
+TEST(TraceCounters, ClearTwiceKeepsHandleSlotsAlive) {
+  TraceCounters c;
+  TraceCounters::Handle h = c.handle("hot");
+  c.clear();
+  c.clear();  // second clear must not erase (or dangle) the pinned slot
+  c.increment(h, 7);
+  EXPECT_EQ(c.value("hot"), 7u);
+}
+
+TEST(TraceCounters, HandleReresolvedAfterClearSharesSlot) {
+  TraceCounters c;
+  TraceCounters::Handle first = c.handle("hot");
+  c.increment(first, 2);
+  c.clear();
+  TraceCounters::Handle second = c.handle("hot");
+  c.increment(first);
+  c.increment(second);
+  EXPECT_EQ(c.value("hot"), 2u);  // both handles address the same slot
+}
+
+TEST(TraceCounters, ClearZeroesPinnedSlotButKeepsItRegistered) {
+  TraceCounters c;
+  (void)c.handle("pinned");
+  c.increment("plain");
+  c.clear();
+  // The plain counter is gone; the pinned slot remains (zeroed) so the
+  // outstanding handle stays valid.
+  EXPECT_EQ(c.all().count("plain"), 0u);
+  const auto it = c.all().find("pinned");
+  ASSERT_NE(it, c.all().end());
+  EXPECT_EQ(it->second, 0u);
+}
+
+TEST(TraceCounters, SnapshotOmitsUntouchedPinnedCounters) {
+  TraceCounters c;
+  (void)c.handle("never_incremented");
+  c.increment("active", 3);
+  const std::string with_active = c.snapshot_json().dump();
+  // A pinned-but-never-incremented counter must be invisible: the
+  // snapshot reads the same as if the handle had never been created.
+  EXPECT_EQ(with_active.find("never_incremented"), std::string::npos);
+  EXPECT_NE(with_active.find("\"active\":3"), std::string::npos);
+}
+
+TEST(TraceCounters, SnapshotAfterClearMatchesPristineRegistry) {
+  TraceCounters used;
+  TraceCounters::Handle h = used.handle("hot");
+  used.increment(h, 5);
+  used.increment("cold", 2);
+  used.clear();
+  // After clear() the snapshot must be indistinguishable from a registry
+  // that was never touched, even though the pinned slot still exists.
+  EXPECT_EQ(used.snapshot_json().dump(), TraceCounters{}.snapshot_json().dump());
+}
+
 TEST(TraceCounters, ToStringIsSortedByName) {
   TraceCounters c;
   c.increment("zeta");

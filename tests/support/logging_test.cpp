@@ -1,0 +1,72 @@
+#include "support/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace ldke::support {
+namespace {
+
+TEST(ParseLogLevel, AcceptsEveryLevelNameCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("trace", LogLevel::kOff), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Debug", LogLevel::kOff), LogLevel::kDebug);
+}
+
+TEST(ParseLogLevel, UnknownNamesFallBack) {
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("3", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(LogLevelThreshold, SetAndGetRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(SimTimeProvider, DefaultIsUninstalled) {
+  // Tests run without a live simulator on this thread (any Simulator
+  // restores the previous provider on destruction).
+  EXPECT_EQ(sim_time_provider().fn, nullptr);
+}
+
+TEST(SimTimeProvider, SimulatorInstallsAndRestores) {
+  ASSERT_EQ(sim_time_provider().fn, nullptr);
+  {
+    sim::Simulator outer;
+    const SimTimeProvider installed = sim_time_provider();
+    ASSERT_NE(installed.fn, nullptr);
+    EXPECT_EQ(installed.ctx, &outer);
+    EXPECT_DOUBLE_EQ(installed.fn(installed.ctx), 0.0);
+    outer.schedule_at(sim::SimTime::from_seconds(1.5), [] {});
+    outer.run();
+    EXPECT_DOUBLE_EQ(installed.fn(installed.ctx), 1.5);
+    {
+      // A nested simulator takes over, then hands back to the outer one.
+      sim::Simulator inner;
+      EXPECT_EQ(sim_time_provider().ctx, &inner);
+    }
+    EXPECT_EQ(sim_time_provider().ctx, &outer);
+  }
+  EXPECT_EQ(sim_time_provider().fn, nullptr);
+}
+
+TEST(SimTimeProvider, ManualInstallRoundTrips) {
+  const SimTimeProvider saved = sim_time_provider();
+  const auto fn = +[](const void*) { return 42.0; };
+  set_sim_time_provider({fn, nullptr});
+  EXPECT_EQ(sim_time_provider().fn, fn);
+  set_sim_time_provider(saved);
+}
+
+}  // namespace
+}  // namespace ldke::support

@@ -1,0 +1,31 @@
+# Smoke test for the observability artifact pipeline: run one setup and
+# one lifecycle with --summary/--trace, then read the traces back with
+# ldke_trace.  Fails on any non-zero exit or on empty artifacts.
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+set(summary ${WORKDIR}/artifact_smoke_summary.json)
+set(trace ${WORKDIR}/artifact_smoke_trace.jsonl)
+
+run_checked(${LDKE} setup -n 200 -d 10 --summary ${summary} --trace ${trace})
+
+foreach(artifact ${summary} ${trace})
+  if(NOT EXISTS ${artifact})
+    message(FATAL_ERROR "missing artifact: ${artifact}")
+  endif()
+  file(SIZE ${artifact} size)
+  if(size EQUAL 0)
+    message(FATAL_ERROR "empty artifact: ${artifact}")
+  endif()
+endforeach()
+
+run_checked(${LDKE_TRACE} all ${trace})
+
+run_checked(${LDKE} lifecycle -n 200 --summary ${summary} --trace ${trace})
+run_checked(${LDKE_TRACE} summary ${trace})
+run_checked(${LDKE_TRACE} latency ${trace})

@@ -3,18 +3,22 @@
 /// attacks without writing C++.
 ///
 ///   ldke_sim setup  [-n nodes] [-d density] [-s seed] [--collisions]
-///                   [--loss p] [--csv]
-///   ldke_sim sweep  [-n nodes] [-t trials] [--csv]
+///                   [--loss p] [--csv] [--summary f.json] [--trace f.jsonl]
+///   ldke_sim sweep  [-n nodes] [-t trials] [--csv] [--summary f.json]
 ///   ldke_sim attack (clone|flood|wormhole) [-n nodes] [-d density] [-s seed]
 ///   ldke_sim lifecycle [-n nodes] [-d density] [-s seed]
+///                      [--summary f.json] [--trace f.jsonl]
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
 
 #include "analysis/experiment.hpp"
 #include "analysis/paper_data.hpp"
+#include "analysis/run_artifacts.hpp"
+#include "net/packet_trace.hpp"
 #include "attacks/adversary.hpp"
 #include "attacks/clone.hpp"
 #include "attacks/hello_flood.hpp"
@@ -36,6 +40,8 @@ struct CliOptions {
   double loss = 0.0;
   bool collisions = false;
   bool csv = false;
+  std::string summary_path;  ///< RunSummary JSON destination ("" = off)
+  std::string trace_path;    ///< JSONL trace destination ("" = off)
 };
 
 int usage() {
@@ -53,7 +59,10 @@ int usage() {
       "  -t <k>      trials per sweep point   (default 5)\n"
       "  --loss <p>  per-receiver loss probability\n"
       "  --collisions  model overlapping-reception corruption\n"
-      "  --csv       machine-readable output\n";
+      "  --csv       machine-readable output\n"
+      "  --summary <file>  write the RunSummary JSON artifact\n"
+      "  --trace <file>    write the versioned JSONL trace "
+      "(read with ldke_trace)\n";
   return 2;
 }
 
@@ -64,6 +73,11 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
     auto next_value = [&](double& out) {
       if (i + 1 >= argc) return false;
       out = std::strtod(argv[++i], nullptr);
+      return true;
+    };
+    auto next_string = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
       return true;
     };
     double v = 0;
@@ -81,6 +95,10 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
       opt.collisions = true;
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--summary" && next_string(opt.summary_path)) {
+      // handled
+    } else if (arg == "--trace" && next_string(opt.trace_path)) {
+      // handled
     } else if (attack_kind != nullptr && attack_kind->empty() &&
                !arg.starts_with('-')) {
       *attack_kind = arg;
@@ -90,6 +108,30 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
     }
   }
   return true;
+}
+
+/// Writes the requested artifacts after a run; non-fatal on I/O errors
+/// (the run's terminal output already happened).
+int emit_artifacts(core::ProtocolRunner& runner, const CliOptions& opt,
+                   const net::PacketTrace* trace, std::string_view tool) {
+  if (!opt.summary_path.empty()) {
+    std::ofstream out{opt.summary_path};
+    if (!out) {
+      std::cerr << "cannot write " << opt.summary_path << '\n';
+      return 1;
+    }
+    analysis::write_run_summary(out,
+                                analysis::collect_run_summary(runner, tool));
+  }
+  if (!opt.trace_path.empty()) {
+    std::ofstream out{opt.trace_path};
+    if (!out) {
+      std::cerr << "cannot write " << opt.trace_path << '\n';
+      return 1;
+    }
+    analysis::write_trace_jsonl(out, runner, tool, trace);
+  }
+  return 0;
 }
 
 core::RunnerConfig config_of(const CliOptions& opt) {
@@ -105,6 +147,8 @@ core::RunnerConfig config_of(const CliOptions& opt) {
 
 int cmd_setup(const CliOptions& opt) {
   core::ProtocolRunner runner{config_of(opt)};
+  net::PacketTrace trace{1 << 20};
+  if (!opt.trace_path.empty()) trace.attach(runner.network());
   runner.run_key_setup();
   const auto m = core::collect_setup_metrics(runner);
   support::TextTable table({"metric", "value"});
@@ -123,7 +167,9 @@ int cmd_setup(const CliOptions& opt) {
   table.add_row({"energy (mJ)",
                  support::fmt(runner.network().energy().total_j() * 1e3, 2)});
   std::cout << (opt.csv ? table.to_csv() : table.render());
-  return 0;
+  return emit_artifacts(runner, opt,
+                        opt.trace_path.empty() ? nullptr : &trace,
+                        "ldke_sim setup");
 }
 
 int cmd_sweep(const CliOptions& opt) {
@@ -131,9 +177,24 @@ int cmd_sweep(const CliOptions& opt) {
   core::RunnerConfig base = config_of(opt);
   support::TextTable table({"density", "keys/node", "cluster size",
                             "head fraction", "msgs/node"});
+  // With --summary, each sweep point's first-trial RunSummary is written
+  // as one JSON line (a JSONL file over the density axis).
+  std::ofstream summary_out;
+  if (!opt.summary_path.empty()) {
+    summary_out.open(opt.summary_path);
+    if (!summary_out) {
+      std::cerr << "cannot write " << opt.summary_path << '\n';
+      return 1;
+    }
+  }
   for (double density : analysis::kPaperDensities) {
-    const auto agg = analysis::run_setup_point(base, density, opt.nodes,
-                                               opt.trials, &pool);
+    analysis::RunSummary exemplar;
+    const auto agg = analysis::run_setup_point(
+        base, density, opt.nodes, opt.trials, &pool,
+        summary_out.is_open() ? &exemplar : nullptr);
+    if (summary_out.is_open()) {
+      analysis::write_run_summary(summary_out, exemplar);
+    }
     table.add_row({support::fmt(density, 1), agg.keys_per_node.summary(),
                    agg.cluster_size.summary(), agg.head_fraction.summary(),
                    agg.messages_per_node.summary()});
@@ -188,6 +249,8 @@ int cmd_attack(const CliOptions& opt, const std::string& kind) {
 
 int cmd_lifecycle(const CliOptions& opt) {
   core::ProtocolRunner runner{config_of(opt)};
+  net::PacketTrace trace{1 << 20};
+  if (!opt.trace_path.empty()) trace.attach(runner.network());
   std::cout << "[1/6] key setup... " << std::flush;
   runner.run_key_setup();
   const auto m = core::collect_setup_metrics(runner);
@@ -223,7 +286,9 @@ int cmd_lifecycle(const CliOptions& opt) {
                     ? "joined\n"
                     : "rejected (keys re-randomized by the refresh — "
                       "provision newcomers with current material)\n");
-  return 0;
+  return emit_artifacts(runner, opt,
+                        opt.trace_path.empty() ? nullptr : &trace,
+                        "ldke_sim lifecycle");
 }
 
 }  // namespace

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Schema checker for the observability artifacts (CI gate).
+
+Validates a RunSummary JSON and/or a versioned JSONL trace produced by
+`ldke_sim --summary/--trace` without depending on anything outside the
+Python standard library.  Exits non-zero and prints every violation so
+a CI failure points straight at the malformed field.
+
+Usage:
+  tools/validate_obs.py --summary run.json --trace run.jsonl
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# RunSummary: section -> {field: type}.  `float` accepts ints too (JSON
+# has one number type; the writer emits 250 for 250.0).
+NUMBER = (int, float)
+SUMMARY_SECTIONS = {
+    "config": {"node_count": int, "density": int, "side_m": int, "seed": int},
+    "sim": {
+        "events_executed": int,
+        "queue_high_water": int,
+        "wall_seconds": NUMBER,
+        "sim_time_s": NUMBER,
+    },
+    "channel": {
+        "transmissions": int,
+        "deliveries": int,
+        "bytes_sent": int,
+        "collisions": int,
+        "losses": int,
+    },
+    "crypto": {
+        "seals": int,
+        "opens": int,
+        "open_failures": int,
+        "prf_calls": int,
+        "sealed_bytes": int,
+        "opened_bytes": int,
+    },
+    "energy": {"total_j": NUMBER, "tx_j": NUMBER, "rx_j": NUMBER},
+    "latency": {
+        "originated": int,
+        "delivered": int,
+        "unmatched": int,
+        "p50_ms": NUMBER,
+        "p90_ms": NUMBER,
+        "p99_ms": NUMBER,
+        "max_ms": NUMBER,
+    },
+}
+
+TRACE_LINE_FIELDS = {
+    "meta": {"v": int, "tool": str, "nodes": int, "density": int, "seed": int},
+    "span": {"name": str, "t0": int, "t1": int, "depth": int},
+    "pkt": {"t": int, "sender": int, "kind": str, "bytes": int},
+    "delivery": {"src": int, "t_tx": int, "t_rx": int},
+    "counters": {"snapshot": dict},
+    "trace_drops": {"seen": int, "recorded": int, "dropped": int},
+}
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(msg)
+
+    def expect(self, obj, field, kind, where):
+        value = obj.get(field)
+        if value is None:
+            self.fail(f"{where}: missing field '{field}'")
+        elif not isinstance(value, kind) or isinstance(value, bool):
+            self.fail(f"{where}: field '{field}' is {type(value).__name__}, "
+                      f"expected {kind}")
+        return value
+
+
+def check_summary(path, checker):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            summary = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        checker.fail(f"{path}: unreadable RunSummary: {err}")
+        return
+
+    version = checker.expect(summary, "schema_version", int, path)
+    if version is not None and version != SCHEMA_VERSION:
+        checker.fail(f"{path}: schema_version {version}, "
+                     f"validator knows {SCHEMA_VERSION}")
+    checker.expect(summary, "tool", str, path)
+
+    for section, fields in SUMMARY_SECTIONS.items():
+        block = summary.get(section)
+        if not isinstance(block, dict):
+            checker.fail(f"{path}: missing section '{section}'")
+            continue
+        for field, kind in fields.items():
+            checker.expect(block, field, kind, f"{path}:{section}")
+
+    # The Fig 9 contract: setup runs must expose the per-node message
+    # count the paper plots.
+    setup = summary.get("setup")
+    if isinstance(setup, dict):
+        checker.expect(setup, "setup_messages_per_node", NUMBER,
+                       f"{path}:setup")
+
+    counters = summary.get("counters")
+    if not isinstance(counters, dict):
+        checker.fail(f"{path}: missing section 'counters'")
+    else:
+        for family in ("counters", "gauges", "histograms"):
+            if family not in counters:
+                checker.fail(f"{path}:counters: missing family '{family}'")
+
+    phases = summary.get("phases")
+    if not isinstance(phases, list):
+        checker.fail(f"{path}: 'phases' must be a list")
+
+
+def check_trace(path, checker):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        checker.fail(f"{path}: unreadable trace: {err}")
+        return
+
+    if not lines:
+        checker.fail(f"{path}: empty trace")
+        return
+
+    stats = {}
+    for lineno, raw in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as err:
+            checker.fail(f"{where}: not JSON: {err}")
+            continue
+        line_type = record.get("type")
+        if not isinstance(line_type, str):
+            checker.fail(f"{where}: missing 'type'")
+            continue
+        stats[line_type] = stats.get(line_type, 0) + 1
+        fields = TRACE_LINE_FIELDS.get(line_type)
+        if fields is None:
+            # Readers skip unknown types; the validator only reports them.
+            continue
+        for field, kind in fields.items():
+            checker.expect(record, field, kind, f"{where} ({line_type})")
+        if line_type == "meta":
+            if lineno != 1:
+                checker.fail(f"{where}: meta must be the first line")
+            version = record.get("v")
+            if isinstance(version, int) and version != SCHEMA_VERSION:
+                checker.fail(f"{where}: trace v{version}, "
+                             f"validator knows v{SCHEMA_VERSION}")
+        elif line_type == "span":
+            t0, t1 = record.get("t0"), record.get("t1")
+            if (isinstance(t0, int) and isinstance(t1, int)
+                    and t1 != -1 and t1 < t0):
+                checker.fail(f"{where}: span ends before it starts")
+
+    if stats.get("meta", 0) != 1:
+        checker.fail(f"{path}: expected exactly one meta line, "
+                     f"found {stats.get('meta', 0)}")
+    if stats.get("span", 0) == 0:
+        checker.fail(f"{path}: no span lines")
+    return stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--summary", help="RunSummary JSON to validate")
+    parser.add_argument("--trace", help="JSONL trace to validate")
+    args = parser.parse_args()
+    if not args.summary and not args.trace:
+        parser.error("nothing to validate: pass --summary and/or --trace")
+
+    checker = Checker()
+    if args.summary:
+        check_summary(args.summary, checker)
+    stats = None
+    if args.trace:
+        stats = check_trace(args.trace, checker)
+
+    if checker.errors:
+        for error in checker.errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        return 1
+    report = []
+    if args.summary:
+        report.append(f"{args.summary} ok")
+    if args.trace and stats is not None:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        report.append(f"{args.trace} ok ({detail})")
+    print("; ".join(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
