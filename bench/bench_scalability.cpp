@@ -29,7 +29,7 @@ int main() {
         (*std::max_element(keys_means.begin(), keys_means.end()) -
          *std::min_element(keys_means.begin(), keys_means.end())) /
         support::mean_of(keys_means);
-    std::cout << "keys/node spread across a 10x size range: "
+    std::cout << "keys/node spread across a 50x size range: "
               << support::fmt(spread * 100.0, 1) << "%"
               << (spread < 0.10 ? "  (size-invariant: matches paper)\n\n"
                                 : "  (UNEXPECTEDLY SIZE-DEPENDENT)\n\n");

@@ -1,7 +1,5 @@
 #include "analysis/experiment.hpp"
 
-#include <mutex>
-
 namespace ldke::analysis {
 
 SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
@@ -13,7 +11,12 @@ SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
   agg.node_count = node_count;
   agg.trials = trials;
 
-  std::mutex merge_mutex;
+  // Each trial writes its metrics into its own slot — no merge mutex on
+  // the trial path, and the sequential merge below folds slots in trial
+  // order, so the aggregate is byte-identical however the pool
+  // interleaves trials.  Only trial 0 touches the exemplar, and
+  // parallel_for joins before it is read.
+  std::vector<core::SetupMetrics> results(trials);
   auto one_trial = [&](std::size_t trial) {
     core::RunnerConfig cfg = base;
     cfg.density = density;
@@ -21,12 +24,19 @@ SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
     cfg.seed = support::derive_seed(base.seed, trial + 1);
     core::ProtocolRunner runner{cfg};
     runner.run_key_setup();
-    const core::SetupMetrics m = core::collect_setup_metrics(runner);
-
-    std::lock_guard lock(merge_mutex);
+    results[trial] = core::collect_setup_metrics(runner);
     if (exemplar != nullptr && trial == 0) {
       *exemplar = collect_run_summary(runner, "experiment");
     }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(trials, one_trial);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) one_trial(t);
+  }
+
+  for (const core::SetupMetrics& m : results) {
     agg.keys_per_node.add(m.mean_keys_per_node);
     agg.cluster_size.add(m.mean_cluster_size);
     agg.head_fraction.add(m.head_fraction);
@@ -37,12 +47,6 @@ SetupAggregate run_setup_point(const core::RunnerConfig& base, double density,
                                  static_cast<double>(m.cluster_count));
     }
     agg.cluster_sizes.merge(m.cluster_sizes);
-  };
-
-  if (pool != nullptr) {
-    pool->parallel_for(trials, one_trial);
-  } else {
-    for (std::size_t t = 0; t < trials; ++t) one_trial(t);
   }
   return agg;
 }

@@ -7,10 +7,17 @@ namespace ldke::core {
 
 BaseStation::BaseStation(NodeSecrets secrets, const ProtocolConfig& config,
                          DeploymentSecrets roots)
-    : SensorNode(std::move(secrets), config),
+    : BaseStation(std::move(secrets),
+                  std::make_shared<const ProtocolConfig>(config),
+                  std::move(roots)) {}
+
+BaseStation::BaseStation(NodeSecrets secrets,
+                         std::shared_ptr<const ProtocolConfig> config,
+                         DeploymentSecrets roots)
+    : SensorNode(std::move(secrets), std::move(config)),
       roots_(std::move(roots)),
-      chain_(roots_.chain_seed, config.revocation_chain_length),
-      mutesla_(mutesla_seed_of(roots_), config.mutesla,
+      chain_(roots_.chain_seed, this->config().revocation_chain_length),
+      mutesla_(mutesla_seed_of(roots_), this->config().mutesla,
                sim::SimTime::zero()) {}
 
 void BaseStation::emit_disclosure(net::Network& net) {
@@ -63,8 +70,7 @@ void BaseStation::on_delivered(net::Network& net,
     auto ctx_it = e2e_contexts_.find(inner.source);
     if (ctx_it == e2e_contexts_.end()) {
       const crypto::Key128 ki = node_key_of(roots_, inner.source);
-      ctx_it = e2e_contexts_.emplace(inner.source, crypto::SealContext{ki})
-                   .first;
+      ctx_it = e2e_contexts_.try_emplace(inner.source, ki).first;
     }
     auto plain = ctx_it->second.open(inner.e2e_counter, inner.body);
     if (!plain) {

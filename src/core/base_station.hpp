@@ -6,7 +6,6 @@
 /// reconstruct from the deployment roots (§IV-A), and issues hash-chain
 /// authenticated revocation commands (§IV-D).
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/mutesla.hpp"
@@ -14,6 +13,7 @@
 #include "core/sensor_node.hpp"
 #include "crypto/keychain.hpp"
 #include "crypto/seal_context.hpp"
+#include "support/flat_map.hpp"
 
 namespace ldke::core {
 
@@ -28,6 +28,11 @@ struct Reading {
 class BaseStation : public SensorNode {
  public:
   BaseStation(NodeSecrets secrets, const ProtocolConfig& config,
+              DeploymentSecrets roots);
+
+  /// Deployment-shared configuration (see SensorNode's equivalent).
+  BaseStation(NodeSecrets secrets,
+              std::shared_ptr<const ProtocolConfig> config,
               DeploymentSecrets roots);
 
   /// Readings that passed every check, in arrival order.
@@ -79,8 +84,8 @@ class BaseStation : public SensorNode {
   /// Ki reconstruction + pair derivation + cipher state, cached per
   /// source: the decrypt loop would otherwise re-run two PRF evaluations
   /// and the AES key schedule for every Step-1 reading it verifies.
-  std::unordered_map<net::NodeId, crypto::SealContext> e2e_contexts_;
-  std::unordered_map<net::NodeId, std::uint64_t> expected_counter_;
+  support::FlatMap<net::NodeId, crypto::SealContext, 0> e2e_contexts_;
+  support::FlatMap<net::NodeId, std::uint64_t, 0> expected_counter_;
   std::vector<Reading> readings_;
   std::uint64_t e2e_auth_failures_ = 0;
   std::uint64_t counter_violations_ = 0;

@@ -22,9 +22,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 
 #include "net/topology.hpp"
+#include "support/flat_map.hpp"
 #include "support/hex.hpp"
 #include "wsn/codec.hpp"
 #include "wsn/wire.hpp"
@@ -74,7 +74,7 @@ struct DiffusionEntry {
   net::NodeId path_toward_sink = net::kNoNode;
   bool on_reinforced_path = false;
   bool sink_reinforced = false;    ///< sink already sent reinforcement
-  std::set<std::uint64_t> seen_samples;  ///< (source << 32 | seq) dedupe
+  support::FlatSet<std::uint64_t, 0> seen_samples;  ///< (source << 32 | seq) dedupe
   support::Bytes descriptor;
 };
 

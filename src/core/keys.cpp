@@ -15,7 +15,7 @@ void ClusterKeySet::set_own(ClusterId cid, const crypto::Key128& key) {
 
 bool ClusterKeySet::add_neighbor(ClusterId cid, const crypto::Key128& key) {
   if (cid == own_cid_) return false;
-  return keys_.emplace(cid, key).second;
+  return keys_.try_emplace(cid, key).second;
 }
 
 std::optional<crypto::Key128> ClusterKeySet::key_for(ClusterId cid) const {
@@ -27,12 +27,11 @@ std::optional<crypto::Key128> ClusterKeySet::key_for(ClusterId cid) const {
 const crypto::SealContext* ClusterKeySet::context_for(ClusterId cid) const {
   const auto it = keys_.find(cid);
   if (it == keys_.end()) return nullptr;
-  ContextSlot& slot = contexts_[cid];
-  if (!slot.ctx || slot.key != it->second) {
-    slot.key = it->second;
-    slot.ctx = std::make_unique<crypto::SealContext>(it->second);
+  auto [cit, inserted] = contexts_.try_emplace(cid, it->second);
+  if (!inserted && cit->second.key != it->second) {
+    cit->second = ContextSlot(it->second);
   }
-  return slot.ctx.get();
+  return &cit->second.ctx;
 }
 
 bool ClusterKeySet::replace(ClusterId cid, const crypto::Key128& key) {

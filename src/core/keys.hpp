@@ -3,13 +3,12 @@
 /// Per-node key material (§IV-A) and the cluster-key set S (§IV-B.2).
 
 #include <cstddef>
-#include <map>
-#include <memory>
 #include <optional>
 
 #include "crypto/key.hpp"
 #include "crypto/seal_context.hpp"
 #include "net/topology.hpp"
+#include "support/flat_map.hpp"
 #include "wsn/messages.hpp"
 
 namespace ldke::core {
@@ -43,6 +42,11 @@ struct NodeSecrets {
 /// per neighboring cluster.  |S| is the storage metric of Figure 6.
 class ClusterKeySet {
  public:
+  /// |S| ≈ bordering clusters + 1, typically 4–6 at paper densities —
+  /// six inline slots keep the whole set allocation-free for the common
+  /// case while staying a modest 120 bytes inside every SensorNode.
+  using KeyMap = support::FlatMap<ClusterId, crypto::Key128, 6>;
+
   ClusterKeySet() = default;
   // Copies carry only the keys; the per-cluster seal contexts are a
   // cache and rebuild lazily on the copy's first use.
@@ -70,7 +74,9 @@ class ClusterKeySet {
   /// does not hold that cluster's key.  Built lazily on first use and
   /// re-validated against the stored key, so replace()/hash_refresh_all()
   /// invalidate it automatically.  This is the per-packet hot path: every
-  /// hop envelope is sealed and opened through one of these.
+  /// hop envelope is sealed and opened through one of these.  The pointer
+  /// aims into flat storage: valid only until the next ClusterKeySet
+  /// mutation (every call site uses it immediately).
   [[nodiscard]] const crypto::SealContext* context_for(ClusterId cid) const;
 
   /// Replaces the stored key for \p cid (key refresh); returns false if
@@ -97,9 +103,7 @@ class ClusterKeySet {
     return keys_.size() - (has_own() ? 1 : 0);
   }
 
-  [[nodiscard]] const std::map<ClusterId, crypto::Key128>& all() const noexcept {
-    return keys_;
-  }
+  [[nodiscard]] const KeyMap& all() const noexcept { return keys_; }
 
   void clear() noexcept {
     keys_.clear();
@@ -110,13 +114,15 @@ class ClusterKeySet {
  private:
   struct ContextSlot {
     crypto::Key128 key;  ///< key the context was built for (staleness check)
-    std::unique_ptr<crypto::SealContext> ctx;
+    crypto::SealContext ctx;
+    explicit ContextSlot(const crypto::Key128& k) : key(k), ctx(k) {}
   };
 
-  std::map<ClusterId, crypto::Key128> keys_;
-  /// Lazy per-cluster contexts; entries for dropped cids are pruned by
-  /// the mutators, entries for replaced keys rebuild on the key mismatch.
-  mutable std::map<ClusterId, ContextSlot> contexts_;
+  KeyMap keys_;
+  /// Lazy per-cluster contexts (by value — the slot is the cache, no
+  /// per-entry heap node); entries for dropped cids are pruned by the
+  /// mutators, entries for replaced keys rebuild on the key mismatch.
+  mutable support::FlatMap<ClusterId, ContextSlot, 0> contexts_;
   ClusterId own_cid_ = kNoCluster;
 };
 

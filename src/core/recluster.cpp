@@ -41,13 +41,17 @@ void SensorNode::begin_recluster(net::Network& net) {
   recluster_active_ = true;
   recluster_decided_ = false;
   recluster_head_ = false;
-  recluster_keys_.clear();
+  if (recluster_keys_) {
+    recluster_keys_->clear();
+  } else {
+    recluster_keys_ = std::make_unique<ClusterKeySet>();
+  }
   recluster_messages_sent_ = 0;
 
   auto& rng = net.sim().rng();
   const double delay =
-      std::min(rng.exponential(1.0 / config_.mean_election_delay_s),
-               config_.election_deadline_s * 0.999);
+      std::min(rng.exponential(1.0 / config().mean_election_delay_s),
+               config().election_deadline_s * 0.999);
   recluster_timer_ = net.sim().schedule_in(
       sim::SimTime::from_seconds(delay),
       [this, &net] { on_recluster_timer(net); });
@@ -61,9 +65,9 @@ void SensorNode::on_recluster_timer(net::Network& net) {
   // embedded in each node", §IV-C).
   recluster_decided_ = true;
   recluster_head_ = true;
-  recluster_keys_.set_own(id(), drbg_.next_key());
+  recluster_keys_->set_own(id(), drbg().next_key());
 
-  const wsn::HelloBody body{id(), recluster_keys_.own_key()};
+  const wsn::HelloBody body{id(), recluster_keys_->own_key()};
   broadcast_under_current_key(net, PacketKind::kReclusterHello,
                               wsn::encode(body));
   ++recluster_messages_sent_;
@@ -82,7 +86,7 @@ void SensorNode::on_recluster_hello(net::Network& net, const Packet& packet) {
   }
   if (recluster_decided_) return;  // decided nodes reject (§IV-B.1)
   recluster_decided_ = true;
-  recluster_keys_.set_own(body->head_id, body->cluster_key);
+  recluster_keys_->set_own(body->head_id, body->cluster_key);
   if (recluster_timer_ != sim::kInvalidEventId) {
     net.sim().cancel(recluster_timer_);
     recluster_timer_ = sim::kInvalidEventId;
@@ -91,9 +95,9 @@ void SensorNode::on_recluster_hello(net::Network& net, const Packet& packet) {
 }
 
 void SensorNode::send_recluster_link_advert(net::Network& net) {
-  if (!recluster_active_ || !recluster_keys_.has_own()) return;
-  const wsn::LinkAdvertBody body{recluster_keys_.own_cid(),
-                                 recluster_keys_.own_key()};
+  if (!recluster_active_ || !recluster_keys_->has_own()) return;
+  const wsn::LinkAdvertBody body{recluster_keys_->own_cid(),
+                                 recluster_keys_->own_key()};
   broadcast_under_current_key(net, PacketKind::kReclusterLink,
                               wsn::encode(body));
   ++recluster_messages_sent_;
@@ -110,10 +114,10 @@ void SensorNode::on_recluster_link(net::Network& net, const Packet& packet) {
     net.counters().increment("recluster.malformed");
     return;
   }
-  if (recluster_keys_.has_own() && body->cid == recluster_keys_.own_cid()) {
+  if (recluster_keys_->has_own() && body->cid == recluster_keys_->own_cid()) {
     return;
   }
-  if (recluster_keys_.add_neighbor(body->cid, body->cluster_key)) {
+  if (recluster_keys_->add_neighbor(body->cid, body->cluster_key)) {
     net.counters().increment("recluster.neighbor_key_stored");
   }
 }
@@ -121,14 +125,15 @@ void SensorNode::on_recluster_link(net::Network& net, const Packet& packet) {
 void SensorNode::finish_recluster(net::Network& net) {
   if (!recluster_active_) return;
   recluster_active_ = false;
-  if (!recluster_keys_.has_own()) {
+  if (!recluster_keys_->has_own()) {
     // Round failed locally (e.g. isolated node whose HELLO channel was
     // lossy): keep the old keys rather than going dark.
+    recluster_keys_.reset();
     net.counters().increment("recluster.kept_old_keys");
     return;
   }
-  keys_ = std::move(recluster_keys_);
-  recluster_keys_.clear();
+  keys_ = std::move(*recluster_keys_);
+  recluster_keys_.reset();
   was_head_ = recluster_head_;
   // A §IV-E late joiner that took part in a full round now has a key set
   // indistinguishable from an original node's.

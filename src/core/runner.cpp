@@ -10,6 +10,7 @@ constexpr std::int64_t seconds_to_ns(double s) noexcept {
 
 ProtocolRunner::ProtocolRunner(RunnerConfig config)
     : config_(config),
+      protocol_(std::make_shared<const ProtocolConfig>(config.protocol)),
       sim_(config.seed),
       roots_(make_deployment(support::derive_seed(config.seed, 0x4b455953))) {
   // Provisioning below derives keys for every node; charge it to the
@@ -36,20 +37,25 @@ ProtocolRunner::ProtocolRunner(RunnerConfig config)
   for (net::NodeId id = 0; id < config_.node_count; ++id) {
     NodeSecrets secrets =
         provisioner.provision(id, commitment_, mutesla_commitment_);
+    // Every original node holds the same Km: expand its seal schedule
+    // once and let the nodes borrow it for the setup phase.
+    if (!master_ctx_) master_ctx_.emplace(secrets.master_key);
     if (id == 0 && config_.with_base_station) {
-      auto bs = std::make_unique<BaseStation>(std::move(secrets),
-                                              config_.protocol, roots_);
+      auto bs = std::make_unique<BaseStation>(std::move(secrets), protocol_,
+                                              roots_);
       base_station_ = bs.get();
       nodes_.push_back(std::move(bs));
     } else {
       nodes_.push_back(
-          std::make_unique<SensorNode>(std::move(secrets), config_.protocol));
+          std::make_unique<SensorNode>(std::move(secrets), protocol_));
     }
+    nodes_.back()->set_shared_master_context(&*master_ctx_);
     network_->attach(*nodes_.back());
   }
 }
 
 void ProtocolRunner::run_key_setup() {
+  net::PayloadArena::Scope arena_scope{payload_arena_};
   crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   const std::int64_t t0 = sim_.now().ns();
   const obs::SpanId span = timeline_.begin_span("key_setup", t0);
@@ -65,9 +71,13 @@ void ProtocolRunner::run_key_setup() {
   const double end = config_.protocol.master_erase_s + 0.05;
   sim_.run(sim::SimTime::from_seconds(end));
   timeline_.end_span(span, sim_.now().ns());
+  // Setup traffic is done: recycle every payload chunk whose packets
+  // have all been delivered (sniffer-retained payloads keep theirs).
+  payload_arena_.reset();
 }
 
 void ProtocolRunner::run_routing_setup(double settle_s) {
+  net::PayloadArena::Scope arena_scope{payload_arena_};
   if (base_station_ == nullptr) return;
   crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   const obs::SpanId span = timeline_.begin_span("routing", sim_.now().ns());
@@ -77,16 +87,20 @@ void ProtocolRunner::run_routing_setup(double settle_s) {
   base_station_->start_routing_root(*network_);
   sim_.run(sim_.now() + sim::SimTime::from_seconds(settle_s));
   timeline_.end_span(span, sim_.now().ns());
+  payload_arena_.reset();
 }
 
 void ProtocolRunner::run_for(double seconds) {
+  net::PayloadArena::Scope arena_scope{payload_arena_};
   crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   const obs::SpanId span = timeline_.begin_span("run", sim_.now().ns());
   sim_.run(sim_.now() + sim::SimTime::from_seconds(seconds));
   timeline_.end_span(span, sim_.now().ns());
+  payload_arena_.reset();
 }
 
 void ProtocolRunner::run_recluster_round() {
+  net::PayloadArena::Scope arena_scope{payload_arena_};
   crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   const obs::SpanId span = timeline_.begin_span("recluster", sim_.now().ns());
   const ProtocolConfig& p = config_.protocol;
@@ -107,12 +121,12 @@ void ProtocolRunner::run_recluster_round() {
 }
 
 SensorNode& ProtocolRunner::deploy_new_node(net::Vec2 pos) {
+  net::PayloadArena::Scope arena_scope{payload_arena_};
   crypto::ScopedCryptoCounters obs_guard{crypto_residual_};
   const net::NodeId id = network_->deploy_position(pos);
   NodeSecrets secrets =
       provision_new_node(roots_, id, commitment_, mutesla_commitment_);
-  nodes_.push_back(
-      std::make_unique<SensorNode>(std::move(secrets), config_.protocol));
+  nodes_.push_back(std::make_unique<SensorNode>(std::move(secrets), protocol_));
   network_->attach(*nodes_.back());
   nodes_.back()->start(*network_);
   return *nodes_.back();

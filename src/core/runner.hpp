@@ -14,7 +14,9 @@
 #include "core/provisioning.hpp"
 #include "core/sensor_node.hpp"
 #include "crypto/obs.hpp"
+#include "crypto/seal_context.hpp"
 #include "net/network.hpp"
+#include "net/payload_arena.hpp"
 #include "obs/delivery.hpp"
 #include "obs/span.hpp"
 #include "sim/simulator.hpp"
@@ -109,10 +111,21 @@ class ProtocolRunner {
 
  private:
   RunnerConfig config_;
+  /// The one ProtocolConfig instance every node of this deployment
+  /// references (nodes hold shared_ptr copies, not 136-byte values).
+  std::shared_ptr<const ProtocolConfig> protocol_;
   sim::Simulator sim_;
   DeploymentSecrets roots_;
   crypto::Key128 commitment_;
   crypto::Key128 mutesla_commitment_;
+  /// Deployment-shared Km seal context: all original nodes carry the
+  /// same master key, so its AES/HMAC schedule is expanded once here
+  /// instead of once per node.  Declared before nodes_ so it outlives
+  /// every borrower.
+  std::optional<crypto::SealContext> master_ctx_;
+  /// Payload bytes for every packet sent while this runner drives the
+  /// sim; reset between phases recycles chunks whose payloads are gone.
+  net::PayloadArena payload_arena_;
   std::optional<net::Network> network_;
   std::vector<std::unique_ptr<SensorNode>> nodes_;
   BaseStation* base_station_ = nullptr;

@@ -23,17 +23,39 @@ constexpr std::uint64_t setup_nonce(PacketKind kind, net::NodeId id) noexcept {
 }  // namespace
 
 SensorNode::SensorNode(NodeSecrets secrets, const ProtocolConfig& config)
+    : SensorNode(std::move(secrets),
+                 std::make_shared<const ProtocolConfig>(config)) {}
+
+SensorNode::SensorNode(NodeSecrets secrets,
+                       std::shared_ptr<const ProtocolConfig> config)
     : net::Node(secrets.id),
       secrets_(std::move(secrets)),
-      config_(config),
-      chain_(secrets_.commitment),
-      drbg_(crypto::prf_u64(secrets_.node_key, 0xd5b9)),
-      mutesla_(secrets_.mutesla_commitment, config.mutesla,
-               sim::SimTime::zero()) {
-  mutesla_.set_delivery_handler(
-      [this](std::uint32_t seq, const support::Bytes& payload) {
-        received_commands_.emplace_back(seq, payload);
-      });
+      config_(std::move(config)),
+      chain_(secrets_.commitment) {}
+
+crypto::Drbg& SensorNode::drbg() {
+  if (!drbg_) {
+    drbg_ = std::make_unique<crypto::Drbg>(
+        crypto::prf_u64(secrets_.node_key, 0xd5b9));
+  }
+  return *drbg_;
+}
+
+MuTeslaReceiver& SensorNode::ensure_mutesla() {
+  if (!mutesla_) {
+    mutesla_ = std::make_unique<MuTeslaReceiver>(
+        secrets_.mutesla_commitment, config().mutesla, sim::SimTime::zero());
+    mutesla_->set_delivery_handler(
+        [this](std::uint32_t seq, const support::Bytes& payload) {
+          received_commands_.emplace_back(seq, payload);
+        });
+  }
+  return *mutesla_;
+}
+
+const crypto::SealContext& SensorNode::master_context() {
+  if (shared_master_ctx_ != nullptr) return *shared_master_ctx_;
+  return secret_seal_cache_.get(secrets_.master_key);
 }
 
 void SensorNode::start(net::Network& net) {
@@ -45,8 +67,8 @@ void SensorNode::start(net::Network& net) {
   // headship.  Truncated to the deadline so the phase terminates.
   auto& rng = net.sim().rng();
   const double delay = std::min(
-      rng.exponential(1.0 / config_.mean_election_delay_s),
-      config_.election_deadline_s * 0.999);
+      rng.exponential(1.0 / config().mean_election_delay_s),
+      config().election_deadline_s * 0.999);
   election_timer_ = net.sim().schedule_at(
       sim::SimTime::from_seconds(delay),
       [this, &net] { on_election_timer(net); });
@@ -56,24 +78,42 @@ void SensorNode::start(net::Network& net) {
   // encryption), so repeats only fight loss/collisions.  Each repeat
   // gets its own jitter window: piling them into one window would raise
   // contention instead of fixing it.
-  const std::uint32_t repeats = std::max(1u, config_.link_advert_repeats);
+  const std::uint32_t repeats = std::max(1u, config().link_advert_repeats);
   for (std::uint32_t k = 0; k < repeats; ++k) {
-    const double window_start = config_.link_phase_start_s +
-                                k * config_.link_phase_jitter_s;
+    const double window_start = config().link_phase_start_s +
+                                k * config().link_phase_jitter_s;
     const double link_at =
-        window_start + rng.uniform(0.0, config_.link_phase_jitter_s);
-    net.sim().schedule_at(sim::SimTime::from_seconds(link_at),
-                          [this, &net] { send_link_advert(net); });
+        window_start + rng.uniform(0.0, config().link_phase_jitter_s);
+    if (k + 1 < repeats) {
+      net.sim().schedule_at(sim::SimTime::from_seconds(link_at),
+                            [this, &net] { send_link_advert(net); });
+    } else {
+      // The Km erase is chained off the last advert rather than scheduled
+      // up front: every node parking a third event for the whole phase
+      // put an extra N slots in the scheduler's high-water slab.  The
+      // erase still fires at the absolute §IV-B deadline (all erases are
+      // local no-op ties among themselves, so their relative order is
+      // irrelevant).
+      net.sim().schedule_at(sim::SimTime::from_seconds(link_at),
+                            [this, &net] {
+                              send_link_advert(net);
+                              schedule_master_erase(net);
+                            });
+    }
   }
+}
 
-  net.sim().schedule_at(sim::SimTime::from_seconds(config_.master_erase_s),
-                        [this] {
-                          // Drop the cached Km context along with Km
-                          // itself — erasure must not leave derived
-                          // state behind (§IV-B).
-                          secret_seal_cache_.invalidate(secrets_.master_key);
-                          secrets_.erase_master();
-                        });
+void SensorNode::schedule_master_erase(net::Network& net) {
+  const auto erase_at = std::max(
+      net.sim().now(), sim::SimTime::from_seconds(config().master_erase_s));
+  net.sim().schedule_at(erase_at, [this] {
+    // Drop the cached Km context along with Km itself — erasure must not
+    // leave derived state behind (§IV-B).  The shared context is the
+    // runner's; this node merely stops borrowing it.
+    secret_seal_cache_.invalidate(secrets_.master_key);
+    shared_master_ctx_ = nullptr;
+    secrets_.erase_master();
+  });
 }
 
 void SensorNode::on_election_timer(net::Network& net) {
@@ -90,9 +130,8 @@ void SensorNode::on_election_timer(net::Network& net) {
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kHello;
-  pkt.payload = secret_seal_cache_.get(secrets_.master_key)
-                    .seal(setup_nonce(PacketKind::kHello, id()),
-                          wsn::encode(body));
+  pkt.payload = master_context().seal(setup_nonce(PacketKind::kHello, id()),
+                                      wsn::encode(body));
   net.broadcast(pkt);
   ++setup_messages_sent_;
   net.counters().increment("setup.hello_sent");
@@ -100,9 +139,9 @@ void SensorNode::on_election_timer(net::Network& net) {
 
 void SensorNode::on_hello(net::Network& net, const Packet& packet) {
   if (secrets_.master_erased() || secrets_.has_kmc) return;
-  const auto plain = secret_seal_cache_.get(secrets_.master_key)
-                         .open(setup_nonce(PacketKind::kHello, packet.sender),
-                               packet.payload);
+  const auto plain =
+      master_context().open(setup_nonce(PacketKind::kHello, packet.sender),
+                            packet.payload);
   if (!plain) {
     net.counters().increment("setup.hello_auth_fail");
     return;
@@ -132,9 +171,9 @@ void SensorNode::send_link_advert(net::Network& net) {
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kLinkAdvert;
-  pkt.payload = secret_seal_cache_.get(secrets_.master_key)
-                    .seal(setup_nonce(PacketKind::kLinkAdvert, id()),
-                          wsn::encode(body));
+  pkt.payload =
+      master_context().seal(setup_nonce(PacketKind::kLinkAdvert, id()),
+                            wsn::encode(body));
   net.broadcast(pkt);
   ++setup_messages_sent_;
   net.counters().increment("setup.link_sent");
@@ -143,9 +182,8 @@ void SensorNode::send_link_advert(net::Network& net) {
 void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
   if (secrets_.master_erased() || secrets_.has_kmc) return;
   const auto plain =
-      secret_seal_cache_.get(secrets_.master_key)
-          .open(setup_nonce(PacketKind::kLinkAdvert, packet.sender),
-                packet.payload);
+      master_context().open(setup_nonce(PacketKind::kLinkAdvert, packet.sender),
+                            packet.payload);
   if (!plain) {
     net.counters().increment("setup.link_auth_fail");
     return;
@@ -177,7 +215,7 @@ bool SensorNode::send_reading(net::Network& net,
 
   wsn::DataInner inner;
   inner.source = id();
-  if (config_.e2e_encrypt) {
+  if (config().e2e_encrypt) {
     // §IV-C Step 1: E2E protection under keys derived from Ki, with the
     // shared counter providing semantic security.
     inner.e2e_counter = ++e2e_counter_;
@@ -259,7 +297,7 @@ bool SensorNode::accept_envelope(net::Network& net, const Packet& packet,
   }
   const std::int64_t now_ns = net.sim().now().ns();
   const auto window_ns =
-      static_cast<std::int64_t>(config_.freshness_window_s * 1e9);
+      static_cast<std::int64_t>(config().freshness_window_s * 1e9);
   if (tau_ns > now_ns + window_ns || tau_ns < now_ns - window_ns) {
     net.counters().increment("envelope.stale");
     return false;
@@ -357,7 +395,7 @@ void SensorNode::schedule_beacon(net::Network& net) {
   if (beacon_pending_) return;
   beacon_pending_ = true;
   const double jitter =
-      net.sim().rng().uniform(0.0, config_.beacon_jitter_s);
+      net.sim().rng().uniform(0.0, config().beacon_jitter_s);
   net.sim().schedule_in(sim::SimTime::from_seconds(jitter),
                         [this, &net] { send_beacon(net); });
 }
@@ -389,7 +427,7 @@ bool SensorNode::initiate_cluster_rekey(net::Network& net) {
   crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
   wsn::RefreshBody body;
   body.cid = keys_.own_cid();
-  body.new_key = drbg_.next_key();
+  body.new_key = drbg().next_key();
   body.epoch = refresh_epoch_[body.cid] + 1;
 
   wsn::DataHeader header;
@@ -465,7 +503,7 @@ void SensorNode::on_auth_broadcast(net::Network& net, const Packet& packet,
   // is flooded onward exactly once (the receiver's dedup makes replays
   // return false).  The re-broadcast reuses the incoming payload buffer
   // verbatim (a refcount bump, not a re-encode).
-  if (mutesla_.on_command(net.sim().now(), cmd)) {
+  if (mutesla().on_command(net.sim().now(), cmd)) {
     net.counters().increment("mutesla.buffered");
     net.broadcast(Packet{id(), PacketKind::kAuthBroadcast, packet.payload});
   }
@@ -473,7 +511,7 @@ void SensorNode::on_auth_broadcast(net::Network& net, const Packet& packet,
 
 void SensorNode::on_key_disclosure(net::Network& net, const Packet& packet,
                                    const KeyDisclosure& disclosure) {
-  if (mutesla_.on_disclosure(disclosure)) {
+  if (mutesla().on_disclosure(disclosure)) {
     net.counters().increment("mutesla.key_verified");
     net.broadcast(Packet{id(), PacketKind::kKeyDisclosure, packet.payload});
   }
@@ -522,7 +560,7 @@ void SensorNode::start_join(net::Network& net) {
   const wsn::JoinBody body{id()};
   net.broadcast(Packet{id(), PacketKind::kJoin, wsn::encode(body)});
   net.counters().increment("join.hello_sent");
-  net.sim().schedule_in(sim::SimTime::from_seconds(config_.join_window_s),
+  net.sim().schedule_in(sim::SimTime::from_seconds(config().join_window_s),
                         [this, &net] { commit_join(net); });
 }
 
@@ -530,9 +568,7 @@ void SensorNode::on_join(net::Network& net, const Packet&,
                          const wsn::JoinBody& body) {
   if (!keys_.has_own() || role_ == Role::kEvicted || secrets_.has_kmc) return;
   // Reply at most once per joining node.
-  auto& replied = join_replied_[body.new_id];
-  if (replied) return;
-  replied = true;
+  if (!join_replied_.insert(body.new_id).second) return;
   // §IV-E: reply "CID, MAC_Kc(CID)" so an adversary cannot advertise
   // clusters it has no key for (impersonation defence).
   wsn::JoinReplyBody reply;

@@ -20,7 +20,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
@@ -33,6 +33,7 @@
 #include "crypto/obs.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "support/flat_map.hpp"
 #include "wsn/messages.hpp"
 #include "wsn/routing.hpp"
 
@@ -50,6 +51,11 @@ enum class Role : std::uint8_t {
 class SensorNode : public net::Node {
  public:
   SensorNode(NodeSecrets secrets, const ProtocolConfig& config);
+
+  /// Deployment-shared configuration: every node of a runner references
+  /// one immutable ProtocolConfig instead of carrying a private copy.
+  SensorNode(NodeSecrets secrets,
+             std::shared_ptr<const ProtocolConfig> config);
 
   // ---- net::Node ----
   void start(net::Network& net) override;
@@ -174,9 +180,13 @@ class SensorNode : public net::Node {
 
   // ---- µTESLA command channel (reference [6]) ----
   /// Receiver state for authenticated base-station broadcasts.
-  [[nodiscard]] MuTeslaReceiver& mutesla() noexcept { return mutesla_; }
-  [[nodiscard]] const MuTeslaReceiver& mutesla() const noexcept {
-    return mutesla_;
+  /// Materialized on first use: most nodes in a setup-only trial never
+  /// see a command, so the receiver (~176 bytes) would be dead weight.
+  /// Construction is deterministic — commitment and config only — so
+  /// when it happens cannot affect protocol behaviour.
+  [[nodiscard]] MuTeslaReceiver& mutesla() { return ensure_mutesla(); }
+  [[nodiscard]] const MuTeslaReceiver& mutesla() const {
+    return const_cast<SensorNode*>(this)->ensure_mutesla();
   }
   /// Commands delivered to this node, in (seq, payload) arrival order.
   [[nodiscard]] const std::vector<std::pair<std::uint32_t, support::Bytes>>&
@@ -197,13 +207,23 @@ class SensorNode : public net::Node {
     forward_drop_probability_ = p;
   }
 
+  /// Deployment-shared Km seal context.  All original nodes hold the
+  /// same master key, so the runner builds its schedule once and every
+  /// node borrows it during setup instead of expanding a private copy
+  /// (~300 bytes each).  The pointer must outlive the setup phase; it is
+  /// dropped when Km is erased.  Nodes without one (standalone tests)
+  /// fall back to their own cached context.
+  void set_shared_master_context(const crypto::SealContext* ctx) noexcept {
+    shared_master_ctx_ = ctx;
+  }
+
  protected:
   /// Invoked when a data envelope addressed to this node as final
   /// destination authenticates; the base station overrides this.
   virtual void on_delivered(net::Network& net, const wsn::DataInner& inner);
 
   [[nodiscard]] const ProtocolConfig& config() const noexcept {
-    return config_;
+    return *config_;
   }
 
   NodeSecrets secrets_;
@@ -211,6 +231,9 @@ class SensorNode : public net::Node {
  private:
   // setup phase
   void on_election_timer(net::Network& net);
+  /// Schedules the §IV-B Km erase at the absolute deadline (called from
+  /// the last link-advert event so the erase slot is not held all phase).
+  void schedule_master_erase(net::Network& net);
   void send_link_advert(net::Network& net);
   void on_hello(net::Network& net, const net::Packet& packet);
   void on_link_advert(net::Network& net, const net::Packet& packet);
@@ -278,7 +301,7 @@ class SensorNode : public net::Node {
                                      std::int64_t tau_ns,
                                      ClusterId echoed_cid);
 
-  ProtocolConfig config_;
+  std::shared_ptr<const ProtocolConfig> config_;
   ClusterKeySet keys_;
   Role role_ = Role::kUndecided;
   bool was_head_ = false;
@@ -294,23 +317,33 @@ class SensorNode : public net::Node {
   bool beacon_pending_ = false;
 
   crypto::ChainVerifier chain_;
-  crypto::Drbg drbg_;
-  MuTeslaReceiver mutesla_;
+  /// Key-refresh DRBG, materialized on first rekey: the seed derives
+  /// deterministically from Ki, so construction time cannot affect the
+  /// drawn keys, and a setup-only node never pays the ~184-byte state.
+  std::unique_ptr<crypto::Drbg> drbg_;
+  [[nodiscard]] crypto::Drbg& drbg();
+  std::unique_ptr<MuTeslaReceiver> mutesla_;
+  [[nodiscard]] MuTeslaReceiver& ensure_mutesla();
   std::vector<std::pair<std::uint32_t, support::Bytes>> received_commands_;
-  std::unordered_map<InterestId, DiffusionEntry> diffusion_;
+  support::FlatMap<InterestId, DiffusionEntry, 0> diffusion_;
   std::vector<DiffusionSample> diffusion_samples_;
-  std::unordered_map<InterestId, std::uint32_t> publish_seq_;
+  support::FlatMap<InterestId, std::uint32_t, 0> publish_seq_;
 
   /// Cached seal contexts for the node's long-lived secrets: Km during
-  /// setup (invalidated when Km is erased) and Ki for Step-1 end-to-end
-  /// envelopes.  Cluster-key contexts live inside keys_ (context_for).
-  crypto::SealContextCache secret_seal_cache_{4};
+  /// setup (when no deployment-shared context is installed) and Ki for
+  /// Step-1 end-to-end envelopes.  Cluster-key contexts live inside
+  /// keys_ (context_for).
+  crypto::SealContextCache secret_seal_cache_{2};
+  const crypto::SealContext* shared_master_ctx_ = nullptr;
+  /// Seal/open context for Km: the shared one when installed, else the
+  /// node's own cache.
+  [[nodiscard]] const crypto::SealContext& master_context();
 
   std::uint32_t envelope_counter_ = 0;
   std::uint32_t hash_epoch_ = 0;
   std::uint64_t e2e_counter_ = 0;
-  std::unordered_map<net::NodeId, std::uint64_t> last_nonce_;
-  std::unordered_map<ClusterId, std::uint32_t> refresh_epoch_;
+  support::FlatMap<net::NodeId, std::uint64_t, 0> last_nonce_;
+  support::FlatMap<ClusterId, std::uint32_t, 0> refresh_epoch_;
 
   sim::EventId election_timer_ = sim::kInvalidEventId;
   std::uint64_t setup_messages_sent_ = 0;
@@ -320,7 +353,10 @@ class SensorNode : public net::Node {
   bool recluster_active_ = false;
   bool recluster_decided_ = false;
   bool recluster_head_ = false;
-  ClusterKeySet recluster_keys_;
+  /// Built on the side during a round, swapped into keys_ at the end.
+  /// Boxed: the side set only exists inside a round, and an inline
+  /// ClusterKeySet would charge every node its 176 bytes forever.
+  std::unique_ptr<ClusterKeySet> recluster_keys_;
   sim::EventId recluster_timer_ = sim::kInvalidEventId;
   std::uint64_t recluster_messages_sent_ = 0;
 
@@ -336,7 +372,7 @@ class SensorNode : public net::Node {
 
   // §IV-E join state
   std::vector<std::pair<ClusterId, crypto::Key128>> join_candidates_;
-  std::unordered_map<net::NodeId, bool> join_replied_;
+  support::FlatSet<net::NodeId, 0> join_replied_;
 };
 
 }  // namespace ldke::core

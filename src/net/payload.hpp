@@ -4,18 +4,29 @@
 /// every radio neighbor, so the channel used to deep-copy the payload
 /// once per receiver at delivery-scheduling time — at density 20 that is
 /// 20 allocations per transmission before a single byte is decrypted.
-/// PayloadRef freezes the bytes at send time behind a shared_ptr; every
-/// scheduled delivery, sniffer record and forwarded re-broadcast then
-/// captures a refcount bump instead of a copy.  Receivers get a
-/// read-only view; anything that wants to mutate (fuzzers, forgery
-/// harnesses) materializes its own buffer via to_bytes().
+/// PayloadRef freezes the bytes at send time; every scheduled delivery,
+/// sniffer record and forwarded re-broadcast then captures a refcount
+/// bump instead of a copy.
+///
+/// Layout: a PayloadRef is a single pointer to a PayloadBlock whose
+/// bytes follow it contiguously — header, length and data share one
+/// cache line for short payloads.  The block lives either in its own
+/// allocation or inside a PayloadArena chunk (see payload_arena.hpp);
+/// refcounting happens on the block's owner header either way, so the
+/// ref neither knows nor cares which.  At 8 bytes a PayloadRef keeps
+/// Packet at 16 bytes and channel-delivery captures inside EventFn's
+/// inline budget.  Receivers get a read-only view; anything that wants
+/// to mutate (fuzzers, forgery harnesses) materializes its own buffer
+/// via to_bytes().
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <memory>
+#include <cstring>
 #include <span>
 #include <utility>
 
+#include "net/payload_arena.hpp"
 #include "support/hex.hpp"
 
 namespace ldke::net {
@@ -24,48 +35,65 @@ class PayloadRef {
  public:
   PayloadRef() = default;
 
-  /// Adopts \p bytes as the shared immutable buffer (one allocation —
-  /// the control block; the byte storage moves in).
+  /// Copies \p bytes once into a fresh shared block (arena-backed when a
+  /// PayloadArena::Scope is active on this thread).
   PayloadRef(support::Bytes&& bytes) {  // NOLINT(google-explicit-constructor)
-    if (!bytes.empty()) adopt(std::move(bytes));
+    if (!bytes.empty()) adopt(bytes.data(), bytes.size());
   }
 
-  /// Copies \p bytes once into a fresh shared buffer.
   PayloadRef(const support::Bytes& bytes) {  // NOLINT(google-explicit-constructor)
-    if (!bytes.empty()) adopt(support::Bytes{bytes});
+    if (!bytes.empty()) adopt(bytes.data(), bytes.size());
   }
 
-  /// Copies an arbitrary byte view once into a fresh shared buffer.
+  /// Copies an arbitrary byte view once into a fresh shared block.
   [[nodiscard]] static PayloadRef copy_of(std::span<const std::uint8_t> data) {
-    return PayloadRef{support::Bytes{data.begin(), data.end()}};
+    PayloadRef ref;
+    if (!data.empty()) ref.adopt(data.data(), data.size());
+    return ref;
   }
 
   // Copy/move of a PayloadRef itself is a refcount operation, never a
   // byte copy — that is the whole point.
-  PayloadRef(const PayloadRef&) = default;
-  PayloadRef(PayloadRef&&) noexcept = default;
-  PayloadRef& operator=(const PayloadRef&) = default;
-  PayloadRef& operator=(PayloadRef&&) noexcept = default;
+  PayloadRef(const PayloadRef& other) noexcept : block_(other.block_) {
+    retain();
+  }
+  PayloadRef(PayloadRef&& other) noexcept
+      : block_(std::exchange(other.block_, nullptr)) {}
+  PayloadRef& operator=(const PayloadRef& other) noexcept {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      retain();
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      block_ = std::exchange(other.block_, nullptr);
+    }
+    return *this;
+  }
+  ~PayloadRef() { release(); }
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return buf_ ? buf_->size() : 0;
+    return block_ ? block_->size : 0;
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] const std::uint8_t* data() const noexcept {
-    return buf_ ? buf_->data() : nullptr;
+    return block_ ? block_->bytes() : nullptr;
   }
   [[nodiscard]] const std::uint8_t* begin() const noexcept { return data(); }
   [[nodiscard]] const std::uint8_t* end() const noexcept {
     return data() + size();
   }
   [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept {
-    return (*buf_)[i];
+    return block_->bytes()[i];
   }
 
   /// Read-only view of the bytes (what the codec layer decodes from).
   [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
-    return buf_ ? std::span<const std::uint8_t>{*buf_}
-                : std::span<const std::uint8_t>{};
+    return {data(), size()};
   }
   operator std::span<const std::uint8_t>() const noexcept {  // NOLINT
     return view();
@@ -73,18 +101,18 @@ class PayloadRef {
 
   /// Materializes a private mutable copy (attack harnesses, fuzzers).
   [[nodiscard]] support::Bytes to_bytes() const {
-    return buf_ ? *buf_ : support::Bytes{};
+    return support::Bytes{begin(), end()};
   }
 
-  /// True when both refs point at the same shared buffer (no copy was
+  /// True when both refs point at the same shared block (no copy was
   /// made between them) — the zero-copy assertion used by tests.
   [[nodiscard]] bool shares_buffer_with(const PayloadRef& other) const noexcept {
-    return buf_ == other.buf_;
+    return block_ == other.block_;
   }
 
   /// Content equality (bytes, not buffer identity).
   friend bool operator==(const PayloadRef& a, const PayloadRef& b) noexcept {
-    if (a.buf_ == b.buf_) return true;
+    if (a.block_ == b.block_) return true;
     const auto va = a.view();
     const auto vb = b.view();
     return va.size() == vb.size() &&
@@ -96,17 +124,43 @@ class PayloadRef {
     return va.size() == b.size() && std::equal(va.begin(), va.end(), b.begin());
   }
 
-  /// Process-wide count of shared buffers created (i.e. payload byte
-  /// allocations).  The broadcast microbenchmark and channel tests use
-  /// deltas of this to pin "O(1) allocations per transmission".
+  /// Process-wide count of shared blocks created (i.e. payload byte
+  /// allocations, arena-backed or not).  The broadcast microbenchmark
+  /// and channel tests use deltas of this to pin "O(1) allocations per
+  /// transmission".
   [[nodiscard]] static std::uint64_t buffers_created() noexcept {
     return alloc_count().load(std::memory_order_relaxed);
   }
 
  private:
-  void adopt(support::Bytes&& bytes) {
-    buf_ = std::make_shared<const support::Bytes>(std::move(bytes));
+  void adopt(const std::uint8_t* bytes, std::size_t n) {
+    detail::PayloadBlock* block;
+    if (PayloadArena* arena = PayloadArena::current()) {
+      block = arena->allocate(n);
+    } else {
+      void* raw = ::operator new(sizeof(detail::PayloadOwner) +
+                                 sizeof(detail::PayloadBlock) + n);
+      auto* owner = ::new (raw) detail::PayloadOwner{{1}};
+      block = ::new (owner + 1) detail::PayloadBlock{
+          owner, static_cast<std::uint32_t>(n)};
+    }
+    std::memcpy(block->bytes(), bytes, n);
+    block_ = block;
     alloc_count().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void retain() const noexcept {
+    if (block_) {
+      block_->owner->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void release() noexcept {
+    if (block_ == nullptr) return;
+    detail::PayloadOwner* owner = block_->owner;
+    if (owner->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ::operator delete(owner);
+    }
+    block_ = nullptr;
   }
 
   static std::atomic<std::uint64_t>& alloc_count() noexcept {
@@ -114,7 +168,7 @@ class PayloadRef {
     return count;
   }
 
-  std::shared_ptr<const support::Bytes> buf_;
+  const detail::PayloadBlock* block_ = nullptr;
 };
 
 }  // namespace ldke::net

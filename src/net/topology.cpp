@@ -56,19 +56,42 @@ std::size_t Topology::cell_index(Vec2 pos) const noexcept {
   return cy * grid_dim_ + cx;
 }
 
+double Topology::expected_degree() const noexcept {
+  if (positions_.empty() || side_ <= 0.0) return 0.0;
+  return static_cast<double>(positions_.size()) * std::numbers::pi * range_ *
+         range_ / (side_ * side_);
+}
+
 void Topology::index_into_grid() {
+  const std::size_t n = positions_.size();
   grid_dim_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(side_ / std::max(range_, 1e-9)));
-  grid_dim_ = std::min<std::size_t>(grid_dim_, 4096);
-  grid_.assign(grid_dim_ * grid_dim_, {});
-  for (NodeId id = 0; id < positions_.size(); ++id) {
-    grid_[cell_index(positions_[id])].push_back(id);
+  // A grid finer than ~2·sqrt(N) cells per axis leaves most cells empty
+  // while the offsets array alone would dwarf the id data, so clamp the
+  // cell count to O(N) (neighbor scans just cover more cells per query).
+  const auto count_clamp =
+      static_cast<std::size_t>(
+          2.0 * std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1)))) +
+      1;
+  grid_dim_ = std::min(grid_dim_, std::min<std::size_t>(count_clamp, 4096));
+  // Counting sort into CSR: per-cell counts, prefix sums, then a fill
+  // pass in id order (which keeps every cell's ids ascending).
+  grid_offsets_.assign(grid_dim_ * grid_dim_ + 1, 0);
+  for (const Vec2& pos : positions_) ++grid_offsets_[cell_index(pos) + 1];
+  for (std::size_t c = 1; c < grid_offsets_.size(); ++c) {
+    grid_offsets_[c] += grid_offsets_[c - 1];
+  }
+  grid_ids_.resize(n);
+  std::vector<std::uint32_t> cursor(grid_offsets_.begin(),
+                                    grid_offsets_.end() - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    grid_ids_[cursor[cell_index(positions_[id])]++] = id;
   }
 }
 
-std::vector<NodeId> Topology::scan_neighbors(Vec2 center, double radius,
-                                             NodeId exclude) const {
-  std::vector<NodeId> out;
+void Topology::scan_into(std::vector<NodeId>& out, Vec2 center, double radius,
+                         NodeId exclude) const {
+  const std::size_t first = out.size();
   const double cell = side_ / static_cast<double>(grid_dim_);
   const double r2 = radius * radius;
   const int reach = static_cast<int>(std::ceil(radius / cell));
@@ -79,8 +102,10 @@ std::vector<NodeId> Topology::scan_neighbors(Vec2 center, double radius,
        ++gy) {
     for (int gx = std::max(0, cx - reach); gx <= std::min(dim - 1, cx + reach);
          ++gx) {
-      for (NodeId other : grid_[static_cast<std::size_t>(gy) * grid_dim_ +
-                                static_cast<std::size_t>(gx)]) {
+      const std::size_t c = static_cast<std::size_t>(gy) * grid_dim_ +
+                            static_cast<std::size_t>(gx);
+      for (std::uint32_t i = grid_offsets_[c]; i < grid_offsets_[c + 1]; ++i) {
+        const NodeId other = grid_ids_[i];
         if (other == exclude) continue;
         if (distance_squared(center, positions_[other]) <= r2) {
           out.push_back(other);
@@ -88,22 +113,43 @@ std::vector<NodeId> Topology::scan_neighbors(Vec2 center, double radius,
       }
     }
   }
-  std::sort(out.begin(), out.end());
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+std::vector<NodeId> Topology::scan_neighbors(Vec2 center, double radius,
+                                             NodeId exclude) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(expected_degree()) + 8);
+  scan_into(out, center, radius, exclude);
   return out;
 }
 
 void Topology::rebuild_neighbor_lists() {
-  neighbor_lists_.assign(positions_.size(), {});
-  for (NodeId id = 0; id < positions_.size(); ++id) {
-    neighbor_lists_[id] = scan_neighbors(positions_[id], range_, id);
+  const std::size_t n = positions_.size();
+  const double degree = expected_degree();
+  neighbor_offsets_.clear();
+  neighbor_offsets_.reserve(n + 1);
+  neighbor_offsets_.push_back(0);
+  neighbor_ids_.clear();
+  neighbor_ids_.reserve(
+      static_cast<std::size_t>(static_cast<double>(n) * (degree + 1.0)));
+  // One scratch buffer for every scan instead of a fresh vector per node.
+  std::vector<NodeId> scratch;
+  scratch.reserve(static_cast<std::size_t>(degree * 2.0) + 8);
+  for (NodeId id = 0; id < n; ++id) {
+    scratch.clear();
+    scan_into(scratch, positions_[id], range_, id);
+    neighbor_ids_.insert(neighbor_ids_.end(), scratch.begin(), scratch.end());
+    neighbor_offsets_.push_back(
+        static_cast<std::uint32_t>(neighbor_ids_.size()));
   }
+  neighbor_ids_.shrink_to_fit();
 }
 
 double Topology::mean_degree() const noexcept {
   if (positions_.empty()) return 0.0;
-  std::size_t total = 0;
-  for (const auto& list : neighbor_lists_) total += list.size();
-  return static_cast<double>(total) / static_cast<double>(positions_.size());
+  return static_cast<double>(neighbor_ids_.size()) /
+         static_cast<double>(positions_.size());
 }
 
 std::vector<NodeId> Topology::nodes_within(Vec2 center, double radius) const {
@@ -113,12 +159,28 @@ std::vector<NodeId> Topology::nodes_within(Vec2 center, double radius) const {
 NodeId Topology::add_node(Vec2 pos) {
   const auto id = static_cast<NodeId>(positions_.size());
   positions_.push_back(pos);
-  grid_[cell_index(pos)].push_back(id);
-  neighbor_lists_.push_back(scan_neighbors(pos, range_, id));
-  for (NodeId neighbor : neighbor_lists_.back()) {
-    auto& list = neighbor_lists_[neighbor];
-    list.insert(std::upper_bound(list.begin(), list.end(), id), id);
+  // Splice into the grid CSR: the new id is the largest, so it lands at
+  // the end of its cell's ascending run.
+  const std::size_t c = cell_index(pos);
+  grid_ids_.insert(grid_ids_.begin() + grid_offsets_[c + 1], id);
+  for (std::size_t i = c + 1; i < grid_offsets_.size(); ++i) {
+    ++grid_offsets_[i];
   }
+  // §IV-E additions are rare and small-N, so O(edges) splices into the
+  // neighbor CSR are fine; bulk builds go through rebuild_neighbor_lists.
+  const std::vector<NodeId> nbrs = scan_neighbors(pos, range_, id);
+  for (NodeId neighbor : nbrs) {
+    const auto begin =
+        neighbor_ids_.begin() + neighbor_offsets_[neighbor];
+    const auto end = neighbor_ids_.begin() + neighbor_offsets_[neighbor + 1];
+    neighbor_ids_.insert(std::upper_bound(begin, end, id), id);
+    for (std::size_t i = neighbor + 1; i < neighbor_offsets_.size(); ++i) {
+      ++neighbor_offsets_[i];
+    }
+  }
+  neighbor_ids_.insert(neighbor_ids_.end(), nbrs.begin(), nbrs.end());
+  neighbor_offsets_.push_back(
+      static_cast<std::uint32_t>(neighbor_ids_.size()));
   return id;
 }
 

@@ -45,9 +45,11 @@ class Topology {
 
   [[nodiscard]] Vec2 position(NodeId id) const { return positions_[id]; }
 
-  /// Ids of nodes within radio range of \p id (excluding \p id).
+  /// Ids of nodes within radio range of \p id (excluding \p id),
+  /// ascending.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
-    return neighbor_lists_[id];
+    return {neighbor_ids_.data() + neighbor_offsets_[id],
+            neighbor_offsets_[id + 1] - neighbor_offsets_[id]};
   }
 
   /// Average neighbor count over all nodes (realized density).
@@ -71,20 +73,37 @@ class Topology {
   [[nodiscard]] static double range_for_density(std::size_t count, double side,
                                                 double density) noexcept;
 
+  /// Expected mean degree for the current placement (N·πr²/L², the
+  /// density identity) — sizing hint for scans and reserves.
+  [[nodiscard]] double expected_degree() const noexcept;
+
  private:
   Topology() = default;
   void rebuild_neighbor_lists();
   void index_into_grid();
+  /// Appends nodes within \p radius of \p center (minus \p exclude) to
+  /// \p out, sorted ascending; the range already in \p out is untouched.
+  void scan_into(std::vector<NodeId>& out, Vec2 center, double radius,
+                 NodeId exclude) const;
   [[nodiscard]] std::vector<NodeId> scan_neighbors(Vec2 center, double radius,
                                                    NodeId exclude) const;
 
   std::vector<Vec2> positions_;
-  std::vector<std::vector<NodeId>> neighbor_lists_;
+  // Neighbor lists in CSR form: node id's neighbors are
+  // neighbor_ids_[neighbor_offsets_[id] .. neighbor_offsets_[id+1]).
+  // One flat allocation sized to the exact total degree replaces a
+  // 24-byte vector header plus a growth-slack heap block per node.
+  std::vector<std::uint32_t> neighbor_offsets_;
+  std::vector<NodeId> neighbor_ids_;
   double side_ = 1.0;
   double range_ = 0.1;
 
-  // Uniform grid for O(1)-ish neighbor queries: cell size == range.
-  std::vector<std::vector<NodeId>> grid_;
+  // Uniform grid for O(1)-ish neighbor queries, also CSR: cell c holds
+  // grid_ids_[grid_offsets_[c] .. grid_offsets_[c+1]).  Cell size is the
+  // radio range where affordable; grid_dim_ is clamped so the cell count
+  // stays O(N) even when range_ is tiny relative to side_.
+  std::vector<std::uint32_t> grid_offsets_;
+  std::vector<NodeId> grid_ids_;
   std::size_t grid_dim_ = 0;
   [[nodiscard]] std::size_t cell_index(Vec2 pos) const noexcept;
 };

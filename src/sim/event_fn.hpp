@@ -19,9 +19,10 @@ namespace ldke::sim {
 class EventFn {
  public:
   /// Inline capture budget: sized for the fattest hot-path event (a
-  /// channel delivery: vtable-free lambda of this + id + Packet +
-  /// shared_ptr ≈ 56 bytes).
-  static constexpr std::size_t kInlineBytes = 64;
+  /// channel delivery: vtable-free lambda of this + id + 16-byte Packet +
+  /// shared_ptr ≈ 44 bytes).  48 keeps a scheduler Slot (EventFn + ops
+  /// pointer + generation) at exactly one 64-byte cache line.
+  static constexpr std::size_t kInlineBytes = 48;
 
   EventFn() = default;
   EventFn(std::nullptr_t) {}
@@ -83,8 +84,7 @@ class EventFn {
 
   template <typename Fn>
   static constexpr bool fits_inline() {
-    return sizeof(Fn) <= kInlineBytes &&
-           alignof(Fn) <= alignof(std::max_align_t) &&
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(void*) &&
            std::is_nothrow_move_constructible_v<Fn>;
   }
 
@@ -118,7 +118,11 @@ class EventFn {
 
   [[nodiscard]] void* storage() noexcept { return buf_; }
 
-  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  // Pointer alignment, not max_align_t: captures are pointers, ids and
+  // Packets, and 8-byte alignment keeps sizeof(EventFn) at 56 so a
+  // scheduler Slot stays within one cache line.  Over-aligned captures
+  // fall back to the heap via fits_inline().
+  alignas(void*) std::byte buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
 

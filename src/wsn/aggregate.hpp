@@ -8,8 +8,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_set>
 
+#include "support/flat_map.hpp"
 #include "support/hex.hpp"
 #include "wsn/wire.hpp"
 
@@ -42,7 +42,7 @@ class DuplicateSuppressor {
   void reset() noexcept { seen_.clear(); }
 
  private:
-  std::unordered_set<std::uint32_t> seen_;
+  support::FlatSet<std::uint32_t, 0> seen_;
 };
 
 /// Streaming combiner for readings of one event: the fused summary a

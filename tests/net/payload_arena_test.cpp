@@ -1,0 +1,125 @@
+#include "net/payload_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/payload.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::net {
+namespace {
+
+support::Bytes bytes_of(std::initializer_list<std::uint8_t> xs) {
+  return support::Bytes{xs};
+}
+
+TEST(PayloadRef, HeapPathCopiesOnceAndShares) {
+  const support::Bytes src = bytes_of({1, 2, 3, 4});
+  const std::uint64_t before = PayloadRef::buffers_created();
+  PayloadRef a{src};
+  PayloadRef b = a;                     // refcount bump, no copy
+  const PayloadRef c = PayloadRef{a};   // ditto via move of a copy
+  EXPECT_EQ(PayloadRef::buffers_created(), before + 1);
+  EXPECT_TRUE(b.shares_buffer_with(a));
+  EXPECT_TRUE(c.shares_buffer_with(a));
+  EXPECT_EQ(a, src);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[2], 3u);
+}
+
+TEST(PayloadRef, MoveLeavesSourceEmpty) {
+  PayloadRef a{bytes_of({9, 9})};
+  PayloadRef b{std::move(a)};
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): post-move spec
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(PayloadRef, EmptyIsNull) {
+  const PayloadRef empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+  const PayloadRef from_empty{support::Bytes{}};
+  EXPECT_TRUE(from_empty.shares_buffer_with(empty));
+}
+
+TEST(PayloadArena, ScopeRoutesAllocationsThroughArena) {
+  PayloadArena arena;
+  EXPECT_EQ(PayloadArena::current(), nullptr);
+  {
+    PayloadArena::Scope scope{arena};
+    EXPECT_EQ(PayloadArena::current(), &arena);
+    const PayloadRef ref{bytes_of({5, 6, 7})};
+    EXPECT_EQ(arena.blocks_allocated(), 1u);
+    EXPECT_EQ(arena.chunk_count(), 1u);
+    EXPECT_EQ(ref.size(), 3u);
+    EXPECT_EQ(ref[0], 5u);
+  }
+  EXPECT_EQ(PayloadArena::current(), nullptr);
+}
+
+TEST(PayloadArena, ScopesNest) {
+  PayloadArena outer;
+  PayloadArena inner;
+  PayloadArena::Scope a{outer};
+  {
+    PayloadArena::Scope b{inner};
+    EXPECT_EQ(PayloadArena::current(), &inner);
+  }
+  EXPECT_EQ(PayloadArena::current(), &outer);
+}
+
+TEST(PayloadArena, ResetRecyclesDeadChunks) {
+  PayloadArena arena;
+  {
+    PayloadArena::Scope scope{arena};
+    for (int i = 0; i < 100; ++i) {
+      const PayloadRef ref{bytes_of({1, 2, 3, 4, 5, 6, 7, 8})};
+    }
+  }
+  EXPECT_EQ(arena.blocks_allocated(), 100u);
+  const std::size_t chunks = arena.chunk_count();
+  arena.reset();
+  // All payloads died before reset: every chunk is kept for reuse.
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  {
+    PayloadArena::Scope scope{arena};
+    const PayloadRef ref{bytes_of({1})};
+  }
+  EXPECT_EQ(arena.chunk_count(), chunks);  // reused, not grown
+}
+
+TEST(PayloadArena, SurvivorKeepsItsChunkAliveAcrossReset) {
+  PayloadArena arena{256};  // tiny chunks force several per trial
+  PayloadRef survivor;
+  {
+    PayloadArena::Scope scope{arena};
+    for (int i = 0; i < 64; ++i) {
+      PayloadRef ref{bytes_of({static_cast<std::uint8_t>(i), 2, 3, 4})};
+      if (i == 40) survivor = ref;
+    }
+  }
+  ASSERT_GT(arena.chunk_count(), 1u);
+  arena.reset();
+  // The survivor's bytes must remain intact: its chunk was released to
+  // it, not recycled.
+  EXPECT_EQ(survivor.size(), 4u);
+  EXPECT_EQ(survivor[0], 40u);
+  EXPECT_EQ(survivor[3], 4u);
+  survivor = PayloadRef{};  // last ref frees the orphaned chunk (ASan-checked)
+}
+
+TEST(PayloadArena, OversizedPayloadGetsOwnChunk) {
+  PayloadArena arena{64};
+  PayloadArena::Scope scope{arena};
+  const support::Bytes big(1024, 0xab);
+  const PayloadRef ref{big};
+  EXPECT_EQ(ref.size(), 1024u);
+  EXPECT_EQ(ref[1023], 0xab);
+}
+
+TEST(PayloadArena, FallsBackToHeapWithoutScope) {
+  const PayloadRef ref{bytes_of({1, 2})};
+  EXPECT_EQ(ref.size(), 2u);  // no arena installed; plain shared block
+}
+
+}  // namespace
+}  // namespace ldke::net

@@ -1,0 +1,95 @@
+/// Property tests for the CSR grid index: every grid-accelerated scan
+/// must agree exactly with the O(n²) brute-force unit-disk definition,
+/// including configurations where the grid dimension is clamped (range
+/// tiny relative to the side, so each scan covers many cells).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace ldke::net {
+namespace {
+
+std::vector<NodeId> brute_force_within(const Topology& topo, Vec2 center,
+                                       double radius, NodeId exclude) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < topo.size(); ++id) {
+    if (id == exclude) continue;
+    if (distance_squared(center, topo.position(id)) <= radius * radius) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void expect_matches_brute_force(const Topology& topo) {
+  for (NodeId id = 0; id < topo.size(); ++id) {
+    const auto expected =
+        brute_force_within(topo, topo.position(id), topo.range(), id);
+    const auto got = topo.neighbors(id);
+    ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()), expected)
+        << "node " << id;
+  }
+}
+
+TEST(TopologyGrid, RandomPlacementMatchesBruteForce) {
+  support::Xoshiro256 rng{0x70b0};
+  const auto topo = Topology::random_uniform(400, 100.0, 9.0, rng);
+  expect_matches_brute_force(topo);
+}
+
+TEST(TopologyGrid, DensityPlacementMatchesBruteForce) {
+  support::Xoshiro256 rng{0x70b1};
+  const auto topo = Topology::random_with_density(500, 1000.0, 15.0, rng);
+  expect_matches_brute_force(topo);
+}
+
+TEST(TopologyGrid, ClampedGridMatchesBruteForce) {
+  // side/range = 2000 cells per axis unclamped; with 64 nodes the count
+  // clamp caps the grid at ~2·sqrt(64) per axis, so every scan has to
+  // walk a multi-cell neighborhood and filter by true distance.
+  support::Xoshiro256 rng{0x70b2};
+  const auto topo = Topology::random_uniform(64, 1000.0, 0.5, rng);
+  expect_matches_brute_force(topo);
+
+  // Denser clamped variant where nodes actually fall in range.
+  support::Xoshiro256 rng2{0x70b3};
+  const auto close = Topology::random_uniform(200, 10.0, 0.9, rng2);
+  std::size_t total = 0;
+  for (NodeId id = 0; id < close.size(); ++id) total += close.neighbors(id).size();
+  EXPECT_GT(total, 0u);
+  expect_matches_brute_force(close);
+}
+
+TEST(TopologyGrid, NodesWithinMatchesBruteForceAtArbitraryCenters) {
+  support::Xoshiro256 rng{0x70b4};
+  const auto topo = Topology::random_uniform(300, 100.0, 5.0, rng);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 center{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const double radius = rng.uniform(0.1, 40.0);  // up to many cells wide
+    EXPECT_EQ(topo.nodes_within(center, radius),
+              brute_force_within(topo, center, radius, kNoNode));
+  }
+}
+
+TEST(TopologyGrid, AddNodeSplicesBothSidesSorted) {
+  support::Xoshiro256 rng{0x70b5};
+  auto topo = Topology::random_uniform(150, 50.0, 6.0, rng);
+  for (int i = 0; i < 10; ++i) {
+    const Vec2 pos{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+    const NodeId id = topo.add_node(pos);
+    EXPECT_EQ(id, 150u + static_cast<NodeId>(i));
+  }
+  expect_matches_brute_force(topo);
+  for (NodeId id = 0; id < topo.size(); ++id) {
+    const auto nbrs = topo.neighbors(id);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+}  // namespace
+}  // namespace ldke::net

@@ -1,0 +1,158 @@
+#include "support/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ldke::support {
+namespace {
+
+TEST(SmallVec, StaysInlineUpToCapacity) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);
+  v.push_back(4);
+  EXPECT_GT(v.capacity(), 4u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, HeaplessWhenZeroInline) {
+  SmallVec<int, 0> v;
+  EXPECT_EQ(v.capacity(), 0u);
+  v.push_back(7);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer) {
+  SmallVec<std::string, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back("entry-" + std::to_string(i));
+  const std::string* data_before = &v[0];
+  SmallVec<std::string, 2> moved(std::move(v));
+  EXPECT_EQ(&moved[0], data_before);
+  EXPECT_EQ(moved.size(), 8u);
+  EXPECT_EQ(moved[5], "entry-5");
+}
+
+TEST(SmallVec, MoveCopiesInlineElements) {
+  SmallVec<std::string, 4> v;
+  v.push_back("a");
+  v.push_back("b");
+  SmallVec<std::string, 4> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "a");
+  EXPECT_EQ(moved[1], "b");
+}
+
+TEST(SmallVec, InsertAndEraseShift) {
+  SmallVec<int, 4> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert(v.begin() + 1, 2);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  v.erase(v.begin());
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(FlatMap, IteratesAscendingLikeStdMap) {
+  FlatMap<int, std::string, 4> m;
+  m.try_emplace(30, "c");
+  m.try_emplace(10, "a");
+  m.try_emplace(20, "b");
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(FlatMap, TryEmplaceNeverOverwrites) {
+  FlatMap<int, int, 2> m;
+  EXPECT_TRUE(m.try_emplace(5, 50).second);
+  EXPECT_FALSE(m.try_emplace(5, 99).second);
+  EXPECT_EQ(m.at(5), 50);
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap<int, int, 2> m;
+  m.insert_or_assign(1, 10);
+  m.insert_or_assign(1, 11);
+  EXPECT_EQ(m.at(1), 11);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, SubscriptDefaultConstructs) {
+  FlatMap<int, std::uint64_t, 0> m;
+  EXPECT_EQ(m[42], 0u);
+  m[42] = 7;
+  EXPECT_EQ(m.at(42), 7u);
+}
+
+TEST(FlatMap, FindEraseContains) {
+  FlatMap<int, int, 2> m;
+  for (int k : {4, 1, 3, 2}) m.try_emplace(k, k * 10);
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_EQ(m.find(3)->second, 30);
+  EXPECT_EQ(m.erase(3), 1u);
+  EXPECT_EQ(m.erase(3), 0u);
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.find(99), m.end());
+  EXPECT_THROW(m.at(3), std::out_of_range);
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomWorkload) {
+  Xoshiro256 rng(0xf1a7);
+  FlatMap<std::uint32_t, std::uint32_t, 6> flat;
+  std::map<std::uint32_t, std::uint32_t> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const auto key = static_cast<std::uint32_t>(rng.next() % 64);
+    const auto val = static_cast<std::uint32_t>(rng.next());
+    switch (rng.next() % 3) {
+      case 0:
+        flat.try_emplace(key, val);
+        ref.try_emplace(key, val);
+        break;
+      case 1:
+        flat.insert_or_assign(key, val);
+        ref.insert_or_assign(key, val);
+        break;
+      default:
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+        break;
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  auto it = ref.begin();
+  for (const auto& [k, v] : flat) {
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+  EXPECT_EQ(it, ref.end());
+}
+
+TEST(FlatSet, InsertDedupAndOrder) {
+  FlatSet<std::uint32_t, 0> s;
+  EXPECT_TRUE(s.insert(9).second);
+  EXPECT_TRUE(s.insert(3).second);
+  EXPECT_FALSE(s.insert(9).second);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.count(4), 0u);
+  std::vector<std::uint32_t> keys(s.begin(), s.end());
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{3, 9}));
+  EXPECT_EQ(s.erase(3), 1u);
+  EXPECT_EQ(s.erase(3), 0u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace ldke::support
