@@ -8,7 +8,8 @@
 /// per-node budget out to 100k.
 ///
 /// Env knobs: LDKE_BENCH_SCALE_SIZES ("2000,20000"), LDKE_BENCH_SCALE
-/// _DENSITY, LDKE_BENCH_SCALE_OUT (output path; "" disables the JSON).
+/// _DENSITY, LDKE_BENCH_SCALE_OUT (output path; "" disables the JSON),
+/// LDKE_BENCH_SCALE_LANES (sharded-kernel lanes; 0 = one per core).
 
 #include <sys/resource.h>
 #include <sys/wait.h>
@@ -18,6 +19,7 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "support/stats.hpp"
@@ -48,8 +50,8 @@ std::vector<std::size_t> scale_sizes() {
     }
     if (!sizes.empty()) return sizes;
   }
-  return {ldke::analysis::kPaperScaleSizes.begin(),
-          ldke::analysis::kPaperScaleSizes.end()};
+  return {ldke::analysis::kScaleSweepSizes.begin(),
+          ldke::analysis::kScaleSweepSizes.end()};
 }
 
 double scale_density() {
@@ -60,14 +62,22 @@ double scale_density() {
   return 20.0;
 }
 
+std::size_t scale_lanes() {
+  if (const char* env = std::getenv("LDKE_BENCH_SCALE_LANES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<std::size_t>(v);
+  }
+  return 0;  // one lane per hardware thread
+}
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
 
 /// Runs one size in a forked child; returns false when the child failed.
-bool run_point(std::size_t nodes, double density, PointReport& report,
-               long& peak_rss_kb) {
+bool run_point(std::size_t nodes, double density, std::size_t lanes,
+               PointReport& report, long& peak_rss_kb) {
   int fds[2];
   if (pipe(fds) != 0) return false;
   const pid_t pid = fork();
@@ -79,6 +89,7 @@ bool run_point(std::size_t nodes, double density, PointReport& report,
       ldke::core::RunnerConfig cfg = ldke::bench::base_config();
       cfg.node_count = nodes;
       cfg.density = density;
+      cfg.kernel.lanes = lanes;
       const auto t0 = std::chrono::steady_clock::now();
       ldke::core::ProtocolRunner runner{cfg};
       r.construct_s = seconds_since(t0);
@@ -110,9 +121,14 @@ int main() {
   using namespace ldke;
   const std::vector<std::size_t> sizes = scale_sizes();
   const double density = scale_density();
+  std::size_t lanes = scale_lanes();
+  if (lanes == 0) {
+    lanes = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
   const std::uint64_t seed = bench::base_config().seed;
   std::cout << "Scale memory: peak RSS and wall time per node, density "
-            << density << " (one forked child per size)\n\n";
+            << density << ", lanes " << lanes
+            << " (one forked child per size)\n\n";
 
   support::TextTable table({"nodes", "peak RSS (MB)", "RSS/node (B)",
                             "construct (s)", "setup (s)", "keys/node"});
@@ -120,6 +136,7 @@ int main() {
   doc.set("schema_version", 1);
   doc.set("bench", "scale_memory");
   doc.set("density", density);
+  doc.set("lanes", static_cast<std::uint64_t>(lanes));
   doc.set("seed", seed);
   obs::JsonValue points;
 
@@ -127,7 +144,7 @@ int main() {
   for (std::size_t nodes : sizes) {
     PointReport r;
     long rss_kb = 0;
-    if (!run_point(nodes, density, r, rss_kb)) {
+    if (!run_point(nodes, density, lanes, r, rss_kb)) {
       std::cerr << "point failed: nodes=" << nodes << "\n";
       return 1;
     }

@@ -68,11 +68,13 @@ RunSummary collect_run_summary(core::ProtocolRunner& runner,
   s.channel.bytes_sent = ch.bytes_sent();
   s.channel.collisions = ch.collisions();
   s.channel.losses = ch.losses();
+  const net::Channel::KindArray kind_packets = ch.tx_packets_by_kind();
+  const net::Channel::KindArray kind_bytes = ch.tx_bytes_by_kind();
   for (std::size_t k = 0; k < net::kPacketKindCount; ++k) {
-    if (ch.tx_packets_by_kind()[k] == 0) continue;
+    if (kind_packets[k] == 0) continue;
     s.channel.by_kind.push_back(KindTraffic{
         std::string{net::packet_kind_name(static_cast<net::PacketKind>(k))},
-        ch.tx_packets_by_kind()[k], ch.tx_bytes_by_kind()[k]});
+        kind_packets[k], kind_bytes[k]});
   }
 
   s.crypto = runner.crypto_totals();

@@ -19,7 +19,9 @@
 #include "net/payload_arena.hpp"
 #include "obs/delivery.hpp"
 #include "obs/span.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ldke::core {
 
@@ -32,6 +34,11 @@ struct RunnerConfig {
   ProtocolConfig protocol;
   net::ChannelConfig channel;
   net::EnergyConfig energy;
+  /// Sharded-kernel lane/window settings.  lanes=1 (default) keeps the
+  /// plain serial event loop; lanes>1 requires the lane-incompatible
+  /// channel models (loss, collisions, CSMA) to be off and is clamped
+  /// back to 1 with a warning otherwise.
+  sim::KernelConfig kernel;
 };
 
 class ProtocolRunner {
@@ -110,10 +117,26 @@ class ProtocolRunner {
   }
 
  private:
+  /// Installs the sharded kernel when config_.kernel asks for more than
+  /// one lane (and the channel models allow it): builds the worker pool,
+  /// derives the lookahead from the channel's minimum latency, carves
+  /// the deployment into lanes and gives every lane its own payload
+  /// arena and crypto counter sink.
+  void setup_sharding();
+  /// After a sharded run: folds per-lane crypto residuals and metric
+  /// registries back into the main ones (in lane order — integer adds,
+  /// so the totals are independent of lane count), recycles lane arenas
+  /// and publishes the kernel's window/halo/balance figures as gauges.
+  void fold_lane_state();
+
   RunnerConfig config_;
   /// The one ProtocolConfig instance every node of this deployment
   /// references (nodes hold shared_ptr copies, not 136-byte values).
   std::shared_ptr<const ProtocolConfig> protocol_;
+  /// Worker pool driving the sharded kernel's lanes.  Declared before
+  /// sim_ (and null when running serially) so it outlives the kernel
+  /// that holds a reference to it.
+  std::unique_ptr<support::ThreadPool> pool_;
   sim::Simulator sim_;
   DeploymentSecrets roots_;
   crypto::Key128 commitment_;
@@ -126,6 +149,12 @@ class ProtocolRunner {
   /// Payload bytes for every packet sent while this runner drives the
   /// sim; reset between phases recycles chunks whose payloads are gone.
   net::PayloadArena payload_arena_;
+  /// One arena per lane under the sharded kernel (the main arena serves
+  /// the serial phases); unique_ptrs because arenas are not movable.
+  std::vector<std::unique_ptr<net::PayloadArena>> lane_arenas_;
+  /// Per-lane crypto sinks for event work not attributed to a node;
+  /// folded into crypto_residual_ after each run.
+  std::vector<crypto::CryptoCounters> lane_crypto_;
   std::optional<net::Network> network_;
   std::vector<std::unique_ptr<SensorNode>> nodes_;
   BaseStation* base_station_ = nullptr;

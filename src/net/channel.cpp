@@ -1,6 +1,18 @@
 #include "net/channel.hpp"
 
+#include <cassert>
+
 namespace ldke::net {
+
+void Channel::LaneTallies::resolve_handles(sim::TraceCounters& counters) {
+  ctr_tx = counters.handle("channel.tx");
+  ctr_tx_external = counters.handle("channel.tx_external");
+  ctr_delivered = counters.handle("channel.delivered");
+  ctr_lost = counters.handle("channel.lost");
+  ctr_collision = counters.handle("channel.collision");
+  ctr_csma_defer = counters.handle("channel.csma_defer");
+  ctr_csma_drop = counters.handle("channel.csma_drop");
+}
 
 Channel::Channel(sim::Simulator& sim, const Topology& topology,
                  EnergyModel& energy, sim::TraceCounters& counters,
@@ -10,17 +22,54 @@ Channel::Channel(sim::Simulator& sim, const Topology& topology,
       energy_(energy),
       counters_(counters),
       config_(config),
-      ctr_tx_(counters.handle("channel.tx")),
-      ctr_tx_external_(counters.handle("channel.tx_external")),
-      ctr_delivered_(counters.handle("channel.delivered")),
-      ctr_lost_(counters.handle("channel.lost")),
-      ctr_collision_(counters.handle("channel.collision")),
-      ctr_csma_defer_(counters.handle("channel.csma_defer")),
-      ctr_csma_drop_(counters.handle("channel.csma_drop")) {}
+      tallies_(1) {
+  tallies_[0].resolve_handles(counters);
+}
 
 sim::SimTime Channel::tx_duration(const Packet& packet) const noexcept {
   const double bits = static_cast<double>(packet.size_bytes()) * 8.0;
   return sim::SimTime::from_seconds(bits / config_.bitrate_bps);
+}
+
+sim::SimTime Channel::min_latency() const noexcept {
+  const double overhead_bits = static_cast<double>(kFrameOverheadBytes) * 8.0;
+  return sim::SimTime::from_seconds(overhead_bits / config_.bitrate_bps) +
+         config_.propagation_delay;
+}
+
+void Channel::enable_lanes(sim::ShardedKernel& kernel,
+                           const std::vector<std::uint32_t>& lane_of,
+                           std::span<sim::TraceCounters* const> lane_counters) {
+  assert(lane_counters.size() == kernel.lane_count());
+  assert(config_.loss_probability == 0.0 && !config_.model_collisions &&
+         !config_.csma && "lane-incompatible channel features enabled");
+  kernel_ = &kernel;
+  lane_of_ = &lane_of;
+  tallies_.clear();
+  tallies_.resize(kernel.lane_count());
+  for (std::size_t l = 0; l < tallies_.size(); ++l) {
+    tallies_[l].resolve_handles(*lane_counters[l]);
+  }
+}
+
+Channel::KindArray Channel::tx_packets_by_kind() const noexcept {
+  KindArray out{};
+  for (const LaneTallies& t : tallies_) {
+    for (std::size_t k = 0; k < kPacketKindCount; ++k) {
+      out[k] += t.tx_packets_by_kind[k];
+    }
+  }
+  return out;
+}
+
+Channel::KindArray Channel::tx_bytes_by_kind() const noexcept {
+  KindArray out{};
+  for (const LaneTallies& t : tallies_) {
+    for (std::size_t k = 0; k < kPacketKindCount; ++k) {
+      out[k] += t.tx_bytes_by_kind[k];
+    }
+  }
+  return out;
 }
 
 std::shared_ptr<bool> Channel::track_reception(NodeId receiver,
@@ -43,8 +92,9 @@ void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
                                 sim::SimTime when) {
   if (config_.loss_probability > 0.0 &&
       sim_.rng().bernoulli(config_.loss_probability)) {
-    ++losses_;
-    counters_.increment(ctr_lost_);
+    LaneTallies& t = tallies();
+    ++t.losses;
+    counters_.increment(t.ctr_lost);
     return;
   }
   std::shared_ptr<bool> corrupted;
@@ -56,18 +106,32 @@ void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
   if (config_.csma) note_busy(receiver, when);
   // Capturing the packet by value only bumps the payload refcount — the
   // bytes are immutable and shared across every receiver's event.
-  sim_.schedule_at(when, [this, receiver, packet, corrupted] {
-    // The radio listened either way.
+  auto deliver = [this, receiver, packet, corrupted] {
+    // The radio listened either way.  Runs on the receiver's lane, so
+    // the tallies cell and the per-node energy slot are lane-local.
     energy_.charge_rx(receiver, packet.size_bytes());
+    LaneTallies& t = tallies();
     if (corrupted && *corrupted) {
-      ++collisions_;
-      counters_.increment(ctr_collision_);
+      ++t.collisions;
+      counters_.increment(t.ctr_collision);
       return;
     }
-    ++rx_count_;
-    counters_.increment(ctr_delivered_);
+    ++t.rx_count;
+    counters_.increment(t.ctr_delivered);
     if (deliver_) deliver_(receiver, packet);
-  });
+  };
+  if (kernel_ != nullptr) {
+    const std::uint32_t dst = (*lane_of_)[receiver];
+    if (dst != sim::ShardedKernel::current_lane()) {
+      // Halo delivery: buffered in the per-lane-pair outbox and merged
+      // at the next window barrier in canonical order.  `when` satisfies
+      // the lookahead contract because it is at least min_latency()
+      // after the transmission.
+      kernel_->schedule_cross(dst, when, std::move(deliver));
+      return;
+    }
+  }
+  sim_.schedule_at(when, std::move(deliver));
 }
 
 void Channel::note_busy(NodeId node, sim::SimTime until) {
@@ -77,16 +141,17 @@ void Channel::note_busy(NodeId node, sim::SimTime until) {
 
 void Channel::fan_out(const Packet& packet, std::span<const NodeId> receivers,
                       sim::SimTime arrival,
-                      sim::TraceCounters::Handle tx_counter) {
+                      sim::TraceCounters::Handle LaneTallies::* tx_counter) {
   if (sniffer_) sniffer_(packet);
-  ++tx_count_;
-  tx_bytes_ += packet.size_bytes();
+  LaneTallies& t = tallies();
+  ++t.tx_count;
+  t.tx_bytes += packet.size_bytes();
   const auto kind = static_cast<std::size_t>(packet.kind);
   if (kind < kPacketKindCount) {
-    ++tx_packets_by_kind_[kind];
-    tx_bytes_by_kind_[kind] += packet.size_bytes();
+    ++t.tx_packets_by_kind[kind];
+    t.tx_bytes_by_kind[kind] += packet.size_bytes();
   }
-  counters_.increment(tx_counter);
+  counters_.increment(t.*tx_counter);
   for (NodeId receiver : receivers) {
     schedule_delivery(receiver, packet, arrival);
   }
@@ -97,7 +162,7 @@ void Channel::emit_now(const Packet& packet) {
   energy_.charge_tx(packet.sender, packet.size_bytes(), topology_.range());
   if (config_.csma) note_busy(packet.sender, tx_end);
   fan_out(packet, topology_.neighbors(packet.sender),
-          tx_end + config_.propagation_delay, ctr_tx_);
+          tx_end + config_.propagation_delay, &LaneTallies::ctr_tx);
 }
 
 void Channel::csma_transmit(Packet packet, int attempt) {
@@ -107,13 +172,14 @@ void Channel::csma_transmit(Packet packet, int attempt) {
     emit_now(packet);
     return;
   }
+  LaneTallies& t = tallies();
   if (attempt >= config_.csma_max_attempts) {
-    ++csma_drops_;
-    counters_.increment(ctr_csma_drop_);
+    ++t.csma_drops;
+    counters_.increment(t.ctr_csma_drop);
     return;
   }
-  ++csma_deferrals_;
-  counters_.increment(ctr_csma_defer_);
+  ++t.csma_deferrals;
+  counters_.increment(t.ctr_csma_defer);
   const sim::SimTime resume =
       it->second + sim::SimTime::from_seconds(
                        sim_.rng().exponential(1.0 / config_.csma_backoff_mean_s));
@@ -135,7 +201,7 @@ void Channel::broadcast_from(Vec2 position, double radius,
   const std::vector<NodeId> receivers = topology_.nodes_within(position, radius);
   fan_out(packet, receivers,
           sim_.now() + tx_duration(packet) + config_.propagation_delay,
-          ctr_tx_external_);
+          &LaneTallies::ctr_tx_external);
 }
 
 }  // namespace ldke::net

@@ -21,6 +21,7 @@
 #include "net/energy.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -73,21 +74,43 @@ class Channel {
 
   [[nodiscard]] sim::SimTime tx_duration(const Packet& packet) const noexcept;
 
-  [[nodiscard]] std::uint64_t transmissions() const noexcept { return tx_count_; }
-  [[nodiscard]] std::uint64_t deliveries() const noexcept { return rx_count_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return tx_bytes_; }
-  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
-  [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
+  /// Smallest possible cross-lane latency: an empty frame's airtime plus
+  /// the propagation delay.  This is the sharded kernel's lookahead —
+  /// every delivery arrives at least this long after its transmission.
+  [[nodiscard]] sim::SimTime min_latency() const noexcept;
+
+  /// Switches the channel onto per-lane accounting and cross-lane halo
+  /// delivery.  \p lane_of maps node id -> lane; \p lane_counters is one
+  /// registry per lane (lane 0 may be the network's main registry).
+  /// Both must outlive the channel.  Requires the lane-incompatible
+  /// features (loss injection, collisions, CSMA) to be off — the runner
+  /// clamps to one lane otherwise.
+  void enable_lanes(sim::ShardedKernel& kernel,
+                    const std::vector<std::uint32_t>& lane_of,
+                    std::span<sim::TraceCounters* const> lane_counters);
+
+  [[nodiscard]] std::uint64_t transmissions() const noexcept {
+    return sum_tally(&LaneTallies::tx_count);
+  }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return sum_tally(&LaneTallies::rx_count);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return sum_tally(&LaneTallies::tx_bytes);
+  }
+  [[nodiscard]] std::uint64_t collisions() const noexcept {
+    return sum_tally(&LaneTallies::collisions);
+  }
+  [[nodiscard]] std::uint64_t losses() const noexcept {
+    return sum_tally(&LaneTallies::losses);
+  }
 
   /// Per-PacketKind transmission tallies (index by the kind's numeric
   /// value); two fixed-array increments per frame, so always on.
+  /// Returned by value: the figures are folded across lanes.
   using KindArray = std::array<std::uint64_t, kPacketKindCount>;
-  [[nodiscard]] const KindArray& tx_packets_by_kind() const noexcept {
-    return tx_packets_by_kind_;
-  }
-  [[nodiscard]] const KindArray& tx_bytes_by_kind() const noexcept {
-    return tx_bytes_by_kind_;
-  }
+  [[nodiscard]] KindArray tx_packets_by_kind() const noexcept;
+  [[nodiscard]] KindArray tx_bytes_by_kind() const noexcept;
 
   [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
 
@@ -95,13 +118,16 @@ class Channel {
   void schedule_delivery(NodeId receiver, const Packet& packet,
                          sim::SimTime when);
 
+  struct LaneTallies;
+
   /// Shared transmit path for broadcast()/broadcast_from(): notes the
-  /// frame (sniffer, byte/tx accounting, \p tx_counter) and schedules a
-  /// delivery for every receiver.  The packet's payload is captured by
-  /// refcount per receiver — O(1) buffer allocations regardless of
-  /// neighbor count.
+  /// frame (sniffer, byte/tx accounting, the lane's \p tx_counter) and
+  /// schedules a delivery for every receiver.  The packet's payload is
+  /// captured by refcount per receiver — O(1) buffer allocations
+  /// regardless of neighbor count.
   void fan_out(const Packet& packet, std::span<const NodeId> receivers,
-               sim::SimTime arrival, sim::TraceCounters::Handle tx_counter);
+               sim::SimTime arrival,
+               sim::TraceCounters::Handle LaneTallies::* tx_counter);
 
   /// Ongoing reception at a receiver; `corrupted` is shared with the
   /// scheduled delivery event so a later overlapping arrival can void it.
@@ -120,6 +146,46 @@ class Channel {
   void emit_now(const Packet& packet);
   void note_busy(NodeId node, sim::SimTime until);
 
+  /// Per-lane accounting cell: scalar tallies plus hot-path counter
+  /// handles resolved against that lane's registry.  Cache-line aligned
+  /// so concurrent lanes never false-share; the serial channel is lane 0
+  /// of a one-cell vector (no behavioral fork).
+  struct alignas(64) LaneTallies {
+    std::uint64_t tx_count = 0;
+    std::uint64_t rx_count = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t csma_deferrals = 0;
+    std::uint64_t csma_drops = 0;
+    KindArray tx_packets_by_kind{};
+    KindArray tx_bytes_by_kind{};
+    // Hot-path counters, resolved once: per-packet increments skip the
+    // string lookup in TraceCounters.
+    sim::TraceCounters::Handle ctr_tx;
+    sim::TraceCounters::Handle ctr_tx_external;
+    sim::TraceCounters::Handle ctr_delivered;
+    sim::TraceCounters::Handle ctr_lost;
+    sim::TraceCounters::Handle ctr_collision;
+    sim::TraceCounters::Handle ctr_csma_defer;
+    sim::TraceCounters::Handle ctr_csma_drop;
+
+    void resolve_handles(sim::TraceCounters& counters);
+  };
+
+  /// The calling thread's accounting cell (lane-bound inside a window,
+  /// cell 0 everywhere else and in the serial channel).
+  [[nodiscard]] LaneTallies& tallies() noexcept {
+    return tallies_[kernel_ ? sim::ShardedKernel::current_lane() : 0];
+  }
+
+  [[nodiscard]] std::uint64_t sum_tally(
+      std::uint64_t LaneTallies::* field) const noexcept {
+    std::uint64_t total = 0;
+    for (const LaneTallies& t : tallies_) total += t.*field;
+    return total;
+  }
+
   sim::Simulator& sim_;
   const Topology& topology_;
   EnergyModel& energy_;
@@ -127,33 +193,18 @@ class Channel {
   ChannelConfig config_;
   DeliveryHandler deliver_;
   SnifferHandler sniffer_;
-  std::uint64_t tx_count_ = 0;
-  std::uint64_t rx_count_ = 0;
-  std::uint64_t tx_bytes_ = 0;
-  std::uint64_t collisions_ = 0;
-  std::uint64_t losses_ = 0;
-  KindArray tx_packets_by_kind_{};
-  KindArray tx_bytes_by_kind_{};
-  std::uint64_t csma_deferrals_ = 0;
-  std::uint64_t csma_drops_ = 0;
+  std::vector<LaneTallies> tallies_;  ///< one cell per lane; [0] serial
+  sim::ShardedKernel* kernel_ = nullptr;          ///< set by enable_lanes
+  const std::vector<std::uint32_t>* lane_of_ = nullptr;  ///< node -> lane
   std::unordered_map<NodeId, std::vector<Reception>> active_receptions_;
   std::unordered_map<NodeId, sim::SimTime> busy_until_;
-  // Hot-path counters, resolved once: per-packet increments skip the
-  // string lookup in TraceCounters.
-  sim::TraceCounters::Handle ctr_tx_;
-  sim::TraceCounters::Handle ctr_tx_external_;
-  sim::TraceCounters::Handle ctr_delivered_;
-  sim::TraceCounters::Handle ctr_lost_;
-  sim::TraceCounters::Handle ctr_collision_;
-  sim::TraceCounters::Handle ctr_csma_defer_;
-  sim::TraceCounters::Handle ctr_csma_drop_;
 
  public:
   [[nodiscard]] std::uint64_t csma_deferrals() const noexcept {
-    return csma_deferrals_;
+    return sum_tally(&LaneTallies::csma_deferrals);
   }
   [[nodiscard]] std::uint64_t csma_drops() const noexcept {
-    return csma_drops_;
+    return sum_tally(&LaneTallies::csma_drops);
   }
 };
 

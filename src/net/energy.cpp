@@ -1,36 +1,43 @@
 #include "net/energy.hpp"
 
 namespace ldke::net {
+namespace {
+
+double sum_in_id_order(const std::vector<double>& cells) noexcept {
+  double sum = 0.0;
+  for (double j : cells) sum += j;
+  return sum;
+}
+
+}  // namespace
 
 void EnergyModel::resize(std::size_t count) {
-  if (count > per_node_.size()) per_node_.resize(count, 0.0);
+  if (count > tx_.size()) {
+    tx_.resize(count, 0.0);
+    rx_.resize(count, 0.0);
+  }
 }
 
 void EnergyModel::charge_tx(NodeId id, std::size_t bytes, double range_m) {
   resize(id + 1);
   const double bits = static_cast<double>(bytes) * 8.0;
-  const double joules = config_.e_elec_j_per_bit * bits +
-                        config_.e_amp_j_per_bit_m2 * bits * range_m * range_m;
-  per_node_[id] += joules;
-  tx_total_ += joules;
+  tx_[id] += config_.e_elec_j_per_bit * bits +
+             config_.e_amp_j_per_bit_m2 * bits * range_m * range_m;
 }
 
 void EnergyModel::charge_rx(NodeId id, std::size_t bytes) {
   resize(id + 1);
-  const double bits = static_cast<double>(bytes) * 8.0;
-  const double joules = config_.e_elec_j_per_bit * bits;
-  per_node_[id] += joules;
-  rx_total_ += joules;
+  rx_[id] += config_.e_elec_j_per_bit * static_cast<double>(bytes) * 8.0;
 }
 
 double EnergyModel::consumed_j(NodeId id) const noexcept {
-  return id < per_node_.size() ? per_node_[id] : 0.0;
+  return id < tx_.size() ? tx_[id] + rx_[id] : 0.0;
 }
 
-double EnergyModel::total_j() const noexcept {
-  double sum = 0.0;
-  for (double j : per_node_) sum += j;
-  return sum;
-}
+double EnergyModel::total_j() const noexcept { return tx_j() + rx_j(); }
+
+double EnergyModel::tx_j() const noexcept { return sum_in_id_order(tx_); }
+
+double EnergyModel::rx_j() const noexcept { return sum_in_id_order(rx_); }
 
 }  // namespace ldke::net

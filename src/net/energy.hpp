@@ -22,24 +22,32 @@ class EnergyModel {
  public:
   explicit EnergyModel(EnergyConfig config = {}) : config_(config) {}
 
-  /// Ensures accounting exists for ids < \p count.
+  /// Ensures accounting exists for ids < \p count.  Under a sharded
+  /// kernel the network pre-sizes at deploy time, so the lazy resize in
+  /// charge_*() never fires from a lane thread.
   void resize(std::size_t count);
 
   void charge_tx(NodeId id, std::size_t bytes, double range_m);
   void charge_rx(NodeId id, std::size_t bytes);
 
   [[nodiscard]] double consumed_j(NodeId id) const noexcept;
+
+  /// Totals are folded on demand in node-id order — never kept as
+  /// running sums.  A node's charges all happen on its home lane, so the
+  /// per-node cells are race-free, and a fixed summation order makes the
+  /// totals bit-identical across lane counts (floating-point addition is
+  /// not associative; summing in arrival order would tie the result to
+  /// thread scheduling).
   [[nodiscard]] double total_j() const noexcept;
-  [[nodiscard]] double tx_j() const noexcept { return tx_total_; }
-  [[nodiscard]] double rx_j() const noexcept { return rx_total_; }
+  [[nodiscard]] double tx_j() const noexcept;
+  [[nodiscard]] double rx_j() const noexcept;
 
   [[nodiscard]] const EnergyConfig& config() const noexcept { return config_; }
 
  private:
   EnergyConfig config_;
-  std::vector<double> per_node_;
-  double tx_total_ = 0.0;
-  double rx_total_ = 0.0;
+  std::vector<double> tx_;  ///< per-node transmit energy, id-indexed
+  std::vector<double> rx_;  ///< per-node receive energy, id-indexed
 };
 
 }  // namespace ldke::net

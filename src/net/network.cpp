@@ -1,5 +1,8 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace ldke::net {
 
 Network::Network(sim::Simulator& sim, Topology topology,
@@ -16,6 +19,38 @@ Network::Network(sim::Simulator& sim, Topology topology,
       });
 }
 
+std::uint32_t Network::lane_for_position(Vec2 pos) const noexcept {
+  const std::size_t lanes = kernel_ != nullptr ? kernel_->lane_count() : 1;
+  if (lanes <= 1 || topology_.side() <= 0.0) return 0;
+  const auto raw = static_cast<std::int64_t>(
+      std::floor(pos.x / topology_.side() * static_cast<double>(lanes)));
+  return static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(lanes) - 1));
+}
+
+void Network::enable_lanes(sim::ShardedKernel& kernel) {
+  kernel_ = &kernel;
+  const std::size_t lanes = kernel.lane_count();
+  lane_of_.resize(topology_.size());
+  for (NodeId id = 0; id < topology_.size(); ++id) {
+    lane_of_[id] = lane_for_position(topology_.position(id));
+  }
+  lane_counters_.clear();
+  lane_counters_.push_back(&counters_);
+  extra_counters_.clear();
+  for (std::size_t l = 1; l < lanes; ++l) {
+    extra_counters_.push_back(std::make_unique<sim::TraceCounters>());
+    lane_counters_.push_back(extra_counters_.back().get());
+  }
+  channel_.enable_lanes(kernel, lane_of_, lane_counters_);
+}
+
+void Network::fold_lane_metrics() {
+  for (auto& extra : extra_counters_) {
+    counters_.merge_from(*extra);
+  }
+}
+
 void Network::attach(Node& node) {
   if (node.id() >= nodes_.size()) nodes_.resize(node.id() + 1, nullptr);
   nodes_[node.id()] = &node;
@@ -25,12 +60,24 @@ NodeId Network::deploy_position(Vec2 pos) {
   const NodeId id = topology_.add_node(pos);
   energy_.resize(topology_.size());
   if (id >= nodes_.size()) nodes_.resize(id + 1, nullptr);
+  if (kernel_ != nullptr) {
+    lane_of_.resize(topology_.size(), 0);
+    lane_of_[id] = lane_for_position(pos);
+  }
   return id;
 }
 
 void Network::start_all() {
   for (Node* node : nodes_) {
-    if (node != nullptr) node->start(*this);
+    if (node == nullptr) continue;
+    if (kernel_ != nullptr) {
+      // Bind the (serial) starting thread to the node's home lane so its
+      // kick-off timers land in that lane's scheduler.
+      sim::ShardedKernel::LaneScope scope{*kernel_, lane_of_[node->id()]};
+      node->start(*this);
+    } else {
+      node->start(*this);
+    }
   }
 }
 

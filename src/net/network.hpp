@@ -6,6 +6,8 @@
 /// substrate serves the LDKE protocol, every baseline scheme and the
 /// attack harnesses.
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -13,6 +15,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -27,7 +30,37 @@ class Network {
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] Channel& channel() noexcept { return channel_; }
   [[nodiscard]] EnergyModel& energy() noexcept { return energy_; }
-  [[nodiscard]] sim::TraceCounters& counters() noexcept { return counters_; }
+
+  /// The trial's metric registry.  Under a sharded kernel each lane
+  /// thread gets its own registry (counter increments from node event
+  /// handlers stay lane-local); fold_lane_metrics() folds the extras
+  /// back into the main registry after the run.
+  [[nodiscard]] sim::TraceCounters& counters() noexcept {
+    if (!lane_counters_.empty()) {
+      return *lane_counters_[sim::ShardedKernel::current_lane()];
+    }
+    return counters_;
+  }
+
+  // ---- spatial lanes (sharded kernel) ----------------------------------
+
+  /// Partitions the deployment into \p kernel.lane_count() vertical
+  /// strips (by x position), switches the channel onto cross-lane halo
+  /// delivery and gives every lane its own metric registry.  Call before
+  /// start_all().
+  void enable_lanes(sim::ShardedKernel& kernel);
+
+  /// Home lane of \p id (0 when lanes are off).
+  [[nodiscard]] std::uint32_t lane_of(NodeId id) const noexcept {
+    return id < lane_of_.size() ? lane_of_[id] : 0;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& lane_map() const noexcept {
+    return lane_of_;
+  }
+
+  /// Folds the per-lane registries into the main one, in lane order (so
+  /// the result is independent of thread scheduling).  Idempotent.
+  void fold_lane_metrics();
 
   /// Optional end-to-end DATA delivery tracker; protocol layers call
   /// these at origination (a reading leaves its source) and delivery
@@ -60,6 +93,8 @@ class Network {
  private:
   void dispatch(NodeId receiver, const Packet& packet);
 
+  [[nodiscard]] std::uint32_t lane_for_position(Vec2 pos) const noexcept;
+
   sim::Simulator& sim_;
   Topology topology_;
   EnergyModel energy_;
@@ -67,6 +102,11 @@ class Network {
   Channel channel_;
   std::vector<Node*> nodes_;
   obs::DeliveryTracker* delivery_tracker_ = nullptr;
+  // Lane state (empty while running serially).
+  sim::ShardedKernel* kernel_ = nullptr;
+  std::vector<std::uint32_t> lane_of_;  ///< node id -> home lane
+  std::vector<sim::TraceCounters*> lane_counters_;  ///< [0] == &counters_
+  std::vector<std::unique_ptr<sim::TraceCounters>> extra_counters_;
 };
 
 }  // namespace ldke::net

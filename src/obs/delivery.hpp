@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,12 +30,17 @@ class DeliveryTracker {
     }
   };
 
+  // Sources and sinks may live on different lanes of a sharded run, so
+  // the report paths take a lock.  Uncontended in serial runs; the data
+  // phase is not on the setup fast path.
   void on_originate(std::uint32_t source, std::int64_t now_ns) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     outstanding_[source].push_back(now_ns);
     ++originated_;
   }
 
   void on_deliver(std::uint32_t source, std::int64_t now_ns) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = outstanding_.find(source);
     if (it == outstanding_.end() || it->second.empty()) {
       ++unmatched_;  // e.g. duplicate delivery or source outside tracking
@@ -69,6 +75,7 @@ class DeliveryTracker {
   [[nodiscard]] JsonValue to_json() const;
 
  private:
+  std::mutex mutex_;
   std::unordered_map<std::uint32_t, std::deque<std::int64_t>> outstanding_;
   std::vector<Sample> samples_;
   std::uint64_t originated_ = 0;

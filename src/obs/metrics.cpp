@@ -45,6 +45,22 @@ void Histogram::observe(double value) noexcept {
   sum_ += value;
 }
 
+void Histogram::merge_from(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::percentile(double q) const noexcept {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return min_;
@@ -171,6 +187,24 @@ void MetricRegistry::clear() noexcept {
       it = histograms_.erase(it);
     }
   }
+}
+
+void MetricRegistry::merge_from(MetricRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    if (value != 0) increment(name, value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    if (value != 0.0) set_gauge(name, value);
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    if (hist.count() == 0) continue;
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    it->second.merge_from(hist);
+  }
+  other.clear();
 }
 
 std::string MetricRegistry::to_string() const {

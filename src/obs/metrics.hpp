@@ -52,6 +52,10 @@ class Histogram {
 
   void clear() noexcept { *this = Histogram{}; }
 
+  /// Folds \p other into this histogram (bucket-wise add; min/max/sum
+  /// widen).  Used to merge per-lane registries after a sharded run.
+  void merge_from(const Histogram& other) noexcept;
+
   /// {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}
   [[nodiscard]] JsonValue to_json() const;
 
@@ -161,6 +165,12 @@ class MetricRegistry {
   /// Erases plain metrics; handle-backed slots are reset to zero but stay
   /// registered (outstanding Handles must remain valid).
   void clear() noexcept;
+
+  /// Folds \p other into this registry: counters add, gauges overwrite
+  /// (last writer wins — call in lane order for determinism), histograms
+  /// bucket-merge.  \p other is clear()ed afterwards so its pinned
+  /// handles stay valid but re-folding is idempotent.
+  void merge_from(MetricRegistry& other);
 
   /// "name=value" counter lines, sorted by name (stable test output).
   [[nodiscard]] std::string to_string() const;

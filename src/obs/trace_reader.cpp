@@ -263,7 +263,39 @@ std::string render_summary(const TraceData& data) {
   if (data.skipped_lines > 0) {
     table.add_row({"skipped lines", std::to_string(data.skipped_lines)});
   }
-  return table.render();
+  std::string out = table.render();
+
+  // Lane balance: present only when the run used the sharded kernel
+  // (the runner publishes kernel.* gauges after each sharded run).
+  const JsonValue* gauges = data.counters.find("gauges");
+  if (gauges != nullptr && gauges->number_at("kernel.lanes", 0.0) >= 2.0) {
+    const auto lanes =
+        static_cast<std::size_t>(gauges->number_at("kernel.lanes"));
+    out += "\nlane balance (sharded kernel)\n";
+    support::TextTable head({"metric", "value"});
+    head.add_row({"lanes", std::to_string(lanes)});
+    head.add_row({"windows", support::fmt(gauges->number_at("kernel.windows"), 0)});
+    head.add_row(
+        {"halo packets", support::fmt(gauges->number_at("kernel.halo_packets"), 0)});
+    head.add_row(
+        {"lookahead (us)", support::fmt(gauges->number_at("kernel.lookahead_us"), 1)});
+    head.add_row(
+        {"event skew", support::fmt(gauges->number_at("kernel.lane_skew"), 3)});
+    out += head.render();
+    support::TextTable per_lane(
+        {"lane", "events", "halo out", "busy (ms)", "barrier wait (ms)"});
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::string prefix = "kernel.lane" + std::to_string(l);
+      per_lane.add_row(
+          {std::to_string(l),
+           support::fmt(gauges->number_at(prefix + ".events"), 0),
+           support::fmt(gauges->number_at(prefix + ".halo_out"), 0),
+           support::fmt(gauges->number_at(prefix + ".busy_ms"), 1),
+           support::fmt(gauges->number_at(prefix + ".barrier_wait_ms"), 1)});
+    }
+    out += per_lane.render();
+  }
+  return out;
 }
 
 }  // namespace ldke::obs

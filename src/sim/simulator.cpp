@@ -41,6 +41,12 @@ std::uint64_t Simulator::run(SimTime until) {
     steady_epoch_ns_ = steady_now_ns();
   }
   stop_requested_ = false;
+  if (kernel_) {
+    const std::uint64_t ran = kernel_->run(until);
+    if (until != SimTime::max() && now_ < until) now_ = until;
+    wall_ticks_ += wall_ticks_now() - ticks_start;
+    return ran;
+  }
   std::uint64_t ran = 0;
   while (!scheduler_.empty() && !stop_requested_) {
     const SimTime when = scheduler_.next_time();
@@ -60,6 +66,12 @@ std::uint64_t Simulator::run(SimTime until) {
 }
 
 bool Simulator::step() {
+  // step() is a serial debugging aid; under a sharded kernel a single
+  // "next event" is ambiguous, so drive one zero-width run instead.
+  if (kernel_) {
+    if (kernel_->pending() == 0) return false;
+    return kernel_->run(SimTime::max()) > 0;
+  }
   if (scheduler_.empty()) return false;
   now_ = scheduler_.next_time();
   scheduler_.run_next();

@@ -38,6 +38,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::size_t trials = 5;
   double loss = 0.0;
+  std::size_t lanes = 1;
   bool collisions = false;
   bool csv = false;
   std::string summary_path;  ///< RunSummary JSON destination ("" = off)
@@ -58,6 +59,7 @@ int usage() {
       "  -s <seed>   trial seed               (default 1)\n"
       "  -t <k>      trials per sweep point   (default 5)\n"
       "  --loss <p>  per-receiver loss probability\n"
+      "  --lanes <k> sharded-kernel lanes (1 = serial event loop)\n"
       "  --collisions  model overlapping-reception corruption\n"
       "  --csv       machine-readable output\n"
       "  --summary <file>  write the RunSummary JSON artifact\n"
@@ -91,6 +93,8 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
       opt.trials = static_cast<std::size_t>(v);
     } else if (arg == "--loss" && next_value(v)) {
       opt.loss = v;
+    } else if (arg == "--lanes" && next_value(v)) {
+      opt.lanes = static_cast<std::size_t>(v);
     } else if (arg == "--collisions") {
       opt.collisions = true;
     } else if (arg == "--csv") {
@@ -142,6 +146,7 @@ core::RunnerConfig config_of(const CliOptions& opt) {
   cfg.seed = opt.seed;
   cfg.channel.loss_probability = opt.loss;
   cfg.channel.model_collisions = opt.collisions;
+  cfg.kernel.lanes = opt.lanes;
   return cfg;
 }
 
