@@ -1,0 +1,398 @@
+/// Steady-state data-plane bench: the evidence for the batched SoA
+/// pipeline.  Two sections:
+///
+///  1. Multi-buffer crypto micro — SealContext::seal/open one message at
+///     a time vs seal_batch/open_batch at the data plane's envelope size.
+///     On the AES-NI + SHA-NI path the batched side must clear a 2x
+///     throughput floor (the whole point of the multi-buffer engine);
+///     min-of-repeats timing so a noisy box doesn't flake the gate.
+///
+///  2. Steady-state engine — one forked child per pipeline (scalar,
+///     batched) runs setup + routing + a DataPlaneEngine window and pipes
+///     back throughput, DeliveryTracker p50/p95/p99 and crypto totals;
+///     the parent adds peak RSS from wait4.  Both children use the same
+///     seed, so delivery metrics must come back bit-identical — the
+///     bench re-checks the pipeline-equivalence contract end to end.
+///
+/// Results land in results/BENCH_dataplane.json.  Env knobs:
+/// LDKE_BENCH_DATAPLANE_NODES, _DENSITY, _DURATION (engine window s),
+/// _OUT (output path, "" disables), _MIN_PPS (originations/s floor over
+/// the batched child's wall time; 0 = no gate), _MIN_SPEEDUP (crypto
+/// gate override; default 2 with AES-NI + SHA-NI, else 0).
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dataplane.hpp"
+#include "crypto/cpu_features.hpp"
+#include "crypto/seal_context.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ldke;
+
+double env_double(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---- section 1: multi-buffer crypto micro ---------------------------------
+
+struct CryptoPoint {
+  double scalar_per_s = 0.0;
+  double batched_per_s = 0.0;
+  [[nodiscard]] double speedup() const noexcept {
+    return scalar_per_s > 0.0 ? batched_per_s / scalar_per_s : 0.0;
+  }
+};
+
+/// The data plane's envelope shape: a DataInner encoding of a mote-sized
+/// reading under a DataHeader aad.
+constexpr std::size_t kMsgBytes = 56;
+constexpr std::size_t kAadBytes = 20;
+constexpr std::size_t kLanes = 8;
+// Many short reps with min-of-reps timing: the box's frequency scaling
+// shows up as whole slow windows, and a 20-40 ms rep is short enough
+// that some rep of each variant lands in a fast window.
+constexpr std::size_t kReps = 10;
+
+CryptoPoint bench_seal(const crypto::SealContext& ctx, std::size_t iters) {
+  std::vector<support::Bytes> plains(kLanes, support::Bytes(kMsgBytes));
+  std::vector<support::Bytes> aads(kLanes, support::Bytes(kAadBytes));
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t i = 0; i < kMsgBytes; ++i) {
+      plains[l][i] = static_cast<std::uint8_t>(l * 31 + i);
+    }
+  }
+  std::uint64_t sink = 0;
+  double scalar_best = 1e30, batched_best = 1e30;
+  std::vector<crypto::SealRequest> reqs(kLanes);
+  crypto::SealedBatch out;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const auto env = ctx.seal(it * kLanes + l, plains[l], aads[l]);
+        sink += env.back();
+      }
+    }
+    scalar_best = std::min(scalar_best, seconds_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        reqs[l] = crypto::SealRequest{it * kLanes + l, plains[l], aads[l]};
+      }
+      ctx.seal_batch(reqs, out);
+      sink += out.buffer.back();
+    }
+    batched_best = std::min(batched_best, seconds_since(t0));
+  }
+  if (sink == 0xdeadbeef) std::cout << "";  // keep the work alive
+  const double n = static_cast<double>(iters * kLanes);
+  return CryptoPoint{n / scalar_best, n / batched_best};
+}
+
+CryptoPoint bench_open(const crypto::SealContext& ctx, std::size_t iters) {
+  std::vector<support::Bytes> plains(kLanes, support::Bytes(kMsgBytes));
+  std::vector<support::Bytes> aads(kLanes, support::Bytes(kAadBytes));
+  std::vector<support::Bytes> sealed;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t i = 0; i < kMsgBytes; ++i) {
+      plains[l][i] = static_cast<std::uint8_t>(l * 17 + i);
+    }
+    sealed.push_back(ctx.seal(l, plains[l], aads[l]));
+  }
+  std::uint64_t sink = 0;
+  double scalar_best = 1e30, batched_best = 1e30;
+  std::vector<crypto::OpenRequest> reqs(kLanes);
+  crypto::OpenedBatch out;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const auto plain = ctx.open(l, sealed[l], aads[l]);
+        sink += (*plain)[0];
+      }
+    }
+    scalar_best = std::min(scalar_best, seconds_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        reqs[l] = crypto::OpenRequest{l, sealed[l], aads[l]};
+      }
+      ctx.open_batch(reqs, out);
+      sink += out.buffer.empty() ? 0 : out.buffer[0];
+    }
+    batched_best = std::min(batched_best, seconds_since(t0));
+  }
+  if (sink == 0xdeadbeef) std::cout << "";
+  const double n = static_cast<double>(iters * kLanes);
+  return CryptoPoint{n / scalar_best, n / batched_best};
+}
+
+// ---- section 2: steady-state engine, one forked child per pipeline --------
+
+struct EngineReport {
+  double setup_s = 0.0;   ///< key setup + routing wall time
+  double engine_s = 0.0;  ///< steady-state window wall time
+  std::uint64_t originated = 0;
+  std::uint64_t hop_tx = 0;
+  std::uint64_t delivered = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t seals = 0;
+  std::uint64_t opens = 0;
+  std::uint64_t batches_sealed = 0;
+  std::uint64_t max_group_lanes = 0;
+  std::uint64_t refresh_rounds = 0;
+  std::uint64_t arena_generations = 0;
+};
+
+bool run_engine(bool batched, std::size_t nodes, double density,
+                double duration_s, std::uint64_t seed, EngineReport& report,
+                long& peak_rss_kb) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    close(fds[0]);
+    EngineReport r;
+    {
+      core::RunnerConfig cfg = bench::base_config();
+      cfg.node_count = nodes;
+      cfg.density = density;
+      cfg.seed = seed;
+      core::ProtocolRunner runner{cfg};
+      const auto t0 = std::chrono::steady_clock::now();
+      runner.run_key_setup();
+      runner.run_routing_setup();
+      r.setup_s = seconds_since(t0);
+
+      core::DataPlaneConfig dp;
+      dp.duration_s = duration_s;
+      dp.batched = batched;
+      dp.refresh_interval_s = 1.0;
+      dp.evict_interval_s = 2.5;
+      core::DataPlaneEngine engine{runner, dp};
+      const auto t1 = std::chrono::steady_clock::now();
+      const core::DataPlaneStats stats = engine.run();
+      r.engine_s = seconds_since(t1);
+
+      const obs::DeliveryTracker& dt = runner.deliveries();
+      r.originated = stats.originated;
+      r.hop_tx = runner.network().counters().value("data.hop_tx");
+      r.delivered = dt.delivered();
+      r.p50_ms = dt.latency_percentile_s(0.50) * 1e3;
+      r.p95_ms = dt.latency_percentile_s(0.95) * 1e3;
+      r.p99_ms = dt.latency_percentile_s(0.99) * 1e3;
+      crypto::CryptoCounters totals = runner.crypto_totals();
+      totals += engine.crypto_stats();
+      r.seals = totals.seals;
+      r.opens = totals.opens;
+      r.batches_sealed = stats.batches_sealed;
+      r.max_group_lanes = stats.max_group_lanes;
+      r.refresh_rounds = stats.refresh_rounds;
+      r.arena_generations = stats.arena_generations;
+    }
+    const bool ok = write(fds[1], &r, sizeof(r)) == sizeof(r);
+    close(fds[1]);
+    _exit(ok ? 0 : 1);
+  }
+  close(fds[1]);
+  const bool got = read(fds[0], &report, sizeof(report)) == sizeof(report);
+  close(fds[0]);
+  int status = 0;
+  struct rusage ru {};
+  if (wait4(pid, &status, 0, &ru) != pid) return false;
+  peak_rss_kb = ru.ru_maxrss;
+  return got && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+obs::JsonValue engine_json(const EngineReport& r, long rss_kb) {
+  obs::JsonValue point;
+  point.set("setup_s", r.setup_s);
+  point.set("engine_wall_s", r.engine_s);
+  point.set("originated", r.originated);
+  point.set("hop_tx", r.hop_tx);
+  point.set("delivered", r.delivered);
+  point.set("originated_per_s",
+            static_cast<double>(r.originated) / r.engine_s);
+  point.set("hop_tx_per_s", static_cast<double>(r.hop_tx) / r.engine_s);
+  point.set("seal_per_s", static_cast<double>(r.seals) / r.engine_s);
+  point.set("open_per_s", static_cast<double>(r.opens) / r.engine_s);
+  point.set("latency_p50_ms", r.p50_ms);
+  point.set("latency_p95_ms", r.p95_ms);
+  point.set("latency_p99_ms", r.p99_ms);
+  point.set("seals", r.seals);
+  point.set("opens", r.opens);
+  point.set("batches_sealed", r.batches_sealed);
+  point.set("max_group_lanes", r.max_group_lanes);
+  point.set("refresh_rounds", r.refresh_rounds);
+  point.set("arena_generations", r.arena_generations);
+  point.set("peak_rss_kb", static_cast<std::int64_t>(rss_kb));
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const auto nodes = static_cast<std::size_t>(
+      env_double("LDKE_BENCH_DATAPLANE_NODES", 600));
+  const double density = env_double("LDKE_BENCH_DATAPLANE_DENSITY", 12.0);
+  const double duration = env_double("LDKE_BENCH_DATAPLANE_DURATION", 5.0);
+  const std::uint64_t seed = bench::base_config().seed;
+  const bool hw = crypto::detail::cpu_has_aesni() &&
+                  crypto::detail::cpu_has_sha_ni();
+  const double min_speedup =
+      env_double("LDKE_BENCH_DATAPLANE_MIN_SPEEDUP", hw ? 2.0 : 0.0);
+  const double min_pps = env_double("LDKE_BENCH_DATAPLANE_MIN_PPS", 0.0);
+
+  std::cout << "Data-plane bench: batched SoA pipeline vs scalar, " << nodes
+            << " nodes, density " << density << ", " << duration
+            << " s steady state (AES-NI+SHA-NI: " << (hw ? "yes" : "no")
+            << ")\n\n";
+
+  // Section 1: multi-buffer crypto.
+  crypto::Key128 key{};
+  for (std::size_t i = 0; i < crypto::kKeyBytes; ++i) {
+    key.bytes[i] = static_cast<std::uint8_t>(i * 29 + 11);
+  }
+  const crypto::SealContext ctx{key};
+  const CryptoPoint seal = bench_seal(ctx, 10000);
+  const CryptoPoint open = bench_open(ctx, 10000);
+
+  support::TextTable crypto_table(
+      {"op", "scalar (msg/s)", "batched (msg/s)", "speedup"});
+  crypto_table.add_row({"seal", support::fmt(seal.scalar_per_s, 0),
+                        support::fmt(seal.batched_per_s, 0),
+                        support::fmt(seal.speedup(), 2) + "x"});
+  crypto_table.add_row({"open", support::fmt(open.scalar_per_s, 0),
+                        support::fmt(open.batched_per_s, 0),
+                        support::fmt(open.speedup(), 2) + "x"});
+  crypto_table.print(std::cout);
+  std::cout << "(" << kMsgBytes << " B message, " << kAadBytes << " B aad, "
+            << kLanes << " lanes, best of " << kReps << ")\n\n";
+
+  // Section 2: the engine, scalar vs batched, same seed.
+  EngineReport scalar_r, batched_r;
+  long scalar_rss = 0, batched_rss = 0;
+  if (!run_engine(false, nodes, density, duration, seed, scalar_r,
+                  scalar_rss) ||
+      !run_engine(true, nodes, density, duration, seed, batched_r,
+                  batched_rss)) {
+    std::cerr << "engine child failed\n";
+    return 1;
+  }
+
+  support::TextTable table({"pipeline", "engine (s)", "originated/s",
+                            "hop tx/s", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                            "RSS (MB)"});
+  const auto row = [&](const char* name, const EngineReport& r, long rss) {
+    table.add_row({name, support::fmt(r.engine_s, 2),
+                   support::fmt(static_cast<double>(r.originated) / r.engine_s,
+                                0),
+                   support::fmt(static_cast<double>(r.hop_tx) / r.engine_s, 0),
+                   support::fmt(r.p50_ms, 2), support::fmt(r.p95_ms, 2),
+                   support::fmt(r.p99_ms, 2),
+                   support::fmt(static_cast<double>(rss) / 1024.0, 1)});
+  };
+  row("scalar", scalar_r, scalar_rss);
+  row("batched", batched_r, batched_rss);
+  table.print(std::cout);
+  const double wall_speedup = scalar_r.engine_s / batched_r.engine_s;
+  std::cout << "engine wall speedup (batched vs scalar): "
+            << support::fmt(wall_speedup, 2) << "x, max seal group "
+            << batched_r.max_group_lanes << " lanes\n\n";
+
+  // Bit-identity: same seed, so the two pipelines must agree on every
+  // delivery metric (the test suite pins the full wire trace; the bench
+  // re-checks the observable summary at bench scale).
+  bool identical = scalar_r.originated == batched_r.originated &&
+                   scalar_r.hop_tx == batched_r.hop_tx &&
+                   scalar_r.delivered == batched_r.delivered &&
+                   scalar_r.p50_ms == batched_r.p50_ms &&
+                   scalar_r.p95_ms == batched_r.p95_ms &&
+                   scalar_r.p99_ms == batched_r.p99_ms &&
+                   scalar_r.seals == batched_r.seals &&
+                   scalar_r.opens == batched_r.opens;
+  std::cout << "pipeline delivery metrics identical: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  obs::JsonValue doc;
+  doc.set("schema_version", 1);
+  doc.set("bench", "dataplane");
+  doc.set("nodes", static_cast<std::uint64_t>(nodes));
+  doc.set("density", density);
+  doc.set("duration_s", duration);
+  doc.set("seed", seed);
+  doc.set("aesni_shani", hw);
+  obs::JsonValue crypto_doc;
+  crypto_doc.set("msg_bytes", static_cast<std::uint64_t>(kMsgBytes));
+  crypto_doc.set("aad_bytes", static_cast<std::uint64_t>(kAadBytes));
+  crypto_doc.set("lanes", static_cast<std::uint64_t>(kLanes));
+  crypto_doc.set("scalar_seal_per_s", seal.scalar_per_s);
+  crypto_doc.set("batched_seal_per_s", seal.batched_per_s);
+  crypto_doc.set("seal_speedup", seal.speedup());
+  crypto_doc.set("scalar_open_per_s", open.scalar_per_s);
+  crypto_doc.set("batched_open_per_s", open.batched_per_s);
+  crypto_doc.set("open_speedup", open.speedup());
+  doc.set("crypto", std::move(crypto_doc));
+  obs::JsonValue pipelines;
+  pipelines.set("scalar", engine_json(scalar_r, scalar_rss));
+  pipelines.set("batched", engine_json(batched_r, batched_rss));
+  doc.set("pipelines", std::move(pipelines));
+  doc.set("engine_wall_speedup", wall_speedup);
+  doc.set("metrics_identical", identical);
+
+  const char* out_env = std::getenv("LDKE_BENCH_DATAPLANE_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "results/BENCH_dataplane.json";
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    os << doc.dump() << "\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  bool pass = identical;
+  if (min_speedup > 0.0 &&
+      (seal.speedup() < min_speedup || open.speedup() < min_speedup)) {
+    std::cerr << "FAIL: crypto speedup below " << min_speedup << "x (seal "
+              << support::fmt(seal.speedup(), 2) << "x, open "
+              << support::fmt(open.speedup(), 2) << "x)\n";
+    pass = false;
+  }
+  const double batched_pps =
+      static_cast<double>(batched_r.originated) / batched_r.engine_s;
+  if (min_pps > 0.0 && batched_pps < min_pps) {
+    std::cerr << "FAIL: " << support::fmt(batched_pps, 0)
+              << " originations/s below the " << support::fmt(min_pps, 0)
+              << " floor\n";
+    pass = false;
+  }
+  return pass ? 0 : 1;
+}

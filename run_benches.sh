@@ -93,4 +93,35 @@ for name in before:
     print(line)
 PYEOF
 done
+
+# Diff the fresh data-plane bench against the committed baseline (the
+# results/BENCH_dataplane.json the bench just overwrote).
+if [ -f results/BENCH_dataplane.json ] &&
+   git cat-file -e HEAD:results/BENCH_dataplane.json 2>/dev/null; then
+  echo "=== diff BENCH_dataplane.json (committed -> fresh) ==="
+  git show HEAD:results/BENCH_dataplane.json > results/.dataplane_baseline.json
+  python3 - results/.dataplane_baseline.json results/BENCH_dataplane.json <<'PYEOF'
+import json, sys
+
+before = json.load(open(sys.argv[1]))
+after = json.load(open(sys.argv[2]))
+
+def walk(path, b, a):
+    if isinstance(b, dict) and isinstance(a, dict):
+        for k in b:
+            if k in a:
+                walk(path + [k], b[k], a[k])
+        return
+    if isinstance(b, (int, float)) and not isinstance(b, bool) and b != 0:
+        name = ".".join(path)
+        delta = (a - b) / b * 100.0
+        flag = "  <-- drifted" if abs(delta) > 25.0 else ""
+        print(f"{name:45s} {b:14.1f} -> {a:14.1f}  ({delta:+.1f}%){flag}")
+
+for key in ("crypto", "pipelines", "engine_wall_speedup"):
+    if key in before and key in after:
+        walk([key], before[key], after[key])
+PYEOF
+  rm -f results/.dataplane_baseline.json
+fi
 exit $status

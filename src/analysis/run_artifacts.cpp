@@ -90,6 +90,7 @@ RunSummary collect_run_summary(core::ProtocolRunner& runner,
   s.latency.unmatched = dt.unmatched();
   s.latency.p50_ms = dt.latency_percentile_s(0.50) * 1e3;
   s.latency.p90_ms = dt.latency_percentile_s(0.90) * 1e3;
+  s.latency.p95_ms = dt.latency_percentile_s(0.95) * 1e3;
   s.latency.p99_ms = dt.latency_percentile_s(0.99) * 1e3;
   s.latency.max_ms = dt.latency_percentile_s(1.0) * 1e3;
 
@@ -162,6 +163,7 @@ obs::JsonValue to_json(const RunSummary& s) {
   latency.set("unmatched", s.latency.unmatched);
   latency.set("p50_ms", s.latency.p50_ms);
   latency.set("p90_ms", s.latency.p90_ms);
+  latency.set("p95_ms", s.latency.p95_ms);
   latency.set("p99_ms", s.latency.p99_ms);
   latency.set("max_ms", s.latency.max_ms);
   out.set("latency", std::move(latency));
@@ -264,6 +266,7 @@ std::optional<RunSummary> run_summary_from_json(const obs::JsonValue& value) {
         static_cast<std::uint64_t>(latency->int_at("unmatched"));
     s.latency.p50_ms = latency->number_at("p50_ms");
     s.latency.p90_ms = latency->number_at("p90_ms");
+    s.latency.p95_ms = latency->number_at("p95_ms");
     s.latency.p99_ms = latency->number_at("p99_ms");
     s.latency.max_ms = latency->number_at("max_ms");
   }

@@ -74,6 +74,7 @@ struct RunSummary {
     std::uint64_t unmatched = 0;
     double p50_ms = 0.0;
     double p90_ms = 0.0;
+    double p95_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
   } latency;

@@ -1,0 +1,208 @@
+#include "core/dataplane.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldke::core {
+
+DataPlaneEngine::DataPlaneEngine(ProtocolRunner& runner,
+                                 DataPlaneConfig config)
+    : runner_(runner), config_(config) {
+  if (config_.tick_interval_s <= 0.0) {
+    throw std::invalid_argument("DataPlaneEngine: tick_interval_s must be > 0");
+  }
+  payload_.resize(config_.reading_bytes);
+}
+
+DataPlaneStats DataPlaneEngine::run() {
+  if (runner_.sim().kernel() != nullptr) {
+    throw std::invalid_argument(
+        "DataPlaneEngine requires the serial event loop (kernel lanes == 1): "
+        "engine events mutate node state across the whole deployment");
+  }
+  net::Network& net = runner_.network();
+  sim::Simulator& sim = runner_.sim();
+  net::PayloadArena::Scope arena_scope{runner_.payload_arena()};
+  crypto::ScopedCryptoCounters obs_guard{crypto_};
+
+  const sim::SimTime start = sim.now();
+  end_ = start + sim::SimTime::from_seconds(config_.duration_s);
+  const obs::SpanId span =
+      runner_.timeline().begin_span("steady_state", start.ns());
+
+  // Drivers self-reschedule until their next firing would pass end_.
+  // Initial scheduling order (tick, refresh, evict) fixes the execution
+  // order at coincident timestamps, identically in both pipelines.
+  schedule_tick(net);
+  if (config_.refresh_interval_s > 0.0) schedule_refresh(net);
+  if (config_.evict_interval_s > 0.0 && runner_.base_station() != nullptr) {
+    schedule_evict(net);
+  }
+
+  sim.run(end_);
+  stats_.sim_elapsed_s = (sim.now() - start).seconds();
+  runner_.timeline().end_span(span, sim.now().ns());
+  // Sweep once more: deliveries during the final ticks have drained
+  // references from earlier generations.
+  runner_.payload_arena().reclaim();
+  return stats_;
+}
+
+void DataPlaneEngine::schedule_tick(net::Network& net) {
+  const sim::SimTime next =
+      runner_.sim().now() + sim::SimTime::from_seconds(config_.tick_interval_s);
+  if (next > end_) return;
+  runner_.sim().schedule_at(next, [this, &net] {
+    tick(net);
+    schedule_tick(net);
+  });
+}
+
+void DataPlaneEngine::schedule_refresh(net::Network& net) {
+  const sim::SimTime next =
+      runner_.sim().now() +
+      sim::SimTime::from_seconds(config_.refresh_interval_s);
+  if (next > end_) return;
+  runner_.sim().schedule_at(next, [this, &net] {
+    refresh_all();
+    schedule_refresh(net);
+  });
+}
+
+void DataPlaneEngine::schedule_evict(net::Network& net) {
+  const sim::SimTime next =
+      runner_.sim().now() +
+      sim::SimTime::from_seconds(config_.evict_interval_s);
+  if (next > end_) return;
+  runner_.sim().schedule_at(next, [this, &net] {
+    evict_some(net);
+    schedule_evict(net);
+  });
+}
+
+void DataPlaneEngine::fill_payload(net::NodeId source) {
+  // Pseudo-sensor sample: deterministic in (source, attempt ordinal), so
+  // the scalar and batched pipelines feed identical plaintexts.
+  const std::uint64_t seq = stats_.attempts;
+  for (std::size_t i = 0; i < payload_.size(); ++i) {
+    payload_[i] = static_cast<std::uint8_t>(source * 131 + seq * 29 + i * 7);
+  }
+}
+
+void DataPlaneEngine::tick(net::Network& net) {
+  ++stats_.ticks;
+  if (config_.batched) {
+    originate_batched(net);
+  } else {
+    originate_scalar(net);
+  }
+  if (config_.arena_generation_ticks != 0 &&
+      stats_.ticks % config_.arena_generation_ticks == 0) {
+    runner_.payload_arena().advance_generation();
+    ++stats_.arena_generations;
+  }
+}
+
+void DataPlaneEngine::originate_scalar(net::Network& net) {
+  const std::size_t n = runner_.node_count();
+  const net::NodeId bs =
+      runner_.base_station() ? runner_.base_station()->id() : net::kNoNode;
+  for (std::size_t k = 0; k < config_.readings_per_tick; ++k) {
+    SensorNode& node = runner_.node(next_source_);
+    next_source_ = (next_source_ + 1) % n;
+    if (node.id() == bs) continue;
+    fill_payload(node.id());
+    ++stats_.attempts;
+    if (node.send_reading(net, payload_)) ++stats_.originated;
+  }
+}
+
+void DataPlaneEngine::originate_batched(net::Network& net) {
+  const std::size_t n = runner_.node_count();
+  const net::NodeId bs =
+      runner_.base_station() ? runner_.base_station()->id() : net::kNoNode;
+  plans_.clear();
+  for (std::size_t k = 0; k < config_.readings_per_tick; ++k) {
+    SensorNode& node = runner_.node(next_source_);
+    next_source_ = (next_source_ + 1) % n;
+    if (node.id() == bs) continue;
+    fill_payload(node.id());
+    ++stats_.attempts;
+    auto plan = node.prepare_reading(net, payload_);
+    if (!plan) continue;
+    ++stats_.originated;
+    plans_.push_back(PlannedReading{node.id(), std::move(*plan)});
+  }
+  if (plans_.empty()) return;
+
+  // Group by wrap-key *value*: members of one cluster share Kc, so their
+  // envelopes pipeline through one multi-buffer seal_batch.  Group order
+  // cannot affect the output — each seal is independent in (key, nonce) —
+  // and the packets below go out in original plan order regardless.
+  groups_.clear();
+  for (std::uint32_t i = 0; i < plans_.size(); ++i) {
+    groups_[plans_[i].plan.wrap_key.bytes].push_back(i);
+  }
+  slots_.resize(plans_.size());
+  std::uint32_t g = 0;
+  for (const auto& [key_bytes, members] : groups_) {
+    reqs_.clear();
+    for (const std::uint32_t i : members) {
+      const SensorNode::HopPlan& plan = plans_[i].plan;
+      reqs_.push_back(crypto::SealRequest{plan.header.nonce, plan.inner_bytes,
+                                          plan.header_bytes});
+    }
+    if (group_out_.size() <= g) group_out_.emplace_back();
+    group_out_[g].clear();
+    seal_cache_.get(crypto::Key128{key_bytes}).seal_batch(reqs_, group_out_[g]);
+    ++stats_.batches_sealed;
+    stats_.max_group_lanes =
+        std::max<std::uint64_t>(stats_.max_group_lanes, members.size());
+    for (std::uint32_t j = 0; j < members.size(); ++j) {
+      slots_[members[j]] = {g, j};
+    }
+    ++g;
+  }
+
+  batch_.clear();
+  for (std::uint32_t i = 0; i < plans_.size(); ++i) {
+    const auto [group, item] = slots_[i];
+    runner_.node(plans_[i].source)
+        .push_sealed(net, plans_[i].plan, group_out_[group].item(item), batch_);
+  }
+  net.deliver_batch(batch_);
+}
+
+void DataPlaneEngine::refresh_all() {
+  for (const auto& node : runner_.nodes()) node->apply_hash_refresh();
+  ++stats_.refresh_rounds;
+}
+
+void DataPlaneEngine::evict_some(net::Network& net) {
+  BaseStation* bs = runner_.base_station();
+  if (bs == nullptr) return;
+  if (!evict_cycle_built_) {
+    evict_cycle_built_ = true;
+    for (const auto& node : runner_.nodes()) {
+      const ClusterId cid = node->cid();
+      if (cid == kNoCluster || cid == bs->cid()) continue;
+      evict_cycle_.push_back(cid);
+    }
+    std::sort(evict_cycle_.begin(), evict_cycle_.end());
+    evict_cycle_.erase(
+        std::unique(evict_cycle_.begin(), evict_cycle_.end()),
+        evict_cycle_.end());
+  }
+  if (evict_cycle_.empty()) return;
+  std::vector<ClusterId> victims;
+  for (std::size_t k = 0;
+       k < config_.evict_batch && next_evict_ < evict_cycle_.size(); ++k) {
+    victims.push_back(evict_cycle_[next_evict_++]);
+  }
+  if (victims.empty()) return;  // cycle exhausted: stop evicting
+  if (bs->revoke_clusters(net, victims)) {
+    stats_.clusters_evicted += victims.size();
+  }
+}
+
+}  // namespace ldke::core

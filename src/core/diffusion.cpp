@@ -4,6 +4,10 @@
 
 #include "core/diffusion.hpp"
 
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "core/sensor_node.hpp"
 
 namespace ldke::wsn {
@@ -113,9 +117,18 @@ bool SensorNode::publish_sample(net::Network& net, InterestId interest,
     return false;  // never heard this query
   }
   DiffusionEntry& entry = it->second;
+  std::uint32_t& seq = publish_seq_[interest];
+  // Same wrap discipline as the envelope nonce: a silently wrapped seq
+  // would alias fresh samples with long-delivered ones at the sink's
+  // dedup window, so exhaustion is a hard error.
+  if (seq == std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error("diffusion publish seq exhausted on node " +
+                              std::to_string(id()) + " for interest " +
+                              std::to_string(interest));
+  }
   DiffusionDataBody body;
   body.interest = interest;
-  body.seq = ++publish_seq_[interest];
+  body.seq = ++seq;
   body.source = id();
   body.exploratory = entry.on_reinforced_path ? 0 : 1;
   body.payload.assign(payload.begin(), payload.end());

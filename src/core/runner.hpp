@@ -97,6 +97,15 @@ class ProtocolRunner {
   [[nodiscard]] const obs::PhaseTimeline& timeline() const noexcept {
     return timeline_;
   }
+  /// Mutable timeline handle for external drivers: the steady-state
+  /// DataPlaneEngine records its own "steady_state" span here.
+  [[nodiscard]] obs::PhaseTimeline& timeline() noexcept { return timeline_; }
+  /// The runner's payload arena.  The DataPlaneEngine advances its
+  /// generation mid-run so steady-state memory stays bounded by the
+  /// in-flight working set instead of growing with run length.
+  [[nodiscard]] net::PayloadArena& payload_arena() noexcept {
+    return payload_arena_;
+  }
   /// End-to-end DATA latency samples (origination at the source through
   /// acceptance at the base station).
   [[nodiscard]] const obs::DeliveryTracker& deliveries() const noexcept {

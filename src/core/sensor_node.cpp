@@ -1,6 +1,9 @@
 #include "core/sensor_node.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "crypto/authenc.hpp"
 #include "crypto/hmac.hpp"
@@ -203,15 +206,24 @@ void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
 // ---------------------------------------------------------------------------
 // data plane
 
-std::uint64_t SensorNode::next_nonce() noexcept {
+std::uint64_t SensorNode::next_nonce() {
+  // The counter names every envelope this node ever wraps under a shared
+  // cluster key; letting it wrap silently would reuse (key, nonce) pairs
+  // and void the CTR/MAC guarantees.  §IV-C's refresh cadence keeps 2^32
+  // sends per node out of reach in any real deployment, so exhaustion is
+  // a configuration error, not a recoverable state.
+  if (envelope_counter_ == std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error("envelope nonce counter exhausted on node " +
+                              std::to_string(id()) +
+                              "; rekey cadence must bound sends per key");
+  }
   return (std::uint64_t{id()} << 32) | ++envelope_counter_;
 }
 
-bool SensorNode::send_reading(net::Network& net,
-                              std::span<const std::uint8_t> payload) {
-  if (!keys_.has_own() || role_ == Role::kEvicted) return false;
-  if (!routing_.has_route()) return false;
-  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
+std::optional<wsn::DataInner> SensorNode::make_reading(
+    net::Network& net, std::span<const std::uint8_t> payload) {
+  if (!keys_.has_own() || role_ == Role::kEvicted) return std::nullopt;
+  if (!routing_.has_route()) return std::nullopt;
 
   wsn::DataInner inner;
   inner.source = id();
@@ -229,11 +241,31 @@ bool SensorNode::send_reading(net::Network& net,
   if (obs::DeliveryTracker* tracker = net.delivery_tracker()) {
     tracker->on_originate(id(), net.sim().now().ns());
   }
-  forward_inner(net, std::move(inner));
+  return inner;
+}
+
+bool SensorNode::send_reading(net::Network& net,
+                              std::span<const std::uint8_t> payload) {
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
+  auto inner = make_reading(net, payload);
+  if (!inner) return false;
+  forward_inner(net, std::move(*inner));
   return true;
 }
 
-void SensorNode::forward_inner(net::Network& net, wsn::DataInner inner) {
+std::optional<SensorNode::HopPlan> SensorNode::prepare_reading(
+    net::Network& net, std::span<const std::uint8_t> payload) {
+  // The Step-1 seal is charged to the node, exactly as in send_reading;
+  // the hop-wrap seal happens later inside seal_batch and lands on the
+  // engine's counters instead (global totals are unchanged).
+  crypto::ScopedCryptoCounters obs_guard{crypto_stats_};
+  auto inner = make_reading(net, payload);
+  if (!inner) return std::nullopt;
+  return plan_hop_envelope(net, std::move(*inner));
+}
+
+SensorNode::HopPlan SensorNode::plan_hop_envelope(net::Network& net,
+                                                  wsn::DataInner inner) {
   // §IV-C Step 2: wrap under this node's cluster key; one broadcast
   // serves all neighbors.  A late-joined node (§IV-E) instead uses its
   // routing parent's cluster key from S — the only key it provably
@@ -246,20 +278,34 @@ void SensorNode::forward_inner(net::Network& net, wsn::DataInner inner) {
   inner.tau_ns = net.sim().now().ns();
   inner.echoed_cid = wrap_cid;
 
-  wsn::DataHeader header;
-  header.cid = wrap_cid;
-  header.next_hop = routing_.parent();
-  header.nonce = next_nonce();
+  HopPlan plan;
+  plan.header.cid = wrap_cid;
+  plan.header.next_hop = routing_.parent();
+  plan.header.nonce = next_nonce();
+  plan.wrap_key = *keys_.key_for(wrap_cid);
+  plan.header_bytes = wsn::encode(plan.header);
+  plan.inner_bytes = wsn::encode(inner);
+  return plan;
+}
 
-  const support::Bytes header_bytes = wsn::encode(header);
-  const support::Bytes sealed = keys_.context_for(wrap_cid)->seal(
-      header.nonce, wsn::encode(inner), header_bytes);
+void SensorNode::forward_inner(net::Network& net, wsn::DataInner inner) {
+  const HopPlan plan = plan_hop_envelope(net, std::move(inner));
+  const support::Bytes sealed = keys_.context_for(plan.header.cid)->seal(
+      plan.header.nonce, plan.inner_bytes, plan.header_bytes);
 
   Packet pkt;
   pkt.sender = id();
   pkt.kind = PacketKind::kData;
-  pkt.payload = wsn::join_envelope(header_bytes, sealed);
+  pkt.payload = wsn::join_envelope(plan.header_bytes, sealed);
   net.broadcast(pkt);
+  net.counters().increment("data.hop_tx");
+}
+
+void SensorNode::push_sealed(net::Network& net, const HopPlan& plan,
+                             std::span<const std::uint8_t> sealed,
+                             net::PacketBatch& out) {
+  out.push(id(), PacketKind::kData,
+           net::PayloadRef{wsn::join_envelope(plan.header_bytes, sealed)});
   net.counters().increment("data.hop_tx");
 }
 

@@ -33,6 +33,7 @@
 #include "crypto/obs.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "net/packet_batch.hpp"
 #include "support/flat_map.hpp"
 #include "wsn/messages.hpp"
 #include "wsn/routing.hpp"
@@ -90,6 +91,32 @@ class SensorNode : public net::Node {
   /// if the node has no cluster key or no route yet.
   bool send_reading(net::Network& net,
                     std::span<const std::uint8_t> payload);
+
+  /// One planned DATA origination: everything send_reading() computes up
+  /// to — but not including — the hop-envelope seal.  The steady-state
+  /// engine groups plans by wrap key and runs them through the
+  /// multi-buffer crypto::SealContext::seal_batch, then hands each sealed
+  /// envelope back via push_sealed().
+  struct HopPlan {
+    wsn::DataHeader header;       ///< cid / next_hop / nonce of the hop wrap
+    crypto::Key128 wrap_key;      ///< grouping key for multi-buffer sealing
+    support::Bytes header_bytes;  ///< encoded header (seal AAD)
+    support::Bytes inner_bytes;   ///< encoded DataInner (seal plaintext)
+  };
+
+  /// Batched-origination front half of send_reading(): identical guards,
+  /// Step-1 end-to-end seal, counters, nonce draw and tracker hook, but
+  /// returns the hop plan instead of sealing + broadcasting.  Yields
+  /// nullopt exactly when send_reading() would return false.
+  [[nodiscard]] std::optional<HopPlan> prepare_reading(
+      net::Network& net, std::span<const std::uint8_t> payload);
+
+  /// Batched-origination back half: assembles \p sealed (this plan's
+  /// seal_batch output) into the DATA packet send_reading() would have
+  /// broadcast and appends it to \p out for Network::deliver_batch.
+  void push_sealed(net::Network& net, const HopPlan& plan,
+                   std::span<const std::uint8_t> sealed,
+                   net::PacketBatch& out);
 
   /// Data-fusion hook: inspects every authenticated reading this node is
   /// asked to forward; returning false discards it as redundant (§II
@@ -217,6 +244,18 @@ class SensorNode : public net::Node {
     shared_master_ctx_ = ctx;
   }
 
+  /// Rollover tests: positions the envelope-nonce counter near its wrap
+  /// point without replaying billions of sends.  next_nonce() hard-errors
+  /// when the counter is exhausted instead of silently truncating.
+  void debug_set_envelope_counter(std::uint32_t value) noexcept {
+    envelope_counter_ = value;
+  }
+
+  /// Ditto for the per-interest diffusion publish sequence.
+  void debug_set_publish_seq(InterestId interest, std::uint32_t value) {
+    publish_seq_[interest] = value;
+  }
+
  protected:
   /// Invoked when a data envelope addressed to this node as final
   /// destination authenticates; the base station overrides this.
@@ -286,8 +325,22 @@ class SensorNode : public net::Node {
 
   /// Per-sender monotonically increasing envelope nonce: high 32 bits are
   /// the node id, so distinct cluster members never collide on the shared
-  /// cluster key.
-  [[nodiscard]] std::uint64_t next_nonce() noexcept;
+  /// cluster key.  Throws std::overflow_error once the 32-bit counter is
+  /// exhausted — wrapping would reuse (key, nonce) pairs and void the
+  /// CTR/MAC guarantees, so exhaustion is a hard error, never silent.
+  [[nodiscard]] std::uint64_t next_nonce();
+
+  /// Shared front half of send_reading()/prepare_reading(): guards,
+  /// Step-1 seal, origination counters.  nullopt when the node cannot
+  /// originate (no cluster key, evicted, or no route).
+  [[nodiscard]] std::optional<wsn::DataInner> make_reading(
+      net::Network& net, std::span<const std::uint8_t> payload);
+
+  /// Shared back half of forward_inner()/prepare_reading(): picks the
+  /// wrap cluster, stamps tau/echoed_cid, draws the nonce and encodes
+  /// header + inner.  Everything but the seal itself.
+  [[nodiscard]] HopPlan plan_hop_envelope(net::Network& net,
+                                          wsn::DataInner inner);
 
   /// Opens a hop envelope (header + sealed) with the key set S; returns
   /// the plaintext or nullopt, incrementing diagnostic counters.

@@ -27,6 +27,12 @@ class Aes128 {
   /// Encrypts \p in into \p out (may alias).
   [[nodiscard]] AesBlock encrypt(const AesBlock& in) const noexcept;
 
+  /// Encrypts \p n consecutive 16-byte blocks in place.  On AES-NI the
+  /// blocks are pipelined eight at a time — AESENC has multi-cycle
+  /// latency but single-cycle throughput, so independent blocks hide
+  /// most of it.  Bit-identical to n encrypt_block() calls.
+  void encrypt_blocks(std::uint8_t* blocks, std::size_t n) const noexcept;
+
  private:
   // 11 round keys of 16 bytes each.
   std::array<std::uint8_t, 176> round_keys_{};

@@ -1,0 +1,332 @@
+#include "crypto/batch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "crypto/obs.hpp"
+#include "crypto/seal_context.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace detail {
+namespace {
+
+/// Lanes per chunk: matches the 4–8 independent messages needed to hide
+/// sha256rnds2/aesenc latency without spilling lane state out of L1.
+constexpr std::size_t kLaneChunk = 8;
+
+struct LaneScratch {
+  std::vector<std::uint8_t> tail[kLaneChunk];
+};
+
+LaneScratch& lane_scratch() {
+  static thread_local LaneScratch scratch;
+  return scratch;
+}
+
+// Serializes one lane's MAC tail — the message bytes that follow the
+// key block (aad_len_le || aad || nonce_le || cipher) plus FIPS 180-4
+// padding for a total stream of 64 + L bytes — into buf.  Returns the
+// block count.  Assumes the midstate sits exactly one block in, which
+// HmacSha256::precompute guarantees.
+std::size_t build_tail(const TagRequest& req, std::vector<std::uint8_t>& buf) {
+  const std::size_t L = 4 + req.aad.size() + 8 + req.cipher.size();
+  const std::size_t padded = (L + 1 + 8 + 63) & ~std::size_t{63};
+  // Grow-only scratch: every byte of [0, padded) is written below (content,
+  // 0x80, explicit zero padding, bit count), so no full clear is needed.
+  if (buf.size() < padded) buf.resize(padded);
+  std::uint8_t* p = buf.data();
+  std::memset(p + L + 1, 0, padded - 8 - (L + 1));
+  const auto aad_len = static_cast<std::uint32_t>(req.aad.size());
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>(aad_len >> (8 * i));
+  }
+  if (!req.aad.empty()) std::memcpy(p + 4, req.aad.data(), req.aad.size());
+  std::uint8_t* q = p + 4 + req.aad.size();
+  for (int i = 0; i < 8; ++i) {
+    q[i] = static_cast<std::uint8_t>(req.nonce >> (8 * i));
+  }
+  if (!req.cipher.empty()) {
+    std::memcpy(q + 8, req.cipher.data(), req.cipher.size());
+  }
+  p[L] = 0x80;
+  const std::uint64_t bits = (kSha256BlockBytes + L) * 8;
+  for (int i = 0; i < 8; ++i) {
+    p[padded - 8 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  return padded / kSha256BlockBytes;
+}
+
+void compress_lanes(std::array<std::uint32_t, 8>* states,
+                    const std::uint8_t* const* blocks, const int* idx,
+                    int count) {
+  int i = 0;
+  for (; i + 1 < count; i += 2) {
+    sha256_compress_x2(states[idx[i]].data(), blocks[i],
+                       states[idx[i + 1]].data(), blocks[i + 1]);
+  }
+  if (i < count) sha256_compress(states[idx[i]].data(), blocks[i]);
+}
+
+void tags_chunk(const HmacMidstate& mid, const TagRequest* reqs,
+                std::size_t n, MacTag* tags) {
+  LaneScratch& scratch = lane_scratch();
+  std::array<std::uint32_t, 8> inner[kLaneChunk];
+  std::array<std::uint32_t, 8> outer[kLaneChunk];
+  std::size_t blocks_left[kLaneChunk];
+  const std::uint8_t* cursor[kLaneChunk];
+  for (std::size_t l = 0; l < n; ++l) {
+    inner[l] = mid.inner.state;
+    blocks_left[l] = build_tail(reqs[l], scratch.tail[l]);
+    cursor[l] = scratch.tail[l].data();
+  }
+
+  // Inner hash: walk the lanes block-synchronously, pairing whichever
+  // lanes still have a block at this depth (ragged tails just drop out).
+  for (;;) {
+    const std::uint8_t* blk[kLaneChunk] = {};
+    int idx[kLaneChunk] = {};
+    int live = 0;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (blocks_left[l] == 0) continue;
+      idx[live] = static_cast<int>(l);
+      blk[live] = cursor[l];
+      ++live;
+      cursor[l] += kSha256BlockBytes;
+      --blocks_left[l];
+    }
+    if (live == 0) break;
+    compress_lanes(inner, blk, idx, live);
+  }
+
+  // Outer hash: exactly one block per lane — the big-endian inner
+  // digest, 0x80, zeros, and the bit count of the 96-byte outer message
+  // (key block + digest).
+  // Bytes 32..63 of every outer block are the same for all lanes: 0x80,
+  // zero padding, and the bit count of the fixed 96-byte outer message.
+  static constexpr std::array<std::uint8_t, 32> kOuterPad = [] {
+    std::array<std::uint8_t, 32> pad{};
+    pad[0] = 0x80;
+    const std::uint64_t bits = (kSha256BlockBytes + kSha256DigestBytes) * 8;
+    for (int i = 0; i < 8; ++i) {
+      pad[24 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+    }
+    return pad;
+  }();
+  std::uint8_t outer_block[kLaneChunk][kSha256BlockBytes];
+  for (std::size_t l = 0; l < n; ++l) {
+    outer[l] = mid.outer.state;
+    std::uint8_t* p = outer_block[l];
+    for (int w = 0; w < 8; ++w) {
+      const std::uint32_t v = inner[l][static_cast<std::size_t>(w)];
+      p[4 * w + 0] = static_cast<std::uint8_t>(v >> 24);
+      p[4 * w + 1] = static_cast<std::uint8_t>(v >> 16);
+      p[4 * w + 2] = static_cast<std::uint8_t>(v >> 8);
+      p[4 * w + 3] = static_cast<std::uint8_t>(v);
+    }
+    std::memcpy(p + kSha256DigestBytes, kOuterPad.data(), kOuterPad.size());
+  }
+  {
+    const std::uint8_t* blk[kLaneChunk] = {};
+    int idx[kLaneChunk] = {};
+    for (std::size_t l = 0; l < n; ++l) {
+      idx[l] = static_cast<int>(l);
+      blk[l] = outer_block[l];
+    }
+    compress_lanes(outer, blk, idx, static_cast<int>(n));
+  }
+
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t i = 0; i < kMacTagBytes; ++i) {
+      tags[l][i] =
+          static_cast<std::uint8_t>(outer[l][i / 4] >> (24 - 8 * (i % 4)));
+    }
+  }
+}
+
+}  // namespace
+
+void envelope_tags_batch(const HmacMidstate& mid,
+                         std::span<const TagRequest> reqs, MacTag* tags) {
+  for (std::size_t base = 0; base < reqs.size(); base += kLaneChunk) {
+    const std::size_t n = std::min(kLaneChunk, reqs.size() - base);
+    tags_chunk(mid, reqs.data() + base, n, tags + base);
+  }
+}
+
+}  // namespace detail
+
+void SealContext::seal_batch(std::span<const SealRequest> reqs,
+                             SealedBatch& out) const {
+  out.clear();
+  if (reqs.empty()) return;
+  if (CryptoCounters* sink = crypto_counters_sink()) {
+    sink->seals += reqs.size();
+    for (const SealRequest& r : reqs) sink->sealed_bytes += r.plain.size();
+  }
+  std::size_t total = 0;
+  for (const SealRequest& r : reqs) total += r.plain.size() + kMacTagBytes;
+  out.buffer.resize(total);
+  out.offsets.reserve(reqs.size() + 1);
+
+  // Reused per-thread staging so a steady-state caller pays no per-batch
+  // allocations once the vectors have grown to the working batch size.
+  struct SealScratch {
+    std::vector<CtrGatherSlice> slices;
+    std::vector<detail::TagRequest> tag_reqs;
+    std::vector<MacTag> tags;
+  };
+  static thread_local SealScratch scratch;
+  std::vector<CtrGatherSlice>& slices = scratch.slices;
+  std::vector<detail::TagRequest>& tag_reqs = scratch.tag_reqs;
+  std::vector<MacTag>& tags = scratch.tags;
+  slices.resize(reqs.size());
+  tag_reqs.resize(reqs.size());
+  tags.resize(reqs.size());
+
+  // The gather crypt encrypts straight from each request's plaintext into
+  // the shared envelope buffer — no staging memcpy per message.
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const SealRequest& r = reqs[i];
+    std::uint8_t* cipher = out.buffer.data() + off;
+    slices[i] = CtrGatherSlice{r.nonce, r.plain, cipher};
+    off += r.plain.size() + kMacTagBytes;
+    out.offsets.push_back(static_cast<std::uint32_t>(off));
+  }
+  ctr_.crypt_batch(slices);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    tag_reqs[i] = detail::TagRequest{
+        reqs[i].nonce,
+        {slices[i].dst, slices[i].src.size()},
+        reqs[i].aad};
+  }
+  detail::envelope_tags_batch(mac_mid_, tag_reqs, tags.data());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    std::memcpy(slices[i].dst + slices[i].src.size(), tags[i].data(),
+                kMacTagBytes);
+  }
+}
+
+void SealContext::open_batch(
+    std::span<const OpenRequest> reqs,
+    std::span<std::optional<support::Bytes>> out) const {
+  CryptoCounters* sink = crypto_counters_sink();
+  if (sink != nullptr) {
+    sink->opens += reqs.size();
+    for (const OpenRequest& r : reqs) sink->opened_bytes += r.sealed.size();
+  }
+  struct OpenScratch {
+    std::vector<detail::TagRequest> tag_reqs;
+    std::vector<std::size_t> lane_of;  // tag lane -> request index
+    std::vector<MacTag> tags;
+    std::vector<CtrSlice> slices;
+  };
+  static thread_local OpenScratch scratch;
+  std::vector<detail::TagRequest>& tag_reqs = scratch.tag_reqs;
+  std::vector<std::size_t>& lane_of = scratch.lane_of;
+  tag_reqs.clear();
+  lane_of.clear();
+  tag_reqs.reserve(reqs.size());
+  lane_of.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const OpenRequest& r = reqs[i];
+    if (r.sealed.size() < kMacTagBytes) {
+      if (sink != nullptr) ++sink->open_failures;
+      out[i] = std::nullopt;
+      continue;
+    }
+    tag_reqs.push_back(detail::TagRequest{
+        r.nonce, r.sealed.first(r.sealed.size() - kMacTagBytes), r.aad});
+    lane_of.push_back(i);
+  }
+  std::vector<MacTag>& tags = scratch.tags;
+  tags.resize(tag_reqs.size());
+  detail::envelope_tags_batch(mac_mid_, tag_reqs, tags.data());
+
+  std::vector<CtrSlice>& slices = scratch.slices;
+  slices.clear();
+  slices.reserve(tag_reqs.size());
+  for (std::size_t l = 0; l < tag_reqs.size(); ++l) {
+    const std::size_t i = lane_of[l];
+    const auto cipher = tag_reqs[l].cipher;
+    const auto tag = reqs[i].sealed.last(kMacTagBytes);
+    if (!support::constant_time_equal(tags[l], tag)) {
+      if (sink != nullptr) ++sink->open_failures;
+      out[i] = std::nullopt;
+      continue;
+    }
+    out[i].emplace(cipher.begin(), cipher.end());
+    slices.push_back(CtrSlice{reqs[i].nonce, {out[i]->data(), out[i]->size()}});
+  }
+  ctr_.crypt_batch(slices);
+}
+
+void SealContext::open_batch(std::span<const OpenRequest> reqs,
+                             OpenedBatch& out) const {
+  out.clear();
+  CryptoCounters* sink = crypto_counters_sink();
+  if (sink != nullptr) {
+    sink->opens += reqs.size();
+    for (const OpenRequest& r : reqs) sink->opened_bytes += r.sealed.size();
+  }
+  out.ok.assign(reqs.size(), 0);
+  out.offsets.reserve(reqs.size() + 1);
+
+  struct OpenScratch {
+    std::vector<detail::TagRequest> tag_reqs;
+    std::vector<std::size_t> lane_of;  // tag lane -> request index
+    std::vector<MacTag> tags;
+    std::vector<CtrGatherSlice> slices;
+  };
+  static thread_local OpenScratch scratch;
+  std::vector<detail::TagRequest>& tag_reqs = scratch.tag_reqs;
+  std::vector<std::size_t>& lane_of = scratch.lane_of;
+  tag_reqs.clear();
+  lane_of.clear();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const OpenRequest& r = reqs[i];
+    if (r.sealed.size() < kMacTagBytes) {
+      if (sink != nullptr) ++sink->open_failures;
+      continue;
+    }
+    tag_reqs.push_back(detail::TagRequest{
+        r.nonce, r.sealed.first(r.sealed.size() - kMacTagBytes), r.aad});
+    lane_of.push_back(i);
+    total += r.sealed.size() - kMacTagBytes;
+  }
+  std::vector<MacTag>& tags = scratch.tags;
+  tags.resize(tag_reqs.size());
+  detail::envelope_tags_batch(mac_mid_, tag_reqs, tags.data());
+
+  out.buffer.resize(total);
+  std::vector<CtrGatherSlice>& slices = scratch.slices;
+  slices.clear();
+  std::size_t lane = 0;  // cursor over tag lanes (skips short-sealed items)
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (lane < lane_of.size() && lane_of[lane] == i) {
+      const std::size_t l = lane++;
+      const auto cipher = tag_reqs[l].cipher;
+      const auto tag = reqs[i].sealed.last(kMacTagBytes);
+      if (support::constant_time_equal(tags[l], tag)) {
+        // Gather crypt: decrypts straight from the sealed input into the
+        // shared plaintext buffer, no staging memcpy per message.
+        slices.push_back(
+            CtrGatherSlice{reqs[i].nonce, cipher, out.buffer.data() + off});
+        off += cipher.size();
+        out.ok[i] = 1;
+      } else if (sink != nullptr) {
+        ++sink->open_failures;
+      }
+    }
+    out.offsets.push_back(static_cast<std::uint32_t>(off));  // end of item i
+  }
+  ctr_.crypt_batch(slices);
+}
+
+}  // namespace ldke::crypto

@@ -1,0 +1,32 @@
+#pragma once
+/// \file batch.hpp
+/// Multi-buffer MAC engine behind SealContext::seal_batch/open_batch.
+/// The envelope tag is HMAC-SHA-256 over aad_len_le || aad || nonce_le
+/// || cipher, truncated to kMacTagBytes; computing many tags under the
+/// same key leaves the per-message work as a handful of independent
+/// SHA-256 compressions, which this engine pairs through
+/// detail::sha256_compress_x2 so the sha256rnds2 dependency chains of
+/// two messages overlap.  Bit-identical to the scalar envelope_tag path
+/// (pinned by tests/crypto/batch_test.cpp).
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/hmac.hpp"
+
+namespace ldke::crypto::detail {
+
+/// One envelope-MAC computation under the midstate's key.
+struct TagRequest {
+  std::uint64_t nonce = 0;
+  std::span<const std::uint8_t> cipher;
+  std::span<const std::uint8_t> aad;
+};
+
+/// Computes the truncated envelope tag for every request.  Lanes are
+/// processed in chunks of eight, block-synchronously, with compressions
+/// paired across lanes.
+void envelope_tags_batch(const HmacMidstate& mid,
+                         std::span<const TagRequest> reqs, MacTag* tags);
+
+}  // namespace ldke::crypto::detail

@@ -90,8 +90,15 @@ class Network {
   /// Broadcasts a packet from its sender to all radio neighbors.
   void broadcast(const Packet& packet) { channel_.broadcast(packet); }
 
+  /// Batched broadcast through Channel::deliver_batch: bit-identical
+  /// deliveries, one coalesced event per (packet, destination lane).
+  void deliver_batch(const PacketBatch& batch) {
+    channel_.deliver_batch(batch);
+  }
+
  private:
   void dispatch(NodeId receiver, const Packet& packet);
+  void dispatch_batch(std::span<const NodeId> receivers, const Packet& packet);
 
   [[nodiscard]] std::uint32_t lane_for_position(Vec2 pos) const noexcept;
 

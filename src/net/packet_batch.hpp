@@ -1,0 +1,69 @@
+#pragma once
+/// \file packet_batch.hpp
+/// Structure-of-arrays packet batch for the steady-state data plane.
+/// The scalar path hands the channel one Packet at a time; the batched
+/// path accumulates a tick's originations here and releases them through
+/// Channel::deliver_batch, so fan-out and dispatch touch dense parallel
+/// arrays instead of chasing one envelope per call.  A PacketBatch is a
+/// staging buffer, not a wire format: packet(i) reconstitutes the exact
+/// AoS Packet, and the batched pipeline is bit-identical to pushing each
+/// packet through Channel::broadcast individually.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/payload.hpp"
+#include "net/topology.hpp"
+
+namespace ldke::net {
+
+class PacketBatch {
+ public:
+  void reserve(std::size_t n) {
+    senders_.reserve(n);
+    kinds_.reserve(n);
+    payloads_.reserve(n);
+  }
+
+  void push(NodeId sender, PacketKind kind, PayloadRef payload) {
+    senders_.push_back(sender);
+    kinds_.push_back(kind);
+    payloads_.push_back(std::move(payload));
+  }
+
+  void push(const Packet& packet) {
+    push(packet.sender, packet.kind, packet.payload);
+  }
+
+  void clear() noexcept {
+    senders_.clear();
+    kinds_.clear();
+    payloads_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return senders_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return senders_.empty(); }
+
+  [[nodiscard]] std::span<const NodeId> senders() const noexcept {
+    return senders_;
+  }
+  [[nodiscard]] std::span<const PacketKind> kinds() const noexcept {
+    return kinds_;
+  }
+  [[nodiscard]] std::span<const PayloadRef> payloads() const noexcept {
+    return payloads_;
+  }
+
+  /// AoS view of entry \p i (payload refcount bump, no byte copy).
+  [[nodiscard]] Packet packet(std::size_t i) const {
+    return Packet{senders_[i], kinds_[i], payloads_[i]};
+  }
+
+ private:
+  std::vector<NodeId> senders_;
+  std::vector<PacketKind> kinds_;
+  std::vector<PayloadRef> payloads_;
+};
+
+}  // namespace ldke::net

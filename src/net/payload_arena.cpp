@@ -9,6 +9,7 @@ thread_local PayloadArena* PayloadArena::current_ = nullptr;
 
 PayloadArena::~PayloadArena() {
   for (Chunk& chunk : chunks_) release_chunk(chunk);
+  for (Chunk& chunk : retired_) release_chunk(chunk);
   for (Chunk& chunk : free_chunks_) release_chunk(chunk);
 }
 
@@ -51,6 +52,10 @@ detail::PayloadBlock* PayloadArena::allocate(std::size_t n) {
 }
 
 void PayloadArena::reset() noexcept {
+  // Retired chunks go through the same triage as live ones: anything
+  // still referenced is handed to its last PayloadRef.
+  for (Chunk& chunk : retired_) chunks_.push_back(chunk);
+  retired_.clear();
   for (Chunk& chunk : chunks_) {
     // refs == 1 means only the arena still references the chunk: every
     // payload carved from it has been destroyed, so it can be reused.
@@ -62,6 +67,24 @@ void PayloadArena::reset() noexcept {
     }
   }
   chunks_.clear();
+}
+
+void PayloadArena::advance_generation() noexcept {
+  for (Chunk& chunk : chunks_) retired_.push_back(chunk);
+  chunks_.clear();
+  ++generation_;
+  reclaim();
+}
+
+void PayloadArena::reclaim() noexcept {
+  std::erase_if(retired_, [this](Chunk& chunk) {
+    if (chunk.owner->refs.load(std::memory_order_acquire) != 1) {
+      return false;  // in-flight payloads still pin it; sweep again later
+    }
+    chunk.used = 0;
+    free_chunks_.push_back(chunk);
+    return true;
+  });
 }
 
 }  // namespace ldke::net

@@ -76,9 +76,31 @@ class PayloadArena {
   /// Call between trials, never mid-trial.
   void reset() noexcept;
 
-  /// Chunks currently owned by the arena (live + recycled).
+  /// Steady-state (mid-run) reclamation: retires every chunk — including
+  /// the bump target — into the retired set and opens a new generation.
+  /// Unlike reset(), chunks that still carry payload references stay
+  /// *arena-owned*: each later advance_generation()/reclaim() sweeps the
+  /// retired set again and recycles chunks whose last in-flight packet
+  /// has since been delivered.  This bounds steady-state memory to the
+  /// working set instead of growing with run length.
+  void advance_generation() noexcept;
+
+  /// Sweeps the retired set, recycling any chunk whose references have
+  /// drained.  Called by advance_generation(); exposed for tests and
+  /// end-of-run accounting.
+  void reclaim() noexcept;
+
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  /// Retired chunks still pinned by in-flight payload references.
+  [[nodiscard]] std::size_t retired_chunks() const noexcept {
+    return retired_.size();
+  }
+
+  /// Chunks currently owned by the arena (live + retired + recycled).
   [[nodiscard]] std::size_t chunk_count() const noexcept {
-    return chunks_.size() + free_chunks_.size();
+    return chunks_.size() + retired_.size() + free_chunks_.size();
   }
   /// Payload blocks handed out since construction.
   [[nodiscard]] std::uint64_t blocks_allocated() const noexcept {
@@ -115,8 +137,10 @@ class PayloadArena {
 
   std::size_t chunk_bytes_;
   std::vector<Chunk> chunks_;       // chunks_.back() is the bump target
+  std::vector<Chunk> retired_;      // prior generations, refs draining
   std::vector<Chunk> free_chunks_;  // recycled, ready for reuse
   std::uint64_t blocks_allocated_ = 0;
+  std::uint64_t generation_ = 0;
 
   static thread_local PayloadArena* current_;
 };

@@ -24,6 +24,7 @@ JsonValue DeliveryTracker::to_json() const {
   out.set("unmatched", unmatched_);
   out.set("p50_ms", latency_percentile_s(0.50) * 1e3);
   out.set("p90_ms", latency_percentile_s(0.90) * 1e3);
+  out.set("p95_ms", latency_percentile_s(0.95) * 1e3);
   out.set("p99_ms", latency_percentile_s(0.99) * 1e3);
   out.set("max_ms", latency_percentile_s(1.0) * 1e3);
   return out;

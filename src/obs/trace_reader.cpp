@@ -143,18 +143,15 @@ std::vector<TalkerRow> top_talkers(const TraceData& data, std::size_t n) {
   return rows;
 }
 
-LatencyReport latency_report(const TraceData& data) {
+namespace {
+
+/// Percentile report over a pre-collected latency sample set.
+LatencyReport report_from_samples(std::vector<double> ms) {
   LatencyReport report;
-  report.count = data.deliveries.size();
-  if (report.count == 0) return report;
-  std::vector<double> ms;
-  ms.reserve(data.deliveries.size());
+  report.count = ms.size();
+  if (ms.empty()) return report;
   double sum = 0.0;
-  for (const DeliveryTracker::Sample& s : data.deliveries) {
-    const double v = s.latency_s() * 1e3;
-    ms.push_back(v);
-    sum += v;
-  }
+  for (const double v : ms) sum += v;
   std::sort(ms.begin(), ms.end());
   const auto at = [&](double q) {
     const auto idx =
@@ -164,9 +161,56 @@ LatencyReport latency_report(const TraceData& data) {
   report.mean_ms = sum / static_cast<double>(ms.size());
   report.p50_ms = at(0.50);
   report.p90_ms = at(0.90);
+  report.p95_ms = at(0.95);
   report.p99_ms = at(0.99);
   report.max_ms = ms.back();
   return report;
+}
+
+const TraceSpan* find_first_span(const TraceData& data,
+                                 std::string_view name) {
+  for (const TraceSpan& span : data.spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LatencyReport latency_report(const TraceData& data) {
+  std::vector<double> ms;
+  ms.reserve(data.deliveries.size());
+  for (const DeliveryTracker::Sample& s : data.deliveries) {
+    ms.push_back(s.latency_s() * 1e3);
+  }
+  return report_from_samples(std::move(ms));
+}
+
+LatencyReport latency_report_in_phase(const TraceData& data,
+                                      std::string_view phase) {
+  const TraceSpan* span = find_first_span(data, phase);
+  if (span == nullptr) return {};
+  std::vector<double> ms;
+  for (const DeliveryTracker::Sample& s : data.deliveries) {
+    if (span->contains(s.t_rx_ns)) ms.push_back(s.latency_s() * 1e3);
+  }
+  return report_from_samples(std::move(ms));
+}
+
+std::optional<RateReport> steady_rate(const TraceData& data) {
+  const TraceSpan* span = find_first_span(data, "steady_state");
+  if (span == nullptr || !span->closed()) span = find_first_span(data, "run");
+  if (span == nullptr || !span->closed() || span->t1_ns <= span->t0_ns) {
+    return std::nullopt;
+  }
+  RateReport rate;
+  rate.window = span->name;
+  rate.window_s = static_cast<double>(span->t1_ns - span->t0_ns) * 1e-9;
+  for (const TracePacket& pkt : data.packets) {
+    if (span->contains(pkt.t_ns)) ++rate.packets;
+  }
+  rate.pkts_per_s = static_cast<double>(rate.packets) / rate.window_s;
+  return rate;
 }
 
 double setup_messages_per_node(const TraceData& data) {
@@ -212,7 +256,14 @@ std::string render_traffic(const TraceData& data) {
                                 1),
                    support::fmt(share, 1) + "%"});
   }
-  return table.render();
+  std::string out = table.render();
+  // Sustained rate over the steady-state window (falls back to "run").
+  if (const auto rate = steady_rate(data)) {
+    out += rate->window + " window: " + std::to_string(rate->packets) +
+           " pkts / " + support::fmt(rate->window_s, 3) + " s = " +
+           support::fmt(rate->pkts_per_s, 1) + " pkts/s\n";
+  }
+  return out;
 }
 
 std::string render_talkers(const TraceData& data, std::size_t n) {
@@ -226,13 +277,18 @@ std::string render_talkers(const TraceData& data, std::size_t n) {
 
 std::string render_latency(const TraceData& data) {
   const LatencyReport report = latency_report(data);
-  support::TextTable table({"metric", "value"});
-  table.add_row({"delivered", std::to_string(report.count)});
-  table.add_row({"mean (ms)", support::fmt(report.mean_ms)});
-  table.add_row({"p50 (ms)", support::fmt(report.p50_ms)});
-  table.add_row({"p90 (ms)", support::fmt(report.p90_ms)});
-  table.add_row({"p99 (ms)", support::fmt(report.p99_ms)});
-  table.add_row({"max (ms)", support::fmt(report.max_ms)});
+  support::TextTable table({"window", "delivered", "mean_ms", "p50_ms",
+                            "p90_ms", "p95_ms", "p99_ms", "max_ms"});
+  const auto add = [&table](const char* window, const LatencyReport& r) {
+    table.add_row({window, std::to_string(r.count), support::fmt(r.mean_ms),
+                   support::fmt(r.p50_ms), support::fmt(r.p90_ms),
+                   support::fmt(r.p95_ms), support::fmt(r.p99_ms),
+                   support::fmt(r.max_ms)});
+  };
+  add("all", report);
+  // Steady-state DATA view, when the trace carries that window.
+  const LatencyReport steady = latency_report_in_phase(data, "steady_state");
+  if (steady.count > 0) add("steady_state", steady);
   return table.render();
 }
 

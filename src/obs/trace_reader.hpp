@@ -75,8 +75,17 @@ struct LatencyReport {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p90_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+};
+
+/// Packet rate over one named span window.
+struct RateReport {
+  std::string window;       ///< span name the rate was computed over
+  double window_s = 0.0;    ///< window duration
+  std::uint64_t packets = 0;
+  double pkts_per_s = 0.0;
 };
 
 /// Packets/bytes per span window (a packet counts toward every span whose
@@ -96,6 +105,17 @@ struct LatencyReport {
                                                  std::size_t n);
 
 [[nodiscard]] LatencyReport latency_report(const TraceData& data);
+
+/// Latency percentiles restricted to deliveries received inside the
+/// first span named \p phase (count == 0 when absent or empty) — the
+/// steady-state DATA view when \p phase is "steady_state".
+[[nodiscard]] LatencyReport latency_report_in_phase(const TraceData& data,
+                                                    std::string_view phase);
+
+/// Sustained packets/sec over the steady-state window: the first closed
+/// "steady_state" span, falling back to "run".  nullopt when neither
+/// exists or the window is empty.
+[[nodiscard]] std::optional<RateReport> steady_rate(const TraceData& data);
 
 /// Setup messages per node, the paper's Fig 9 quantity, recomputed from
 /// the trace alone: (hello + link_advert packets) / nodes.  0 when the

@@ -1,0 +1,188 @@
+#include "core/dataplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace ldke::core {
+namespace {
+
+using testing::after_routing;
+using testing::small_config;
+
+struct SniffedPacket {
+  net::NodeId sender = net::kNoNode;
+  net::PacketKind kind = net::PacketKind::kData;
+  support::Bytes payload;
+  friend bool operator==(const SniffedPacket&, const SniffedPacket&) = default;
+};
+
+/// Records every frame the channel transmits, byte for byte.
+std::shared_ptr<std::vector<SniffedPacket>> attach_sniffer(
+    ProtocolRunner& runner) {
+  auto trace = std::make_shared<std::vector<SniffedPacket>>();
+  runner.network().channel().set_sniffer([trace](const net::Packet& pkt) {
+    trace->push_back({pkt.sender, pkt.kind, pkt.payload.to_bytes()});
+  });
+  return trace;
+}
+
+DataPlaneConfig engine_config(bool batched) {
+  DataPlaneConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.tick_interval_s = 0.05;
+  cfg.readings_per_tick = 24;
+  cfg.reading_bytes = 20;
+  cfg.batched = batched;
+  // Exercise the control plane concurrently with traffic: one refresh
+  // and one eviction land inside the window.
+  cfg.refresh_interval_s = 0.9;
+  cfg.evict_interval_s = 1.3;
+  cfg.evict_batch = 1;
+  cfg.arena_generation_ticks = 8;
+  return cfg;
+}
+
+TEST(DataPlane, BatchedPipelineIsBitIdenticalToScalar) {
+  auto scalar = after_routing(small_config(11));
+  auto batched = after_routing(small_config(11));
+  const auto scalar_trace = attach_sniffer(*scalar);
+  const auto batched_trace = attach_sniffer(*batched);
+
+  DataPlaneEngine scalar_engine{*scalar, engine_config(false)};
+  DataPlaneEngine batched_engine{*batched, engine_config(true)};
+  const DataPlaneStats ss = scalar_engine.run();
+  const DataPlaneStats bs = batched_engine.run();
+
+  // The workload itself ran, in both pipelines, with the same shape.
+  EXPECT_GT(bs.originated, 0u);
+  EXPECT_EQ(bs.originated, ss.originated);
+  EXPECT_EQ(bs.attempts, ss.attempts);
+  EXPECT_EQ(bs.refresh_rounds, ss.refresh_rounds);
+  EXPECT_GT(bs.refresh_rounds, 0u);
+  EXPECT_EQ(bs.clusters_evicted, ss.clusters_evicted);
+  EXPECT_GT(bs.arena_generations, 0u);
+  EXPECT_GT(bs.batches_sealed, 0u);
+  EXPECT_LE(bs.batches_sealed, bs.originated);
+  EXPECT_EQ(ss.batches_sealed, 0u);
+
+  // Every frame on the air is byte-identical and in the same order:
+  // the batched seals produced the same ciphertexts and tags, and the
+  // batched channel scheduled the same transmissions.
+  ASSERT_EQ(batched_trace->size(), scalar_trace->size());
+  EXPECT_EQ(*batched_trace, *scalar_trace);
+
+  // Same delivery metrics, sample for sample.
+  const auto& s_samples = scalar->deliveries().samples();
+  const auto& b_samples = batched->deliveries().samples();
+  ASSERT_EQ(b_samples.size(), s_samples.size());
+  ASSERT_GT(b_samples.size(), 0u);
+  for (std::size_t i = 0; i < b_samples.size(); ++i) {
+    EXPECT_EQ(b_samples[i].source, s_samples[i].source);
+    EXPECT_EQ(b_samples[i].t_tx_ns, s_samples[i].t_tx_ns);
+    EXPECT_EQ(b_samples[i].t_rx_ns, s_samples[i].t_rx_ns);
+  }
+
+  // Same accepted readings at the base station.
+  const auto& s_readings = scalar->base_station()->readings();
+  const auto& b_readings = batched->base_station()->readings();
+  ASSERT_EQ(b_readings.size(), s_readings.size());
+  ASSERT_GT(b_readings.size(), 0u);
+  for (std::size_t i = 0; i < b_readings.size(); ++i) {
+    EXPECT_EQ(b_readings[i].source, s_readings[i].source);
+    EXPECT_EQ(b_readings[i].payload, s_readings[i].payload);
+    EXPECT_EQ(b_readings[i].received_at, s_readings[i].received_at);
+  }
+
+  // Same protocol counters along the hop path.
+  for (const char* name :
+       {"data.originated", "data.hop_tx", "data.peek_ok", "channel.tx",
+        "channel.delivered", "envelope.auth_fail", "envelope.stale",
+        "envelope.replay", "envelope.no_key", "revoke.evicted",
+        "bs.reading_accepted"}) {
+    EXPECT_EQ(batched->network().counters().value(name),
+              scalar->network().counters().value(name))
+        << name;
+  }
+
+  // The simulators consumed the same RNG stream (loss draws and node
+  // timers), so they sit at the same position afterwards.
+  EXPECT_EQ(batched->sim().rng().uniform_u64(1u << 30),
+            scalar->sim().rng().uniform_u64(1u << 30));
+
+  // Deployment-wide crypto totals match; only attribution moves (the
+  // batched hop-wrap seals are charged to the engine, not the nodes).
+  crypto::CryptoCounters scalar_total = scalar->crypto_totals();
+  crypto::CryptoCounters batched_total = batched->crypto_totals();
+  batched_total += batched_engine.crypto_stats();
+  scalar_total += scalar_engine.crypto_stats();
+  EXPECT_EQ(batched_total.seals, scalar_total.seals);
+  EXPECT_EQ(batched_total.sealed_bytes, scalar_total.sealed_bytes);
+  EXPECT_EQ(batched_total.opens, scalar_total.opens);
+  EXPECT_EQ(batched_total.opened_bytes, scalar_total.opened_bytes);
+}
+
+TEST(DataPlane, SteadyStateSpanLandsOnTheTimeline) {
+  auto runner = after_routing(small_config(13, 80));
+  DataPlaneConfig cfg;
+  cfg.duration_s = 0.5;
+  cfg.tick_interval_s = 0.05;
+  cfg.readings_per_tick = 8;
+  DataPlaneEngine engine{*runner, cfg};
+  const DataPlaneStats stats = engine.run();
+  EXPECT_NEAR(stats.sim_elapsed_s, 0.5, 1e-9);
+  bool found = false;
+  for (const auto& span : runner->timeline().spans()) {
+    if (span.name == "steady_state") {
+      found = true;
+      EXPECT_EQ(span.t1_ns - span.t0_ns, 500'000'000);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DataPlane, LongBurnArenaStaysBounded) {
+  auto runner = after_routing(small_config(5, 120));
+  DataPlaneConfig cfg;
+  cfg.duration_s = 1.0;
+  cfg.tick_interval_s = 0.02;
+  cfg.readings_per_tick = 16;
+  cfg.arena_generation_ticks = 4;
+  DataPlaneEngine warmup{*runner, cfg};
+  warmup.run();
+  const std::size_t chunks_after_warmup = runner->payload_arena().chunk_count();
+  const std::uint64_t gen_after_warmup = runner->payload_arena().generation();
+  ASSERT_GT(gen_after_warmup, 0u);
+  ASSERT_GT(chunks_after_warmup, 0u);
+
+  cfg.duration_s = 3.0;  // 3x the traffic of the warmup window
+  DataPlaneEngine burn{*runner, cfg};
+  burn.run();
+  EXPECT_GT(runner->payload_arena().generation(), gen_after_warmup);
+  // Generation reclamation keeps the chunk population at the in-flight
+  // working set: 3x the traffic must not come close to 3x the chunks.
+  EXPECT_LE(runner->payload_arena().chunk_count(),
+            chunks_after_warmup + chunks_after_warmup / 2 + 4);
+}
+
+TEST(DataPlane, RejectsTheShardedKernel) {
+  auto cfg = small_config(3, 60);
+  cfg.kernel.lanes = 2;
+  auto runner = after_routing(cfg);
+  ASSERT_NE(runner->sim().kernel(), nullptr);
+  DataPlaneEngine engine{*runner, DataPlaneConfig{}};
+  EXPECT_THROW(engine.run(), std::invalid_argument);
+}
+
+TEST(DataPlane, RejectsNonPositiveTickInterval) {
+  auto runner = after_routing(small_config(3, 60));
+  DataPlaneConfig cfg;
+  cfg.tick_interval_s = 0.0;
+  EXPECT_THROW(DataPlaneEngine(*runner, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldke::core

@@ -1,0 +1,338 @@
+#include "crypto/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/obs.hpp"
+#include "crypto/seal_context.hpp"
+#include "crypto/sha256.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::crypto {
+namespace {
+
+using support::Bytes;
+
+Bytes random_bytes(Drbg& drbg, std::size_t n) {
+  Bytes out(n);
+  drbg.generate(out);
+  return out;
+}
+
+// ---- interleaved SHA-256 compressor vs the scalar one ----
+
+TEST(Sha256CompressX2, MatchesTwoScalarCompressions) {
+  Drbg drbg{0xc0deu};
+  for (int trial = 0; trial < 64; ++trial) {
+    std::uint32_t state_a[8], state_b[8];
+    std::uint8_t block_a[kSha256BlockBytes], block_b[kSha256BlockBytes];
+    for (auto& w : state_a) w = static_cast<std::uint32_t>(drbg.next_u64());
+    for (auto& w : state_b) w = static_cast<std::uint32_t>(drbg.next_u64());
+    drbg.generate(block_a);
+    drbg.generate(block_b);
+
+    std::uint32_t ref_a[8], ref_b[8];
+    std::copy(std::begin(state_a), std::end(state_a), std::begin(ref_a));
+    std::copy(std::begin(state_b), std::end(state_b), std::begin(ref_b));
+    detail::sha256_compress(ref_a, block_a);
+    detail::sha256_compress(ref_b, block_b);
+
+    detail::sha256_compress_x2(state_a, block_a, state_b, block_b);
+    for (int w = 0; w < 8; ++w) {
+      ASSERT_EQ(state_a[w], ref_a[w]) << "trial=" << trial << " word=" << w;
+      ASSERT_EQ(state_b[w], ref_b[w]) << "trial=" << trial << " word=" << w;
+    }
+  }
+}
+
+TEST(Sha256Compress, DrivesTheIncrementalContextUnchanged) {
+  // One-shot sha256() (which routes through process_block, now a thin
+  // wrapper over detail::sha256_compress) still matches a NIST vector.
+  const Bytes msg = support::bytes_of("abc");
+  EXPECT_EQ(support::to_hex(sha256(msg)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ---- envelope_tags_batch vs scalar seal tags ----
+
+TEST(EnvelopeTagsBatch, MatchesScalarSealTagAcrossLaneCounts) {
+  Drbg drbg{0x7a65u};
+  const Key128 key = drbg.next_key();
+  const SealContext ctx{key};
+  const HmacMidstate mid =
+      HmacSha256::precompute(PrfContext{key}.pair().mac.span());
+  for (std::size_t lanes = 1; lanes <= 8; ++lanes) {
+    std::vector<Bytes> ciphers, aads;
+    std::vector<std::uint64_t> nonces;
+    std::vector<detail::TagRequest> reqs;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      // Ragged lengths so lanes drop out of the block walk at different
+      // depths: lane l gets l*37 cipher bytes and (l*13)%29 aad bytes.
+      ciphers.push_back(random_bytes(drbg, l * 37));
+      aads.push_back(random_bytes(drbg, (l * 13) % 29));
+      nonces.push_back(drbg.next_u64());
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      reqs.push_back(detail::TagRequest{nonces[l], ciphers[l], aads[l]});
+    }
+    std::vector<MacTag> tags(lanes);
+    detail::envelope_tags_batch(mid, reqs, tags.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      // The scalar envelope tag is the last kMacTagBytes of a sealed
+      // empty-extension: seal over the *plaintext* that decrypts to this
+      // cipher.  Recover it via open: a matching tag means open succeeds.
+      Bytes sealed(ciphers[l]);
+      sealed.insert(sealed.end(), tags[l].begin(), tags[l].end());
+      EXPECT_TRUE(ctx.open(nonces[l], sealed, aads[l]).has_value())
+          << "lanes=" << lanes << " lane=" << l;
+    }
+  }
+}
+
+// ---- seal_batch vs scalar seal ----
+
+TEST(SealBatch, BitIdenticalToScalarSeal) {
+  Drbg drbg{0xbau};
+  for (int trial = 0; trial < 12; ++trial) {
+    const SealContext ctx{drbg.next_key()};
+    const std::size_t n = 1 + static_cast<std::size_t>(drbg.next_u64() % 21);
+    std::vector<Bytes> plains, aads;
+    std::vector<std::uint64_t> nonces;
+    for (std::size_t i = 0; i < n; ++i) {
+      plains.push_back(random_bytes(drbg, drbg.next_u64() % 300));
+      aads.push_back(random_bytes(drbg, drbg.next_u64() % 48));
+      nonces.push_back(drbg.next_u64());
+    }
+    std::vector<SealRequest> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      reqs.push_back(SealRequest{nonces[i], plains[i], aads[i]});
+    }
+    SealedBatch out;
+    ctx.seal_batch(reqs, out);
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Bytes scalar = ctx.seal(nonces[i], plains[i], aads[i]);
+      const auto item = out.item(i);
+      ASSERT_EQ(Bytes(item.begin(), item.end()), scalar)
+          << "trial=" << trial << " item=" << i
+          << " len=" << plains[i].size();
+    }
+  }
+}
+
+TEST(SealBatch, EmptyBatchAndReuse) {
+  Drbg drbg{21};
+  const SealContext ctx{drbg.next_key()};
+  SealedBatch out;
+  ctx.seal_batch({}, out);
+  EXPECT_EQ(out.size(), 0u);
+  // Reuse after a non-empty batch must fully clear the previous contents.
+  const Bytes plain = random_bytes(drbg, 99);
+  std::vector<SealRequest> reqs{SealRequest{5, plain, {}}};
+  ctx.seal_batch(reqs, out);
+  ASSERT_EQ(out.size(), 1u);
+  ctx.seal_batch({}, out);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_TRUE(out.buffer.empty());
+}
+
+// ---- open_batch vs scalar open ----
+
+TEST(OpenBatch, MatchesScalarOpenIncludingFailures) {
+  Drbg drbg{22};
+  for (int trial = 0; trial < 8; ++trial) {
+    const SealContext ctx{drbg.next_key()};
+    const std::size_t n = 1 + static_cast<std::size_t>(drbg.next_u64() % 13);
+    std::vector<Bytes> sealed, aads;
+    std::vector<std::uint64_t> nonces;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Bytes plain = random_bytes(drbg, drbg.next_u64() % 200);
+      const Bytes aad = random_bytes(drbg, drbg.next_u64() % 20);
+      const std::uint64_t nonce = drbg.next_u64();
+      Bytes env = ctx.seal(nonce, plain, aad);
+      switch (i % 4) {
+        case 1:  // corrupt ciphertext (when there is one)
+          if (env.size() > kMacTagBytes) env[0] ^= 0x40;
+          break;
+        case 2:  // corrupt tag
+          env.back() ^= 0x01;
+          break;
+        case 3:  // truncate below a bare tag
+          env.resize(kMacTagBytes - 1);
+          break;
+        default:
+          break;
+      }
+      sealed.push_back(std::move(env));
+      aads.push_back(aad);
+      nonces.push_back(nonce);
+    }
+    std::vector<OpenRequest> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      reqs.push_back(OpenRequest{nonces[i], sealed[i], aads[i]});
+    }
+    std::vector<std::optional<Bytes>> batch(n);
+    ctx.open_batch(reqs, batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto scalar = ctx.open(nonces[i], sealed[i], aads[i]);
+      ASSERT_EQ(batch[i].has_value(), scalar.has_value())
+          << "trial=" << trial << " item=" << i;
+      if (scalar.has_value()) EXPECT_EQ(*batch[i], *scalar);
+    }
+  }
+}
+
+TEST(OpenBatch, ContiguousOverloadMatchesScalarOpen) {
+  Drbg drbg{26};
+  OpenedBatch out;  // reused across trials to exercise clear()
+  for (int trial = 0; trial < 8; ++trial) {
+    const SealContext ctx{drbg.next_key()};
+    const std::size_t n = 1 + static_cast<std::size_t>(drbg.next_u64() % 13);
+    std::vector<Bytes> sealed, aads;
+    std::vector<std::uint64_t> nonces;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Bytes plain = random_bytes(drbg, drbg.next_u64() % 200);
+      const Bytes aad = random_bytes(drbg, drbg.next_u64() % 20);
+      const std::uint64_t nonce = drbg.next_u64();
+      Bytes env = ctx.seal(nonce, plain, aad);
+      switch (i % 4) {
+        case 1:
+          if (env.size() > kMacTagBytes) env[0] ^= 0x40;
+          break;
+        case 2:
+          env.back() ^= 0x01;
+          break;
+        case 3:
+          env.resize(kMacTagBytes - 1);
+          break;
+        default:
+          break;
+      }
+      sealed.push_back(std::move(env));
+      aads.push_back(aad);
+      nonces.push_back(nonce);
+    }
+    std::vector<OpenRequest> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      reqs.push_back(OpenRequest{nonces[i], sealed[i], aads[i]});
+    }
+    ctx.open_batch(reqs, out);
+    ASSERT_EQ(out.size(), n);
+    ASSERT_EQ(out.offsets.size(), n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto scalar = ctx.open(nonces[i], sealed[i], aads[i]);
+      ASSERT_EQ(out.ok[i] != 0, scalar.has_value())
+          << "trial=" << trial << " item=" << i;
+      if (scalar.has_value()) {
+        const auto item = out.item(i);
+        EXPECT_EQ(Bytes(item.begin(), item.end()), *scalar);
+      } else {
+        EXPECT_TRUE(out.item(i).empty());
+      }
+    }
+  }
+}
+
+// ---- crypto counters parity ----
+
+TEST(SealBatch, CountersMatchScalarTotals) {
+  Drbg drbg{23};
+  const SealContext ctx{drbg.next_key()};
+  std::vector<Bytes> plains;
+  std::vector<SealRequest> reqs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    plains.push_back(random_bytes(drbg, 30 + i * 11));
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    reqs.push_back(SealRequest{i + 1, plains[i], {}});
+  }
+
+  CryptoCounters scalar_counts;
+  std::vector<Bytes> envelopes;
+  {
+    ScopedCryptoCounters scope{scalar_counts};
+    for (const auto& r : reqs) {
+      envelopes.push_back(ctx.seal(r.nonce, r.plain, r.aad));
+    }
+  }
+  CryptoCounters batch_counts;
+  SealedBatch out;
+  {
+    ScopedCryptoCounters scope{batch_counts};
+    ctx.seal_batch(reqs, out);
+  }
+  EXPECT_EQ(batch_counts.seals, scalar_counts.seals);
+  EXPECT_EQ(batch_counts.sealed_bytes, scalar_counts.sealed_bytes);
+
+  // Opens: one tampered envelope so open_failures is exercised too.
+  envelopes[2].back() ^= 0xff;
+  std::vector<OpenRequest> opens;
+  for (std::size_t i = 0; i < envelopes.size(); ++i) {
+    opens.push_back(OpenRequest{i + 1, envelopes[i], {}});
+  }
+  CryptoCounters scalar_open, batch_open;
+  {
+    ScopedCryptoCounters scope{scalar_open};
+    for (const auto& r : opens) (void)ctx.open(r.nonce, r.sealed, r.aad);
+  }
+  std::vector<std::optional<Bytes>> results(opens.size());
+  {
+    ScopedCryptoCounters scope{batch_open};
+    ctx.open_batch(opens, results);
+  }
+  EXPECT_EQ(batch_open.opens, scalar_open.opens);
+  EXPECT_EQ(batch_open.opened_bytes, scalar_open.opened_bytes);
+  EXPECT_EQ(batch_open.open_failures, scalar_open.open_failures);
+  EXPECT_EQ(batch_open.open_failures, 1u);
+}
+
+// ---- multi-buffer CTR vs scalar ----
+
+TEST(CtrCryptBatch, MatchesPerSliceCrypt) {
+  Drbg drbg{24};
+  const AesCtrContext ctx{drbg.next_key()};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(drbg.next_u64() % 9);
+    std::vector<Bytes> batch_bufs, scalar_bufs;
+    std::vector<std::uint64_t> nonces;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Lengths straddle the 64-block staging flush: up to ~1.5KB.
+      batch_bufs.push_back(random_bytes(drbg, drbg.next_u64() % 1500));
+      scalar_bufs.push_back(batch_bufs.back());
+      nonces.push_back(drbg.next_u64());
+    }
+    std::vector<CtrSlice> slices;
+    for (std::size_t i = 0; i < n; ++i) {
+      slices.push_back(CtrSlice{nonces[i], batch_bufs[i]});
+    }
+    ctx.crypt_batch(slices);
+    for (std::size_t i = 0; i < n; ++i) {
+      ctx.crypt(nonces[i], scalar_bufs[i]);
+      ASSERT_EQ(batch_bufs[i], scalar_bufs[i]) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Aes128EncryptBlocks, MatchesSingleBlockEncrypts) {
+  Drbg drbg{25};
+  const Aes128 aes{drbg.next_key()};
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                              std::size_t{9}, std::size_t{64},
+                              std::size_t{65}}) {
+    Bytes batch = random_bytes(drbg, n * kAesBlockBytes);
+    Bytes scalar = batch;
+    aes.encrypt_blocks(batch.data(), n);
+    for (std::size_t b = 0; b < n; ++b) {
+      aes.encrypt_block(std::span<std::uint8_t, kAesBlockBytes>(
+          scalar.data() + b * kAesBlockBytes, kAesBlockBytes));
+    }
+    ASSERT_EQ(batch, scalar) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ldke::crypto

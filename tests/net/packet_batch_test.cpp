@@ -1,0 +1,203 @@
+#include "net/packet_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "support/hex.hpp"
+
+namespace ldke::net {
+namespace {
+
+Packet make_packet(NodeId sender, std::size_t payload_bytes,
+                   std::uint8_t fill) {
+  Packet p;
+  p.sender = sender;
+  p.kind = PacketKind::kData;
+  p.payload = support::Bytes(payload_bytes, fill);
+  return p;
+}
+
+TEST(PacketBatch, SoAColumnsMirrorPushedPackets) {
+  PacketBatch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.push(make_packet(3, 10, 0xaa));
+  batch.push(7, PacketKind::kBeacon, PayloadRef{support::Bytes(4, 0xbb)});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.senders()[0], 3u);
+  EXPECT_EQ(batch.senders()[1], 7u);
+  EXPECT_EQ(batch.kinds()[0], PacketKind::kData);
+  EXPECT_EQ(batch.kinds()[1], PacketKind::kBeacon);
+  EXPECT_EQ(batch.payloads()[0].size(), 10u);
+  const Packet back = batch.packet(1);
+  EXPECT_EQ(back.sender, 7u);
+  EXPECT_EQ(back.kind, PacketKind::kBeacon);
+  EXPECT_TRUE(back.payload.shares_buffer_with(batch.payloads()[1]));
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+struct ChannelFixture {
+  sim::Simulator sim{1};
+  Topology topo =
+      Topology::from_positions({{0, 0}, {1, 0}, {2, 0}, {1, 1}, {10, 0}}, 1.5);
+  EnergyModel energy;
+  sim::TraceCounters counters;
+  ChannelConfig config;
+  Channel channel;
+  std::vector<std::pair<NodeId, NodeId>> deliveries;  // (receiver, sender)
+
+  explicit ChannelFixture(ChannelConfig cfg = {}, std::uint64_t seed = 1)
+      : sim(seed), config(cfg), channel(sim, topo, energy, counters, cfg) {
+    energy.resize(topo.size());
+    channel.set_delivery_handler([this](NodeId receiver, const Packet& pkt) {
+      deliveries.emplace_back(receiver, pkt.sender);
+    });
+  }
+};
+
+PacketBatch three_packet_batch() {
+  PacketBatch batch;
+  batch.push(make_packet(1, 20, 0x11));
+  batch.push(make_packet(0, 36, 0x22));
+  batch.push(make_packet(3, 8, 0x33));
+  return batch;
+}
+
+TEST(ChannelDeliverBatch, MatchesScalarBroadcastsExactly) {
+  ChannelFixture scalar;
+  ChannelFixture batched;
+  const PacketBatch batch = three_packet_batch();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scalar.channel.broadcast(batch.packet(i));
+  }
+  batched.channel.deliver_batch(batch);
+  scalar.sim.run();
+  batched.sim.run();
+
+  // Same handler invocations in the same order.
+  ASSERT_EQ(batched.deliveries, scalar.deliveries);
+  // Same tallies and counters.
+  EXPECT_EQ(batched.channel.transmissions(), scalar.channel.transmissions());
+  EXPECT_EQ(batched.channel.deliveries(), scalar.channel.deliveries());
+  EXPECT_EQ(batched.channel.bytes_sent(), scalar.channel.bytes_sent());
+  EXPECT_EQ(batched.counters.value("channel.tx"),
+            scalar.counters.value("channel.tx"));
+  EXPECT_EQ(batched.counters.value("channel.delivered"),
+            scalar.counters.value("channel.delivered"));
+  // Same per-kind accounting and per-node energy.
+  EXPECT_EQ(batched.channel.tx_packets_by_kind(),
+            scalar.channel.tx_packets_by_kind());
+  for (NodeId id = 0; id < batched.topo.size(); ++id) {
+    EXPECT_EQ(batched.energy.consumed_j(id), scalar.energy.consumed_j(id))
+        << "node " << id;
+  }
+}
+
+TEST(ChannelDeliverBatch, BatchHandlerSeesSurvivorsInScalarOrder) {
+  ChannelFixture f;
+  std::vector<std::vector<NodeId>> groups;
+  f.channel.set_batch_delivery_handler(
+      [&](std::span<const NodeId> receivers, const Packet&) {
+        groups.emplace_back(receivers.begin(), receivers.end());
+      });
+  PacketBatch batch;
+  batch.push(make_packet(1, 16, 0x44));  // neighbors 0, 2, 3
+  f.channel.deliver_batch(batch);
+  f.sim.run();
+  ASSERT_EQ(groups.size(), 1u);
+  const std::vector<NodeId> expected(f.topo.neighbors(1).begin(),
+                                     f.topo.neighbors(1).end());
+  EXPECT_EQ(groups[0], expected);
+}
+
+TEST(ChannelDeliverBatch, LossDrawsConsumeTheSameRngStream) {
+  ChannelConfig lossy;
+  lossy.loss_probability = 0.4;
+  ChannelFixture scalar{lossy, 99};
+  ChannelFixture batched{lossy, 99};
+  const PacketBatch batch = three_packet_batch();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scalar.channel.broadcast(batch.packet(i));
+  }
+  batched.channel.deliver_batch(batch);
+  scalar.sim.run();
+  batched.sim.run();
+  EXPECT_EQ(batched.deliveries, scalar.deliveries);
+  EXPECT_EQ(batched.channel.losses(), scalar.channel.losses());
+  // The draw happens at schedule time in receiver order, so the RNG is
+  // positioned identically afterwards.
+  EXPECT_EQ(batched.sim.rng().uniform_u64(1u << 30),
+            scalar.sim.rng().uniform_u64(1u << 30));
+}
+
+TEST(ChannelDeliverBatch, CollisionsMatchScalar) {
+  ChannelConfig colliding;
+  colliding.model_collisions = true;
+  ChannelFixture scalar{colliding};
+  ChannelFixture batched{colliding};
+  // Two same-instant transmissions from nodes 0 and 2: their frames
+  // overlap at the shared neighbor 1 and corrupt each other.
+  PacketBatch batch;
+  batch.push(make_packet(0, 20, 0x55));
+  batch.push(make_packet(2, 20, 0x66));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scalar.channel.broadcast(batch.packet(i));
+  }
+  batched.channel.deliver_batch(batch);
+  scalar.sim.run();
+  batched.sim.run();
+  ASSERT_GT(scalar.channel.collisions(), 0u);
+  EXPECT_EQ(batched.channel.collisions(), scalar.channel.collisions());
+  EXPECT_EQ(batched.deliveries, scalar.deliveries);
+}
+
+TEST(ChannelDeliverBatch, CsmaFallsBackToScalarPath) {
+  ChannelConfig csma;
+  csma.csma = true;
+  ChannelFixture scalar{csma, 7};
+  ChannelFixture batched{csma, 7};
+  const PacketBatch batch = three_packet_batch();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scalar.channel.broadcast(batch.packet(i));
+  }
+  batched.channel.deliver_batch(batch);
+  scalar.sim.run();
+  batched.sim.run();
+  EXPECT_EQ(batched.deliveries, scalar.deliveries);
+  EXPECT_EQ(batched.channel.csma_deferrals(), scalar.channel.csma_deferrals());
+}
+
+TEST(NetworkDeliverBatch, DispatchesToAttachedNodes) {
+  sim::Simulator sim{1};
+  Network net{sim, Topology::from_positions({{0, 0}, {1, 0}, {2, 0}}, 1.5)};
+
+  struct CountingNode final : Node {
+    explicit CountingNode(NodeId id) : Node(id) {}
+    void start(Network&) override {}
+    void handle_packet(Network&, const Packet& packet) override {
+      ++handled;
+      last_sender = packet.sender;
+    }
+    int handled = 0;
+    NodeId last_sender = kNoNode;
+  };
+  CountingNode n0{0}, n1{1}, n2{2};
+  net.attach(n0);
+  net.attach(n1);
+  net.attach(n2);
+
+  PacketBatch batch;
+  batch.push(make_packet(1, 12, 0x77));
+  net.deliver_batch(batch);
+  sim.run();
+  EXPECT_EQ(n0.handled, 1);
+  EXPECT_EQ(n2.handled, 1);
+  EXPECT_EQ(n1.handled, 0);  // sender does not hear itself
+  EXPECT_EQ(n0.last_sender, 1u);
+}
+
+}  // namespace
+}  // namespace ldke::net

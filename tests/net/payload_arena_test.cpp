@@ -121,5 +121,67 @@ TEST(PayloadArena, FallsBackToHeapWithoutScope) {
   EXPECT_EQ(ref.size(), 2u);  // no arena installed; plain shared block
 }
 
+TEST(PayloadArena, AdvanceGenerationRecyclesDrainedChunks) {
+  PayloadArena arena{256};
+  PayloadArena::Scope scope{arena};
+  for (int i = 0; i < 64; ++i) {
+    const PayloadRef ref{bytes_of({1, 2, 3, 4, 5, 6, 7, 8})};
+  }
+  const std::size_t chunks = arena.chunk_count();
+  ASSERT_GT(chunks, 1u);
+  arena.advance_generation();
+  EXPECT_EQ(arena.generation(), 1u);
+  // Every payload died before the boundary: nothing stays retired, all
+  // chunks move to the free list for the next generation.
+  EXPECT_EQ(arena.retired_chunks(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  for (int i = 0; i < 64; ++i) {
+    const PayloadRef ref{bytes_of({9, 9, 9, 9, 9, 9, 9, 9})};
+  }
+  arena.advance_generation();
+  // Steady state: the chunk population does not grow generation over
+  // generation when the working set is stable.
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(PayloadArena, PinnedChunkStaysArenaOwnedUntilRefsDrain) {
+  PayloadArena arena{256};
+  PayloadArena::Scope scope{arena};
+  PayloadRef in_flight;
+  for (int i = 0; i < 64; ++i) {
+    PayloadRef ref{bytes_of({static_cast<std::uint8_t>(i), 2, 3, 4})};
+    if (i == 40) in_flight = ref;
+  }
+  const std::size_t chunks = arena.chunk_count();
+  arena.advance_generation();
+  // The in-flight packet pins exactly its own chunk in the retired set;
+  // the chunk stays arena-owned (unlike reset(), which forfeits it).
+  EXPECT_EQ(arena.retired_chunks(), 1u);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(in_flight[0], 40u);  // bytes untouched while pinned
+  in_flight = PayloadRef{};      // delivery: last reference drains
+  arena.reclaim();
+  EXPECT_EQ(arena.retired_chunks(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks);  // recycled, not freed
+}
+
+TEST(PayloadArena, ResetAlsoTriagesRetiredChunks) {
+  PayloadArena arena{256};
+  PayloadRef survivor;
+  {
+    PayloadArena::Scope scope{arena};
+    for (int i = 0; i < 64; ++i) {
+      PayloadRef ref{bytes_of({static_cast<std::uint8_t>(i), 2, 3, 4})};
+      if (i == 20) survivor = ref;
+    }
+  }
+  arena.advance_generation();
+  ASSERT_EQ(arena.retired_chunks(), 1u);
+  arena.reset();  // end of trial: pinned chunk is released to its ref
+  EXPECT_EQ(arena.retired_chunks(), 0u);
+  EXPECT_EQ(survivor[0], 20u);
+  survivor = PayloadRef{};  // frees the orphaned chunk (ASan-checked)
+}
+
 }  // namespace
 }  // namespace ldke::net

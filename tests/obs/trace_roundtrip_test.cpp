@@ -125,6 +125,79 @@ TEST(TraceRoundTrip, LatencyAndFig9FromTraceAlone) {
   EXPECT_DOUBLE_EQ(setup_messages_per_node(*data), 1.0);
 }
 
+/// A steady-state trace: a closed "steady_state" span holding a burst of
+/// DATA packets and four delivery samples with distinct latencies.
+std::string make_steady_trace() {
+  std::ostringstream os;
+  TraceSink sink{os};
+  JsonValue meta;
+  meta.set("nodes", 8).set("seed", 9);
+  sink.write_meta("test", std::move(meta));
+
+  TraceSpan steady;
+  steady.name = "steady_state";
+  steady.t0_ns = 1'000'000'000;
+  steady.t1_ns = 3'000'000'000;
+  sink.write_span(steady);
+
+  // One early delivery outside the window, four inside with latencies
+  // 1/2/3/4 ms so the percentile ladder is unambiguous.
+  DeliveryTracker::Sample early;
+  early.source = 1;
+  early.t_tx_ns = 100;
+  early.t_rx_ns = 500;
+  sink.write_delivery(early);
+  for (int i = 1; i <= 4; ++i) {
+    DeliveryTracker::Sample s;
+    s.source = static_cast<std::uint32_t>(i);
+    s.t_tx_ns = 1'000'000'000 + i * 10'000'000;
+    s.t_rx_ns = s.t_tx_ns + i * 1'000'000;
+    sink.write_delivery(s);
+  }
+  for (int i = 0; i < 10; ++i) {
+    sink.write_packet(1'000'000'000 + i * 100'000'000, 2, "data", 64);
+  }
+  sink.write_packet(100, 2, "hello", 40);  // outside the window
+  return os.str();
+}
+
+TEST(TraceRoundTrip, LatencyReportCanBeScopedToAPhaseWindow) {
+  std::istringstream in{make_steady_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+
+  const auto all = latency_report(*data);
+  EXPECT_EQ(all.count, 5u);
+
+  const auto steady = latency_report_in_phase(*data, "steady_state");
+  EXPECT_EQ(steady.count, 4u);  // the early sample falls outside
+  EXPECT_DOUBLE_EQ(steady.mean_ms, 2.5);
+  EXPECT_DOUBLE_EQ(steady.p50_ms, 3.0);  // upper-median percentile rule
+  EXPECT_DOUBLE_EQ(steady.max_ms, 4.0);
+  EXPECT_GE(steady.p95_ms, steady.p90_ms);
+  EXPECT_GE(steady.p99_ms, steady.p95_ms);
+
+  EXPECT_EQ(latency_report_in_phase(*data, "absent").count, 0u);
+}
+
+TEST(TraceRoundTrip, SteadyRateCoversTheSteadyStateWindow) {
+  std::istringstream in{make_steady_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto rate = steady_rate(*data);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_EQ(rate->window, "steady_state");
+  EXPECT_DOUBLE_EQ(rate->window_s, 2.0);
+  EXPECT_EQ(rate->packets, 10u);  // the hello lands outside the window
+  EXPECT_DOUBLE_EQ(rate->pkts_per_s, 5.0);
+
+  // Without any usable window there is no rate to report.
+  std::istringstream plain{make_trace()};
+  const auto base = load_trace(plain);
+  ASSERT_TRUE(base.has_value());
+  EXPECT_FALSE(steady_rate(*base).has_value());
+}
+
 TEST(TraceRoundTrip, UnknownLineTypesAreSkippedNotFatal) {
   std::string text = make_trace();
   text += "{\"type\":\"future_thing\",\"x\":1}\n";

@@ -8,6 +8,8 @@
 ///   ldke_sim attack (clone|flood|wormhole) [-n nodes] [-d density] [-s seed]
 ///   ldke_sim lifecycle [-n nodes] [-d density] [-s seed]
 ///                      [--summary f.json] [--trace f.jsonl]
+///   ldke_sim steady [-n nodes] [-d density] [-s seed] [--duration s]
+///                   [--scalar] [--summary f.json] [--trace f.jsonl]
 
 #include <cstring>
 #include <fstream>
@@ -23,6 +25,7 @@
 #include "attacks/clone.hpp"
 #include "attacks/hello_flood.hpp"
 #include "attacks/wormhole.hpp"
+#include "core/dataplane.hpp"
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
 #include "support/table.hpp"
@@ -41,6 +44,8 @@ struct CliOptions {
   std::size_t lanes = 1;
   bool collisions = false;
   bool csv = false;
+  double duration = 5.0;     ///< steady-state window (seconds)
+  bool scalar = false;       ///< steady: per-packet pipeline, not batched
   std::string summary_path;  ///< RunSummary JSON destination ("" = off)
   std::string trace_path;    ///< JSONL trace destination ("" = off)
 };
@@ -53,6 +58,7 @@ int usage() {
       "  sweep       density sweep (the paper's Figures 6-9 quantities)\n"
       "  attack      clone | flood | wormhole demonstration\n"
       "  lifecycle   setup -> routing -> data -> refresh -> evict -> add\n"
+      "  steady      setup + routing, then the steady-state data plane\n"
       "options:\n"
       "  -n <nodes>  deployment size          (default 1000)\n"
       "  -d <dens>   mean neighbors per node  (default 12)\n"
@@ -61,6 +67,8 @@ int usage() {
       "  --loss <p>  per-receiver loss probability\n"
       "  --lanes <k> sharded-kernel lanes (1 = serial event loop)\n"
       "  --collisions  model overlapping-reception corruption\n"
+      "  --duration <s>  steady-state window length  (default 5)\n"
+      "  --scalar    steady: per-packet scalar pipeline (default batched)\n"
       "  --csv       machine-readable output\n"
       "  --summary <file>  write the RunSummary JSON artifact\n"
       "  --trace <file>    write the versioned JSONL trace "
@@ -95,6 +103,10 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
       opt.loss = v;
     } else if (arg == "--lanes" && next_value(v)) {
       opt.lanes = static_cast<std::size_t>(v);
+    } else if (arg == "--duration" && next_value(v)) {
+      opt.duration = v;
+    } else if (arg == "--scalar") {
+      opt.scalar = true;
     } else if (arg == "--collisions") {
       opt.collisions = true;
     } else if (arg == "--csv") {
@@ -296,6 +308,54 @@ int cmd_lifecycle(const CliOptions& opt) {
                         "ldke_sim lifecycle");
 }
 
+/// Setup + routing, then the DataPlaneEngine's steady-state window:
+/// continuous DATA origination with periodic hash refresh, through the
+/// batched SoA pipeline (or --scalar for the per-packet one — both are
+/// bit-identical per seed, so the choice only moves wall time).
+int cmd_steady(const CliOptions& opt) {
+  if (opt.lanes > 1) {
+    std::cerr << "steady requires the serial event loop (--lanes 1)\n";
+    return 2;
+  }
+  core::ProtocolRunner runner{config_of(opt)};
+  net::PacketTrace trace{1 << 20};
+  if (!opt.trace_path.empty()) trace.attach(runner.network());
+  std::cout << "setup + routing... " << std::flush;
+  runner.run_key_setup();
+  runner.run_routing_setup();
+  std::cout << "done\n" << (opt.scalar ? "scalar" : "batched")
+            << " data plane, " << support::fmt(opt.duration, 1)
+            << " s steady state... " << std::flush;
+  core::DataPlaneConfig dp;
+  dp.duration_s = opt.duration;
+  dp.batched = !opt.scalar;
+  dp.refresh_interval_s = 1.0;  // control plane stays live under traffic
+  core::DataPlaneEngine engine{runner, dp};
+  const core::DataPlaneStats stats = engine.run();
+  std::cout << "done\n";
+
+  const obs::DeliveryTracker& dt = runner.deliveries();
+  support::TextTable table({"metric", "value"});
+  table.add_row({"originated", std::to_string(stats.originated)});
+  table.add_row({"delivered", std::to_string(dt.delivered())});
+  table.add_row({"pkts/s (sim)",
+                 support::fmt(static_cast<double>(stats.originated) /
+                                  stats.sim_elapsed_s, 1)});
+  table.add_row({"latency p50 (ms)",
+                 support::fmt(dt.latency_percentile_s(0.50) * 1e3, 3)});
+  table.add_row({"latency p95 (ms)",
+                 support::fmt(dt.latency_percentile_s(0.95) * 1e3, 3)});
+  table.add_row({"latency p99 (ms)",
+                 support::fmt(dt.latency_percentile_s(0.99) * 1e3, 3)});
+  table.add_row({"refresh rounds", std::to_string(stats.refresh_rounds)});
+  table.add_row({"arena generations",
+                 std::to_string(stats.arena_generations)});
+  std::cout << (opt.csv ? table.to_csv() : table.render());
+  return emit_artifacts(runner, opt,
+                        opt.trace_path.empty() ? nullptr : &trace,
+                        "ldke_sim steady");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,5 +372,6 @@ int main(int argc, char** argv) {
     return cmd_attack(opt, attack_kind);
   }
   if (command == "lifecycle") return cmd_lifecycle(opt);
+  if (command == "steady") return cmd_steady(opt);
   return usage();
 }

@@ -49,6 +49,7 @@ SUMMARY_SECTIONS = {
         "unmatched": int,
         "p50_ms": NUMBER,
         "p90_ms": NUMBER,
+        "p95_ms": NUMBER,
         "p99_ms": NUMBER,
         "max_ms": NUMBER,
     },
