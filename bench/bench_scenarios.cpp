@@ -1,0 +1,206 @@
+/// Scenario-suite bench: degradation and recovery under dynamics.  Runs
+/// three canonical ScenarioSpecs (mobility sweep, churn + duty cycling,
+/// partition/heal) through the packet-level ScenarioEngine, then replays
+/// each trace at graph level under LDKE and the baseline key schemes.
+///
+/// Two hard gates, either failure exits non-zero:
+///   - determinism: a second engine run of the same (spec, seed) must
+///     produce a bit-identical ScenarioStats JSON, and
+///   - replay agreement: every graph replay must reproduce the engine's
+///     trace digest (both replayers walked the same deployment history).
+///
+/// Results land in results/BENCH_scenarios.json.  Env knobs:
+/// LDKE_BENCH_SCENARIO_NODES (default 1000), LDKE_BENCH_SCENARIO_OUT
+/// (output path, "" disables).
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "baselines/global_key.hpp"
+#include "baselines/ldke_adapter.hpp"
+#include "baselines/random_predist.hpp"
+#include "core/runner.hpp"
+#include "obs/json.hpp"
+#include "scenario/baseline_replay.hpp"
+#include "scenario/engine.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ldke;
+
+constexpr std::uint64_t kSeed = 0x5eed;
+
+std::size_t env_nodes() {
+  if (const char* env = std::getenv("LDKE_BENCH_SCENARIO_NODES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 1) return static_cast<std::size_t>(v);
+  }
+  return 1000;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The deployment area scales with the node count so density (and with
+/// it cluster structure) stays comparable across LDKE_BENCH_SCENARIO_NODES.
+scenario::ScenarioSpec base_spec(std::size_t nodes, std::string name) {
+  scenario::ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.nodes = nodes;
+  spec.density = 10.0;
+  spec.side_m = 1000.0 * std::sqrt(static_cast<double>(nodes) / 600.0);
+  spec.data.refresh_interval_s = 1.0;
+  return spec;
+}
+
+scenario::ScenarioSpec mobility_spec(std::size_t nodes) {
+  scenario::ScenarioSpec spec = base_spec(nodes, "mobility");
+  spec.motion.model = scenario::MotionModel::kRandomWaypoint;
+  spec.motion.epoch_s = 0.25;
+  spec.motion.speed_min_mps = 2.0;
+  spec.motion.speed_max_mps = 12.0;
+  spec.motion.pause_s = 0.5;
+  scenario::PhaseSpec still{.name = "still", .duration_s = 1.0};
+  scenario::PhaseSpec moving{.name = "moving", .duration_s = 2.0};
+  moving.mobility = true;
+  scenario::PhaseSpec settled{.name = "settled", .duration_s = 1.0};
+  spec.phases = {still, moving, settled};
+  return spec;
+}
+
+scenario::ScenarioSpec churn_duty_spec(std::size_t nodes) {
+  scenario::ScenarioSpec spec = base_spec(nodes, "churn_duty");
+  spec.churn = {3.0, 2.0, 3.0};
+  spec.duty = {1.0, 0.7};
+  scenario::PhaseSpec baseline{.name = "baseline", .duration_s = 1.0};
+  scenario::PhaseSpec stress{.name = "stress", .duration_s = 2.0};
+  stress.churn = true;
+  stress.duty = true;
+  stress.recluster_after = true;
+  scenario::PhaseSpec recovered{.name = "recovered", .duration_s = 1.0};
+  spec.phases = {baseline, stress, recovered};
+  return spec;
+}
+
+scenario::ScenarioSpec partition_spec(std::size_t nodes) {
+  scenario::ScenarioSpec spec = base_spec(nodes, "partition");
+  scenario::PhaseSpec baseline{.name = "baseline", .duration_s = 1.0};
+  scenario::PhaseSpec walled{.name = "walled", .duration_s = 2.0};
+  walled.events.push_back(
+      {scenario::ScriptedEvent::Kind::kPartition, 0.25, spec.side_m / 2});
+  walled.events.push_back({scenario::ScriptedEvent::Kind::kHeal, 1.5, 0.0});
+  scenario::PhaseSpec healed{.name = "healed", .duration_s = 1.0};
+  spec.phases = {baseline, walled, healed};
+  return spec;
+}
+
+scenario::ScenarioStats run_engine(const scenario::ScenarioSpec& spec) {
+  core::ProtocolRunner runner{
+      scenario::ScenarioEngine::make_runner_config(spec, kSeed)};
+  scenario::ScenarioEngine engine{runner, spec};
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t nodes = env_nodes();
+  std::cout << "Scenario bench: " << nodes
+            << " nodes, seed " << kSeed << "\n\n";
+
+  const scenario::ScenarioSpec specs[] = {
+      mobility_spec(nodes), churn_duty_spec(nodes), partition_spec(nodes)};
+
+  obs::JsonValue scenarios;
+  support::TextTable table({"scenario", "phase", "ratio", "p50 ms",
+                            "ldke", "global", "predist"});
+  bool all_deterministic = true;
+  bool all_digests_match = true;
+
+  for (const scenario::ScenarioSpec& spec : specs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const scenario::ScenarioStats stats = run_engine(spec);
+    const double wall_s = seconds_since(t0);
+
+    // Gate 1: a rerun of the same (spec, seed) is bit-identical.
+    const scenario::ScenarioStats again = run_engine(spec);
+    const bool deterministic =
+        stats.to_json().dump() == again.to_json().dump();
+    all_deterministic = all_deterministic && deterministic;
+
+    // Gate 2: every graph replay reproduces the engine's trace digest.
+    core::ProtocolRunner deployed{
+        scenario::ScenarioEngine::make_runner_config(spec, kSeed)};
+    deployed.run_key_setup();
+    baselines::LdkeAdapter ldke{deployed};
+    baselines::GlobalKeyScheme global_key;
+    baselines::RandomPredistScheme random_predist;
+    const std::pair<const char*, baselines::KeyScheme&> schemes[] = {
+        {"ldke", ldke},
+        {"global_key", global_key},
+        {"random_predist", random_predist}};
+    obs::JsonValue replays;
+    std::vector<scenario::GraphReplayResult> results;
+    for (const auto& [name, scheme] : schemes) {
+      results.push_back(scenario::replay_scheme(spec, kSeed, scheme));
+      all_digests_match = all_digests_match &&
+                          results.back().trace_digest == stats.trace_digest;
+      replays.push(results.back().to_json());
+    }
+
+    for (std::size_t pi = 0; pi < stats.phases.size(); ++pi) {
+      const scenario::PhaseStats& ps = stats.phases[pi];
+      table.add_row({spec.name, ps.name,
+                     support::fmt(ps.delivery_ratio()),
+                     support::fmt(ps.latency_p50_ms, 1),
+                     support::fmt(results[0].phases[pi].secured_link_fraction),
+                     support::fmt(results[1].phases[pi].secured_link_fraction),
+                     support::fmt(
+                         results[2].phases[pi].secured_link_fraction)});
+    }
+
+    obs::JsonValue entry;
+    entry.set("wall_s", wall_s);
+    entry.set("deterministic", deterministic);
+    entry.set("engine", stats.to_json());
+    entry.set("replays", std::move(replays));
+    scenarios.push(std::move(entry));
+  }
+
+  table.print(std::cout);
+  std::cout << "\ndeterministic reruns: "
+            << (all_deterministic ? "yes" : "NO")
+            << "\nreplay digests match the engine: "
+            << (all_digests_match ? "yes" : "NO") << "\n";
+
+  obs::JsonValue doc;
+  doc.set("schema_version", 1);
+  doc.set("bench", "scenarios");
+  doc.set("nodes", static_cast<std::uint64_t>(nodes));
+  doc.set("seed", kSeed);
+  doc.set("deterministic", all_deterministic);
+  doc.set("digests_match", all_digests_match);
+  doc.set("scenarios", std::move(scenarios));
+
+  const char* out_env = std::getenv("LDKE_BENCH_SCENARIO_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "results/BENCH_scenarios.json";
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    os << doc.dump() << "\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return (all_deterministic && all_digests_match) ? 0 : 1;
+}

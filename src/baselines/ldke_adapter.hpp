@@ -31,14 +31,31 @@ class LdkeAdapter final : public KeyScheme {
   [[nodiscard]] std::size_t broadcast_transmissions(NodeId) const override {
     return 1;  // the cluster key covers the whole neighborhood (§II)
   }
-  [[nodiscard]] bool link_secured(NodeId, NodeId) const override {
-    return true;  // deterministic establishment
+  /// Secured iff either endpoint can read the other's cluster traffic:
+  /// u holds v's own cluster key or vice versa.  On the static
+  /// deployment the adapter snapshots, establishment is deterministic
+  /// and every radio link qualifies; once nodes *move* (the scenario
+  /// replay), links between strangers — neither inside the other's
+  /// key neighborhood — come up unsecured, which is LDKE's honest
+  /// location-bound degradation mode.
+  [[nodiscard]] bool link_secured(NodeId u, NodeId v) const override {
+    if (u >= own_cid_.size() || v >= own_cid_.size()) return false;
+    return holds(u, own_cid_[v]) || holds(v, own_cid_[u]);
   }
   [[nodiscard]] double compromised_link_fraction(
       std::span<const NodeId> captured,
       const LinkFilter* filter = nullptr) const override;
 
  private:
+  [[nodiscard]] bool holds(NodeId id, core::ClusterId cid) const {
+    if (cid == core::kNoCluster) return false;
+    const auto& held = held_cids_[id];
+    for (const core::ClusterId c : held) {
+      if (c == cid) return true;
+    }
+    return false;
+  }
+
   std::vector<core::ClusterId> own_cid_;               // per node
   std::vector<std::vector<core::ClusterId>> held_cids_;  // per node: set S
   std::vector<std::size_t> key_counts_;

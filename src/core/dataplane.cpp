@@ -174,7 +174,14 @@ void DataPlaneEngine::originate_batched(net::Network& net) {
 }
 
 void DataPlaneEngine::refresh_all() {
-  for (const auto& node : runner_.nodes()) node->apply_hash_refresh();
+  // Sleeping / departed nodes miss the round (their radio is off and a
+  // real mote's clock keeps no global epoch); wakers catch up through
+  // SensorNode::catch_up_hash_epoch against stats().refresh_rounds.
+  const net::Network& net = runner_.network();
+  for (const auto& node : runner_.nodes()) {
+    if (!net.is_active(node->id())) continue;
+    node->apply_hash_refresh();
+  }
   ++stats_.refresh_rounds;
 }
 

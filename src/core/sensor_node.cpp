@@ -224,6 +224,8 @@ std::optional<wsn::DataInner> SensorNode::make_reading(
     net::Network& net, std::span<const std::uint8_t> payload) {
   if (!keys_.has_own() || role_ == Role::kEvicted) return std::nullopt;
   if (!routing_.has_route()) return std::nullopt;
+  // Duty cycling / churn: a sleeping or departed node senses nothing.
+  if (!net.is_active(id())) return std::nullopt;
 
   wsn::DataInner inner;
   inner.source = id();

@@ -169,6 +169,22 @@ class SensorNode : public net::Node {
     return hash_epoch_;
   }
 
+  // ---- duty cycling (scenario layer) ----
+  /// Wake-up catch-up: a node that slept through hash-refresh rounds
+  /// holds stale keys and would fail to authenticate its cluster's
+  /// traffic.  Fast-forwards Kc <- F(Kc) until this node's epoch matches
+  /// \p global_epoch (the deployment-wide refresh count); returns the
+  /// number of rounds applied.  Idempotent when already current, and a
+  /// no-op on a node that never clustered.
+  std::uint32_t catch_up_hash_epoch(std::uint32_t global_epoch) {
+    std::uint32_t applied = 0;
+    while (hash_epoch_ < global_epoch) {
+      apply_hash_refresh();
+      ++applied;
+    }
+    return applied;
+  }
+
   // ---- routing ----
   /// Declares this node the routing root (base station) and floods the
   /// first beacon.

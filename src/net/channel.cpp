@@ -12,6 +12,8 @@ void Channel::LaneTallies::resolve_handles(sim::TraceCounters& counters) {
   ctr_collision = counters.handle("channel.collision");
   ctr_csma_defer = counters.handle("channel.csma_defer");
   ctr_csma_drop = counters.handle("channel.csma_drop");
+  ctr_dropped_gone = counters.handle("pkt.dropped_gone");
+  ctr_dropped_partition = counters.handle("pkt.dropped_partition");
 }
 
 Channel::Channel(sim::Simulator& sim, const Topology& topology,
@@ -107,6 +109,15 @@ void Channel::schedule_delivery(NodeId receiver, const Packet& packet,
   // Capturing the packet by value only bumps the payload refcount — the
   // bytes are immutable and shared across every receiver's event.
   auto deliver = [this, receiver, packet, corrupted] {
+    // A node that left or slept between transmission and arrival hears
+    // nothing: no rx energy, no dispatch into its (possibly recycled)
+    // slot — the frame just dies on the air.
+    if (delivery_gate_ && !delivery_gate_(receiver)) {
+      LaneTallies& gt = tallies();
+      ++gt.dropped_gone;
+      counters_.increment(gt.ctr_dropped_gone);
+      return;
+    }
     // The radio listened either way.  Runs on the receiver's lane, so
     // the tallies cell and the per-node energy slot are lane-local.
     energy_.charge_rx(receiver, packet.size_bytes());
@@ -153,6 +164,13 @@ void Channel::fan_out(const Packet& packet, std::span<const NodeId> receivers,
   }
   counters_.increment(t.*tx_counter);
   for (NodeId receiver : receivers) {
+    // Link validity is a transmit-time fact (a partition wall blocks the
+    // signal itself), so gate before the per-receiver loss draw.
+    if (link_gate_ && !link_gate_(packet.sender, receiver)) {
+      ++t.dropped_partition;
+      counters_.increment(t.ctr_dropped_partition);
+      continue;
+    }
     schedule_delivery(receiver, packet, arrival);
   }
 }
@@ -212,6 +230,11 @@ void Channel::fan_out_batched(const Packet& packet,
   const std::size_t lane_count = tallies_.size();
   std::vector<std::vector<PendingDelivery>> per_lane(lane_count);
   for (NodeId receiver : receivers) {
+    if (link_gate_ && !link_gate_(packet.sender, receiver)) {
+      ++t.dropped_partition;
+      counters_.increment(t.ctr_dropped_partition);
+      continue;
+    }
     if (config_.loss_probability > 0.0 &&
         sim_.rng().bernoulli(config_.loss_probability)) {
       ++t.losses;
@@ -234,6 +257,11 @@ void Channel::fan_out_batched(const Packet& packet,
       survivors.reserve(pending.size());
       LaneTallies& lt = tallies();
       for (const PendingDelivery& d : pending) {
+        if (delivery_gate_ && !delivery_gate_(d.receiver)) {
+          ++lt.dropped_gone;
+          counters_.increment(lt.ctr_dropped_gone);
+          continue;
+        }
         energy_.charge_rx(d.receiver, packet.size_bytes());
         if (d.corrupted && *d.corrupted) {
           ++lt.collisions;

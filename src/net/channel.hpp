@@ -74,6 +74,22 @@ class Channel {
   using SnifferHandler = std::function<void(const Packet&)>;
   void set_sniffer(SnifferHandler sniffer) { sniffer_ = std::move(sniffer); }
 
+  // ---- scenario gates (mobility / churn / duty cycling) ----------------
+
+  /// Delivery-time liveness check: a frame already in flight to a node
+  /// that left the network or put its radio to sleep must vanish at the
+  /// antenna, not wake a recycled slot.  Returning false drops the frame
+  /// and counts it as `pkt.dropped_gone` (no rx energy — the radio was
+  /// off).  Unset: every receiver is live (the historical behaviour).
+  using DeliveryGate = std::function<bool(NodeId receiver)>;
+  void set_delivery_gate(DeliveryGate gate) { delivery_gate_ = std::move(gate); }
+
+  /// Transmit-time link validity (scripted partitions, obstacle models):
+  /// checked per (sender, receiver) before the loss draw; returning
+  /// false suppresses the delivery and counts `pkt.dropped_partition`.
+  using LinkGate = std::function<bool(NodeId sender, NodeId receiver)>;
+  void set_link_gate(LinkGate gate) { link_gate_ = std::move(gate); }
+
   /// Broadcasts from a deployed node to all of its radio neighbors;
   /// charges tx energy to the sender and rx energy to each receiver.
   void broadcast(const Packet& packet);
@@ -123,6 +139,12 @@ class Channel {
   }
   [[nodiscard]] std::uint64_t losses() const noexcept {
     return sum_tally(&LaneTallies::losses);
+  }
+  [[nodiscard]] std::uint64_t dropped_gone() const noexcept {
+    return sum_tally(&LaneTallies::dropped_gone);
+  }
+  [[nodiscard]] std::uint64_t dropped_partition() const noexcept {
+    return sum_tally(&LaneTallies::dropped_partition);
   }
 
   /// Per-PacketKind transmission tallies (index by the kind's numeric
@@ -184,6 +206,8 @@ class Channel {
     std::uint64_t losses = 0;
     std::uint64_t csma_deferrals = 0;
     std::uint64_t csma_drops = 0;
+    std::uint64_t dropped_gone = 0;       ///< receiver left/slept mid-flight
+    std::uint64_t dropped_partition = 0;  ///< link gated at transmit time
     KindArray tx_packets_by_kind{};
     KindArray tx_bytes_by_kind{};
     // Hot-path counters, resolved once: per-packet increments skip the
@@ -195,6 +219,8 @@ class Channel {
     sim::TraceCounters::Handle ctr_collision;
     sim::TraceCounters::Handle ctr_csma_defer;
     sim::TraceCounters::Handle ctr_csma_drop;
+    sim::TraceCounters::Handle ctr_dropped_gone;
+    sim::TraceCounters::Handle ctr_dropped_partition;
 
     void resolve_handles(sim::TraceCounters& counters);
   };
@@ -220,6 +246,8 @@ class Channel {
   DeliveryHandler deliver_;
   BatchDeliveryHandler batch_deliver_;
   SnifferHandler sniffer_;
+  DeliveryGate delivery_gate_;
+  LinkGate link_gate_;
   std::vector<LaneTallies> tallies_;  ///< one cell per lane; [0] serial
   sim::ShardedKernel* kernel_ = nullptr;          ///< set by enable_lanes
   const std::vector<std::uint32_t>* lane_of_ = nullptr;  ///< node -> lane

@@ -55,6 +55,47 @@ void Network::fold_lane_metrics() {
   }
 }
 
+void Network::ensure_scenario_gating() {
+  if (scenario_gating_) return;
+  scenario_gating_ = true;
+  channel_.set_delivery_gate([this](NodeId receiver) {
+    return is_active(receiver);
+  });
+}
+
+void Network::set_asleep(NodeId id, bool asleep) {
+  ensure_scenario_gating();
+  if (id >= radio_state_.size()) {
+    radio_state_.resize(std::max<std::size_t>(topology_.size(), id + 1),
+                        RadioState::kActive);
+  }
+  if (radio_state_[id] == RadioState::kGone) return;
+  radio_state_[id] = asleep ? RadioState::kAsleep : RadioState::kActive;
+}
+
+void Network::mark_gone(NodeId id) {
+  ensure_scenario_gating();
+  if (id >= radio_state_.size()) {
+    radio_state_.resize(std::max<std::size_t>(topology_.size(), id + 1),
+                        RadioState::kActive);
+  }
+  radio_state_[id] = RadioState::kGone;
+  if (id < nodes_.size()) nodes_[id] = nullptr;
+}
+
+void Network::set_partition_x(double x) {
+  partition_x_ = x;
+  channel_.set_link_gate([this](NodeId sender, NodeId receiver) {
+    if (!partition_x_) return true;
+    // External transmitters (attacker hardware) are outside the topology
+    // and outside the scripted wall.
+    if (sender >= topology_.size()) return true;
+    const bool a = topology_.position(sender).x < *partition_x_;
+    const bool b = topology_.position(receiver).x < *partition_x_;
+    return a == b;
+  });
+}
+
 void Network::attach(Node& node) {
   if (node.id() >= nodes_.size()) nodes_.resize(node.id() + 1, nullptr);
   nodes_[node.id()] = &node;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -20,6 +22,16 @@
 #include "sim/trace.hpp"
 
 namespace ldke::net {
+
+/// Radio lifecycle of a deployed node, driven by the scenario layer.
+/// Everything historical runs with every node kActive; the other states
+/// gate the channel (no rx, no tx) without destroying the behaviour
+/// object — in-flight events may still reference it.
+enum class RadioState : std::uint8_t {
+  kActive,  ///< normal operation
+  kAsleep,  ///< duty-cycled off: hears nothing, transmits nothing
+  kGone,    ///< left or failed: permanently off, behaviour detached
+};
 
 class Network {
  public:
@@ -72,6 +84,41 @@ class Network {
     return delivery_tracker_;
   }
 
+  // ---- scenario radio state (mobility / churn / duty cycling) ---------
+
+  /// Current radio state; nodes never touched by a scenario are active.
+  [[nodiscard]] RadioState radio_state(NodeId id) const noexcept {
+    return id < radio_state_.size() ? radio_state_[id] : RadioState::kActive;
+  }
+  [[nodiscard]] bool is_active(NodeId id) const noexcept {
+    return radio_state(id) == RadioState::kActive;
+  }
+
+  /// Duty cycling: an asleep radio neither receives (frames in flight
+  /// drop as `pkt.dropped_gone`) nor transmits (`pkt.tx_gated`).  No-op
+  /// on a node that already left.
+  void set_asleep(NodeId id, bool asleep);
+
+  /// Churn: the node left the network (gracefully or by failure).  Its
+  /// behaviour is detached so nothing ever dispatches into the slot
+  /// again; the id is never recycled.
+  void mark_gone(NodeId id);
+
+  /// Scripted partition: a vertical wall at \p x blocks every link that
+  /// crosses it (checked against current positions at transmit time).
+  void set_partition_x(double x);
+  /// Heal event: removes the partition wall.
+  void clear_partition() noexcept { partition_x_.reset(); }
+  [[nodiscard]] std::optional<double> partition_x() const noexcept {
+    return partition_x_;
+  }
+
+  /// Mobility epoch: moves every node and rebuilds the topology's
+  /// neighbor lists.  \p positions must cover every deployed id.
+  void update_positions(std::span<const Vec2> positions) {
+    topology_.update_positions(positions);
+  }
+
   /// Registers the behaviour for an existing topology slot.
   void attach(Node& node);
 
@@ -87,8 +134,17 @@ class Network {
   /// Calls start() on every attached node (in id order).
   void start_all();
 
-  /// Broadcasts a packet from its sender to all radio neighbors.
-  void broadcast(const Packet& packet) { channel_.broadcast(packet); }
+  /// Broadcasts a packet from its sender to all radio neighbors.  A
+  /// sender whose radio is asleep or gone transmits nothing (timers may
+  /// still fire inside a sleeping node; the frame dies at the antenna
+  /// and counts as `pkt.tx_gated`).
+  void broadcast(const Packet& packet) {
+    if (scenario_gating_ && !is_active(packet.sender)) {
+      counters().increment("pkt.tx_gated");
+      return;
+    }
+    channel_.broadcast(packet);
+  }
 
   /// Batched broadcast through Channel::deliver_batch: bit-identical
   /// deliveries, one coalesced event per (packet, destination lane).
@@ -102,6 +158,11 @@ class Network {
 
   [[nodiscard]] std::uint32_t lane_for_position(Vec2 pos) const noexcept;
 
+  /// Installs the channel's delivery gate the first time any node goes
+  /// non-active — the gate std::function stays off the hot path for
+  /// every static deployment.
+  void ensure_scenario_gating();
+
   sim::Simulator& sim_;
   Topology topology_;
   EnergyModel energy_;
@@ -109,6 +170,10 @@ class Network {
   Channel channel_;
   std::vector<Node*> nodes_;
   obs::DeliveryTracker* delivery_tracker_ = nullptr;
+  // Scenario state (empty / unset on static deployments).
+  std::vector<RadioState> radio_state_;  ///< empty = everyone active
+  std::optional<double> partition_x_;
+  bool scenario_gating_ = false;
   // Lane state (empty while running serially).
   sim::ShardedKernel* kernel_ = nullptr;
   std::vector<std::uint32_t> lane_of_;  ///< node id -> home lane

@@ -156,6 +156,20 @@ std::vector<NodeId> Topology::nodes_within(Vec2 center, double radius) const {
   return scan_neighbors(center, radius, kNoNode);
 }
 
+void Topology::update_positions(std::span<const Vec2> positions) {
+  // Mobility epochs call this once per epoch for the whole deployment;
+  // an in-place overwrite plus full grid/CSR rebuild beats per-node
+  // splicing as soon as more than a handful of nodes moved, and reuses
+  // every allocation the previous build left behind.
+  positions_.assign(positions.begin(), positions.end());
+  for (Vec2& p : positions_) {
+    p.x = std::clamp(p.x, 0.0, side_);
+    p.y = std::clamp(p.y, 0.0, side_);
+  }
+  index_into_grid();
+  rebuild_neighbor_lists();
+}
+
 NodeId Topology::add_node(Vec2 pos) {
   const auto id = static_cast<NodeId>(positions_.size());
   positions_.push_back(pos);

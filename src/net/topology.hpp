@@ -68,6 +68,16 @@ class Topology {
   /// sides.  Returns the new node's id.
   NodeId add_node(Vec2 pos);
 
+  /// Bulk position update (mobility epochs): replaces every node's
+  /// position and rebuilds the grid index and CSR neighbor lists in one
+  /// pass, reusing the existing allocations.  \p positions must have
+  /// exactly size() entries; positions are clamped to [0, side].
+  void update_positions(std::span<const Vec2> positions);
+
+  [[nodiscard]] std::span<const Vec2> positions() const noexcept {
+    return positions_;
+  }
+
   /// Range that realizes \p density for \p count nodes in a square of
   /// side \p side (edge effects ignored).
   [[nodiscard]] static double range_for_density(std::size_t count, double side,

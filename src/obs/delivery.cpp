@@ -17,6 +17,30 @@ double DeliveryTracker::latency_percentile_s(double q) const {
   return latencies[std::min(idx, latencies.size() - 1)];
 }
 
+DeliveryTracker::WindowStats DeliveryTracker::window_stats(
+    std::int64_t t_tx_from_ns, std::int64_t t_tx_until_ns) const {
+  WindowStats out;
+  std::vector<double> latencies;
+  for (const Sample& s : samples_) {
+    if (s.t_tx_ns < t_tx_from_ns || s.t_tx_ns > t_tx_until_ns) continue;
+    latencies.push_back(s.latency_s());
+  }
+  out.delivered = latencies.size();
+  if (latencies.empty()) return out;
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  out.mean_s = sum / static_cast<double>(latencies.size());
+  const auto at = [&latencies](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(idx, latencies.size() - 1)];
+  };
+  out.p50_s = at(0.50);
+  out.p95_s = at(0.95);
+  return out;
+}
+
 JsonValue DeliveryTracker::to_json() const {
   JsonValue out;
   out.set("originated", originated_);

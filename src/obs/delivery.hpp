@@ -64,6 +64,19 @@ class DeliveryTracker {
   /// Exact quantile over recorded latencies (sorts a copy; offline use).
   [[nodiscard]] double latency_percentile_s(double q) const;
 
+  /// Delivered count and latency quantiles restricted to samples whose
+  /// origination time falls in [t_tx_from_ns, t_tx_until_ns] — the
+  /// scenario engine's per-phase window.  Offline use, like the
+  /// percentile above.
+  struct WindowStats {
+    std::uint64_t delivered = 0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+    double mean_s = 0.0;
+  };
+  [[nodiscard]] WindowStats window_stats(std::int64_t t_tx_from_ns,
+                                         std::int64_t t_tx_until_ns) const;
+
   void clear() noexcept {
     outstanding_.clear();
     samples_.clear();

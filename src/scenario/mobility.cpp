@@ -1,0 +1,165 @@
+#include "scenario/mobility.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ldke::scenario {
+
+MobilityField::MobilityField(const MotionConfig& config, double side,
+                             std::span<const net::Vec2> initial,
+                             std::uint64_t seed)
+    : config_(config),
+      side_(side),
+      positions_(initial.begin(), initial.end()),
+      rng_(seed) {
+  switch (config_.model) {
+    case MotionModel::kNone:
+      break;
+    case MotionModel::kRandomWaypoint:
+      walkers_.resize(positions_.size());
+      if (!walkers_.empty()) walkers_[0].frozen = true;  // base station
+      break;
+    case MotionModel::kGroup: {
+      // Reference points are the centroids of the initial membership
+      // (id mod group_count), so nobody teleports at scenario start.
+      const std::size_t groups = std::max<std::size_t>(1, config_.group_count);
+      group_centers_.assign(groups, net::Vec2{});
+      std::vector<std::size_t> counts(groups, 0);
+      group_of_.resize(positions_.size());
+      member_frozen_.assign(positions_.size(), false);
+      if (!member_frozen_.empty()) member_frozen_[0] = true;  // base station
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        const auto g = static_cast<std::uint32_t>(i % groups);
+        group_of_[i] = g;
+        group_centers_[g].x += positions_[i].x;
+        group_centers_[g].y += positions_[i].y;
+        ++counts[g];
+      }
+      for (std::size_t g = 0; g < groups; ++g) {
+        if (counts[g] == 0) {
+          group_centers_[g] = draw_point();
+          continue;
+        }
+        group_centers_[g].x /= static_cast<double>(counts[g]);
+        group_centers_[g].y /= static_cast<double>(counts[g]);
+      }
+      offsets_.resize(positions_.size());
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        const net::Vec2 c = group_centers_[group_of_[i]];
+        offsets_[i] = {positions_[i].x - c.x, positions_[i].y - c.y};
+      }
+      walkers_.resize(groups);  // the group centers do the waypoint walk
+      break;
+    }
+  }
+}
+
+net::Vec2 MobilityField::draw_point() {
+  // Fixed draw order (x then y) keeps the stream replayable.
+  const double x = rng_.uniform(0.0, side_);
+  const double y = rng_.uniform(0.0, side_);
+  return {x, y};
+}
+
+void MobilityField::advance_walker(std::size_t i, net::Vec2& pos, double dt) {
+  Walker& w = walkers_[i];
+  if (w.frozen) return;
+  if (w.pause_left > 0.0) {
+    w.pause_left -= dt;
+    if (w.pause_left > 0.0) return;
+    dt = -w.pause_left;  // spend the remainder of the epoch moving
+    w.pause_left = 0.0;
+    if (dt <= 0.0) return;
+  }
+  if (!w.has_target) {
+    w.target = draw_point();
+    w.speed = rng_.uniform(config_.speed_min_mps, config_.speed_max_mps);
+    w.has_target = true;
+  }
+  const double dx = w.target.x - pos.x;
+  const double dy = w.target.y - pos.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  const double step = w.speed * dt;
+  if (dist <= step || dist <= 1e-12) {
+    pos = w.target;
+    w.has_target = false;
+    w.pause_left = config_.pause_s;
+    return;
+  }
+  pos.x += dx / dist * step;
+  pos.y += dy / dist * step;
+}
+
+void MobilityField::advance(double dt) {
+  switch (config_.model) {
+    case MotionModel::kNone:
+      return;
+    case MotionModel::kRandomWaypoint:
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        advance_walker(i, positions_[i], dt);
+      }
+      return;
+    case MotionModel::kGroup: {
+      for (std::size_t g = 0; g < walkers_.size(); ++g) {
+        advance_walker(g, group_centers_[g], dt);
+      }
+      const double jitter = config_.group_jitter_m;
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        if (member_frozen_[i]) continue;
+        // Offsets random-walk with a mild pull toward the reference
+        // point, so groups stay coherent without hard clamping.
+        offsets_[i].x = offsets_[i].x * 0.98 + rng_.uniform(-jitter, jitter);
+        offsets_[i].y = offsets_[i].y * 0.98 + rng_.uniform(-jitter, jitter);
+        const net::Vec2 c = group_centers_[group_of_[i]];
+        positions_[i] = {std::clamp(c.x + offsets_[i].x, 0.0, side_),
+                         std::clamp(c.y + offsets_[i].y, 0.0, side_)};
+      }
+      return;
+    }
+  }
+}
+
+void MobilityField::add_node(net::Vec2 pos) {
+  positions_.push_back(pos);
+  switch (config_.model) {
+    case MotionModel::kNone:
+      break;
+    case MotionModel::kRandomWaypoint:
+      walkers_.emplace_back();
+      break;
+    case MotionModel::kGroup: {
+      const auto g =
+          static_cast<std::uint32_t>((positions_.size() - 1) % walkers_.size());
+      group_of_.push_back(g);
+      member_frozen_.push_back(false);
+      const net::Vec2 c = group_centers_[g];
+      offsets_.push_back({pos.x - c.x, pos.y - c.y});
+      break;
+    }
+  }
+}
+
+void MobilityField::freeze(net::NodeId id) {
+  if (id >= positions_.size()) return;
+  switch (config_.model) {
+    case MotionModel::kNone:
+      break;
+    case MotionModel::kRandomWaypoint:
+      walkers_[id].frozen = true;
+      break;
+    case MotionModel::kGroup:
+      member_frozen_[id] = true;
+      break;
+  }
+}
+
+std::uint64_t MobilityField::fold_digest(std::uint64_t h) const noexcept {
+  for (const net::Vec2& p : positions_) {
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(p.x));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(p.y));
+  }
+  return h;
+}
+
+}  // namespace ldke::scenario

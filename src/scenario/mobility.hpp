@@ -1,0 +1,84 @@
+#pragma once
+/// \file mobility.hpp
+/// Deterministic motion models for scenario replay.  A MobilityField
+/// advances every walker in node-id order with a dedicated RNG stream,
+/// so the packet-level ScenarioEngine and the graph-level baseline
+/// replay — each owning their own field constructed from the same
+/// (config, initial positions, seed) — produce bit-identical position
+/// sequences.  Node 0 (the base station) is anchored and never moves.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/vec2.hpp"
+#include "scenario/spec.hpp"
+#include "support/rng.hpp"
+
+namespace ldke::scenario {
+
+/// Seed-derivation tag shared by every consumer of scenario motion.
+inline constexpr std::uint64_t kMotionSeedTag = 0x4d4f54494f4eULL;  // "MOTION"
+
+class MobilityField {
+ public:
+  MobilityField(const MotionConfig& config, double side,
+                std::span<const net::Vec2> initial, std::uint64_t seed);
+
+  /// Advances every live walker by \p dt seconds.  Draws from the RNG
+  /// in node-id order only for walkers that need a new leg, so the
+  /// stream consumption is a pure function of the motion history.
+  void advance(double dt);
+
+  /// Registers a newly joined node at \p pos (assigned the next id).
+  void add_node(net::Vec2 pos);
+
+  /// Stops a departed node where it stands; it draws nothing further.
+  void freeze(net::NodeId id);
+
+  [[nodiscard]] std::span<const net::Vec2> positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+
+  /// Folds the bit patterns of every current position into \p h
+  /// (FNV-1a); used for cross-replayer trace digests.
+  [[nodiscard]] std::uint64_t fold_digest(std::uint64_t h) const noexcept;
+
+ private:
+  struct Walker {
+    net::Vec2 target{};
+    double speed = 0.0;
+    double pause_left = 0.0;
+    bool has_target = false;
+    bool frozen = false;
+  };
+
+  void advance_walker(std::size_t i, net::Vec2& pos, double dt);
+  [[nodiscard]] net::Vec2 draw_point();
+
+  MotionConfig config_;
+  double side_;
+  std::vector<net::Vec2> positions_;
+  std::vector<Walker> walkers_;           // waypoint state (nodes or groups)
+  std::vector<net::Vec2> group_centers_;  // kGroup only
+  std::vector<net::Vec2> offsets_;        // kGroup: member offset from center
+  std::vector<std::uint32_t> group_of_;   // kGroup: member -> group index
+  std::vector<bool> member_frozen_;       // kGroup: departed members
+  support::Xoshiro256 rng_;
+};
+
+/// FNV-1a 64-bit fold of one 64-bit word (shared digest primitive).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::uint64_t h,
+                                              std::uint64_t word) noexcept {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (word >> (8 * b)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+}  // namespace ldke::scenario

@@ -1,0 +1,117 @@
+#pragma once
+/// \file spec.hpp
+/// Declarative scenario descriptions for dynamic deployments: mobility,
+/// churn, duty cycling and scripted partition events layered over the
+/// steady-state data plane.  A ScenarioSpec is a plain serializable
+/// value — the same JSON document replays bit-identically through the
+/// packet-level ScenarioEngine and the graph-level baseline replay, so
+/// LDKE and the §III baselines degrade under *identical* traces.
+/// docs/scenarios.md documents the schema field by field.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ldke::scenario {
+
+/// How (and whether) nodes move between neighbor-list rebuild epochs.
+enum class MotionModel : std::uint8_t {
+  kNone,            ///< static deployment (motion epochs are skipped)
+  kRandomWaypoint,  ///< independent waypoint walkers with pause times
+  kGroup,           ///< reference-point group mobility around group centroids
+};
+
+[[nodiscard]] std::string_view to_string(MotionModel model) noexcept;
+[[nodiscard]] std::optional<MotionModel> motion_model_from_string(
+    std::string_view name) noexcept;
+
+struct MotionConfig {
+  MotionModel model = MotionModel::kNone;
+  double epoch_s = 0.5;        ///< position update / CSR rebuild cadence
+  double speed_min_mps = 1.0;  ///< waypoint leg speed, lower bound
+  double speed_max_mps = 5.0;  ///< waypoint leg speed, upper bound
+  double pause_s = 2.0;        ///< dwell time at each reached waypoint
+  std::size_t group_count = 16;     ///< kGroup: number of groups
+  double group_jitter_m = 2.0;      ///< kGroup: per-epoch member jitter
+};
+
+/// Poisson arrival rates for the three churn streams, deployment-wide.
+struct ChurnConfig {
+  double leave_rate_hz = 0.0;  ///< graceful departures per second
+  double fail_rate_hz = 0.0;   ///< crash failures per second
+  double join_rate_hz = 0.0;   ///< new-identity §IV-E joins per second
+};
+
+/// Sleep/wake duty cycling.  Each node gets a deterministic per-node
+/// phase offset; it is awake for active_fraction of every period.
+struct DutyConfig {
+  double period_s = 2.0;
+  double active_fraction = 0.8;
+};
+
+/// Data-plane knobs applied to every phase (mirrors DataPlaneConfig).
+/// The default offered load (8 readings / 50 ms = 160 pkt/s) is chosen
+/// to sit below the multi-hop capacity of the 19.2 kbps radio: above
+/// it the network congestion-collapses and every hash refresh wipes
+/// out a growing in-flight backlog, which drowns the scenario effects
+/// the suite is meant to measure.
+struct DataConfig {
+  double tick_interval_s = 0.05;
+  std::size_t readings_per_tick = 8;
+  std::size_t reading_bytes = 24;
+  double refresh_interval_s = 1.0;  ///< §IV-C hash refresh; 0 disables
+};
+
+/// A scripted event inside one phase, at a fixed offset from its start.
+struct ScriptedEvent {
+  enum class Kind : std::uint8_t { kPartition, kHeal };
+  Kind kind = Kind::kPartition;
+  double at_s = 0.0;  ///< offset from phase start; must be < duration_s
+  double x_m = 0.0;   ///< kPartition: wall position on the x axis
+};
+
+/// One contiguous window of scenario time.  Toggles select which of the
+/// spec-level generators (motion, churn, duty) are live in this window;
+/// every phase ends with surviving nodes awake and partitions healed.
+struct PhaseSpec {
+  std::string name;
+  double duration_s = 1.0;
+  bool mobility = false;
+  bool churn = false;
+  bool duty = false;
+  bool recluster_after = false;  ///< §IV-C re-clustering at phase end
+  std::vector<ScriptedEvent> events;
+};
+
+struct ScenarioSpec {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string name = "scenario";
+  std::size_t nodes = 1000;
+  double density = 10.0;
+  double side_m = 1000.0;
+  MotionConfig motion;
+  ChurnConfig churn;
+  DutyConfig duty;
+  DataConfig data;
+  std::vector<PhaseSpec> phases;
+
+  [[nodiscard]] double total_duration_s() const noexcept;
+
+  /// Empty when the spec is well formed; otherwise a human-readable
+  /// description of the first problem found.
+  [[nodiscard]] std::string validate() const;
+
+  [[nodiscard]] obs::JsonValue to_json() const;
+  [[nodiscard]] static std::optional<ScenarioSpec> from_json(
+      const obs::JsonValue& doc);
+  /// from_json over JsonValue::parse; nullopt on malformed text.
+  [[nodiscard]] static std::optional<ScenarioSpec> parse(
+      std::string_view text);
+};
+
+}  // namespace ldke::scenario

@@ -1,0 +1,215 @@
+#include "scenario/timeline.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "scenario/mobility.hpp"  // fnv1a64 / kFnvOffsetBasis
+#include "sim/time.hpp"
+#include "support/rng.hpp"
+
+namespace ldke::scenario {
+
+namespace {
+
+constexpr std::uint64_t kChurnSeedTag = 0x434855524eULL;  // "CHURN"
+constexpr std::uint64_t kDutySeedTag = 0x44555459ULL;     // "DUTY"
+
+}  // namespace
+
+Timeline Timeline::expand(const ScenarioSpec& spec, std::uint64_t seed) {
+  const std::string problem = spec.validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("Timeline::expand: invalid spec: " + problem);
+  }
+  Timeline tl;
+  tl.first_join_id_ = static_cast<net::NodeId>(spec.nodes);
+
+  // Exact integer phase boundaries, shared with the engine's sim clock.
+  tl.phase_starts_ns_.push_back(0);
+  for (const PhaseSpec& phase : spec.phases) {
+    tl.phase_starts_ns_.push_back(
+        tl.phase_starts_ns_.back() +
+        sim::SimTime::from_seconds(phase.duration_s).ns());
+  }
+
+  // Alive set for churn victim selection: every original node except
+  // the base station, plus joiners as they arrive.  Maintained in the
+  // merged time order of the churn events, so selection is a pure
+  // function of (spec, seed).
+  std::vector<net::NodeId> alive;
+  alive.reserve(spec.nodes);
+  for (net::NodeId id = 1; id < spec.nodes; ++id) alive.push_back(id);
+  net::NodeId next_join_id = tl.first_join_id_;
+
+  std::vector<std::uint32_t> gen_seq;  // insertion order tiebreak
+  auto push = [&tl, &gen_seq](Event ev) {
+    tl.events_.push_back(ev);
+    gen_seq.push_back(static_cast<std::uint32_t>(gen_seq.size()));
+  };
+
+  for (std::uint32_t pi = 0; pi < spec.phases.size(); ++pi) {
+    const PhaseSpec& phase = spec.phases[pi];
+    const std::int64_t start_ns = tl.phase_starts_ns_[pi];
+    const std::int64_t end_ns = tl.phase_starts_ns_[pi + 1];
+    const std::size_t phase_first = tl.events_.size();
+
+    for (const ScriptedEvent& ev : phase.events) {
+      Event out;
+      out.t_ns = start_ns + sim::SimTime::from_seconds(ev.at_s).ns();
+      out.kind = ev.kind == ScriptedEvent::Kind::kPartition
+                     ? EventKind::kPartition
+                     : EventKind::kHeal;
+      out.pos = {ev.x_m, 0.0};
+      out.phase = pi;
+      push(out);
+    }
+
+    if (phase.churn) {
+      support::Xoshiro256 churn_rng{
+          support::derive_seed(seed, kChurnSeedTag ^ (pi * 0x9e3779b9ULL))};
+      // Arrival times first (stream order: leave, fail, join), victims
+      // and positions second in merged time order — so two replayers
+      // agree even when streams interleave.
+      const struct {
+        double rate;
+        EventKind kind;
+      } streams[] = {{spec.churn.leave_rate_hz, EventKind::kLeave},
+                     {spec.churn.fail_rate_hz, EventKind::kFail},
+                     {spec.churn.join_rate_hz, EventKind::kJoin}};
+      for (const auto& stream : streams) {
+        if (stream.rate <= 0.0) continue;
+        double t_rel = 0.0;
+        for (;;) {
+          t_rel += churn_rng.exponential(stream.rate);
+          const std::int64_t t_ns =
+              start_ns + sim::SimTime::from_seconds(t_rel).ns();
+          if (t_ns >= end_ns) break;
+          Event out;
+          out.t_ns = t_ns;
+          out.kind = stream.kind;
+          out.phase = pi;
+          push(out);
+        }
+      }
+      // Merge this phase's churn events by time and assign targets.
+      std::vector<std::size_t> order;
+      for (std::size_t i = phase_first; i < tl.events_.size(); ++i) {
+        const EventKind k = tl.events_[i].kind;
+        if (k == EventKind::kLeave || k == EventKind::kFail ||
+            k == EventKind::kJoin) {
+          order.push_back(i);
+        }
+      }
+      std::sort(order.begin(), order.end(),
+                [&tl, &gen_seq](std::size_t a, std::size_t b) {
+                  const Event& ea = tl.events_[a];
+                  const Event& eb = tl.events_[b];
+                  if (ea.t_ns != eb.t_ns) return ea.t_ns < eb.t_ns;
+                  if (ea.kind != eb.kind) return ea.kind < eb.kind;
+                  return gen_seq[a] < gen_seq[b];
+                });
+      for (const std::size_t i : order) {
+        Event& ev = tl.events_[i];
+        if (ev.kind == EventKind::kJoin) {
+          ev.node = next_join_id++;
+          const double x = churn_rng.uniform(0.0, spec.side_m);
+          const double y = churn_rng.uniform(0.0, spec.side_m);
+          ev.pos = {x, y};
+          alive.push_back(ev.node);  // ids ascend, so stays sorted
+          ++tl.joins_;
+          continue;
+        }
+        if (alive.empty()) {
+          ev.kind = EventKind::kHeal;  // degrade to a no-op; never in
+          ev.t_ns = end_ns - 1;        // practice (network emptied out)
+          continue;
+        }
+        const std::size_t pick = static_cast<std::size_t>(
+            churn_rng.uniform_u64(static_cast<std::uint64_t>(alive.size())));
+        ev.node = alive[pick];
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (ev.kind == EventKind::kLeave) {
+          ++tl.leaves_;
+        } else {
+          ++tl.fails_;
+        }
+      }
+    }
+
+    if (phase.duty && spec.duty.active_fraction < 1.0) {
+      const std::int64_t period_ns =
+          sim::SimTime::from_seconds(spec.duty.period_s).ns();
+      const auto on_ns = static_cast<std::int64_t>(
+          spec.duty.active_fraction * static_cast<double>(period_ns));
+      // Original sensors only (joiner lifetimes are churn-managed); the
+      // base station never sleeps.  Gone nodes still get events — both
+      // replayers treat sleep/wake on a departed node as a no-op.
+      for (net::NodeId id = 1; id < spec.nodes; ++id) {
+        const std::int64_t offset_ns = static_cast<std::int64_t>(
+            support::derive_seed(seed, kDutySeedTag ^ id) %
+            static_cast<std::uint64_t>(period_ns));
+        for (std::int64_t anchor = start_ns + offset_ns;; anchor += period_ns) {
+          const std::int64_t sleep_ns = anchor + on_ns;
+          const std::int64_t wake_ns = anchor + period_ns;
+          if (sleep_ns >= end_ns) break;
+          Event s;
+          s.t_ns = sleep_ns;
+          s.kind = EventKind::kSleep;
+          s.node = id;
+          s.phase = pi;
+          push(s);
+          if (wake_ns >= end_ns) break;  // phase end forces the wake
+          Event w;
+          w.t_ns = wake_ns;
+          w.kind = EventKind::kWake;
+          w.node = id;
+          w.phase = pi;
+          push(w);
+        }
+      }
+    }
+  }
+
+  // Global canonical order (phases are disjoint windows, so this keeps
+  // each phase's slice contiguous).
+  std::vector<std::size_t> order(tl.events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&tl, &gen_seq](std::size_t a, std::size_t b) {
+              const Event& ea = tl.events_[a];
+              const Event& eb = tl.events_[b];
+              if (ea.t_ns != eb.t_ns) return ea.t_ns < eb.t_ns;
+              if (ea.kind != eb.kind) return ea.kind < eb.kind;
+              if (ea.node != eb.node) return ea.node < eb.node;
+              return gen_seq[a] < gen_seq[b];
+            });
+  std::vector<Event> sorted;
+  sorted.reserve(tl.events_.size());
+  for (const std::size_t i : order) sorted.push_back(tl.events_[i]);
+  tl.events_ = std::move(sorted);
+
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const Event& ev : tl.events_) {
+    h = fnv1a64(h, static_cast<std::uint64_t>(ev.t_ns));
+    h = fnv1a64(h, static_cast<std::uint64_t>(ev.kind));
+    h = fnv1a64(h, ev.node);
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(ev.pos.x));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(ev.pos.y));
+  }
+  tl.digest_ = h;
+  return tl;
+}
+
+std::span<const Event> Timeline::phase_events(
+    std::uint32_t phase) const noexcept {
+  const auto begin = std::find_if(
+      events_.begin(), events_.end(),
+      [phase](const Event& ev) { return ev.phase == phase; });
+  auto end = begin;
+  while (end != events_.end() && end->phase == phase) ++end;
+  return {begin == events_.end() ? nullptr : &*begin,
+          static_cast<std::size_t>(end - begin)};
+}
+
+}  // namespace ldke::scenario

@@ -1,0 +1,87 @@
+#pragma once
+/// \file timeline.hpp
+/// Pre-expanded, fully deterministic event timeline for a scenario.
+/// All randomness (Poisson churn arrivals, victim selection, join
+/// positions, duty offsets) is consumed at expansion time from RNG
+/// streams derived from (seed, tag), never from the protocol RNG — so
+/// the packet-level engine and the graph-level baseline replay can each
+/// expand the same (spec, seed) and walk byte-identical traces.
+///
+/// Times are integral nanoseconds (the SimTime domain).  Phase starts
+/// accumulate as exact integer sums of per-phase durations, so an event
+/// ordered against a motion epoch in one replayer orders identically in
+/// the other.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/vec2.hpp"
+#include "scenario/spec.hpp"
+
+namespace ldke::scenario {
+
+enum class EventKind : std::uint8_t {
+  kLeave,      ///< graceful departure (radio off, slot retired)
+  kFail,       ///< crash failure (identical mechanics, separate count)
+  kJoin,       ///< §IV-E new-identity deployment at a drawn position
+  kSleep,      ///< duty cycle: radio off
+  kWake,       ///< duty cycle: radio on + hash-epoch catch-up
+  kPartition,  ///< scripted wall at x = pos.x
+  kHeal,       ///< scripted partition removal
+};
+
+struct Event {
+  std::int64_t t_ns = 0;   ///< scenario-absolute time
+  EventKind kind = EventKind::kLeave;
+  net::NodeId node = net::kNoNode;  ///< leave/fail/sleep/wake target, join id
+  net::Vec2 pos{};         ///< join position; partition wall in pos.x
+  std::uint32_t phase = 0;
+};
+
+class Timeline {
+ public:
+  /// Expands \p spec under \p seed.  The spec must validate() clean.
+  [[nodiscard]] static Timeline expand(const ScenarioSpec& spec,
+                                       std::uint64_t seed);
+
+  [[nodiscard]] std::span<const Event> events() const noexcept {
+    return events_;
+  }
+  /// The contiguous slice of events inside phase \p phase.
+  [[nodiscard]] std::span<const Event> phase_events(
+      std::uint32_t phase) const noexcept;
+
+  /// Scenario-absolute start of phase \p phase, exact integer ns.
+  [[nodiscard]] std::int64_t phase_start_ns(std::uint32_t phase) const {
+    return phase_starts_ns_[phase];
+  }
+  [[nodiscard]] std::int64_t phase_end_ns(std::uint32_t phase) const {
+    return phase_starts_ns_[phase + 1];
+  }
+
+  /// FNV-1a digest over the canonical event encoding.  Seeds the trace
+  /// digest both replayers then fold position epochs into.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  [[nodiscard]] std::size_t joins() const noexcept { return joins_; }
+  [[nodiscard]] std::size_t leaves() const noexcept { return leaves_; }
+  [[nodiscard]] std::size_t fails() const noexcept { return fails_; }
+  /// Joined nodes get ids first_join_id(), first_join_id()+1, ... in
+  /// event order (matching ProtocolRunner::deploy_new_node assignment).
+  [[nodiscard]] net::NodeId first_join_id() const noexcept {
+    return first_join_id_;
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::int64_t> phase_starts_ns_;  // phases + 1 entries
+  std::uint64_t digest_ = 0;
+  std::size_t joins_ = 0;
+  std::size_t leaves_ = 0;
+  std::size_t fails_ = 0;
+  net::NodeId first_join_id_ = 0;
+};
+
+}  // namespace ldke::scenario

@@ -315,6 +315,41 @@ TEST(Channel, ReceiversShareOneImmutableBuffer) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Channel, DeliveryGateDropsInFlightFramesToDepartedNodes) {
+  // The scenario-suite fix: a frame already in the air when its
+  // receiver leaves (or falls asleep) must drop cleanly — counted as
+  // pkt.dropped_gone, no delivery, no rx energy to a recycled slot.
+  Fixture f;
+  bool node2_gone = false;
+  f.channel.set_delivery_gate([&node2_gone](NodeId receiver) {
+    return !(node2_gone && receiver == 2);
+  });
+  f.channel.broadcast(f.packet_from(1));  // in flight toward 0 and 2
+  node2_gone = true;                      // receiver departs mid-flight
+  const double rx2_before = f.energy.consumed_j(2);
+  f.sim.run();
+  EXPECT_EQ(f.received[0], 1);
+  EXPECT_EQ(f.received[2], 0);
+  EXPECT_EQ(f.channel.dropped_gone(), 1u);
+  EXPECT_EQ(f.counters.value("pkt.dropped_gone"), 1u);
+  EXPECT_EQ(f.energy.consumed_j(2), rx2_before);  // radio was off
+}
+
+TEST(Channel, LinkGateBlocksAtTransmitTime) {
+  // Partition wall: both directions across the cut are suppressed when
+  // the frame is scheduled, before any loss draw or airtime charge.
+  Fixture f;
+  f.channel.set_link_gate([](NodeId sender, NodeId receiver) {
+    return (sender <= 1) == (receiver <= 1);  // cut between 1 and 2
+  });
+  f.channel.broadcast(f.packet_from(1));  // neighbors: 0 (same side), 2
+  f.sim.run();
+  EXPECT_EQ(f.received[0], 1);
+  EXPECT_EQ(f.received[2], 0);
+  EXPECT_EQ(f.channel.dropped_partition(), 1u);
+  EXPECT_EQ(f.counters.value("pkt.dropped_partition"), 1u);
+}
+
 TEST(Channel, BroadcastAllocatesNoPayloadBuffers) {
   Fixture f;
   Packet p = f.packet_from(1);

@@ -1,0 +1,164 @@
+#include "scenario/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runner.hpp"
+
+namespace ldke::scenario {
+namespace {
+
+/// Small but fully dynamic: mobility + churn + duty + a scripted wall,
+/// then a recluster and a recovery window.
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "engine_test";
+  spec.nodes = 250;
+  spec.density = 10.0;
+  spec.side_m = 600.0;
+  spec.motion.model = MotionModel::kRandomWaypoint;
+  spec.motion.epoch_s = 0.25;
+  spec.motion.speed_min_mps = 2.0;
+  spec.motion.speed_max_mps = 10.0;
+  spec.motion.pause_s = 0.5;
+  spec.churn = {2.0, 1.0, 2.0};
+  spec.duty = {0.5, 0.7};
+  spec.data.refresh_interval_s = 0.4;
+  PhaseSpec calm;
+  calm.name = "calm";
+  calm.duration_s = 1.0;
+  PhaseSpec storm;
+  storm.name = "storm";
+  storm.duration_s = 1.5;
+  storm.mobility = true;
+  storm.churn = true;
+  storm.duty = true;
+  storm.recluster_after = true;
+  storm.events.push_back({ScriptedEvent::Kind::kPartition, 0.5, 300.0});
+  storm.events.push_back({ScriptedEvent::Kind::kHeal, 1.0, 0.0});
+  PhaseSpec recovered;
+  recovered.name = "recovered";
+  recovered.duration_s = 1.0;
+  spec.phases = {calm, storm, recovered};
+  return spec;
+}
+
+ScenarioStats run_once(const ScenarioSpec& spec, std::uint64_t seed,
+                       std::size_t lanes = 1) {
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, seed);
+  config.kernel.lanes = lanes;
+  core::ProtocolRunner runner{config};
+  ScenarioEngine engine{runner, spec};
+  return engine.run();
+}
+
+TEST(ScenarioEngine, SameSeedIsBitIdentical) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioStats a = run_once(spec, 7);
+  const ScenarioStats b = run_once(spec, 7);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  const ScenarioStats c = run_once(spec, 8);
+  EXPECT_NE(a.to_json().dump(), c.to_json().dump());
+}
+
+TEST(ScenarioEngine, ExplicitLaneOneMatchesDefault) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioStats a = run_once(spec, 7);
+  const ScenarioStats b = run_once(spec, 7, /*lanes=*/1);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST(ScenarioEngine, DynamicsActuallyBite) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioStats stats = run_once(spec, 7);
+  ASSERT_EQ(stats.phases.size(), 3u);
+  const PhaseStats& calm = stats.phases[0];
+  const PhaseStats& storm = stats.phases[1];
+  const PhaseStats& recovered = stats.phases[2];
+
+  // The calm phase is a healthy static network. The ratio sits well
+  // below 1.0 even here: at refresh_interval_s = 0.4 every hash-refresh
+  // round re-keys the deployment instantly, so readings in flight under
+  // the old epoch fail authentication and drop (envelope.auth_fail).
+  EXPECT_EQ(calm.leaves + calm.fails + calm.joins, 0u);
+  EXPECT_GT(calm.delivered, 0u);
+  EXPECT_GT(calm.delivery_ratio(), 0.3);
+
+  // The storm runs every dynamic at once...
+  EXPECT_GT(storm.motion_epochs, 0u);
+  EXPECT_GT(storm.leaves + storm.fails, 0u);
+  EXPECT_GT(storm.joins, 0u);
+  EXPECT_GT(storm.sleeps, 0u);
+  EXPECT_EQ(storm.partitions, 1u);
+  EXPECT_EQ(storm.heals, 1u);
+  EXPECT_EQ(storm.reclustered, 1u);
+  // ... and the radio gates see it: sleeping/departed sources are
+  // suppressed before they transmit (attempts without originations),
+  // in-flight frames to sleepers/leavers drop, the wall blocks traffic.
+  EXPECT_GT(storm.attempts, storm.originated);
+  EXPECT_GT(storm.dropped_gone, 0u);
+  EXPECT_GT(storm.dropped_partition, 0u);
+  EXPECT_LT(storm.delivery_ratio(), calm.delivery_ratio());
+
+  // Recovery: recluster + routing rebuild restores a working tree.
+  EXPECT_GT(recovered.delivered, 0u);
+  EXPECT_EQ(stats.reclusters, 1u);
+}
+
+TEST(ScenarioEngine, DutyCyclersCatchUpOnHashRefresh) {
+  // Duty cycling only — every node must end at the global hash epoch
+  // even though sleepers miss refresh rounds while their radio is off.
+  ScenarioSpec spec;
+  spec.name = "duty_only";
+  spec.nodes = 150;
+  spec.density = 10.0;
+  spec.side_m = 500.0;
+  spec.duty = {0.5, 0.5};
+  spec.data.refresh_interval_s = 0.2;
+  PhaseSpec phase;
+  phase.name = "dozing";
+  phase.duration_s = 2.0;
+  phase.duty = true;
+  spec.phases = {phase};
+
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, 11);
+  core::ProtocolRunner runner{config};
+  ScenarioEngine engine{runner, spec};
+  const ScenarioStats stats = engine.run();
+
+  const PhaseStats& ps = stats.phases[0];
+  EXPECT_GT(ps.refresh_rounds, 0u);
+  EXPECT_GT(ps.sleeps, 0u);
+  EXPECT_GT(ps.catch_up_epochs, 0u);  // wakers replayed missed rounds
+  EXPECT_EQ(ps.hash_epoch_lag_end, 0.0);
+  const auto global = static_cast<std::uint32_t>(ps.refresh_rounds);
+  for (const auto& node : runner.nodes()) {
+    EXPECT_EQ(node->hash_epoch(), global) << "node " << node->id();
+  }
+}
+
+TEST(ScenarioEngine, RefusesShardedKernels) {
+  ScenarioSpec spec = small_spec();
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, 3);
+  config.kernel.lanes = 4;
+  config.channel.loss_probability = 0.0;
+  core::ProtocolRunner runner{config};
+  if (runner.sim().kernel() == nullptr) {
+    GTEST_SKIP() << "kernel clamped to serial on this configuration";
+  }
+  ScenarioEngine engine{runner, spec};
+  EXPECT_THROW((void)engine.run(), std::invalid_argument);
+}
+
+TEST(ScenarioEngine, RejectsMismatchedRunnerConfig) {
+  const ScenarioSpec spec = small_spec();
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, 3);
+  config.node_count = 99;  // diverges from the spec
+  core::ProtocolRunner runner{config};
+  EXPECT_THROW((ScenarioEngine{runner, spec}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldke::scenario

@@ -1,0 +1,128 @@
+#include "scenario/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ldke::scenario {
+namespace {
+
+std::vector<net::Vec2> scatter(std::size_t n, double side, std::uint64_t seed) {
+  support::Xoshiro256 rng{seed};
+  std::vector<net::Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return out;
+}
+
+MotionConfig waypoint_config() {
+  MotionConfig config;
+  config.model = MotionModel::kRandomWaypoint;
+  config.speed_min_mps = 1.0;
+  config.speed_max_mps = 8.0;
+  config.pause_s = 0.5;
+  return config;
+}
+
+TEST(MobilityField, SameSeedIsBitIdentical) {
+  const auto initial = scatter(64, 500.0, 11);
+  MobilityField a{waypoint_config(), 500.0, initial, 42};
+  MobilityField b{waypoint_config(), 500.0, initial, 42};
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    a.advance(0.5);
+    b.advance(0.5);
+  }
+  ASSERT_EQ(a.positions().size(), b.positions().size());
+  for (std::size_t i = 0; i < a.positions().size(); ++i) {
+    EXPECT_EQ(a.positions()[i].x, b.positions()[i].x);
+    EXPECT_EQ(a.positions()[i].y, b.positions()[i].y);
+  }
+  EXPECT_EQ(a.fold_digest(kFnvOffsetBasis), b.fold_digest(kFnvOffsetBasis));
+}
+
+TEST(MobilityField, DifferentSeedsDiverge) {
+  const auto initial = scatter(64, 500.0, 11);
+  MobilityField a{waypoint_config(), 500.0, initial, 42};
+  MobilityField b{waypoint_config(), 500.0, initial, 43};
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    a.advance(0.5);
+    b.advance(0.5);
+  }
+  EXPECT_NE(a.fold_digest(kFnvOffsetBasis), b.fold_digest(kFnvOffsetBasis));
+}
+
+TEST(MobilityField, StaysInsideTheSquareAndAnchorsNodeZero) {
+  const double side = 300.0;
+  const auto initial = scatter(32, side, 7);
+  MobilityField field{waypoint_config(), side, initial, 5};
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    field.advance(0.5);
+    for (const net::Vec2& p : field.positions()) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, side);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, side);
+    }
+  }
+  EXPECT_EQ(field.positions()[0].x, initial[0].x);  // base station anchored
+  EXPECT_EQ(field.positions()[0].y, initial[0].y);
+}
+
+TEST(MobilityField, FrozenNodesStopAndDrawNothing) {
+  const auto initial = scatter(16, 400.0, 3);
+  MobilityField a{waypoint_config(), 400.0, initial, 9};
+  MobilityField b{waypoint_config(), 400.0, initial, 9};
+  a.advance(1.0);
+  b.advance(1.0);
+  const net::Vec2 parked = a.positions()[5];
+  a.freeze(5);
+  b.freeze(5);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    a.advance(1.0);
+    b.advance(1.0);
+  }
+  EXPECT_EQ(a.positions()[5].x, parked.x);
+  EXPECT_EQ(a.positions()[5].y, parked.y);
+  // The frozen walker consumes no stream; the rest stays identical.
+  EXPECT_EQ(a.fold_digest(kFnvOffsetBasis), b.fold_digest(kFnvOffsetBasis));
+}
+
+TEST(MobilityField, JoinedNodesMoveAfterAddNode) {
+  const auto initial = scatter(8, 400.0, 3);
+  MobilityField field{waypoint_config(), 400.0, initial, 9};
+  field.add_node({10.0, 10.0});
+  ASSERT_EQ(field.size(), 9u);
+  for (int epoch = 0; epoch < 20; ++epoch) field.advance(1.0);
+  const net::Vec2 p = field.positions()[8];
+  EXPECT_TRUE(p.x != 10.0 || p.y != 10.0);  // left its drop point
+}
+
+TEST(MobilityField, GroupModelIsDeterministicAndBounded) {
+  MotionConfig config;
+  config.model = MotionModel::kGroup;
+  config.group_count = 4;
+  config.group_jitter_m = 2.0;
+  config.speed_min_mps = 2.0;
+  config.speed_max_mps = 6.0;
+  config.pause_s = 0.25;
+  const double side = 400.0;
+  const auto initial = scatter(48, side, 21);
+  MobilityField a{config, side, initial, 42};
+  MobilityField b{config, side, initial, 42};
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    a.advance(0.5);
+    b.advance(0.5);
+    for (const net::Vec2& p : a.positions()) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, side);
+    }
+  }
+  EXPECT_EQ(a.fold_digest(kFnvOffsetBasis), b.fold_digest(kFnvOffsetBasis));
+}
+
+}  // namespace
+}  // namespace ldke::scenario

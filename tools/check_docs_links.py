@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown (CI gate).
+
+Walks every tracked *.md file, extracts markdown links and image refs,
+and verifies that each relative target exists on disk (fragments are
+stripped; http(s)/mailto links are left to the reader's browser).  Also
+verifies that file paths named in backticks that look repo-relative
+(src/..., tools/..., docs/..., examples/...) point at real files, so
+docs cannot drift from a rename silently.
+
+Usage:
+  tools/check_docs_links.py [root]   # default: the repo root
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH = re.compile(
+    r"`((?:src|tools|docs|examples|bench|tests)/[A-Za-z0-9_./-]+)`")
+SKIP_DIRS = {".git", "build", "results", ".claude"}
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(root, path, errors):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    rel = os.path.relpath(path, root)
+    base = os.path.dirname(path)
+    for match in LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or target.startswith(EXTERNAL):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            errors.append(f"{rel}: broken link '{match.group(1)}'")
+    for match in CODE_PATH.finditer(text):
+        target = match.group(1).rstrip(".")
+        # A trailing component with no extension usually names a CLI
+        # flag or a directory; only require files that look like files.
+        resolved = os.path.join(root, target)
+        if "." in os.path.basename(target) and not os.path.exists(resolved):
+            errors.append(f"{rel}: dangling path reference '{target}'")
+
+
+def main(argv):
+    root = os.path.abspath(argv[1] if len(argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    errors = []
+    count = 0
+    for path in sorted(markdown_files(root)):
+        count += 1
+        check_file(root, path, errors)
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}")
+        return 1
+    print(f"OK {count} markdown file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,12 +10,17 @@
 ///                      [--summary f.json] [--trace f.jsonl]
 ///   ldke_sim steady [-n nodes] [-d density] [-s seed] [--duration s]
 ///                   [--scalar] [--summary f.json] [--trace f.jsonl]
+///   ldke_sim scenario <spec.json> [-s seed] [--baselines]
+///                     [--summary f.json]
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "analysis/experiment.hpp"
 #include "analysis/paper_data.hpp"
@@ -25,9 +30,14 @@
 #include "attacks/clone.hpp"
 #include "attacks/hello_flood.hpp"
 #include "attacks/wormhole.hpp"
+#include "baselines/global_key.hpp"
+#include "baselines/ldke_adapter.hpp"
+#include "baselines/random_predist.hpp"
 #include "core/dataplane.hpp"
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
+#include "scenario/baseline_replay.hpp"
+#include "scenario/engine.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -46,6 +56,7 @@ struct CliOptions {
   bool csv = false;
   double duration = 5.0;     ///< steady-state window (seconds)
   bool scalar = false;       ///< steady: per-packet pipeline, not batched
+  bool baselines = false;    ///< scenario: add the graph-level replays
   std::string summary_path;  ///< RunSummary JSON destination ("" = off)
   std::string trace_path;    ///< JSONL trace destination ("" = off)
 };
@@ -59,6 +70,7 @@ int usage() {
       "  attack      clone | flood | wormhole demonstration\n"
       "  lifecycle   setup -> routing -> data -> refresh -> evict -> add\n"
       "  steady      setup + routing, then the steady-state data plane\n"
+      "  scenario    replay a ScenarioSpec JSON file (docs/scenarios.md)\n"
       "options:\n"
       "  -n <nodes>  deployment size          (default 1000)\n"
       "  -d <dens>   mean neighbors per node  (default 12)\n"
@@ -69,6 +81,8 @@ int usage() {
       "  --collisions  model overlapping-reception corruption\n"
       "  --duration <s>  steady-state window length  (default 5)\n"
       "  --scalar    steady: per-packet scalar pipeline (default batched)\n"
+      "  --baselines scenario: graph-replay the baseline key schemes on "
+      "the same trace\n"
       "  --csv       machine-readable output\n"
       "  --summary <file>  write the RunSummary JSON artifact\n"
       "  --trace <file>    write the versioned JSONL trace "
@@ -107,6 +121,8 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
       opt.duration = v;
     } else if (arg == "--scalar") {
       opt.scalar = true;
+    } else if (arg == "--baselines") {
+      opt.baselines = true;
     } else if (arg == "--collisions") {
       opt.collisions = true;
     } else if (arg == "--csv") {
@@ -356,6 +372,107 @@ int cmd_steady(const CliOptions& opt) {
                         "ldke_sim steady");
 }
 
+/// Runs a ScenarioSpec JSON file through the packet-level engine and
+/// prints the per-phase degradation/recovery table.  With --baselines
+/// the same trace is graph-replayed under LDKE and the baseline key
+/// schemes; a digest mismatch is a hard error (the replayers must walk
+/// the identical deployment history).
+int cmd_scenario(const CliOptions& opt, const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "cannot read " << path << '\n';
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto spec = scenario::ScenarioSpec::parse(buffer.str());
+  if (!spec.has_value()) {
+    std::cerr << path << ": not a valid ScenarioSpec "
+              << "(schema in docs/scenarios.md)\n";
+    return 1;
+  }
+
+  char digest_hex[17];
+  core::ProtocolRunner runner{
+      scenario::ScenarioEngine::make_runner_config(*spec, opt.seed)};
+  scenario::ScenarioEngine engine{runner, *spec};
+  std::cout << "scenario '" << spec->name << "': " << spec->nodes
+            << " nodes, " << spec->phases.size() << " phases, "
+            << support::fmt(spec->total_duration_s(), 1)
+            << " s... " << std::flush;
+  const scenario::ScenarioStats stats = engine.run();
+  std::cout << "done\n";
+
+  support::TextTable table({"phase", "delivered", "ratio", "p50 ms",
+                            "join", "leave+fail", "sleeps", "heads",
+                            "degree"});
+  for (const scenario::PhaseStats& ps : stats.phases) {
+    table.add_row({ps.name,
+                   std::to_string(ps.delivered) + "/" +
+                       std::to_string(ps.originated),
+                   support::fmt(ps.delivery_ratio()),
+                   support::fmt(ps.latency_p50_ms, 2),
+                   std::to_string(ps.join_successes) + "/" +
+                       std::to_string(ps.joins),
+                   std::to_string(ps.leaves + ps.fails),
+                   std::to_string(ps.sleeps),
+                   std::to_string(ps.heads_end),
+                   support::fmt(ps.mean_degree_end, 1)});
+  }
+  std::cout << (opt.csv ? table.to_csv() : table.render());
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(stats.trace_digest));
+  std::cout << "trace digest: " << digest_hex << '\n';
+
+  obs::JsonValue doc = stats.to_json();
+  if (opt.baselines) {
+    // The adapter snapshots LDKE as freshly deployed (same seed, same
+    // placement), the footing the predistribution baselines get.
+    core::ProtocolRunner deployed{
+        scenario::ScenarioEngine::make_runner_config(*spec, opt.seed)};
+    deployed.run_key_setup();
+    baselines::LdkeAdapter ldke{deployed};
+    baselines::GlobalKeyScheme global_key;
+    baselines::RandomPredistScheme random_predist;
+    const std::pair<const char*, baselines::KeyScheme&> schemes[] = {
+        {"ldke", ldke},
+        {"global_key", global_key},
+        {"random_predist", random_predist}};
+    support::TextTable secured({"scheme", "phase", "secured links",
+                                "fraction", "mean degree"});
+    obs::JsonValue replays;
+    for (const auto& [name, scheme] : schemes) {
+      const scenario::GraphReplayResult replay =
+          scenario::replay_scheme(*spec, opt.seed, scheme);
+      if (replay.trace_digest != stats.trace_digest) {
+        std::cerr << "trace digest mismatch for " << name
+                  << " — replayers diverged\n";
+        return 1;
+      }
+      for (const scenario::GraphPhaseStats& ps : replay.phases) {
+        secured.add_row({name, ps.name,
+                         std::to_string(ps.secured_pairs) + "/" +
+                             std::to_string(ps.in_range_pairs),
+                         support::fmt(ps.secured_link_fraction),
+                         support::fmt(ps.mean_secured_degree, 1)});
+      }
+      replays.push(replay.to_json());
+    }
+    std::cout << (opt.csv ? secured.to_csv() : secured.render());
+    doc.set("baseline_replays", std::move(replays));
+  }
+
+  if (!opt.summary_path.empty()) {
+    std::ofstream out{opt.summary_path};
+    if (!out) {
+      std::cerr << "cannot write " << opt.summary_path << '\n';
+      return 1;
+    }
+    out << doc.dump() << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -373,5 +490,10 @@ int main(int argc, char** argv) {
   }
   if (command == "lifecycle") return cmd_lifecycle(opt);
   if (command == "steady") return cmd_steady(opt);
+  if (command == "scenario") {
+    // The spec path rides the positional slot attacks use for the kind.
+    if (attack_kind.empty()) return usage();
+    return cmd_scenario(opt, attack_kind);
+  }
   return usage();
 }
