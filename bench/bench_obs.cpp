@@ -7,12 +7,17 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <vector>
 
 #include "crypto/obs.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "obs/audit.hpp"
 #include "obs/delivery.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_sink.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -124,6 +129,64 @@ void BM_TraceSinkPacketLine(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TraceSinkPacketLine);
+
+/// Two nodes in range of each other — enough Network to host audit().
+net::Topology tiny_topology() {
+  return net::Topology::from_positions({{0.0, 0.0}, {1.0, 0.0}}, 2.5);
+}
+
+void BM_AuditEmitNoSink(benchmark::State& state) {
+  // What every emission site (per-envelope replay checks included) pays
+  // when no audit sink is attached: one predictable branch.  The budget
+  // is <=5 ns/event so instrumentation can stay on by default.
+  sim::Simulator sim{1};
+  net::Network net{sim, tiny_topology()};
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    net.audit(obs::AuditKind::kReplayRejected, 1, 0, nonce++);
+    // Force the sink pointer to be re-loaded each iteration; without
+    // this the loop folds to nothing and measures 0 ns.
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(net.audit_sink());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AuditEmitNoSink);
+
+void BM_AuditEmitAttached(benchmark::State& state) {
+  // Full emission path with a sink: sim-time read, lane resolve, shard
+  // append (periodic clear keeps the shard out of eviction).
+  sim::Simulator sim{1};
+  net::Network net{sim, tiny_topology()};
+  obs::AuditSink sink{1 << 18};
+  net.set_audit_sink(&sink);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    net.audit(obs::AuditKind::kReplayRejected, 1, 0, nonce++);
+    if (sink.total_recorded() >= 1u << 17) sink.clear();
+  }
+  benchmark::DoNotOptimize(sink.total_seen());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AuditEmitAttached);
+
+void BM_AuditSinkRecord(benchmark::State& state) {
+  // The sink's shard append alone, without the Network front end.
+  obs::AuditSink sink{1 << 18};
+  obs::AuditEvent event{.t_ns = 0,
+                        .actor = 7,
+                        .subject = 3,
+                        .arg = 0,
+                        .kind = obs::AuditKind::kRefreshApplied};
+  for (auto _ : state) {
+    sink.record(0, event);
+    ++event.t_ns;
+    if (sink.total_recorded() >= 1u << 17) sink.clear();
+  }
+  benchmark::DoNotOptimize(sink.total_seen());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AuditSinkRecord);
 
 void BM_RegistrySnapshot(benchmark::State& state) {
   obs::MetricRegistry reg;

@@ -293,7 +293,8 @@ void write_run_summary(std::ostream& os, const RunSummary& summary) {
 }
 
 void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
-                       std::string_view tool, const net::PacketTrace* trace) {
+                       std::string_view tool,
+                       const TraceArtifacts& artifacts) {
   obs::TraceSink sink{os};
   const core::RunnerConfig& cfg = runner.config();
   obs::JsonValue meta;
@@ -301,27 +302,46 @@ void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
   meta.set("density", cfg.density);
   meta.set("seed", cfg.seed);
   meta.set("sim_time_s", runner.sim().now().seconds());
+  for (const auto& [key, value] : artifacts.meta_extras) {
+    meta.set(key, value);
+  }
   sink.write_meta(tool, std::move(meta));
 
   for (const obs::TraceSpan& span : runner.timeline().spans()) {
     sink.write_span(span);
   }
+  const net::PacketTrace* trace = artifacts.packets;
   if (trace != nullptr) {
-    for (const net::TraceRecord& r : trace->records()) {
+    for (const net::TraceRecord& r : trace->merged_records()) {
       sink.write_packet(r.time_ns, r.sender, net::packet_kind_name(r.kind),
                         r.size_bytes);
+    }
+  }
+  if (artifacts.audit != nullptr) {
+    for (const obs::AuditEvent& event : artifacts.audit->merged()) {
+      sink.write_audit(event);
     }
   }
   for (const obs::DeliveryTracker::Sample& sample :
        runner.deliveries().samples()) {
     sink.write_delivery(sample);
   }
+  for (const obs::HealthSample& sample : artifacts.health) {
+    sink.write_health(sample);
+  }
   sink.write_counters(runner.network().counters().snapshot_json());
   if (trace != nullptr && (trace->dropped_records() > 0 ||
                            trace->filtered() > 0)) {
-    sink.write_trace_drops(trace->total_seen(), trace->records().size(),
+    sink.write_trace_drops(trace->total_seen(), trace->recorded(),
                            trace->dropped_records(), trace->filtered());
   }
+}
+
+void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
+                       std::string_view tool, const net::PacketTrace* trace) {
+  TraceArtifacts artifacts;
+  artifacts.packets = trace;
+  write_trace_jsonl(os, runner, tool, artifacts);
 }
 
 }  // namespace ldke::analysis

@@ -100,10 +100,28 @@ struct RunSummary {
 /// Serializes the summary as a single JSON document plus newline.
 void write_run_summary(std::ostream& os, const RunSummary& summary);
 
+/// Optional recorders and extra meta for write_trace_jsonl.  All members
+/// default to absent, so `{.packets = &trace}` upgrades a v1-shaped call
+/// without touching the other families.
+struct TraceArtifacts {
+  const net::PacketTrace* packets = nullptr;
+  const obs::AuditSink* audit = nullptr;
+  std::vector<obs::HealthSample> health;
+  /// Extra string fields merged into the meta record (e.g. scenario name
+  /// and trace digest), in insertion order.
+  std::vector<std::pair<std::string, std::string>> meta_extras;
+};
+
 /// Writes the versioned JSONL trace for a trial: meta line, phase spans,
-/// packet records (from \p trace, when attached), delivery samples,
+/// packet records, audit events, delivery samples, health samples,
 /// counter snapshot, and a trace_drops line when the packet log is
-/// incomplete.
+/// incomplete.  Lane-sharded recorders are merged in canonical order, so
+/// the output is byte-identical at any lane count (the counters snapshot
+/// is the one lane-count-dependent line, carrying kernel.* gauges).
+void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
+                       std::string_view tool, const TraceArtifacts& artifacts);
+
+/// Packet-only convenience overload (the pre-v2 call shape).
 void write_trace_jsonl(std::ostream& os, core::ProtocolRunner& runner,
                        std::string_view tool,
                        const net::PacketTrace* trace = nullptr);

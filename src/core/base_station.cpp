@@ -101,6 +101,9 @@ bool BaseStation::revoke_clusters(net::Network& net,
   net.broadcast(
       net::Packet{id(), net::PacketKind::kRevoke, wsn::encode(body)});
   net.counters().increment("revoke.issued");
+  for (const ClusterId cid : cids) {
+    net.audit(obs::AuditKind::kEvictionIssued, id(), cid);
+  }
   return true;
 }
 

@@ -177,12 +177,17 @@ void DataPlaneEngine::refresh_all() {
   // Sleeping / departed nodes miss the round (their radio is off and a
   // real mote's clock keeps no global epoch); wakers catch up through
   // SensorNode::catch_up_hash_epoch against stats().refresh_rounds.
-  const net::Network& net = runner_.network();
+  net::Network& net = runner_.network();
+  ++stats_.refresh_rounds;
+  const BaseStation* bs = runner_.base_station();
+  net.audit(obs::AuditKind::kRefreshRound, bs != nullptr ? bs->id() : 0,
+            obs::kAuditNoSubject, stats_.refresh_rounds);
   for (const auto& node : runner_.nodes()) {
     if (!net.is_active(node->id())) continue;
     node->apply_hash_refresh();
+    net.audit(obs::AuditKind::kRefreshApplied, node->id(), node->cid(),
+              node->hash_epoch());
   }
-  ++stats_.refresh_rounds;
 }
 
 void DataPlaneEngine::evict_some(net::Network& net) {

@@ -1,0 +1,30 @@
+#pragma once
+/// \file health_probe.hpp
+/// Protocol-health gauges sampled from a live deployment: secured-link
+/// fraction over the current CSR topology, key-graph connectivity among
+/// active nodes, per-window delivery latency and hash-epoch skew.  The
+/// scenario engine samples one HealthSample per phase; `ldke_trace
+/// health` re-renders the table from the trace alone.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/audit.hpp"
+
+namespace ldke::core {
+
+class ProtocolRunner;
+
+/// Samples every health gauge at the current instant.  \p phase labels
+/// the sample (scenario phase name, or "run" for plain runs); \p t_ns is
+/// the sample's sim-time stamp.  Delivery figures cover DATA envelopes
+/// *originated* inside [window_from_ns, window_until_ns) — pass the
+/// phase's span so latency is attributed to the phase that sent, not the
+/// phase that delivered.
+[[nodiscard]] obs::HealthSample probe_health(const ProtocolRunner& runner,
+                                             std::string phase,
+                                             std::int64_t t_ns,
+                                             std::int64_t window_from_ns,
+                                             std::int64_t window_until_ns);
+
+}  // namespace ldke::core

@@ -26,7 +26,7 @@ void SensorNode::broadcast_under_current_key(
   wsn::DataHeader header;
   header.cid = keys_.own_cid();
   header.next_hop = next_hop;
-  header.nonce = next_nonce();
+  header.nonce = next_nonce(net);
   const support::Bytes header_bytes = wsn::encode(header);
   const support::Bytes sealed = ctx->seal(header.nonce, body, header_bytes);
   Packet pkt;

@@ -128,6 +128,7 @@ void SensorNode::on_election_timer(net::Network& net) {
   role_ = Role::kHead;
   was_head_ = true;
   keys_.set_own(id(), secrets_.cluster_key);
+  net.audit(obs::AuditKind::kKeyEstablished, id(), id());
 
   const wsn::HelloBody body{id(), secrets_.cluster_key};
   Packet pkt;
@@ -158,6 +159,7 @@ void SensorNode::on_hello(net::Network& net, const Packet& packet) {
   if (role_ != Role::kUndecided) return;
   role_ = Role::kMember;
   keys_.set_own(body->head_id, body->cluster_key);
+  net.audit(obs::AuditKind::kMemberJoined, id(), body->head_id);
   if (election_timer_ != sim::kInvalidEventId) {
     net.sim().cancel(election_timer_);
     election_timer_ = sim::kInvalidEventId;
@@ -206,13 +208,15 @@ void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
 // ---------------------------------------------------------------------------
 // data plane
 
-std::uint64_t SensorNode::next_nonce() {
+std::uint64_t SensorNode::next_nonce(net::Network& net) {
   // The counter names every envelope this node ever wraps under a shared
   // cluster key; letting it wrap silently would reuse (key, nonce) pairs
   // and void the CTR/MAC guarantees.  §IV-C's refresh cadence keeps 2^32
   // sends per node out of reach in any real deployment, so exhaustion is
   // a configuration error, not a recoverable state.
   if (envelope_counter_ == std::numeric_limits<std::uint32_t>::max()) {
+    net.audit(obs::AuditKind::kNonceWrapAbort, id(), obs::kAuditNoSubject,
+              envelope_counter_);
     throw std::overflow_error("envelope nonce counter exhausted on node " +
                               std::to_string(id()) +
                               "; rekey cadence must bound sends per key");
@@ -283,7 +287,7 @@ SensorNode::HopPlan SensorNode::plan_hop_envelope(net::Network& net,
   HopPlan plan;
   plan.header.cid = wrap_cid;
   plan.header.next_hop = routing_.parent();
-  plan.header.nonce = next_nonce();
+  plan.header.nonce = next_nonce(net);
   plan.wrap_key = *keys_.key_for(wrap_cid);
   plan.header_bytes = wsn::encode(plan.header);
   plan.inner_bytes = wsn::encode(inner);
@@ -353,6 +357,8 @@ bool SensorNode::accept_envelope(net::Network& net, const Packet& packet,
   auto& last = last_nonce_[packet.sender];
   if (header.nonce <= last) {
     net.counters().increment("envelope.replay");
+    net.audit(obs::AuditKind::kReplayRejected, id(), packet.sender,
+              header.nonce);
     return false;
   }
   last = header.nonce;
@@ -424,7 +430,7 @@ void SensorNode::send_beacon(net::Network& net) {
   wsn::DataHeader header;
   header.cid = keys_.own_cid();
   header.next_hop = net::kNoNode;
-  header.nonce = next_nonce();
+  header.nonce = next_nonce(net);
 
   const support::Bytes header_bytes = wsn::encode(header);
   const support::Bytes sealed = keys_.context_for(keys_.own_cid())
@@ -481,7 +487,7 @@ bool SensorNode::initiate_cluster_rekey(net::Network& net) {
   wsn::DataHeader header;
   header.cid = body.cid;
   header.next_hop = net::kNoNode;
-  header.nonce = next_nonce();
+  header.nonce = next_nonce(net);
 
   const support::Bytes header_bytes = wsn::encode(header);
   // Sealed under the *current* cluster key (§IV-C: "the current cluster
@@ -499,6 +505,7 @@ bool SensorNode::initiate_cluster_rekey(net::Network& net) {
 
   refresh_epoch_[body.cid] = body.epoch;
   keys_.replace(body.cid, body.new_key);
+  net.audit(obs::AuditKind::kRefreshApplied, id(), body.cid, body.epoch);
   return true;
 }
 
@@ -514,12 +521,14 @@ void SensorNode::on_refresh(net::Network& net, const Packet& packet) {
   auto& epoch = refresh_epoch_[body->cid];
   if (body->epoch <= epoch) {
     net.counters().increment("refresh.replay");
+    net.audit(obs::AuditKind::kRefreshReplay, id(), body->cid, body->epoch);
     return;
   }
   epoch = body->epoch;
   const auto old_key = keys_.key_for(body->cid);
   keys_.replace(body->cid, body->new_key);
   net.counters().increment("refresh.applied");
+  net.audit(obs::AuditKind::kRefreshApplied, id(), body->cid, body->epoch);
 
   // Members re-announce once under the *old* key so that bordering
   // nodes up to two hops from the initiator (the cluster's diameter)
@@ -529,7 +538,7 @@ void SensorNode::on_refresh(net::Network& net, const Packet& packet) {
     wsn::DataHeader out;
     out.cid = body->cid;
     out.next_hop = net::kNoNode;
-    out.nonce = next_nonce();
+    out.nonce = next_nonce(net);
     const support::Bytes out_header = wsn::encode(out);
     const support::Bytes sealed = crypto::seal_with(
         *old_key, out.nonce, wsn::encode(*body), out_header);
@@ -590,9 +599,11 @@ void SensorNode::on_revoke(net::Network& net, const Packet& packet,
     }
   }
   if (own_revoked) {
+    const ClusterId revoked_cid = keys_.own_cid();
     role_ = Role::kEvicted;
     keys_.clear();
     net.counters().increment("revoke.evicted");
+    net.audit(obs::AuditKind::kEvicted, id(), revoked_cid);
   }
   // Flood: each node re-broadcasts an accepted command exactly once
   // (chain monotonicity guarantees single acceptance).
@@ -608,6 +619,7 @@ void SensorNode::start_join(net::Network& net) {
   const wsn::JoinBody body{id()};
   net.broadcast(Packet{id(), PacketKind::kJoin, wsn::encode(body)});
   net.counters().increment("join.hello_sent");
+  net.audit(obs::AuditKind::kJoinStarted, id());
   net.sim().schedule_in(sim::SimTime::from_seconds(config().join_window_s),
                         [this, &net] { commit_join(net); });
 }
@@ -639,6 +651,7 @@ void SensorNode::on_join_reply(net::Network& net, const Packet&,
   // Cap the epoch so a forged reply cannot make us loop for long.
   if (body.hash_epoch > 4096) {
     net.counters().increment("join.reply_rejected");
+    net.audit(obs::AuditKind::kJoinRejected, id(), body.cid, body.hash_epoch);
     return;
   }
   crypto::Key128 derived = crypto::prf_u64(secrets_.kmc, body.cid);
@@ -649,6 +662,7 @@ void SensorNode::on_join_reply(net::Network& net, const Packet&,
       wsn::join_reply_tag(derived, body.cid, body.hash_epoch);
   if (!support::constant_time_equal(expected, body.tag)) {
     net.counters().increment("join.reply_rejected");
+    net.audit(obs::AuditKind::kJoinRejected, id(), body.cid, body.hash_epoch);
     return;
   }
   hash_epoch_ = std::max(hash_epoch_, body.hash_epoch);
@@ -679,6 +693,7 @@ void SensorNode::commit_join(net::Network& net) {
   joined_late_ = true;
   secrets_.erase_kmc();
   net.counters().increment("join.committed");
+  net.audit(obs::AuditKind::kJoinAdmitted, id(), keys_.own_cid(), hash_epoch_);
 }
 
 // ---------------------------------------------------------------------------

@@ -343,8 +343,9 @@ class SensorNode : public net::Node {
   /// the node id, so distinct cluster members never collide on the shared
   /// cluster key.  Throws std::overflow_error once the 32-bit counter is
   /// exhausted — wrapping would reuse (key, nonce) pairs and void the
-  /// CTR/MAC guarantees, so exhaustion is a hard error, never silent.
-  [[nodiscard]] std::uint64_t next_nonce();
+  /// CTR/MAC guarantees, so exhaustion is a hard error, never silent
+  /// (audited as nonce_wrap_abort before the throw).
+  [[nodiscard]] std::uint64_t next_nonce(net::Network& net);
 
   /// Shared front half of send_reading()/prepare_reading(): guards,
   /// Step-1 seal, origination counters.  nullopt when the node cannot

@@ -47,6 +47,7 @@ void Network::enable_lanes(sim::ShardedKernel& kernel) {
     lane_counters_.push_back(extra_counters_.back().get());
   }
   channel_.enable_lanes(kernel, lane_of_, lane_counters_);
+  if (audit_sink_ != nullptr) audit_sink_->enable_lanes(lanes);
 }
 
 void Network::fold_lane_metrics() {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "obs/audit.hpp"
 #include "obs/delivery.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -84,6 +85,36 @@ class Network {
     return delivery_tracker_;
   }
 
+  /// Optional security-audit event stream.  The sink is sized to the
+  /// current lane count on attach (and re-sized by enable_lanes), so
+  /// protocol layers emit through audit() with no lane bookkeeping.
+  void set_audit_sink(obs::AuditSink* sink) {
+    audit_sink_ = sink;
+    if (sink != nullptr) sink->enable_lanes(lane_count());
+  }
+  [[nodiscard]] obs::AuditSink* audit_sink() noexcept { return audit_sink_; }
+
+  /// Records one protocol lifecycle event at the current sim time.  A
+  /// single predictable branch when no sink is attached — cheap enough
+  /// for per-envelope sites like replay rejection.
+  void audit(obs::AuditKind kind, std::uint32_t actor,
+             std::uint32_t subject = obs::kAuditNoSubject,
+             std::uint64_t arg = 0) {
+    if (audit_sink_ == nullptr) return;
+    audit_sink_->record(
+        record_lane(),
+        obs::AuditEvent{sim_.now().ns(), actor, subject, arg, kind});
+  }
+
+  /// Shard index recorders (audit sink, packet trace) should write to
+  /// from the calling thread: the running lane, or 0 serially.
+  [[nodiscard]] std::size_t record_lane() const noexcept {
+    return kernel_ != nullptr ? sim::ShardedKernel::current_lane() : 0;
+  }
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return lane_counters_.empty() ? 1 : lane_counters_.size();
+  }
+
   // ---- scenario radio state (mobility / churn / duty cycling) ---------
 
   /// Current radio state; nodes never touched by a scenario are active.
@@ -148,7 +179,23 @@ class Network {
 
   /// Batched broadcast through Channel::deliver_batch: bit-identical
   /// deliveries, one coalesced event per (packet, destination lane).
+  /// Applies the same sender gate as broadcast() — an asleep/gone
+  /// origin transmits nothing and counts as `pkt.tx_gated` — so scalar
+  /// and batched runs tally and trace identically under scenarios.
   void deliver_batch(const PacketBatch& batch) {
+    if (scenario_gating_) {
+      PacketBatch gated;
+      gated.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!is_active(batch.senders()[i])) {
+          counters().increment("pkt.tx_gated");
+          continue;
+        }
+        gated.push(batch.packet(i));
+      }
+      if (!gated.empty()) channel_.deliver_batch(gated);
+      return;
+    }
     channel_.deliver_batch(batch);
   }
 
@@ -170,6 +217,7 @@ class Network {
   Channel channel_;
   std::vector<Node*> nodes_;
   obs::DeliveryTracker* delivery_tracker_ = nullptr;
+  obs::AuditSink* audit_sink_ = nullptr;
   // Scenario state (empty / unset on static deployments).
   std::vector<RadioState> radio_state_;  ///< empty = everyone active
   std::optional<double> partition_x_;

@@ -4,6 +4,14 @@
 /// bounded in-memory log of every transmission (time, sender, kind,
 /// size).  Dumps as JSON-lines for offline inspection — the debugging
 /// affordance SensorSimII's trace files provided.
+///
+/// Storage is lane-sharded: under a sharded kernel every lane thread
+/// appends to its own shard (no locks, no false sharing), and
+/// merged_records() restores one canonical stream ordered by
+/// (time, sender).  That order is invariant under the lane count —
+/// every sender lives in exactly one lane and its transmissions are
+/// recorded in deterministic order — so a merged trace is byte-identical
+/// whether the run used 1, 2 or 8 lanes.
 
 #include <cstdint>
 #include <initializer_list>
@@ -20,6 +28,7 @@ struct TraceRecord {
   NodeId sender = kNoNode;
   PacketKind kind = PacketKind::kData;
   std::uint32_t size_bytes = 0;
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
 
 /// Human-readable name of a packet kind ("hello", "data", ...).
@@ -27,12 +36,14 @@ struct TraceRecord {
 
 class PacketTrace {
  public:
-  /// Keeps at most \p capacity records (oldest evicted first).
-  explicit PacketTrace(std::size_t capacity = 1 << 16)
-      : capacity_(capacity) {}
+  /// Keeps at most \p capacity records per lane shard (oldest evicted
+  /// first, a quarter at a time).
+  explicit PacketTrace(std::size_t capacity = 1 << 16);
 
   /// Starts recording all transmissions on \p net (owns the sniffer
-  /// hook; replaces any previous one).
+  /// hook; replaces any previous one).  Sizes the shard array to the
+  /// network's lane count, so call after Network::enable_lanes when the
+  /// run is sharded.
   void attach(Network& net);
 
   /// Restricts recording to the given kinds (empty mask = record all;
@@ -45,22 +56,20 @@ class PacketTrace {
            (kind_mask_ >> static_cast<unsigned>(kind)) & 1u;
   }
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
-    return records_;
-  }
-  [[nodiscard]] std::uint64_t total_seen() const noexcept {
-    return total_seen_;
-  }
-  /// Records evicted because the bounded buffer overflowed.  (Filtered
+  /// Lane shards concatenated in lane order, then stably sorted by
+  /// (time, sender): the canonical merged stream.
+  [[nodiscard]] std::vector<TraceRecord> merged_records() const;
+
+  [[nodiscard]] std::uint64_t total_seen() const noexcept;
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  /// Records evicted because a bounded shard overflowed.  (Filtered
   /// packets are never records, so they are not "dropped".)
-  [[nodiscard]] std::uint64_t dropped_records() const noexcept {
-    return dropped_records_;
-  }
+  [[nodiscard]] std::uint64_t dropped_records() const noexcept;
   /// Packets excluded by the kind filter.
-  [[nodiscard]] std::uint64_t filtered() const noexcept { return filtered_; }
+  [[nodiscard]] std::uint64_t filtered() const noexcept;
   /// Packets seen but not retained, for any reason (eviction or filter).
   [[nodiscard]] std::uint64_t dropped() const noexcept {
-    return dropped_records_ + filtered_;
+    return dropped_records() + filtered();
   }
 
   /// Transmission count per packet kind over the retained window.
@@ -74,19 +83,18 @@ class PacketTrace {
   /// dump is partial.
   void dump_jsonl(std::ostream& os) const;
 
-  void clear() noexcept {
-    records_.clear();
-    total_seen_ = 0;
-    dropped_records_ = 0;
-    filtered_ = 0;
-  }
+  void clear() noexcept;
 
  private:
+  struct alignas(64) Shard {
+    std::vector<TraceRecord> records;
+    std::uint64_t seen = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t filtered = 0;
+  };
+
   std::size_t capacity_;
-  std::vector<TraceRecord> records_;
-  std::uint64_t total_seen_ = 0;
-  std::uint64_t dropped_records_ = 0;
-  std::uint64_t filtered_ = 0;
+  std::vector<Shard> shards_;
   /// Bit i set = record PacketKind(i); all-zero = no filter.
   std::uint32_t kind_mask_ = 0;
 };

@@ -43,6 +43,38 @@ std::optional<TraceData> load_trace(std::istream& in) {
       pkt.kind = parsed->string_at("kind");
       pkt.bytes = static_cast<std::uint32_t>(parsed->int_at("bytes"));
       data.packets.push_back(std::move(pkt));
+    } else if (type == "audit") {
+      TraceAudit audit;
+      audit.t_ns = parsed->int_at("t");
+      audit.kind = parsed->string_at("kind");
+      audit.actor = static_cast<std::uint32_t>(parsed->int_at("actor"));
+      audit.subject = static_cast<std::uint32_t>(
+          parsed->int_at("subject", kAuditNoSubject));
+      audit.arg = static_cast<std::uint64_t>(parsed->int_at("arg"));
+      data.audits.push_back(std::move(audit));
+    } else if (type == "health") {
+      HealthSample sample;
+      sample.t_ns = parsed->int_at("t");
+      sample.phase = parsed->string_at("phase");
+      sample.active_nodes =
+          static_cast<std::uint32_t>(parsed->int_at("active"));
+      sample.live_links =
+          static_cast<std::uint32_t>(parsed->int_at("live_links"));
+      sample.secured_links =
+          static_cast<std::uint32_t>(parsed->int_at("secured_links"));
+      sample.secured_link_fraction = parsed->number_at("secured_frac");
+      sample.key_components =
+          static_cast<std::uint32_t>(parsed->int_at("components"));
+      sample.largest_component =
+          static_cast<std::uint32_t>(parsed->int_at("largest"));
+      sample.delivered =
+          static_cast<std::uint64_t>(parsed->int_at("delivered"));
+      sample.latency_p50_ms = parsed->number_at("p50_ms");
+      sample.latency_p95_ms = parsed->number_at("p95_ms");
+      sample.epoch_skew =
+          static_cast<std::uint64_t>(parsed->int_at("epoch_skew"));
+      sample.epoch_mean = parsed->number_at("epoch_mean");
+      data.health.push_back(std::move(sample));
     } else if (type == "delivery") {
       DeliveryTracker::Sample sample;
       sample.source = static_cast<std::uint32_t>(parsed->int_at("src"));
@@ -223,6 +255,48 @@ double setup_messages_per_node(const TraceData& data) {
   return static_cast<double>(setup_msgs) / static_cast<double>(nodes);
 }
 
+std::vector<AuditKindRow> audit_kind_rows(const TraceData& data) {
+  std::vector<AuditKindRow> rows;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const TraceAudit& audit : data.audits) {
+    auto [it, inserted] = index.emplace(audit.kind, rows.size());
+    if (inserted) {
+      AuditKindRow row;
+      row.kind = audit.kind;
+      row.first_s = static_cast<double>(audit.t_ns) * 1e-9;
+      rows.push_back(std::move(row));
+    }
+    AuditKindRow& row = rows[it->second];
+    ++row.count;
+    row.last_s = static_cast<double>(audit.t_ns) * 1e-9;
+  }
+  return rows;
+}
+
+std::vector<ConvergenceRow> eviction_convergence(const TraceData& data) {
+  std::vector<ConvergenceRow> rows;
+  for (std::size_t i = 0; i < data.audits.size(); ++i) {
+    const TraceAudit& evict = data.audits[i];
+    if (evict.kind != "eviction_issued") continue;
+    ConvergenceRow row;
+    row.evict_s = static_cast<double>(evict.t_ns) * 1e-9;
+    row.victim_cid = evict.subject;
+    // The stream is time-sorted, so the first later refresh_applied is
+    // the earliest surviving node to land a fresh epoch.
+    for (std::size_t j = i + 1; j < data.audits.size(); ++j) {
+      const TraceAudit& refresh = data.audits[j];
+      if (refresh.kind == "refresh_applied" && refresh.t_ns >= evict.t_ns) {
+        row.converge_ms =
+            static_cast<double>(refresh.t_ns - evict.t_ns) * 1e-6;
+        row.converged = true;
+        break;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 // ---- rendering ------------------------------------------------------------
 
 std::string render_phases(const TraceData& data) {
@@ -292,6 +366,90 @@ std::string render_latency(const TraceData& data) {
   return table.render();
 }
 
+std::string render_audit(const TraceData& data) {
+  if (data.audits.empty()) {
+    return "no audit records (v1 trace, or run without an audit sink)\n";
+  }
+  support::TextTable kinds({"kind", "count", "first_s", "last_s"});
+  for (const AuditKindRow& row : audit_kind_rows(data)) {
+    kinds.add_row({row.kind, std::to_string(row.count),
+                   support::fmt(row.first_s, 3), support::fmt(row.last_s, 3)});
+  }
+  std::string out = "audit events by kind\n" + kinds.render();
+
+  // Lifecycle timeline: the structural events only — per-node refresh /
+  // replay noise stays in the census above.
+  static constexpr std::string_view kLifecycle[] = {
+      "eviction_issued", "evicted",  "join_started", "join_admitted",
+      "join_rejected",   "node_left", "node_failed",  "partition",
+      "heal",            "refresh_round", "nonce_wrap_abort",
+  };
+  constexpr std::size_t kMaxTimelineRows = 40;
+  std::uint64_t lifecycle_total = 0;
+  support::TextTable timeline({"t_s", "kind", "actor", "subject", "arg"});
+  for (const TraceAudit& audit : data.audits) {
+    bool structural = false;
+    for (const std::string_view name : kLifecycle) {
+      if (audit.kind == name) {
+        structural = true;
+        break;
+      }
+    }
+    if (!structural) continue;
+    ++lifecycle_total;
+    if (lifecycle_total > kMaxTimelineRows) continue;
+    timeline.add_row(
+        {support::fmt(static_cast<double>(audit.t_ns) * 1e-9, 3), audit.kind,
+         std::to_string(audit.actor),
+         audit.subject == kAuditNoSubject ? "-" : std::to_string(audit.subject),
+         std::to_string(audit.arg)});
+  }
+  if (lifecycle_total > 0) {
+    out += "\nlifecycle timeline\n" + timeline.render();
+    if (lifecycle_total > kMaxTimelineRows) {
+      out += "(+" + std::to_string(lifecycle_total - kMaxTimelineRows) +
+             " more lifecycle events)\n";
+    }
+  }
+
+  const auto convergence = eviction_convergence(data);
+  if (!convergence.empty()) {
+    support::TextTable conv({"evict_s", "victim_cid", "re-key in"});
+    for (const ConvergenceRow& row : convergence) {
+      conv.add_row({support::fmt(row.evict_s, 3),
+                    row.victim_cid == kAuditNoSubject
+                        ? "-"
+                        : std::to_string(row.victim_cid),
+                    row.converged ? support::fmt(row.converge_ms, 1) + " ms"
+                                  : "pending at trace end"});
+    }
+    out += "\neviction -> re-key convergence\n" + conv.render();
+  }
+  return out;
+}
+
+std::string render_health(const TraceData& data) {
+  if (data.health.empty()) {
+    return "no health records (v1 trace, or run without a health probe)\n";
+  }
+  support::TextTable table({"phase", "t_s", "active", "secured/links",
+                            "secured_frac", "comps", "largest", "delivered",
+                            "p50_ms", "p95_ms", "epoch_skew"});
+  for (const HealthSample& s : data.health) {
+    table.add_row({s.phase, support::fmt(static_cast<double>(s.t_ns) * 1e-9, 3),
+                   std::to_string(s.active_nodes),
+                   std::to_string(s.secured_links) + "/" +
+                       std::to_string(s.live_links),
+                   support::fmt(s.secured_link_fraction, 3),
+                   std::to_string(s.key_components),
+                   std::to_string(s.largest_component),
+                   std::to_string(s.delivered), support::fmt(s.latency_p50_ms),
+                   support::fmt(s.latency_p95_ms),
+                   std::to_string(s.epoch_skew)});
+  }
+  return "protocol health by phase\n" + table.render();
+}
+
 std::string render_summary(const TraceData& data) {
   std::uint64_t total_bytes = 0;
   std::int64_t last_ns = 0;
@@ -314,6 +472,8 @@ std::string render_summary(const TraceData& data) {
       {"setup msgs/node (Fig 9)", support::fmt(setup_messages_per_node(data))});
   table.add_row({"spans", std::to_string(data.spans.size())});
   table.add_row({"deliveries", std::to_string(data.deliveries.size())});
+  table.add_row({"audit events", std::to_string(data.audits.size())});
+  table.add_row({"health samples", std::to_string(data.health.size())});
   table.add_row({"trace drops", std::to_string(data.trace_dropped)});
   table.add_row({"trace filtered", std::to_string(data.trace_filtered)});
   if (data.skipped_lines > 0) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/audit.hpp"
 #include "obs/delivery.hpp"
 #include "obs/json.hpp"
 #include "obs/span.hpp"
@@ -26,11 +27,23 @@ struct TracePacket {
   std::uint32_t bytes = 0;
 };
 
+/// One v2 "audit" record.  The kind stays a string so a v2 reader also
+/// carries through kinds minted by future writers.
+struct TraceAudit {
+  std::int64_t t_ns = 0;
+  std::string kind;
+  std::uint32_t actor = 0;
+  std::uint32_t subject = kAuditNoSubject;
+  std::uint64_t arg = 0;
+};
+
 struct TraceData {
   int version = 0;
   JsonValue meta;  ///< the full meta record (tool, nodes, density, ...)
   std::vector<TraceSpan> spans;
   std::vector<TracePacket> packets;
+  std::vector<TraceAudit> audits;    ///< v2; empty on v1 traces
+  std::vector<HealthSample> health;  ///< v2; empty on v1 traces
   std::vector<DeliveryTracker::Sample> deliveries;
   JsonValue counters;  ///< last counters snapshot (null if none)
   std::uint64_t trace_dropped = 0;   ///< records evicted by the recorder
@@ -122,6 +135,29 @@ struct RateReport {
 /// meta record carries no node count.
 [[nodiscard]] double setup_messages_per_node(const TraceData& data);
 
+/// Per-kind audit census: count plus first/last occurrence, in first-seen
+/// order (which is chronological, since the writer emits a sorted stream).
+struct AuditKindRow {
+  std::string kind;
+  std::uint64_t count = 0;
+  double first_s = 0.0;
+  double last_s = 0.0;
+};
+[[nodiscard]] std::vector<AuditKindRow> audit_kind_rows(const TraceData& data);
+
+/// One eviction's re-key convergence: sim time the base station issued
+/// the revocation, the victim cluster, and the delay until the next
+/// refresh epoch landed on any surviving node (converged == false when
+/// the trace ends first).
+struct ConvergenceRow {
+  double evict_s = 0.0;
+  std::uint32_t victim_cid = kAuditNoSubject;
+  double converge_ms = 0.0;
+  bool converged = false;
+};
+[[nodiscard]] std::vector<ConvergenceRow> eviction_convergence(
+    const TraceData& data);
+
 // ---- rendered reports (terminal tables) -----------------------------------
 
 [[nodiscard]] std::string render_phases(const TraceData& data);
@@ -129,6 +165,8 @@ struct RateReport {
 [[nodiscard]] std::string render_talkers(const TraceData& data,
                                          std::size_t n = 10);
 [[nodiscard]] std::string render_latency(const TraceData& data);
+[[nodiscard]] std::string render_audit(const TraceData& data);
+[[nodiscard]] std::string render_health(const TraceData& data);
 [[nodiscard]] std::string render_summary(const TraceData& data);
 
 }  // namespace ldke::obs

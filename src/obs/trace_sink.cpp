@@ -39,6 +39,36 @@ void TraceSink::write_packet(std::int64_t t_ns, std::uint32_t sender,
   emit(line);
 }
 
+void TraceSink::write_audit(const AuditEvent& event) {
+  JsonValue line;
+  line.set("type", "audit");
+  line.set("t", event.t_ns);
+  line.set("kind", audit_kind_name(event.kind));
+  line.set("actor", event.actor);
+  if (event.subject != kAuditNoSubject) line.set("subject", event.subject);
+  line.set("arg", event.arg);
+  emit(line);
+}
+
+void TraceSink::write_health(const HealthSample& sample) {
+  JsonValue line;
+  line.set("type", "health");
+  line.set("t", sample.t_ns);
+  line.set("phase", sample.phase);
+  line.set("active", sample.active_nodes);
+  line.set("live_links", sample.live_links);
+  line.set("secured_links", sample.secured_links);
+  line.set("secured_frac", sample.secured_link_fraction);
+  line.set("components", sample.key_components);
+  line.set("largest", sample.largest_component);
+  line.set("delivered", sample.delivered);
+  line.set("p50_ms", sample.latency_p50_ms);
+  line.set("p95_ms", sample.latency_p95_ms);
+  line.set("epoch_skew", sample.epoch_skew);
+  line.set("epoch_mean", sample.epoch_mean);
+  emit(line);
+}
+
 void TraceSink::write_delivery(const DeliveryTracker::Sample& sample) {
   JsonValue line;
   line.set("type", "delivery");

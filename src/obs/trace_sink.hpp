@@ -5,20 +5,26 @@
 /// and tool name.  Everything ldke_trace consumes is written through
 /// this sink, so the schema lives in exactly one place:
 ///
-///   {"type":"meta","v":1,"tool":...,"nodes":N,"density":D,"seed":S,...}
+///   {"type":"meta","v":2,"tool":...,"nodes":N,"density":D,"seed":S,...}
 ///   {"type":"span","name":"key_setup","t0":0,"t1":6050000000,"depth":0}
 ///   {"type":"pkt","t":12345,"sender":7,"kind":"hello","bytes":91}
+///   {"type":"audit","t":...,"kind":"refresh_applied","actor":7,
+///    "subject":2,"arg":3}                      (v2; "subject" optional)
 ///   {"type":"delivery","src":42,"t_tx":...,"t_rx":...}
+///   {"type":"health","t":...,"phase":"stress","active":N,...}    (v2)
 ///   {"type":"counters","snapshot":{"counters":{...},"gauges":{...},...}}
 ///   {"type":"trace_drops","seen":N,"recorded":M,"dropped":K,"filtered":F}
 ///
 /// All timestamps are simulated nanoseconds.  Unknown line types must be
-/// skipped by readers (forward compatibility within a major version).
+/// skipped by readers (forward compatibility within a major version):
+/// v2 only *adds* the audit/health families, so every v1 trace is a
+/// valid v2 trace and v2 readers parse v1 files unchanged.
 
 #include <cstdint>
 #include <ostream>
 #include <string_view>
 
+#include "obs/audit.hpp"
 #include "obs/delivery.hpp"
 #include "obs/json.hpp"
 #include "obs/span.hpp"
@@ -26,7 +32,8 @@
 namespace ldke::obs {
 
 /// Bumped when a reader of version N can no longer parse the stream.
-inline constexpr int kTraceSchemaVersion = 1;
+/// v2: added the "audit" and "health" record families (additive).
+inline constexpr int kTraceSchemaVersion = 2;
 
 class TraceSink {
  public:
@@ -39,7 +46,9 @@ class TraceSink {
   void write_span(const TraceSpan& span);
   void write_packet(std::int64_t t_ns, std::uint32_t sender,
                     std::string_view kind, std::uint32_t bytes);
+  void write_audit(const AuditEvent& event);
   void write_delivery(const DeliveryTracker::Sample& sample);
+  void write_health(const HealthSample& sample);
   void write_counters(JsonValue snapshot);
   void write_trace_drops(std::uint64_t seen, std::uint64_t recorded,
                          std::uint64_t dropped, std::uint64_t filtered);

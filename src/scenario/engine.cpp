@@ -67,8 +67,10 @@ void ScenarioEngine::apply_event(const Event& ev, PhaseStats& ps) {
       net.mark_gone(ev.node);
       mobility_.freeze(ev.node);
       if (ev.kind == EventKind::kLeave) {
+        net.audit(obs::AuditKind::kNodeLeft, ev.node);
         ++ps.leaves;
       } else {
+        net.audit(obs::AuditKind::kNodeFailed, ev.node);
         ++ps.fails;
       }
       break;
@@ -86,21 +88,29 @@ void ScenarioEngine::apply_event(const Event& ev, PhaseStats& ps) {
     case EventKind::kSleep:
       if (net.radio_state(ev.node) != net::RadioState::kActive) break;
       net.set_asleep(ev.node, true);
+      net.audit(obs::AuditKind::kSleep, ev.node);
       ++ps.sleeps;
       break;
-    case EventKind::kWake:
+    case EventKind::kWake: {
       if (net.radio_state(ev.node) != net::RadioState::kAsleep) break;
       net.set_asleep(ev.node, false);
-      ps.catch_up_epochs +=
+      const std::uint32_t caught =
           runner_.node(ev.node).catch_up_hash_epoch(global_hash_epoch());
+      ps.catch_up_epochs += caught;
+      net.audit(obs::AuditKind::kWake, ev.node, obs::kAuditNoSubject, caught);
       ++ps.wakes;
       break;
+    }
     case EventKind::kPartition:
       net.set_partition_x(ev.pos.x);
+      net.audit(obs::AuditKind::kPartition, runner_.base_station()->id(),
+                obs::kAuditNoSubject,
+                static_cast<std::uint64_t>(ev.pos.x * 1e3));  // wall x in mm
       ++ps.partitions;
       break;
     case EventKind::kHeal:
       net.clear_partition();
+      net.audit(obs::AuditKind::kHeal, runner_.base_station()->id());
       ++ps.heals;
       break;
   }
@@ -140,12 +150,16 @@ void ScenarioEngine::finish_phase(std::uint32_t pi, PhaseStats& ps,
   for (const auto& node : runner_.nodes()) {
     if (net.radio_state(node->id()) != net::RadioState::kAsleep) continue;
     net.set_asleep(node->id(), false);
-    ps.catch_up_epochs += node->catch_up_hash_epoch(global_hash_epoch());
+    const std::uint32_t caught =
+        node->catch_up_hash_epoch(global_hash_epoch());
+    ps.catch_up_epochs += caught;
+    net.audit(obs::AuditKind::kWake, node->id(), obs::kAuditNoSubject, caught);
     ++ps.forced_wakes;
   }
   // ... and with the scripted wall healed.
   if (net.partition_x()) {
     net.clear_partition();
+    net.audit(obs::AuditKind::kHeal, runner_.base_station()->id());
     ++ps.heals;
   }
 
@@ -180,6 +194,10 @@ void ScenarioEngine::finish_phase(std::uint32_t pi, PhaseStats& ps,
   ps.hash_epoch_lag_end =
       active == 0 ? 0.0 : lag / static_cast<double>(active);
   ps.mean_degree_end = net.topology().mean_degree();
+  health_.push_back(core::probe_health(runner_, phase.name,
+                                       runner_.sim().now().ns(),
+                                       phase_start_sim_ns,
+                                       runner_.sim().now().ns()));
   if (!(phase.mobility && spec_.motion.model != MotionModel::kNone)) {
     // No epoch sampling ran: charge the end-of-phase census for the
     // whole window instead.
@@ -205,6 +223,7 @@ ScenarioStats ScenarioEngine::run() {
   digest_ = mobility_.fold_digest(digest_);  // initial placement
 
   stats_ = {};
+  health_.clear();
   stats_.name = spec_.name;
   stats_.seed = runner_.config().seed;
   stats_.duration_s = spec_.total_duration_s();
@@ -247,6 +266,8 @@ ScenarioStats ScenarioEngine::run() {
     dp_config.readings_per_tick = spec_.data.readings_per_tick;
     dp_config.reading_bytes = spec_.data.reading_bytes;
     dp_config.refresh_interval_s = spec_.data.refresh_interval_s;
+    dp_config.evict_interval_s = spec_.data.evict_interval_s;
+    dp_config.evict_batch = spec_.data.evict_batch;
     core::DataPlaneEngine dp{runner_, dp_config};
     current_dp_ = &dp;
     const core::DataPlaneStats dp_stats = dp.run();

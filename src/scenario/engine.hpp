@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/dataplane.hpp"
+#include "core/health_probe.hpp"
 #include "core/runner.hpp"
+#include "obs/audit.hpp"
 #include "obs/json.hpp"
 #include "scenario/mobility.hpp"
 #include "scenario/spec.hpp"
@@ -103,6 +105,12 @@ class ScenarioEngine {
 
   [[nodiscard]] const ScenarioStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
+  /// One HealthSample per phase, taken at the phase boundary (after the
+  /// forced wake-up and heal, before any recluster round).  The delivery
+  /// window covers envelopes originated inside the phase.
+  [[nodiscard]] const std::vector<obs::HealthSample>& health() const noexcept {
+    return health_;
+  }
 
  private:
   void apply_event(const Event& ev, PhaseStats& ps);
@@ -118,6 +126,7 @@ class ScenarioEngine {
   Timeline timeline_;
   MobilityField mobility_;
   ScenarioStats stats_;
+  std::vector<obs::HealthSample> health_;
   std::uint64_t digest_ = 0;
   std::uint32_t hash_epochs_done_ = 0;  ///< refresh rounds before this phase
   const core::DataPlaneEngine* current_dp_ = nullptr;

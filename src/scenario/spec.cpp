@@ -58,6 +58,10 @@ std::string ScenarioSpec::validate() const {
     err << "data.tick_interval_s must be > 0";
   } else if (data.reading_bytes == 0) {
     err << "data.reading_bytes must be >= 1";
+  } else if (data.evict_interval_s < 0.0) {
+    err << "data.evict_interval_s must be >= 0";
+  } else if (data.evict_interval_s > 0.0 && data.evict_batch == 0) {
+    err << "data.evict_batch must be >= 1 when eviction is on";
   } else if (phases.empty()) {
     err << "at least one phase is required";
   }
@@ -122,6 +126,8 @@ obs::JsonValue ScenarioSpec::to_json() const {
                static_cast<std::uint64_t>(data.readings_per_tick));
   data_doc.set("reading_bytes", static_cast<std::uint64_t>(data.reading_bytes));
   data_doc.set("refresh_interval_s", data.refresh_interval_s);
+  data_doc.set("evict_interval_s", data.evict_interval_s);
+  data_doc.set("evict_batch", static_cast<std::uint64_t>(data.evict_batch));
   doc.set("data", std::move(data_doc));
 
   JsonValue phase_array;
@@ -202,6 +208,10 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(
         "reading_bytes", static_cast<std::int64_t>(spec.data.reading_bytes)));
     spec.data.refresh_interval_s =
         data_doc->number_at("refresh_interval_s", spec.data.refresh_interval_s);
+    spec.data.evict_interval_s =
+        data_doc->number_at("evict_interval_s", spec.data.evict_interval_s);
+    spec.data.evict_batch = static_cast<std::size_t>(data_doc->int_at(
+        "evict_batch", static_cast<std::int64_t>(spec.data.evict_batch)));
   }
 
   const obs::JsonValue* phase_array = doc.find("phases");

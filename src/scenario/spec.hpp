@@ -64,6 +64,11 @@ struct DataConfig {
   std::size_t readings_per_tick = 8;
   std::size_t reading_bytes = 24;
   double refresh_interval_s = 1.0;  ///< §IV-C hash refresh; 0 disables
+  /// §IV-D cluster eviction cadence (0 disables).  Cycles round-robin
+  /// through the non-base clusters, \p evict_batch per firing, so churn
+  /// scenarios exercise the revoke → re-key convergence path.
+  double evict_interval_s = 0.0;
+  std::size_t evict_batch = 1;
 };
 
 /// A scripted event inside one phase, at a fixed offset from its start.

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <vector>
 
+#include "analysis/run_artifacts.hpp"
+#include "net/packet_trace.hpp"
+#include "obs/audit.hpp"
 #include "test_helpers.hpp"
 
 namespace ldke::core {
@@ -123,6 +127,88 @@ TEST(DataPlane, BatchedPipelineIsBitIdenticalToScalar) {
   EXPECT_EQ(batched_total.sealed_bytes, scalar_total.sealed_bytes);
   EXPECT_EQ(batched_total.opens, scalar_total.opens);
   EXPECT_EQ(batched_total.opened_bytes, scalar_total.opened_bytes);
+}
+
+TEST(DataPlane, ScalarAndBatchedProduceIdenticalTraces) {
+  auto scalar = after_routing(small_config(11));
+  auto batched = after_routing(small_config(11));
+  net::PacketTrace s_trace{1 << 20}, b_trace{1 << 20};
+  obs::AuditSink s_audit, b_audit;
+  s_trace.attach(scalar->network());
+  b_trace.attach(batched->network());
+  scalar->network().set_audit_sink(&s_audit);
+  batched->network().set_audit_sink(&b_audit);
+
+  DataPlaneEngine scalar_engine{*scalar, engine_config(false)};
+  DataPlaneEngine batched_engine{*batched, engine_config(true)};
+  scalar_engine.run();
+  batched_engine.run();
+
+  // Record-level equality: the batched deliver path tallies and sniffs
+  // every packet the scalar path does, in the same canonical order.
+  const auto s_records = s_trace.merged_records();
+  const auto b_records = b_trace.merged_records();
+  ASSERT_GT(s_records.size(), 0u);
+  EXPECT_EQ(b_records, s_records);
+  EXPECT_EQ(b_trace.total_seen(), s_trace.total_seen());
+
+  // Audit-stream equality: refresh rounds, refresh applications and
+  // evictions fire at the same instants with the same arguments.
+  const auto s_events = s_audit.merged();
+  const auto b_events = b_audit.merged();
+  ASSERT_GT(s_events.size(), 0u);
+  EXPECT_EQ(b_events, s_events);
+
+  // Serialized-artifact equality: the full JSONL traces (meta, spans,
+  // packets, audits, deliveries, health, counters) are byte-identical.
+  const auto serialize = [](ProtocolRunner& runner, net::PacketTrace& trace,
+                            obs::AuditSink& audit) {
+    std::ostringstream os;
+    analysis::TraceArtifacts artifacts;
+    artifacts.packets = &trace;
+    artifacts.audit = &audit;
+    analysis::write_trace_jsonl(os, runner, "test", artifacts);
+    return os.str();
+  };
+  EXPECT_EQ(serialize(*batched, b_trace, b_audit),
+            serialize(*scalar, s_trace, s_audit));
+}
+
+TEST(DataPlane, EmitsRefreshAndEvictionAudits) {
+  auto runner = after_routing(small_config(11));
+  obs::AuditSink audit;
+  runner->network().set_audit_sink(&audit);
+  DataPlaneEngine engine{*runner, engine_config(true)};
+  const DataPlaneStats stats = engine.run();
+  ASSERT_GT(stats.refresh_rounds, 0u);
+  ASSERT_GT(stats.clusters_evicted, 0u);
+
+  const auto counts = audit.counts_by_kind();
+  EXPECT_EQ(counts[static_cast<std::size_t>(obs::AuditKind::kRefreshRound)],
+            stats.refresh_rounds);
+  EXPECT_GT(
+      counts[static_cast<std::size_t>(obs::AuditKind::kRefreshApplied)], 0u);
+  EXPECT_EQ(
+      counts[static_cast<std::size_t>(obs::AuditKind::kEvictionIssued)],
+      stats.clusters_evicted);
+  // Every revoked cluster's members saw the revocation and wiped keys.
+  EXPECT_GT(counts[static_cast<std::size_t>(obs::AuditKind::kEvicted)], 0u);
+
+  // Convergence invariant: after each eviction a refresh round follows
+  // among the survivors (the refresh driver outlives the evict driver
+  // in engine_config), except possibly at the trace tail.
+  const auto events = audit.merged();
+  std::int64_t last_evict_ns = -1, last_refresh_ns = -1;
+  for (const auto& event : events) {
+    if (event.kind == obs::AuditKind::kEvictionIssued) {
+      last_evict_ns = event.t_ns;
+    }
+    if (event.kind == obs::AuditKind::kRefreshApplied) {
+      last_refresh_ns = event.t_ns;
+    }
+  }
+  ASSERT_GE(last_evict_ns, 0);
+  EXPECT_GT(last_refresh_ns, last_evict_ns);
 }
 
 TEST(DataPlane, SteadyStateSpanLandsOnTheTimeline) {

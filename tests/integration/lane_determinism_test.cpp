@@ -8,11 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/run_artifacts.hpp"
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
+#include "net/packet_trace.hpp"
+#include "obs/audit.hpp"
 
 namespace ldke {
 namespace {
@@ -98,6 +102,52 @@ TEST(LaneDeterminism, SetupMetricsBitIdenticalAcrossLaneCounts) {
   for (const std::size_t lanes : {2ul, 8ul}) {
     const TrialResult sharded = run_trial(lanes, 20260808);
     expect_identical(serial, sharded, lanes);
+  }
+}
+
+/// Runs a traced key setup at the given lane count and serializes the
+/// full JSONL trace, minus the counters snapshot line: that one line
+/// carries the kernel.* lane-balance gauges (wall-clock figures that
+/// legitimately vary with the lane count).  Everything else — packets,
+/// audits, spans, drops — must merge to the identical byte stream.
+std::string traced_setup(std::size_t lanes, std::uint64_t seed) {
+  core::RunnerConfig cfg;
+  cfg.node_count = 1500;
+  cfg.density = 10.0;
+  cfg.seed = seed;
+  cfg.kernel.lanes = lanes;
+  core::ProtocolRunner runner{cfg};
+  net::PacketTrace trace{1 << 20};
+  obs::AuditSink audit;
+  trace.attach(runner.network());
+  runner.network().set_audit_sink(&audit);
+  runner.run_key_setup();
+
+  std::ostringstream os;
+  analysis::TraceArtifacts artifacts;
+  artifacts.packets = &trace;
+  artifacts.audit = &audit;
+  analysis::write_trace_jsonl(os, runner, "lane_test", artifacts);
+
+  std::string out;
+  std::istringstream in{os.str()};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"counters\"") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(LaneDeterminism, MergedTracesByteIdenticalAcrossLaneCounts) {
+  const std::string serial = traced_setup(1, 20260808);
+  // The trace must actually contain both new record families.
+  EXPECT_NE(serial.find("\"type\":\"audit\""), std::string::npos);
+  EXPECT_NE(serial.find("\"kind\":\"key_established\""), std::string::npos);
+  for (const std::size_t lanes : {2ul, 8ul}) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    EXPECT_EQ(traced_setup(lanes, 20260808), serial);
   }
 }
 

@@ -43,7 +43,7 @@ TEST(PacketTrace, TimesAreMonotonic) {
   PacketTrace trace;
   trace.attach(runner.network());
   runner.run_key_setup();
-  const auto& records = trace.records();
+  const auto records = trace.merged_records();
   ASSERT_FALSE(records.empty());
   for (std::size_t i = 1; i < records.size(); ++i) {
     EXPECT_LE(records[i - 1].time_ns, records[i].time_ns);
@@ -60,10 +60,10 @@ TEST(PacketTrace, BoundedCapacityEvictsOldest) {
   PacketTrace trace{16};
   trace.attach(runner.network());
   runner.run_key_setup();
-  EXPECT_LE(trace.records().size(), 16u);
+  EXPECT_LE(trace.recorded(), 16u);
   EXPECT_GT(trace.dropped(), 0u);
   // The retained tail is the most recent traffic.
-  EXPECT_GT(trace.records().back().time_ns, 0);
+  EXPECT_GT(trace.merged_records().back().time_ns, 0);
 }
 
 TEST(PacketTrace, JsonlDumpIsWellFormedLines) {
@@ -81,7 +81,7 @@ TEST(PacketTrace, JsonlDumpIsWellFormedLines) {
   trace.dump_jsonl(os);
   const std::string dump = os.str();
   const auto lines = std::count(dump.begin(), dump.end(), '\n');
-  EXPECT_EQ(static_cast<std::size_t>(lines), trace.records().size());
+  EXPECT_EQ(static_cast<std::size_t>(lines), trace.recorded());
   EXPECT_NE(dump.find("\"kind\":\"hello\""), std::string::npos);
   EXPECT_NE(dump.find("\"kind\":\"link_advert\""), std::string::npos);
   // Every line starts with '{' and ends with '}'.
@@ -108,7 +108,7 @@ TEST(PacketTrace, DroppedRecordsCountsEvictionsExactly) {
   EXPECT_EQ(trace.filtered(), 0u);  // no filter: nothing filtered
   EXPECT_EQ(trace.dropped(), trace.dropped_records());
   // Everything seen is either retained or accounted as dropped.
-  EXPECT_EQ(trace.total_seen(), trace.records().size() + trace.dropped());
+  EXPECT_EQ(trace.total_seen(), trace.recorded() + trace.dropped());
 }
 
 TEST(PacketTrace, KindFilterRecordsOnlySelectedKinds) {
@@ -123,8 +123,9 @@ TEST(PacketTrace, KindFilterRecordsOnlySelectedKinds) {
   trace.attach(runner.network());
   runner.run_key_setup();
 
-  ASSERT_FALSE(trace.records().empty());
-  for (const TraceRecord& r : trace.records()) {
+  const auto records = trace.merged_records();
+  ASSERT_FALSE(records.empty());
+  for (const TraceRecord& r : records) {
     EXPECT_EQ(r.kind, PacketKind::kHello);
   }
   // Filtered packets still count in total_seen and filtered(), but are
@@ -132,7 +133,7 @@ TEST(PacketTrace, KindFilterRecordsOnlySelectedKinds) {
   EXPECT_EQ(trace.total_seen(), runner.network().channel().transmissions());
   EXPECT_GT(trace.filtered(), 0u);
   EXPECT_EQ(trace.dropped_records(), 0u);
-  EXPECT_EQ(trace.total_seen(), trace.records().size() + trace.filtered());
+  EXPECT_EQ(trace.total_seen(), trace.recorded() + trace.filtered());
 }
 
 TEST(PacketTrace, FilterPredicateAndClearing) {
@@ -212,7 +213,7 @@ TEST(PacketTrace, ClearResets) {
   trace.attach(runner.network());
   runner.run_key_setup();
   trace.clear();
-  EXPECT_TRUE(trace.records().empty());
+  EXPECT_EQ(trace.recorded(), 0u);
   EXPECT_EQ(trace.total_seen(), 0u);
 }
 

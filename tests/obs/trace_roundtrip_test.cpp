@@ -232,6 +232,130 @@ TEST(TraceRoundTrip, MissingMetaOrNewerVersionRejected) {
   EXPECT_FALSE(load_trace(newer).has_value());
 }
 
+/// A v2 trace exercising the audit + health families: one eviction that
+/// converges (refresh_applied after it), one that never does, a join
+/// pair, and two per-phase health samples.
+std::string make_audit_trace() {
+  std::ostringstream os;
+  TraceSink sink{os};
+  JsonValue meta;
+  meta.set("nodes", 6).set("seed", 11);
+  sink.write_meta("test", std::move(meta));
+
+  TraceSpan span;
+  span.name = "steady_state";
+  span.t0_ns = 0;
+  span.t1_ns = 4'000'000'000;
+  sink.write_span(span);
+
+  sink.write_audit({500'000'000, 0, 7, 0, AuditKind::kEvictionIssued});
+  sink.write_audit({520'000'000, 3, 7, 0, AuditKind::kEvicted});
+  sink.write_audit({900'000'000, 3, 9, 2, AuditKind::kRefreshApplied});
+  sink.write_audit({1'000'000'000, 5, kAuditNoSubject, 0,
+                    AuditKind::kJoinStarted});
+  sink.write_audit({1'200'000'000, 5, 9, 2, AuditKind::kJoinAdmitted});
+  sink.write_audit({3'800'000'000, 0, 9, 0, AuditKind::kEvictionIssued});
+
+  HealthSample h1;
+  h1.t_ns = 2'000'000'000;
+  h1.phase = "baseline";
+  h1.active_nodes = 6;
+  h1.live_links = 10;
+  h1.secured_links = 9;
+  h1.secured_link_fraction = 0.9;
+  h1.key_components = 1;
+  h1.largest_component = 6;
+  h1.delivered = 40;
+  h1.latency_p50_ms = 1.5;
+  h1.latency_p95_ms = 3.0;
+  h1.epoch_skew = 0;
+  h1.epoch_mean = 2.0;
+  sink.write_health(h1);
+  HealthSample h2 = h1;
+  h2.t_ns = 4'000'000'000;
+  h2.phase = "stress";
+  h2.secured_links = 5;
+  h2.secured_link_fraction = 0.5;
+  h2.key_components = 2;
+  h2.epoch_skew = 1;
+  sink.write_health(h2);
+  return os.str();
+}
+
+TEST(TraceRoundTrip, AuditAndHealthFamiliesRoundTrip) {
+  std::istringstream in{make_audit_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->version, 2);
+  ASSERT_EQ(data->audits.size(), 6u);
+  EXPECT_EQ(data->audits[0].kind, "eviction_issued");
+  EXPECT_EQ(data->audits[0].subject, 7u);
+  EXPECT_EQ(data->audits[3].kind, "join_started");
+  EXPECT_EQ(data->audits[3].subject, kAuditNoSubject);  // omitted on write
+  ASSERT_EQ(data->health.size(), 2u);
+  EXPECT_EQ(data->health[0].phase, "baseline");
+  EXPECT_EQ(data->health[1].key_components, 2u);
+  EXPECT_DOUBLE_EQ(data->health[1].secured_link_fraction, 0.5);
+  EXPECT_EQ(data->health[1].epoch_skew, 1u);
+  EXPECT_EQ(data->skipped_lines, 0u);
+}
+
+TEST(TraceRoundTrip, AuditKindRowsCountAndWindow) {
+  std::istringstream in{make_audit_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto rows = audit_kind_rows(*data);
+  ASSERT_FALSE(rows.empty());
+  // First-seen order: eviction_issued leads and counts both instances.
+  EXPECT_EQ(rows[0].kind, "eviction_issued");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].first_s, 0.5);
+  EXPECT_DOUBLE_EQ(rows[0].last_s, 3.8);
+}
+
+TEST(TraceRoundTrip, EvictionConvergenceFindsTheNextRefresh) {
+  std::istringstream in{make_audit_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const auto conv = eviction_convergence(*data);
+  ASSERT_EQ(conv.size(), 2u);
+  EXPECT_TRUE(conv[0].converged);
+  EXPECT_EQ(conv[0].victim_cid, 7u);
+  EXPECT_DOUBLE_EQ(conv[0].converge_ms, 400.0);  // 0.5 s -> 0.9 s
+  EXPECT_FALSE(conv[1].converged);  // no refresh after the late eviction
+}
+
+TEST(TraceRoundTrip, AuditAndHealthRendersFromTraceAlone) {
+  std::istringstream in{make_audit_trace()};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  const std::string audit = render_audit(*data);
+  EXPECT_NE(audit.find("eviction_issued"), std::string::npos);
+  EXPECT_NE(audit.find("join_admitted"), std::string::npos);
+  EXPECT_NE(audit.find("pending"), std::string::npos);  // unconverged row
+  const std::string health = render_health(*data);
+  EXPECT_NE(health.find("baseline"), std::string::npos);
+  EXPECT_NE(health.find("stress"), std::string::npos);
+}
+
+TEST(TraceRoundTrip, V1TracesStillParse) {
+  // A hand-written v1 trace: the pre-audit schema must stay readable.
+  std::string text =
+      "{\"type\":\"meta\",\"v\":1,\"tool\":\"old\",\"nodes\":3}\n"
+      "{\"type\":\"span\",\"name\":\"key_setup\",\"t0\":0,\"t1\":100}\n"
+      "{\"type\":\"pkt\",\"t\":50,\"sender\":1,\"kind\":\"hello\","
+      "\"bytes\":40}\n";
+  std::istringstream in{text};
+  const auto data = load_trace(in);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->version, 1);
+  EXPECT_EQ(data->packets.size(), 1u);
+  EXPECT_TRUE(data->audits.empty());
+  EXPECT_TRUE(data->health.empty());
+  // v1 traces render through the v2 reports without audit/health rows.
+  EXPECT_NE(render_summary(*data).find("old"), std::string::npos);
+}
+
 TEST(TraceRoundTrip, RendersAreDeterministicGolden) {
   std::istringstream in1{make_trace()}, in2{make_trace()};
   const auto a = load_trace(in1);

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/runner.hpp"
+#include "obs/audit.hpp"
 
 namespace ldke::scenario {
 namespace {
@@ -137,6 +138,69 @@ TEST(ScenarioEngine, DutyCyclersCatchUpOnHashRefresh) {
   for (const auto& node : runner.nodes()) {
     EXPECT_EQ(node->hash_epoch(), global) << "node " << node->id();
   }
+}
+
+TEST(ScenarioEngine, EmitsAuditStreamAndPerPhaseHealth) {
+  ScenarioSpec spec = small_spec();
+  spec.data.evict_interval_s = 0.9;  // one eviction inside the storm
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, 7);
+  core::ProtocolRunner runner{config};
+  obs::AuditSink audit;
+  runner.network().set_audit_sink(&audit);
+  ScenarioEngine engine{runner, spec};
+  const ScenarioStats stats = engine.run();
+  ASSERT_EQ(stats.phases.size(), 3u);
+  const PhaseStats& storm = stats.phases[1];
+
+  // Every scenario dynamic left its typed record, with counts matching
+  // the phase stats tallied independently by the engine.
+  const auto counts = audit.counts_by_kind();
+  const auto count_of = [&](obs::AuditKind kind) {
+    return counts[static_cast<std::size_t>(kind)];
+  };
+  EXPECT_GT(count_of(obs::AuditKind::kKeyEstablished), 0u);
+  EXPECT_GT(count_of(obs::AuditKind::kMemberJoined), 0u);
+  EXPECT_GT(count_of(obs::AuditKind::kRefreshRound), 0u);
+  EXPECT_GT(count_of(obs::AuditKind::kRefreshApplied), 0u);
+  EXPECT_GT(count_of(obs::AuditKind::kEvictionIssued), 0u);
+  std::uint64_t leaves = 0, fails = 0, sleeps = 0, partitions = 0, heals = 0,
+                joins = 0;
+  for (const PhaseStats& ps : stats.phases) {
+    leaves += ps.leaves;
+    fails += ps.fails;
+    sleeps += ps.sleeps;
+    partitions += ps.partitions;
+    heals += ps.heals;
+    joins += ps.joins;
+  }
+  EXPECT_EQ(count_of(obs::AuditKind::kNodeLeft), leaves);
+  EXPECT_EQ(count_of(obs::AuditKind::kNodeFailed), fails);
+  EXPECT_EQ(count_of(obs::AuditKind::kSleep), sleeps);
+  EXPECT_EQ(count_of(obs::AuditKind::kPartition), partitions);
+  EXPECT_EQ(count_of(obs::AuditKind::kHeal), heals);
+  EXPECT_EQ(count_of(obs::AuditKind::kJoinStarted), joins);
+  EXPECT_GT(storm.sleeps, 0u);  // the comparisons above had teeth
+
+  // One health sample per phase, in phase order, internally consistent.
+  const auto& health = engine.health();
+  ASSERT_EQ(health.size(), stats.phases.size());
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    const obs::HealthSample& h = health[i];
+    EXPECT_EQ(h.phase, stats.phases[i].name);
+    EXPECT_GT(h.active_nodes, 0u);
+    EXPECT_LE(h.secured_links, h.live_links);
+    EXPECT_GE(h.secured_link_fraction, 0.0);
+    EXPECT_LE(h.secured_link_fraction, 1.0);
+    EXPECT_GE(h.key_components, 1u);
+    EXPECT_LE(h.largest_component, h.active_nodes);
+    EXPECT_EQ(h.delivered, stats.phases[i].delivered);
+  }
+  // The healthy static phase is near-fully secured, with one dominant
+  // key-graph component (a handful of edge/singleton clusters may sit
+  // outside it).
+  EXPECT_GT(health[0].secured_link_fraction, 0.9);
+  EXPECT_LT(health[0].key_components, health[0].active_nodes / 10);
+  EXPECT_GT(health[0].largest_component, health[0].active_nodes / 2);
 }
 
 TEST(ScenarioEngine, RefusesShardedKernels) {

@@ -11,7 +11,7 @@
 ///   ldke_sim steady [-n nodes] [-d density] [-s seed] [--duration s]
 ///                   [--scalar] [--summary f.json] [--trace f.jsonl]
 ///   ldke_sim scenario <spec.json> [-s seed] [--baselines]
-///                     [--summary f.json]
+///                     [--summary f.json] [--trace f.jsonl]
 
 #include <cstdio>
 #include <cstring>
@@ -34,8 +34,10 @@
 #include "baselines/ldke_adapter.hpp"
 #include "baselines/random_predist.hpp"
 #include "core/dataplane.hpp"
+#include "core/health_probe.hpp"
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
+#include "obs/audit.hpp"
 #include "scenario/baseline_replay.hpp"
 #include "scenario/engine.hpp"
 #include "support/table.hpp"
@@ -143,9 +145,12 @@ bool parse_options(int argc, char** argv, int first, CliOptions& opt,
 }
 
 /// Writes the requested artifacts after a run; non-fatal on I/O errors
-/// (the run's terminal output already happened).
+/// (the run's terminal output already happened).  The trace carries the
+/// packet log, the security-audit event stream, and one end-of-run
+/// health sample covering the whole delivery window.
 int emit_artifacts(core::ProtocolRunner& runner, const CliOptions& opt,
-                   const net::PacketTrace* trace, std::string_view tool) {
+                   const net::PacketTrace* trace, const obs::AuditSink* audit,
+                   std::string_view tool) {
   if (!opt.summary_path.empty()) {
     std::ofstream out{opt.summary_path};
     if (!out) {
@@ -161,7 +166,13 @@ int emit_artifacts(core::ProtocolRunner& runner, const CliOptions& opt,
       std::cerr << "cannot write " << opt.trace_path << '\n';
       return 1;
     }
-    analysis::write_trace_jsonl(out, runner, tool, trace);
+    analysis::TraceArtifacts artifacts;
+    artifacts.packets = trace;
+    artifacts.audit = audit;
+    const std::int64_t now_ns = runner.sim().now().ns();
+    artifacts.health.push_back(
+        core::probe_health(runner, "run", now_ns, 0, now_ns));
+    analysis::write_trace_jsonl(out, runner, tool, artifacts);
   }
   return 0;
 }
@@ -181,7 +192,11 @@ core::RunnerConfig config_of(const CliOptions& opt) {
 int cmd_setup(const CliOptions& opt) {
   core::ProtocolRunner runner{config_of(opt)};
   net::PacketTrace trace{1 << 20};
-  if (!opt.trace_path.empty()) trace.attach(runner.network());
+  obs::AuditSink audit;
+  if (!opt.trace_path.empty()) {
+    trace.attach(runner.network());
+    runner.network().set_audit_sink(&audit);
+  }
   runner.run_key_setup();
   const auto m = core::collect_setup_metrics(runner);
   support::TextTable table({"metric", "value"});
@@ -202,6 +217,7 @@ int cmd_setup(const CliOptions& opt) {
   std::cout << (opt.csv ? table.to_csv() : table.render());
   return emit_artifacts(runner, opt,
                         opt.trace_path.empty() ? nullptr : &trace,
+                        opt.trace_path.empty() ? nullptr : &audit,
                         "ldke_sim setup");
 }
 
@@ -283,7 +299,11 @@ int cmd_attack(const CliOptions& opt, const std::string& kind) {
 int cmd_lifecycle(const CliOptions& opt) {
   core::ProtocolRunner runner{config_of(opt)};
   net::PacketTrace trace{1 << 20};
-  if (!opt.trace_path.empty()) trace.attach(runner.network());
+  obs::AuditSink audit;
+  if (!opt.trace_path.empty()) {
+    trace.attach(runner.network());
+    runner.network().set_audit_sink(&audit);
+  }
   std::cout << "[1/6] key setup... " << std::flush;
   runner.run_key_setup();
   const auto m = core::collect_setup_metrics(runner);
@@ -321,6 +341,7 @@ int cmd_lifecycle(const CliOptions& opt) {
                       "provision newcomers with current material)\n");
   return emit_artifacts(runner, opt,
                         opt.trace_path.empty() ? nullptr : &trace,
+                        opt.trace_path.empty() ? nullptr : &audit,
                         "ldke_sim lifecycle");
 }
 
@@ -335,7 +356,11 @@ int cmd_steady(const CliOptions& opt) {
   }
   core::ProtocolRunner runner{config_of(opt)};
   net::PacketTrace trace{1 << 20};
-  if (!opt.trace_path.empty()) trace.attach(runner.network());
+  obs::AuditSink audit;
+  if (!opt.trace_path.empty()) {
+    trace.attach(runner.network());
+    runner.network().set_audit_sink(&audit);
+  }
   std::cout << "setup + routing... " << std::flush;
   runner.run_key_setup();
   runner.run_routing_setup();
@@ -369,6 +394,7 @@ int cmd_steady(const CliOptions& opt) {
   std::cout << (opt.csv ? table.to_csv() : table.render());
   return emit_artifacts(runner, opt,
                         opt.trace_path.empty() ? nullptr : &trace,
+                        opt.trace_path.empty() ? nullptr : &audit,
                         "ldke_sim steady");
 }
 
@@ -396,6 +422,12 @@ int cmd_scenario(const CliOptions& opt, const std::string& path) {
   core::ProtocolRunner runner{
       scenario::ScenarioEngine::make_runner_config(*spec, opt.seed)};
   scenario::ScenarioEngine engine{runner, *spec};
+  net::PacketTrace trace{1 << 20};
+  obs::AuditSink audit;
+  if (!opt.trace_path.empty()) {
+    trace.attach(runner.network());
+    runner.network().set_audit_sink(&audit);
+  }
   std::cout << "scenario '" << spec->name << "': " << spec->nodes
             << " nodes, " << spec->phases.size() << " phases, "
             << support::fmt(spec->total_duration_s(), 1)
@@ -424,7 +456,12 @@ int cmd_scenario(const CliOptions& opt, const std::string& path) {
                 static_cast<unsigned long long>(stats.trace_digest));
   std::cout << "trace digest: " << digest_hex << '\n';
 
-  obs::JsonValue doc = stats.to_json();
+  // The summary is a full RunSummary (same sections validate_obs.py
+  // checks for every other command) with the scenario stats nested under
+  // "scenario" — the digest and per-phase delivery windows ride there.
+  obs::JsonValue doc =
+      analysis::to_json(analysis::collect_run_summary(runner, "ldke_sim scenario"));
+  doc.set("scenario", stats.to_json());
   if (opt.baselines) {
     // The adapter snapshots LDKE as freshly deployed (same seed, same
     // placement), the footing the predistribution baselines get.
@@ -469,6 +506,20 @@ int cmd_scenario(const CliOptions& opt, const std::string& path) {
       return 1;
     }
     out << doc.dump() << '\n';
+  }
+  if (!opt.trace_path.empty()) {
+    std::ofstream out{opt.trace_path};
+    if (!out) {
+      std::cerr << "cannot write " << opt.trace_path << '\n';
+      return 1;
+    }
+    analysis::TraceArtifacts artifacts;
+    artifacts.packets = &trace;
+    artifacts.audit = &audit;
+    artifacts.health = engine.health();
+    artifacts.meta_extras.emplace_back("scenario", spec->name);
+    artifacts.meta_extras.emplace_back("scenario_digest", digest_hex);
+    analysis::write_trace_jsonl(out, runner, "ldke_sim scenario", artifacts);
   }
   return 0;
 }

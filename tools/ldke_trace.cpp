@@ -5,7 +5,8 @@
 /// alone (no access to the simulation needed).
 ///
 ///   ldke_trace <command> <trace.jsonl>
-///   commands: summary | phases | traffic | talkers [-n k] | latency | all
+///   commands: summary | phases | traffic | talkers [-n k] | latency
+///             | audit | health | all
 
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +29,10 @@ int usage() {
       "  traffic   whole-run traffic per packet kind\n"
       "  talkers   top senders by bytes (-n <k>, default 10)\n"
       "  latency   end-to-end DATA latency percentiles\n"
+      "  audit     security-audit lifecycle: per-kind counts, timeline,\n"
+      "            eviction -> re-key convergence\n"
+      "  health    per-phase protocol-health gauges (secured links,\n"
+      "            key-graph components, delivery, epoch skew)\n"
       "  all       every report above\n";
   return 2;
 }
@@ -78,6 +83,14 @@ int main(int argc, char** argv) {
   }
   if (all || command == "latency") {
     std::cout << obs::render_latency(*data);
+    matched = true;
+  }
+  if (all || command == "audit") {
+    std::cout << obs::render_audit(*data);
+    matched = true;
+  }
+  if (all || command == "health") {
+    std::cout << obs::render_health(*data);
     matched = true;
   }
   if (!matched) return usage();

@@ -6,6 +6,13 @@ Validates a RunSummary JSON and/or a versioned JSONL trace produced by
 Python standard library.  Exits non-zero and prints every violation so
 a CI failure points straight at the malformed field.
 
+Beyond field shapes, the trace check enforces one protocol invariant:
+every `audit` eviction (kind "eviction_issued") must be followed by a
+hash-refresh application (kind "refresh_applied") at the same or a later
+timestamp — the §IV-C/§IV-D convergence property.  Evictions landing
+within --allow-tail-s of the end of the trace are excused: the run may
+simply have stopped before the next refresh round.
+
 Usage:
   tools/validate_obs.py --summary run.json --trace run.jsonl
 """
@@ -14,7 +21,18 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+# The RunSummary document evolves additively and stays at version 1;
+# the JSONL trace gained the audit/health record families in version 2.
+SUMMARY_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+ACCEPTED_TRACE_VERSIONS = (1, 2)
+
+AUDIT_KINDS = frozenset({
+    "key_established", "member_joined", "refresh_round", "refresh_applied",
+    "refresh_replay", "eviction_issued", "evicted", "join_started",
+    "join_admitted", "join_rejected", "node_left", "node_failed", "sleep",
+    "wake", "partition", "heal", "replay_rejected", "nonce_wrap_abort",
+})
 
 # RunSummary: section -> {field: type}.  `float` accepts ints too (JSON
 # has one number type; the writer emits 250 for 250.0).
@@ -62,6 +80,24 @@ TRACE_LINE_FIELDS = {
     "delivery": {"src": int, "t_tx": int, "t_rx": int},
     "counters": {"snapshot": dict},
     "trace_drops": {"seen": int, "recorded": int, "dropped": int},
+    # Schema v2 families.  `audit.subject` is optional (omitted when the
+    # event has no counterpart node/cluster), so it is checked inline.
+    "audit": {"t": int, "kind": str, "actor": int, "arg": int},
+    "health": {
+        "t": int,
+        "phase": str,
+        "active": int,
+        "live_links": int,
+        "secured_links": int,
+        "secured_frac": NUMBER,
+        "components": int,
+        "largest": int,
+        "delivered": int,
+        "p50_ms": NUMBER,
+        "p95_ms": NUMBER,
+        "epoch_skew": int,
+        "epoch_mean": NUMBER,
+    },
 }
 
 
@@ -91,9 +127,9 @@ def check_summary(path, checker):
         return
 
     version = checker.expect(summary, "schema_version", int, path)
-    if version is not None and version != SCHEMA_VERSION:
+    if version is not None and version != SUMMARY_SCHEMA_VERSION:
         checker.fail(f"{path}: schema_version {version}, "
-                     f"validator knows {SCHEMA_VERSION}")
+                     f"validator knows {SUMMARY_SCHEMA_VERSION}")
     checker.expect(summary, "tool", str, path)
 
     for section, fields in SUMMARY_SECTIONS.items():
@@ -124,7 +160,7 @@ def check_summary(path, checker):
         checker.fail(f"{path}: 'phases' must be a list")
 
 
-def check_trace(path, checker):
+def check_trace(path, checker, allow_tail_s=2.0):
     try:
         with open(path, encoding="utf-8") as fh:
             lines = fh.read().splitlines()
@@ -137,6 +173,9 @@ def check_trace(path, checker):
         return
 
     stats = {}
+    evictions = []      # (lineno, t_ns) of every eviction_issued
+    refresh_ts = []     # t_ns of every refresh_applied
+    last_audit_ns = None
     for lineno, raw in enumerate(lines, start=1):
         where = f"{path}:{lineno}"
         try:
@@ -159,20 +198,65 @@ def check_trace(path, checker):
             if lineno != 1:
                 checker.fail(f"{where}: meta must be the first line")
             version = record.get("v")
-            if isinstance(version, int) and version != SCHEMA_VERSION:
-                checker.fail(f"{where}: trace v{version}, "
-                             f"validator knows v{SCHEMA_VERSION}")
+            if (isinstance(version, int)
+                    and version not in ACCEPTED_TRACE_VERSIONS):
+                checker.fail(f"{where}: trace v{version}, validator knows "
+                             f"v{ACCEPTED_TRACE_VERSIONS}")
         elif line_type == "span":
             t0, t1 = record.get("t0"), record.get("t1")
             if (isinstance(t0, int) and isinstance(t1, int)
                     and t1 != -1 and t1 < t0):
                 checker.fail(f"{where}: span ends before it starts")
+        elif line_type == "audit":
+            kind = record.get("kind")
+            if isinstance(kind, str) and kind not in AUDIT_KINDS:
+                checker.fail(f"{where}: unknown audit kind '{kind}'")
+            subject = record.get("subject")
+            if subject is not None and (not isinstance(subject, int)
+                                        or isinstance(subject, bool)):
+                checker.fail(f"{where}: audit 'subject' must be an int "
+                             f"when present")
+            t_ns = record.get("t")
+            if isinstance(t_ns, int):
+                if last_audit_ns is not None and t_ns < last_audit_ns:
+                    checker.fail(f"{where}: audit stream out of order "
+                                 f"({t_ns} after {last_audit_ns})")
+                last_audit_ns = t_ns
+                if kind == "eviction_issued":
+                    evictions.append((lineno, t_ns))
+                elif kind == "refresh_applied":
+                    refresh_ts.append(t_ns)
+        elif line_type == "health":
+            frac = record.get("secured_frac")
+            if isinstance(frac, NUMBER) and not 0.0 <= frac <= 1.0:
+                checker.fail(f"{where}: secured_frac {frac} outside [0, 1]")
+            secured = record.get("secured_links")
+            live = record.get("live_links")
+            if (isinstance(secured, int) and isinstance(live, int)
+                    and secured > live):
+                checker.fail(f"{where}: secured_links {secured} exceeds "
+                             f"live_links {live}")
 
     if stats.get("meta", 0) != 1:
         checker.fail(f"{path}: expected exactly one meta line, "
                      f"found {stats.get('meta', 0)}")
     if stats.get("span", 0) == 0:
         checker.fail(f"{path}: no span lines")
+
+    # Eviction -> refresh convergence.  Survivors must re-key after every
+    # revocation; an eviction with no refresh_applied at t >= t_evict is
+    # a protocol-health violation unless it sits in the trace tail.
+    if evictions and last_audit_ns is not None:
+        tail_ns = int(allow_tail_s * 1e9)
+        for lineno, t_evict in evictions:
+            if any(t >= t_evict for t in refresh_ts):
+                continue
+            if last_audit_ns - t_evict <= tail_ns:
+                continue  # run ended before the next refresh round
+            checker.fail(
+                f"{path}:{lineno}: eviction at t={t_evict} never followed "
+                f"by refresh_applied (and not within {allow_tail_s}s of "
+                f"trace end)")
     return stats
 
 
@@ -180,6 +264,9 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--summary", help="RunSummary JSON to validate")
     parser.add_argument("--trace", help="JSONL trace to validate")
+    parser.add_argument("--allow-tail-s", type=float, default=2.0,
+                        help="excuse unconverged evictions within this many "
+                             "seconds of the end of the trace (default 2.0)")
     args = parser.parse_args()
     if not args.summary and not args.trace:
         parser.error("nothing to validate: pass --summary and/or --trace")
@@ -189,7 +276,7 @@ def main():
         check_summary(args.summary, checker)
     stats = None
     if args.trace:
-        stats = check_trace(args.trace, checker)
+        stats = check_trace(args.trace, checker, args.allow_tail_s)
 
     if checker.errors:
         for error in checker.errors:
