@@ -124,4 +124,45 @@ for key in ("crypto", "pipelines", "engine_wall_speedup"):
 PYEOF
   rm -f results/.dataplane_baseline.json
 fi
+
+# Diff the fresh scenario bench against the committed baseline: per-point
+# mobile-scale sweep timings (the incremental-vs-full speedup is the
+# number this artifact exists to pin) plus per-scenario wall time.
+if [ -f results/BENCH_scenarios.json ] &&
+   git cat-file -e HEAD:results/BENCH_scenarios.json 2>/dev/null; then
+  echo "=== diff BENCH_scenarios.json (committed -> fresh) ==="
+  git show HEAD:results/BENCH_scenarios.json > results/.scenarios_baseline.json
+  python3 - results/.scenarios_baseline.json results/BENCH_scenarios.json <<'PYEOF'
+import json, sys
+
+before = json.load(open(sys.argv[1]))
+after = json.load(open(sys.argv[2]))
+
+def points(doc):
+    return {p["nodes"]: p for p in doc.get("scale_sweep", [])}
+
+def show(name, b, a, flag_drift=True):
+    if not isinstance(b, (int, float)) or isinstance(b, bool) or b == 0:
+        return
+    delta = (a - b) / b * 100.0
+    flag = "  <-- drifted" if flag_drift and abs(delta) > 25.0 else ""
+    print(f"{name:45s} {b:14.3f} -> {a:14.3f}  ({delta:+.1f}%){flag}")
+
+bp, ap = points(before), points(after)
+for nodes in sorted(bp):
+    if nodes not in ap:
+        continue
+    for field in ("incr_epoch_s", "full_epoch_s", "speedup", "engine_wall_s"):
+        if field in bp[nodes] and field in ap[nodes]:
+            show(f"scale_sweep[{nodes}].{field}",
+                 bp[nodes][field], ap[nodes][field])
+
+bs = {s["engine"]["name"]: s for s in before.get("scenarios", [])}
+for s in after.get("scenarios", []):
+    name = s["engine"]["name"]
+    if name in bs:
+        show(f"scenarios.{name}.wall_s", bs[name]["wall_s"], s["wall_s"])
+PYEOF
+  rm -f results/.scenarios_baseline.json
+fi
 exit $status

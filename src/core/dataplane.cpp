@@ -11,15 +11,17 @@ DataPlaneEngine::DataPlaneEngine(ProtocolRunner& runner,
   if (config_.tick_interval_s <= 0.0) {
     throw std::invalid_argument("DataPlaneEngine: tick_interval_s must be > 0");
   }
-  payload_.resize(config_.reading_bytes);
-}
-
-DataPlaneStats DataPlaneEngine::run() {
+  // Fail at construction, not mid-run: the sharded kernel cannot host
+  // engine events that mutate node state across the whole deployment.
   if (runner_.sim().kernel() != nullptr) {
     throw std::invalid_argument(
         "DataPlaneEngine requires the serial event loop (kernel lanes == 1): "
         "engine events mutate node state across the whole deployment");
   }
+  payload_.resize(config_.reading_bytes);
+}
+
+DataPlaneStats DataPlaneEngine::run() {
   net::Network& net = runner_.network();
   sim::Simulator& sim = runner_.sim();
   net::PayloadArena::Scope arena_scope{runner_.payload_arena()};

@@ -37,7 +37,16 @@ void SensorNode::broadcast_under_current_key(
 }
 
 void SensorNode::begin_recluster(net::Network& net) {
-  if (!keys_.has_own() || role_ == Role::kEvicted) return;
+  if (!keys_.has_own() || role_ == Role::kEvicted) {
+    // A keyless node sits the round out — but a §IV-E join in flight is
+    // void now: every candidate key it buffered advertises material that
+    // dies at the coming swap (heads draw fresh keys, possibly under a
+    // recurring cid).  Drop the buffer so the already-scheduled
+    // commit_join takes its empty-candidates retry path and collects
+    // fresh replies under the new epoch.
+    join_candidates_.clear();
+    return;
+  }
   recluster_active_ = true;
   recluster_decided_ = false;
   recluster_head_ = false;
@@ -125,6 +134,10 @@ void SensorNode::on_recluster_link(net::Network& net, const Packet& packet) {
 void SensorNode::finish_recluster(net::Network& net) {
   if (!recluster_active_) return;
   recluster_active_ = false;
+  // The at-most-once join-reply guard is scoped to a key epoch: reset it
+  // with the swap so a joiner whose round-straddling attempt was voided
+  // can be answered again under the new keys.
+  join_replied_.clear();
   if (!recluster_keys_->has_own()) {
     // Round failed locally (e.g. isolated node whose HELLO channel was
     // lossy): keep the old keys rather than going dark.

@@ -202,6 +202,7 @@ void SensorNode::on_link_advert(net::Network& net, const Packet& packet) {
   if (keys_.has_own() && body->cid == keys_.own_cid()) return;
   if (keys_.add_neighbor(body->cid, body->cluster_key)) {
     net.counters().increment("setup.neighbor_key_stored");
+    net.audit(obs::AuditKind::kNeighborKeyStored, id(), body->cid);
   }
 }
 
@@ -596,6 +597,7 @@ void SensorNode::on_revoke(net::Network& net, const Packet& packet,
     if (cid == keys_.own_cid()) own_revoked = true;
     if (keys_.revoke(cid)) {
       net.counters().increment("revoke.key_deleted");
+      net.audit(obs::AuditKind::kNeighborKeyDropped, id(), cid);
     }
   }
   if (own_revoked) {
@@ -627,7 +629,11 @@ void SensorNode::start_join(net::Network& net) {
 void SensorNode::on_join(net::Network& net, const Packet&,
                          const wsn::JoinBody& body) {
   if (!keys_.has_own() || role_ == Role::kEvicted || secrets_.has_kmc) return;
-  // Reply at most once per joining node.
+  // A §IV-C round is in flight: the key this reply would advertise dies
+  // at the swap, so stay silent and let the joiner's retry find us
+  // afterwards (the swap also resets the at-most-once guard below).
+  if (recluster_active_) return;
+  // Reply at most once per joining node (per key epoch).
   if (!join_replied_.insert(body.new_id).second) return;
   // §IV-E: reply "CID, MAC_Kc(CID)" so an adversary cannot advertise
   // clusters it has no key for (impersonation defence).
@@ -665,7 +671,19 @@ void SensorNode::on_join_reply(net::Network& net, const Packet&,
     net.audit(obs::AuditKind::kJoinRejected, id(), body.cid, body.hash_epoch);
     return;
   }
-  hash_epoch_ = std::max(hash_epoch_, body.hash_epoch);
+  // Keep every buffered candidate at this node's hash epoch, whichever
+  // side is behind: a stale reply fast-forwards its derived key, a
+  // fresher one fast-forwards the candidates collected so far.
+  if (body.hash_epoch > hash_epoch_) {
+    for (std::uint32_t e = hash_epoch_; e < body.hash_epoch; ++e) {
+      for (auto& [cid, key] : join_candidates_) crypto::one_way_inplace(key);
+    }
+    hash_epoch_ = body.hash_epoch;
+  } else {
+    for (std::uint32_t e = body.hash_epoch; e < hash_epoch_; ++e) {
+      derived = crypto::one_way(derived);
+    }
+  }
   const bool known = std::any_of(
       join_candidates_.begin(), join_candidates_.end(),
       [&](const auto& c) { return c.first == body.cid; });
@@ -686,7 +704,11 @@ void SensorNode::commit_join(net::Network& net) {
   keys_.set_own(join_candidates_.front().first,
                 join_candidates_.front().second);
   for (std::size_t i = 1; i < join_candidates_.size(); ++i) {
-    keys_.add_neighbor(join_candidates_[i].first, join_candidates_[i].second);
+    if (keys_.add_neighbor(join_candidates_[i].first,
+                           join_candidates_[i].second)) {
+      net.audit(obs::AuditKind::kNeighborKeyStored, id(),
+                join_candidates_[i].first);
+    }
   }
   join_candidates_.clear();
   role_ = Role::kMember;

@@ -31,6 +31,7 @@
 #include "crypto/drbg.hpp"
 #include "crypto/keychain.hpp"
 #include "crypto/obs.hpp"
+#include "crypto/prf.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "net/packet_batch.hpp"
@@ -157,9 +158,13 @@ class SensorNode : public net::Node {
   }
 
   /// Stateless hash refresh: Kc <- F(Kc) for every held key.  All nodes
-  /// must apply it at the same epoch (§VI recommends this mode).
+  /// must apply it at the same epoch (§VI recommends this mode).  Keys
+  /// still pending in the §IV-E join buffer ride along: a refresh round
+  /// landing inside the join window would otherwise leave the joiner's
+  /// keys permanently one F behind its cluster.
   void apply_hash_refresh() {
     keys_.hash_refresh_all();
+    for (auto& [cid, key] : join_candidates_) crypto::one_way_inplace(key);
     ++hash_epoch_;
   }
 

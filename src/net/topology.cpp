@@ -1,6 +1,7 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <numbers>
 
@@ -87,6 +88,46 @@ void Topology::index_into_grid() {
   for (NodeId id = 0; id < n; ++id) {
     grid_ids_[cursor[cell_index(positions_[id])]++] = id;
   }
+  // Any linked-cell index is stale now; the next incremental pass
+  // rebuilds it lazily.
+  grid_linked_ = false;
+}
+
+void Topology::ensure_linked_grid() {
+  if (grid_linked_) return;
+  const std::size_t n = positions_.size();
+  cell_head_.assign(grid_dim_ * grid_dim_, kNoNode);
+  grid_next_.assign(n, kNoNode);
+  grid_prev_.assign(n, kNoNode);
+  cell_of_.resize(n);
+  // Push-front in descending id order so every cell list comes out
+  // ascending — not required (scan_into sorts) but keeps walks and the
+  // CSR twin visually comparable when debugging.
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    const auto c = static_cast<std::uint32_t>(cell_index(positions_[id]));
+    cell_of_[id] = c;
+    grid_link(id, c);
+  }
+  grid_linked_ = true;
+}
+
+void Topology::grid_link(NodeId id, std::uint32_t cell) {
+  cell_of_[id] = cell;
+  grid_prev_[id] = kNoNode;
+  grid_next_[id] = cell_head_[cell];
+  if (cell_head_[cell] != kNoNode) grid_prev_[cell_head_[cell]] = id;
+  cell_head_[cell] = id;
+}
+
+void Topology::grid_unlink(NodeId id) {
+  const NodeId prev = grid_prev_[id];
+  const NodeId next = grid_next_[id];
+  if (prev != kNoNode) {
+    grid_next_[prev] = next;
+  } else {
+    cell_head_[cell_of_[id]] = next;
+  }
+  if (next != kNoNode) grid_prev_[next] = prev;
 }
 
 void Topology::scan_into(std::vector<NodeId>& out, Vec2 center, double radius,
@@ -104,11 +145,22 @@ void Topology::scan_into(std::vector<NodeId>& out, Vec2 center, double radius,
          ++gx) {
       const std::size_t c = static_cast<std::size_t>(gy) * grid_dim_ +
                             static_cast<std::size_t>(gx);
-      for (std::uint32_t i = grid_offsets_[c]; i < grid_offsets_[c + 1]; ++i) {
-        const NodeId other = grid_ids_[i];
-        if (other == exclude) continue;
-        if (distance_squared(center, positions_[other]) <= r2) {
-          out.push_back(other);
+      if (grid_linked_) {
+        for (NodeId other = cell_head_[c]; other != kNoNode;
+             other = grid_next_[other]) {
+          if (other == exclude) continue;
+          if (distance_squared(center, positions_[other]) <= r2) {
+            out.push_back(other);
+          }
+        }
+      } else {
+        for (std::uint32_t i = grid_offsets_[c]; i < grid_offsets_[c + 1];
+             ++i) {
+          const NodeId other = grid_ids_[i];
+          if (other == exclude) continue;
+          if (distance_squared(center, positions_[other]) <= r2) {
+            out.push_back(other);
+          }
         }
       }
     }
@@ -127,28 +179,32 @@ std::vector<NodeId> Topology::scan_neighbors(Vec2 center, double radius,
 void Topology::rebuild_neighbor_lists() {
   const std::size_t n = positions_.size();
   const double degree = expected_degree();
-  neighbor_offsets_.clear();
-  neighbor_offsets_.reserve(n + 1);
-  neighbor_offsets_.push_back(0);
-  neighbor_ids_.clear();
-  neighbor_ids_.reserve(
+  nbr_begin_.resize(n);
+  nbr_count_.resize(n);
+  nbr_cap_.resize(n);
+  nbr_pool_.clear();
+  nbr_pool_.reserve(
       static_cast<std::size_t>(static_cast<double>(n) * (degree + 1.0)));
   // One scratch buffer for every scan instead of a fresh vector per node.
   std::vector<NodeId> scratch;
   scratch.reserve(static_cast<std::size_t>(degree * 2.0) + 8);
+  total_degree_ = 0;
   for (NodeId id = 0; id < n; ++id) {
     scratch.clear();
     scan_into(scratch, positions_[id], range_, id);
-    neighbor_ids_.insert(neighbor_ids_.end(), scratch.begin(), scratch.end());
-    neighbor_offsets_.push_back(
-        static_cast<std::uint32_t>(neighbor_ids_.size()));
+    nbr_begin_[id] = static_cast<std::uint32_t>(nbr_pool_.size());
+    const auto deg = static_cast<std::uint32_t>(scratch.size());
+    nbr_count_[id] = deg;
+    nbr_cap_[id] = deg;  // exact fit: bulk layout carries zero slack
+    nbr_pool_.insert(nbr_pool_.end(), scratch.begin(), scratch.end());
+    total_degree_ += deg;
   }
-  neighbor_ids_.shrink_to_fit();
+  nbr_pool_.shrink_to_fit();
 }
 
 double Topology::mean_degree() const noexcept {
   if (positions_.empty()) return 0.0;
-  return static_cast<double>(neighbor_ids_.size()) /
+  return static_cast<double>(total_degree_) /
          static_cast<double>(positions_.size());
 }
 
@@ -157,10 +213,8 @@ std::vector<NodeId> Topology::nodes_within(Vec2 center, double radius) const {
 }
 
 void Topology::update_positions(std::span<const Vec2> positions) {
-  // Mobility epochs call this once per epoch for the whole deployment;
-  // an in-place overwrite plus full grid/CSR rebuild beats per-node
-  // splicing as soon as more than a handful of nodes moved, and reuses
-  // every allocation the previous build left behind.
+  // The full-rebuild reference: overwrite every position, then rebuild
+  // the grid and all neighbor lists from scratch, reusing allocations.
   positions_.assign(positions.begin(), positions.end());
   for (Vec2& p : positions_) {
     p.x = std::clamp(p.x, 0.0, side_);
@@ -170,31 +224,178 @@ void Topology::update_positions(std::span<const Vec2> positions) {
   rebuild_neighbor_lists();
 }
 
+void Topology::store_list(NodeId id, std::span<const NodeId> ids) {
+  if (ids.size() <= nbr_cap_[id]) {
+    std::copy(ids.begin(), ids.end(),
+              nbr_pool_.begin() + static_cast<std::ptrdiff_t>(nbr_begin_[id]));
+  } else {
+    // Relocate to the pool tail with slack so the next few inserts stay
+    // in place; the old slot is dead weight until compact_pool().
+    const auto cap =
+        static_cast<std::uint32_t>(ids.size() + ids.size() / 2 + 4);
+    nbr_begin_[id] = static_cast<std::uint32_t>(nbr_pool_.size());
+    nbr_cap_[id] = cap;
+    nbr_pool_.insert(nbr_pool_.end(), ids.begin(), ids.end());
+    nbr_pool_.resize(nbr_pool_.size() + (cap - ids.size()), kNoNode);
+    ++maint_.slot_relocations;
+  }
+  total_degree_ += ids.size();
+  total_degree_ -= nbr_count_[id];
+  nbr_count_[id] = static_cast<std::uint32_t>(ids.size());
+}
+
+void Topology::patch_insert(NodeId id, NodeId other) {
+  if (nbr_count_[id] == nbr_cap_[id]) {
+    const auto list = neighbors(id);
+    scratch_patch_.assign(list.begin(), list.end());
+    scratch_patch_.insert(
+        std::upper_bound(scratch_patch_.begin(), scratch_patch_.end(), other),
+        other);
+    store_list(id, scratch_patch_);
+    return;
+  }
+  const auto begin =
+      nbr_pool_.begin() + static_cast<std::ptrdiff_t>(nbr_begin_[id]);
+  const auto end = begin + nbr_count_[id];
+  const auto pos = std::upper_bound(begin, end, other);
+  std::copy_backward(pos, end, end + 1);
+  *pos = other;
+  ++nbr_count_[id];
+  ++total_degree_;
+}
+
+void Topology::patch_erase(NodeId id, NodeId other) {
+  const auto begin =
+      nbr_pool_.begin() + static_cast<std::ptrdiff_t>(nbr_begin_[id]);
+  const auto end = begin + nbr_count_[id];
+  const auto pos = std::lower_bound(begin, end, other);
+  assert(pos != end && *pos == other);
+  std::copy(pos + 1, end, pos);
+  --nbr_count_[id];
+  --total_degree_;
+}
+
+void Topology::compact_pool() {
+  // Double-buffered rewrite: lay every live slot out in id order in the
+  // spare buffer (a couple of slack entries each so fresh patches do not
+  // immediately relocate again), then swap the buffers.
+  const std::size_t n = positions_.size();
+  compact_buf_.clear();
+  compact_buf_.reserve(total_degree_ + 2 * n);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto list = neighbors(id);
+    nbr_begin_[id] = static_cast<std::uint32_t>(compact_buf_.size());
+    nbr_cap_[id] = static_cast<std::uint32_t>(list.size() + 2);
+    compact_buf_.insert(compact_buf_.end(), list.begin(), list.end());
+    compact_buf_.push_back(kNoNode);
+    compact_buf_.push_back(kNoNode);
+  }
+  std::swap(nbr_pool_, compact_buf_);
+  ++maint_.pool_compactions;
+}
+
+void Topology::apply_displacements(std::span<const NodeId> moved,
+                                   std::span<const Vec2> new_positions,
+                                   std::vector<EdgeChange>* diff) {
+  assert(moved.size() == new_positions.size());
+  ++maint_.incremental_epochs;
+  if (moved.empty()) return;
+  ensure_linked_grid();
+  if (mover_stamp_.size() < positions_.size()) {
+    mover_stamp_.resize(positions_.size(), 0);
+  }
+  ++stamp_epoch_;
+  if (stamp_epoch_ == 0) {  // wrapped: stamps are ambiguous, reset them
+    std::fill(mover_stamp_.begin(), mover_stamp_.end(), 0);
+    stamp_epoch_ = 1;
+  }
+  // Phase 1: commit every mover's position and re-bucket cell crossers,
+  // so phase 2's scans all see the epoch's final geometry.
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    const NodeId id = moved[i];
+    Vec2 p = new_positions[i];
+    p.x = std::clamp(p.x, 0.0, side_);
+    p.y = std::clamp(p.y, 0.0, side_);
+    positions_[id] = p;
+    mover_stamp_[id] = stamp_epoch_;
+    const auto c = static_cast<std::uint32_t>(cell_index(p));
+    if (c != cell_of_[id]) {
+      grid_unlink(id);
+      grid_link(id, c);
+      ++maint_.cell_rebuckets;
+    }
+  }
+  // Phase 2: a unit-disk edge flips only if an endpoint moved, so
+  // rescanning the movers covers every change.  Diffing a mover's new
+  // list against its old one yields the flipped edges; non-mover
+  // endpoints get a sorted one-element patch, mover endpoints rebuild
+  // their own lists anyway.  Mover-mover flips surface in both scans
+  // and are emitted once (from the lower id).
+  for (const NodeId m : moved) {
+    const auto old_list = neighbors(m);
+    scratch_old_.assign(old_list.begin(), old_list.end());
+    scratch_new_.clear();
+    scan_into(scratch_new_, positions_[m], range_, m);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < scratch_old_.size() || j < scratch_new_.size()) {
+      if (j == scratch_new_.size() ||
+          (i < scratch_old_.size() && scratch_old_[i] < scratch_new_[j])) {
+        const NodeId v = scratch_old_[i++];
+        const bool v_moved = mover_stamp_[v] == stamp_epoch_;
+        if (!v_moved) patch_erase(v, m);
+        if (!v_moved || v > m) {
+          ++maint_.edges_removed;
+          if (diff != nullptr) {
+            diff->push_back({std::min(m, v), std::max(m, v), false});
+          }
+        }
+      } else if (i == scratch_old_.size() ||
+                 scratch_new_[j] < scratch_old_[i]) {
+        const NodeId v = scratch_new_[j++];
+        const bool v_moved = mover_stamp_[v] == stamp_epoch_;
+        if (!v_moved) patch_insert(v, m);
+        if (!v_moved || v > m) {
+          ++maint_.edges_added;
+          if (diff != nullptr) {
+            diff->push_back({std::min(m, v), std::max(m, v), true});
+          }
+        }
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    store_list(m, scratch_new_);
+    ++maint_.movers_rescanned;
+  }
+  // Compact once dead slots and slack outweigh live data.
+  if (nbr_pool_.size() > 1024 && nbr_pool_.size() > 2 * total_degree_) {
+    compact_pool();
+  }
+}
+
 NodeId Topology::add_node(Vec2 pos) {
   const auto id = static_cast<NodeId>(positions_.size());
   positions_.push_back(pos);
-  // Splice into the grid CSR: the new id is the largest, so it lands at
-  // the end of its cell's ascending run.
-  const std::size_t c = cell_index(pos);
-  grid_ids_.insert(grid_ids_.begin() + grid_offsets_[c + 1], id);
-  for (std::size_t i = c + 1; i < grid_offsets_.size(); ++i) {
-    ++grid_offsets_[i];
+  // Keep the spatial index in the O(1)-insert linked shape; when the
+  // CSR twin was active this converts it (one linear pass, cheaper than
+  // the old per-edge CSR splicing ever was).
+  if (!grid_linked_) {
+    ensure_linked_grid();  // covers the freshly pushed node too
+  } else {
+    grid_next_.push_back(kNoNode);
+    grid_prev_.push_back(kNoNode);
+    cell_of_.push_back(0);
+    grid_link(id, static_cast<std::uint32_t>(cell_index(pos)));
   }
-  // §IV-E additions are rare and small-N, so O(edges) splices into the
-  // neighbor CSR are fine; bulk builds go through rebuild_neighbor_lists.
+  if (!mover_stamp_.empty()) mover_stamp_.push_back(0);
   const std::vector<NodeId> nbrs = scan_neighbors(pos, range_, id);
-  for (NodeId neighbor : nbrs) {
-    const auto begin =
-        neighbor_ids_.begin() + neighbor_offsets_[neighbor];
-    const auto end = neighbor_ids_.begin() + neighbor_offsets_[neighbor + 1];
-    neighbor_ids_.insert(std::upper_bound(begin, end, id), id);
-    for (std::size_t i = neighbor + 1; i < neighbor_offsets_.size(); ++i) {
-      ++neighbor_offsets_[i];
-    }
-  }
-  neighbor_ids_.insert(neighbor_ids_.end(), nbrs.begin(), nbrs.end());
-  neighbor_offsets_.push_back(
-      static_cast<std::uint32_t>(neighbor_ids_.size()));
+  for (const NodeId neighbor : nbrs) patch_insert(neighbor, id);
+  nbr_begin_.push_back(static_cast<std::uint32_t>(nbr_pool_.size()));
+  nbr_count_.push_back(0);
+  nbr_cap_.push_back(0);
+  store_list(id, nbrs);
   return id;
 }
 

@@ -12,6 +12,7 @@ constexpr std::array<std::string_view, kAuditKindCount> kKindNames = {
     "join_admitted",   "join_rejected",  "node_left",      "node_failed",
     "sleep",           "wake",           "partition",      "heal",
     "replay_rejected", "nonce_wrap_abort",
+    "neighbor_key_stored", "neighbor_key_dropped",
 };
 
 }  // namespace

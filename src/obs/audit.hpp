@@ -45,10 +45,12 @@ enum class AuditKind : std::uint8_t {
   kHeal,             // partition wall removed
   kReplayRejected,   // envelope nonce <= last seen (subject = sender, arg = nonce)
   kNonceWrapAbort,   // envelope counter exhausted; node halts before reuse
+  kNeighborKeyStored,   // node stored a neighboring cluster's key (subject = cid)
+  kNeighborKeyDropped,  // node dropped a neighboring cluster's key (subject = cid)
 };
 
 inline constexpr std::size_t kAuditKindCount =
-    static_cast<std::size_t>(AuditKind::kNonceWrapAbort) + 1;
+    static_cast<std::size_t>(AuditKind::kNeighborKeyDropped) + 1;
 
 /// Stable snake_case name used on the wire ("refresh_applied", ...).
 [[nodiscard]] std::string_view audit_kind_name(AuditKind kind) noexcept;
@@ -85,6 +87,17 @@ struct HealthSample {
   double latency_p95_ms = 0.0;
   std::uint64_t epoch_skew = 0;      // max - min hash epoch over keyed actives
   double epoch_mean = 0.0;
+};
+
+/// Synchronous tap on the audit stream, dispatched at the emission site
+/// (Network::audit) alongside the bounded AuditSink.  Unlike the sink —
+/// which evicts under pressure and therefore cannot back incremental
+/// state — a listener sees every event exactly once, in emission order.
+/// Implementations must be cheap: they run inline with protocol code.
+class AuditListener {
+ public:
+  virtual ~AuditListener() = default;
+  virtual void on_audit(const AuditEvent& event) = 0;
 };
 
 /// Bounded, lane-sharded recorder for AuditEvents.  One shard per lane

@@ -1,0 +1,317 @@
+#include "obs/health_accum.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ldke::obs {
+
+namespace {
+
+bool sorted_contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void sorted_insert(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  v.insert(std::upper_bound(v.begin(), v.end(), x), x);
+}
+
+void sorted_erase(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+}
+
+bool sorted_intersect(const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void HealthAccumulator::begin_resync(std::size_t node_count) {
+  active_.assign(node_count, 0);
+  keyed_.assign(node_count, 0);
+  epoch_.assign(node_count, 0);
+  cids_.assign(node_count, {});
+  sec_.assign(node_count, {});
+  live_links_ = 0;
+  secured_links_ = 0;
+  parent_.resize(node_count);
+  uf_dirty_ = false;
+}
+
+void HealthAccumulator::resync_node(std::uint32_t id, bool active, bool keyed,
+                                    std::uint64_t epoch,
+                                    std::span<const std::uint32_t> cids) {
+  active_[id] = active ? 1 : 0;
+  keyed_[id] = keyed ? 1 : 0;
+  epoch_[id] = epoch;
+  cids_[id].assign(cids.begin(), cids.end());
+  assert(std::is_sorted(cids_[id].begin(), cids_[id].end()));
+}
+
+void HealthAccumulator::end_resync() {
+  const auto n = static_cast<std::uint32_t>(active_.size());
+  for (std::uint32_t u = 0; u < n; ++u) parent_[u] = u;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (active_[u] == 0) continue;
+    for (const std::uint32_t v : graph_.neighbors_of(u)) {
+      if (v <= u || active_[v] == 0) continue;
+      ++live_links_;
+      if (pair_secured(u, v)) {
+        sec_[u].push_back(v);  // ascending scan keeps both sorted
+        sec_[v].push_back(u);
+        ++secured_links_;
+        unite(u, v);
+      }
+    }
+  }
+  for (auto& s : sec_) {
+    std::sort(s.begin(), s.end());
+  }
+  uf_dirty_ = false;
+}
+
+bool HealthAccumulator::pair_secured(std::uint32_t u, std::uint32_t v) const {
+  return active_[u] != 0 && active_[v] != 0 && epoch_[u] == epoch_[v] &&
+         sorted_intersect(cids_[u], cids_[v]);
+}
+
+std::uint32_t HealthAccumulator::find(std::uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+void HealthAccumulator::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+}
+
+void HealthAccumulator::rebuild_union_find() {
+  const auto n = static_cast<std::uint32_t>(active_.size());
+  for (std::uint32_t u = 0; u < n; ++u) parent_[u] = u;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const std::uint32_t v : sec_[u]) {
+      if (v > u) unite(u, v);
+    }
+  }
+  uf_dirty_ = false;
+}
+
+void HealthAccumulator::rekey(std::uint32_t u) {
+  scratch_sec_.clear();
+  if (active_[u] != 0) {
+    for (const std::uint32_t v : graph_.neighbors_of(u)) {
+      if (v != u && pair_secured(u, v)) scratch_sec_.push_back(v);
+    }
+  }
+  // Delta against the stored set (both sorted): touch only flips.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto& old = sec_[u];
+  while (i < old.size() || j < scratch_sec_.size()) {
+    if (j == scratch_sec_.size() ||
+        (i < old.size() && old[i] < scratch_sec_[j])) {
+      const std::uint32_t v = old[i++];
+      sorted_erase(sec_[v], u);
+      --secured_links_;
+      uf_dirty_ = true;
+    } else if (i == old.size() || scratch_sec_[j] < old[i]) {
+      const std::uint32_t v = scratch_sec_[j++];
+      sorted_insert(sec_[v], u);
+      ++secured_links_;
+      if (!uf_dirty_) unite(u, v);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  sec_[u] = scratch_sec_;
+}
+
+void HealthAccumulator::set_active(std::uint32_t u, bool active) {
+  if ((active_[u] != 0) == active) return;
+  if (!active) {
+    for (const std::uint32_t v : graph_.neighbors_of(u)) {
+      if (v != u && active_[v] != 0) --live_links_;
+    }
+    active_[u] = 0;
+    rekey(u);  // empties u's secured set
+  } else {
+    active_[u] = 1;
+    for (const std::uint32_t v : graph_.neighbors_of(u)) {
+      if (v != u && active_[v] != 0) ++live_links_;
+    }
+    rekey(u);
+  }
+}
+
+void HealthAccumulator::add_cid(std::uint32_t u, std::uint32_t cid) {
+  if (!sorted_contains(cids_[u], cid)) sorted_insert(cids_[u], cid);
+}
+
+void HealthAccumulator::remove_cid(std::uint32_t u, std::uint32_t cid) {
+  sorted_erase(cids_[u], cid);
+}
+
+void HealthAccumulator::ensure(std::uint32_t id) {
+  if (id < active_.size()) return;
+  const std::size_t n = id + 1;
+  active_.resize(n, 0);
+  keyed_.resize(n, 0);
+  epoch_.resize(n, 0);
+  cids_.resize(n);
+  sec_.resize(n);
+  parent_.reserve(n);
+  while (parent_.size() < n) {
+    parent_.push_back(static_cast<std::uint32_t>(parent_.size()));
+  }
+}
+
+void HealthAccumulator::on_node_added(std::uint32_t id) {
+  ensure(id);
+  // Fresh §IV-E deployments come up active and unkeyed; count the live
+  // links its topology edges just created.
+  active_[id] = 0;  // set_active does the link accounting
+  set_active(id, true);
+}
+
+void HealthAccumulator::on_edge(std::uint32_t a, std::uint32_t b, bool added) {
+  ensure(std::max(a, b));
+  if (active_[a] == 0 || active_[b] == 0) {
+    // An edge touching an inactive endpoint carries no live or secured
+    // accounting; when the endpoint reactivates, set_active rescans.
+    return;
+  }
+  if (added) {
+    ++live_links_;
+    if (pair_secured(a, b)) {
+      sorted_insert(sec_[a], b);
+      sorted_insert(sec_[b], a);
+      ++secured_links_;
+      if (!uf_dirty_) unite(a, b);
+    }
+  } else {
+    --live_links_;
+    if (sorted_contains(sec_[a], b)) {
+      sorted_erase(sec_[a], b);
+      sorted_erase(sec_[b], a);
+      --secured_links_;
+      uf_dirty_ = true;
+    }
+  }
+}
+
+void HealthAccumulator::on_audit(const AuditEvent& event) {
+  ensure(event.actor);
+  switch (event.kind) {
+    case AuditKind::kKeyEstablished:
+    case AuditKind::kMemberJoined:
+      keyed_[event.actor] = 1;
+      add_cid(event.actor, event.subject);
+      rekey(event.actor);
+      break;
+    case AuditKind::kNeighborKeyStored:
+      add_cid(event.actor, event.subject);
+      rekey(event.actor);
+      break;
+    case AuditKind::kNeighborKeyDropped:
+      remove_cid(event.actor, event.subject);
+      rekey(event.actor);
+      break;
+    case AuditKind::kJoinAdmitted:
+      keyed_[event.actor] = 1;
+      epoch_[event.actor] = event.arg;
+      add_cid(event.actor, event.subject);
+      rekey(event.actor);
+      break;
+    case AuditKind::kEvicted:
+      keyed_[event.actor] = 0;
+      cids_[event.actor].clear();
+      rekey(event.actor);
+      break;
+    case AuditKind::kRefreshApplied:
+      epoch_[event.actor] = event.arg;
+      rekey(event.actor);
+      break;
+    case AuditKind::kNodeLeft:
+    case AuditKind::kNodeFailed:
+      set_active(event.actor, false);
+      break;
+    case AuditKind::kSleep:
+      set_active(event.actor, false);
+      break;
+    case AuditKind::kWake:
+      epoch_[event.actor] += event.arg;
+      set_active(event.actor, true);
+      break;
+    case AuditKind::kRefreshRound:
+    case AuditKind::kRefreshReplay:
+    case AuditKind::kEvictionIssued:
+    case AuditKind::kJoinStarted:
+    case AuditKind::kJoinRejected:
+    case AuditKind::kPartition:
+    case AuditKind::kHeal:
+    case AuditKind::kReplayRejected:
+    case AuditKind::kNonceWrapAbort:
+      break;  // no key-graph state change
+  }
+}
+
+HealthSample HealthAccumulator::sample() {
+  if (uf_dirty_) rebuild_union_find();
+  HealthSample s;
+  const auto n = static_cast<std::uint32_t>(active_.size());
+  std::uint64_t epoch_min = 0;
+  std::uint64_t epoch_max = 0;
+  std::uint64_t epoch_sum = 0;
+  std::uint32_t keyed = 0;
+  root_sizes_.assign(n, 0);
+  std::uint32_t components = 0;
+  std::uint32_t largest = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (active_[u] == 0) continue;
+    ++s.active_nodes;
+    if (keyed_[u] != 0) {
+      const std::uint64_t epoch = epoch_[u];
+      if (keyed == 0) {
+        epoch_min = epoch_max = epoch;
+      }
+      epoch_min = std::min(epoch_min, epoch);
+      epoch_max = std::max(epoch_max, epoch);
+      epoch_sum += epoch;
+      ++keyed;
+    }
+    const std::uint32_t r = find(u);
+    if (root_sizes_[r]++ == 0) ++components;
+    largest = std::max(largest, root_sizes_[r]);
+  }
+  s.live_links = static_cast<std::uint32_t>(live_links_);
+  s.secured_links = static_cast<std::uint32_t>(secured_links_);
+  s.secured_link_fraction =
+      live_links_ == 0
+          ? 0.0
+          : static_cast<double>(secured_links_) /
+                static_cast<double>(live_links_);
+  s.key_components = components;
+  s.largest_component = largest;
+  s.epoch_skew = keyed == 0 ? 0 : epoch_max - epoch_min;
+  s.epoch_mean = keyed == 0 ? 0.0 : static_cast<double>(epoch_sum) / keyed;
+  return s;
+}
+
+}  // namespace ldke::obs

@@ -1,0 +1,107 @@
+#pragma once
+/// \file health_accum.hpp
+/// Audit-fed incremental protocol-health accounting.
+///
+/// core::probe_health answers "how healthy is the key graph?" by walking
+/// every node and every live link — O(N+E) per sample, which dwarfs the
+/// cost of an incremental mobility epoch at 100k nodes.  This
+/// accumulator maintains the same gauges continuously from the audit
+/// event stream (an AuditListener tap, so nothing is ever evicted) plus
+/// the topology's per-epoch edge diffs, making a HealthSample an O(N)
+/// worst-case read (the lazy union-find rebuild) and usually far less.
+///
+/// The mirror holds *no key bytes*: a link counts as secured when both
+/// endpoints are active, share a cluster id, and sit at the same hash
+/// epoch — exactly the byte-equality predicate of the probe, because a
+/// node's stored key for cluster c is always F^epoch(K0_c) under the
+/// lockstep §IV-C refresh discipline the scenario engine drives.
+/// SensorNode keeps every stored *and* pending-join key on that F-chain
+/// (apply_hash_refresh and on_join_reply fast-forward §IV-E candidates
+/// to the node's epoch, and a §IV-C recluster round voids in-flight
+/// join buffers whose candidates would otherwise commit pre-swap key
+/// material), and the one path that leaves it — the random per-cluster
+/// rekey of initiate_cluster_rekey — is never driven by the scenario
+/// engine; the engine's cross-check mode verifies the equivalence
+/// against the probe on every sample.
+///
+/// Layering: obs cannot see net/core, so topology adjacency comes in
+/// through the NeighborSource interface and node key/epoch state is
+/// pushed in by the engine's resync walk at setup and recluster
+/// boundaries (the only moments key state changes without audit
+/// coverage — the recluster commit swaps key sets atomically).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/audit.hpp"
+
+namespace ldke::obs {
+
+class HealthAccumulator : public AuditListener {
+ public:
+  /// Read-only view of the communication graph (the engine adapts
+  /// net::Topology).  Lists must be sorted ascending.
+  class NeighborSource {
+   public:
+    virtual ~NeighborSource() = default;
+    [[nodiscard]] virtual std::span<const std::uint32_t> neighbors_of(
+        std::uint32_t id) const = 0;
+  };
+
+  explicit HealthAccumulator(const NeighborSource& graph) : graph_(graph) {}
+
+  // ---- resync (setup / recluster boundaries) ------------------------
+  void begin_resync(std::size_t node_count);
+  /// Pushes one node's ground-truth state; \p cids must be sorted.
+  void resync_node(std::uint32_t id, bool active, bool keyed,
+                   std::uint64_t epoch, std::span<const std::uint32_t> cids);
+  /// Recomputes links, secured edges and connectivity from the pushed
+  /// state — the one O(N+E) pass, amortized over a whole scenario.
+  void end_resync();
+
+  // ---- incremental feeds --------------------------------------------
+  void on_audit(const AuditEvent& event) override;
+  /// Topology edge flip from Topology::apply_displacements.
+  void on_edge(std::uint32_t a, std::uint32_t b, bool added);
+  /// A brand-new node entered the topology (§IV-E deploy); it starts
+  /// active, unkeyed, at epoch 0.  Call after the topology knows it.
+  void on_node_added(std::uint32_t id);
+
+  /// Structural gauges only: active/live/secured/components/epochs.
+  /// The caller stamps t_ns/phase and fills the delivery window.
+  [[nodiscard]] HealthSample sample();
+
+  [[nodiscard]] std::size_t size() const noexcept { return active_.size(); }
+
+ private:
+  [[nodiscard]] bool pair_secured(std::uint32_t u, std::uint32_t v) const;
+  /// Re-derives u's secured-neighbor set and applies the delta to both
+  /// endpoints, the counts, and the union-find — O(deg(u)) integer ops.
+  void rekey(std::uint32_t u);
+  void set_active(std::uint32_t u, bool active);
+  void add_cid(std::uint32_t u, std::uint32_t cid);
+  void remove_cid(std::uint32_t u, std::uint32_t cid);
+  void ensure(std::uint32_t id);
+  void unite(std::uint32_t a, std::uint32_t b);
+  [[nodiscard]] std::uint32_t find(std::uint32_t x);
+  void rebuild_union_find();
+
+  const NeighborSource& graph_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint8_t> keyed_;
+  std::vector<std::uint64_t> epoch_;
+  std::vector<std::vector<std::uint32_t>> cids_;  // sorted cluster ids
+  std::vector<std::vector<std::uint32_t>> sec_;   // sorted secured neighbors
+  std::uint64_t live_links_ = 0;
+  std::uint64_t secured_links_ = 0;
+  // Union-find over secured edges: exact while edges only arrive
+  // (incremental unite), rebuilt lazily from sec_ after any removal.
+  std::vector<std::uint32_t> parent_;
+  bool uf_dirty_ = false;
+  std::vector<std::uint32_t> scratch_sec_;
+  std::vector<std::uint32_t> root_sizes_;  // sample() scratch
+};
+
+}  // namespace ldke::obs

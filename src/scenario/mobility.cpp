@@ -92,12 +92,21 @@ void MobilityField::advance_walker(std::size_t i, net::Vec2& pos, double dt) {
 }
 
 void MobilityField::advance(double dt) {
+  // Record the per-epoch delta (exact bit compare: a walker that paused,
+  // stayed frozen, or landed exactly where it stood is not a mover).
+  moved_ids_.clear();
+  moved_pos_.clear();
   switch (config_.model) {
     case MotionModel::kNone:
       return;
     case MotionModel::kRandomWaypoint:
       for (std::size_t i = 0; i < positions_.size(); ++i) {
+        const net::Vec2 before = positions_[i];
         advance_walker(i, positions_[i], dt);
+        if (!(positions_[i] == before)) {
+          moved_ids_.push_back(static_cast<net::NodeId>(i));
+          moved_pos_.push_back(positions_[i]);
+        }
       }
       return;
     case MotionModel::kGroup: {
@@ -112,8 +121,13 @@ void MobilityField::advance(double dt) {
         offsets_[i].x = offsets_[i].x * 0.98 + rng_.uniform(-jitter, jitter);
         offsets_[i].y = offsets_[i].y * 0.98 + rng_.uniform(-jitter, jitter);
         const net::Vec2 c = group_centers_[group_of_[i]];
-        positions_[i] = {std::clamp(c.x + offsets_[i].x, 0.0, side_),
-                         std::clamp(c.y + offsets_[i].y, 0.0, side_)};
+        const net::Vec2 next = {std::clamp(c.x + offsets_[i].x, 0.0, side_),
+                                std::clamp(c.y + offsets_[i].y, 0.0, side_)};
+        if (!(next == positions_[i])) {
+          positions_[i] = next;
+          moved_ids_.push_back(static_cast<net::NodeId>(i));
+          moved_pos_.push_back(next);
+        }
       }
       return;
     }
@@ -121,6 +135,8 @@ void MobilityField::advance(double dt) {
 }
 
 void MobilityField::add_node(net::Vec2 pos) {
+  moved_ids_.clear();  // the delta of the previous epoch is now stale
+  moved_pos_.clear();
   positions_.push_back(pos);
   switch (config_.model) {
     case MotionModel::kNone:

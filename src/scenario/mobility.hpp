@@ -42,6 +42,19 @@ class MobilityField {
   }
   [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
 
+  /// SoA delta of the last advance(): the ids whose position actually
+  /// changed (ascending) and their new coordinates, index-aligned.
+  /// Paused, frozen, and arrived-at-target walkers do not appear — the
+  /// locality the incremental Topology path exploits.  Valid until the
+  /// next advance()/add_node().
+  struct Displacements {
+    std::span<const net::NodeId> ids;
+    std::span<const net::Vec2> positions;
+  };
+  [[nodiscard]] Displacements displacements() const noexcept {
+    return {moved_ids_, moved_pos_};
+  }
+
   /// Folds the bit patterns of every current position into \p h
   /// (FNV-1a); used for cross-replayer trace digests.
   [[nodiscard]] std::uint64_t fold_digest(std::uint64_t h) const noexcept;
@@ -66,6 +79,8 @@ class MobilityField {
   std::vector<net::Vec2> offsets_;        // kGroup: member offset from center
   std::vector<std::uint32_t> group_of_;   // kGroup: member -> group index
   std::vector<bool> member_frozen_;       // kGroup: departed members
+  std::vector<net::NodeId> moved_ids_;    // delta of the last advance()
+  std::vector<net::Vec2> moved_pos_;
   support::Xoshiro256 rng_;
 };
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/runner.hpp"
 #include "obs/audit.hpp"
@@ -203,6 +205,123 @@ TEST(ScenarioEngine, EmitsAuditStreamAndPerPhaseHealth) {
   EXPECT_GT(health[0].largest_component, health[0].active_nodes / 2);
 }
 
+struct ModeRun {
+  ScenarioStats stats;
+  std::vector<obs::HealthSample> health;
+};
+
+ModeRun run_with_modes(const ScenarioSpec& spec, std::uint64_t seed,
+                       ScenarioEngine::TopologyMaintenance topo,
+                       ScenarioEngine::HealthMaintenance health) {
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, seed);
+  core::ProtocolRunner runner{config};
+  ScenarioEngine engine{runner, spec};
+  engine.set_topology_maintenance(topo);
+  engine.set_health_maintenance(health);
+  ModeRun out;
+  out.stats = engine.run();
+  out.health = engine.health();
+  return out;
+}
+
+/// The tentpole acceptance gate: the incremental topology + audit-fed
+/// health path produces the same trace digest, the same stats JSON and
+/// the same health samples as the full-rebuild / full-probe reference.
+TEST(ScenarioEngine, IncrementalPathMatchesFullRebuildBitForBit) {
+  ScenarioSpec spec = small_spec();
+  spec.data.evict_interval_s = 0.9;  // eviction wave inside the storm
+  const ModeRun incremental =
+      run_with_modes(spec, 7, ScenarioEngine::TopologyMaintenance::kIncremental,
+                     ScenarioEngine::HealthMaintenance::kIncremental);
+  const ModeRun full =
+      run_with_modes(spec, 7, ScenarioEngine::TopologyMaintenance::kFullRebuild,
+                     ScenarioEngine::HealthMaintenance::kFullProbe);
+
+  EXPECT_EQ(incremental.stats.trace_digest, full.stats.trace_digest);
+  EXPECT_EQ(incremental.stats.to_json().dump(), full.stats.to_json().dump());
+  ASSERT_EQ(incremental.health.size(), full.health.size());
+  for (std::size_t i = 0; i < full.health.size(); ++i) {
+    const obs::HealthSample& a = incremental.health[i];
+    const obs::HealthSample& b = full.health[i];
+    EXPECT_EQ(a.t_ns, b.t_ns) << "phase " << b.phase;
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.active_nodes, b.active_nodes) << "phase " << b.phase;
+    EXPECT_EQ(a.live_links, b.live_links) << "phase " << b.phase;
+    EXPECT_EQ(a.secured_links, b.secured_links) << "phase " << b.phase;
+    EXPECT_DOUBLE_EQ(a.secured_link_fraction, b.secured_link_fraction)
+        << "phase " << b.phase;
+    EXPECT_EQ(a.key_components, b.key_components) << "phase " << b.phase;
+    EXPECT_EQ(a.largest_component, b.largest_component) << "phase " << b.phase;
+    EXPECT_EQ(a.delivered, b.delivered) << "phase " << b.phase;
+    EXPECT_DOUBLE_EQ(a.latency_p50_ms, b.latency_p50_ms)
+        << "phase " << b.phase;
+    EXPECT_DOUBLE_EQ(a.latency_p95_ms, b.latency_p95_ms)
+        << "phase " << b.phase;
+    EXPECT_EQ(a.epoch_skew, b.epoch_skew) << "phase " << b.phase;
+    EXPECT_DOUBLE_EQ(a.epoch_mean, b.epoch_mean) << "phase " << b.phase;
+  }
+}
+
+TEST(ScenarioEngine, CrossCheckModeAgreesThroughChurnAndEvictions) {
+  // Cross-check runs the O(N+E) probe next to the audit-fed mirror at
+  // every sample and throws std::logic_error on any field mismatch, so
+  // completing the run *is* the assertion.  The spec stacks the hard
+  // cases: mobility, churn, duty sleepers, a partition wave, eviction,
+  // and a mid-run recluster (which resyncs the mirror from ground
+  // truth).
+  ScenarioSpec spec = small_spec();
+  spec.data.evict_interval_s = 0.9;
+  core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, 7);
+  core::ProtocolRunner runner{config};
+  ScenarioEngine engine{runner, spec};
+  engine.set_health_cross_check(true);
+  ScenarioStats stats;
+  EXPECT_NO_THROW(stats = engine.run());
+  ASSERT_EQ(stats.phases.size(), 3u);
+  EXPECT_GT(stats.phases[1].leaves + stats.phases[1].fails, 0u);
+  EXPECT_EQ(stats.reclusters, 1u);
+}
+
+TEST(ScenarioEngine, CrossCheckSurvivesJoinsStraddlingRecluster) {
+  // Regression: a §IV-E join window that straddles a §IV-C recluster
+  // used to commit pre-rotation candidate keys — a permanently
+  // unauthenticatable "member" the byte-walking probe saw as unsecured
+  // while the mirror's cid+epoch predicate counted it secured.  The
+  // recluster now voids in-flight join buffers, defers §IV-E replies
+  // while a round is active, and resets the reply guard at the swap so
+  // the retry lands in the new epoch.  A join rate this high against a
+  // 0.25 s join window guarantees straddles (pre-fix this spec trips
+  // the cross-check on nearly every seed).
+  ScenarioSpec spec = small_spec();
+  spec.churn = {1.0, 0.5, 12.0};
+  spec.phases[1].duty = false;
+  spec.phases[1].events.clear();
+  for (const std::uint64_t seed : {1u, 3u, 7u}) {
+    core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, seed);
+    core::ProtocolRunner runner{config};
+    ScenarioEngine engine{runner, spec};
+    engine.set_health_cross_check(true);
+    ScenarioStats stats;
+    EXPECT_NO_THROW(stats = engine.run()) << "seed " << seed;
+    EXPECT_GT(stats.joins, 0u) << "seed " << seed;
+    EXPECT_EQ(stats.reclusters, 1u) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioEngine, IncrementalHealthFallsBackWithFullRebuildTopology) {
+  // Incremental health needs the edge diff that only the incremental
+  // topology path produces; with full rebuilds the engine silently uses
+  // the probe.  Results still match the all-incremental run exactly.
+  const ScenarioSpec spec = small_spec();
+  const ModeRun mixed =
+      run_with_modes(spec, 7, ScenarioEngine::TopologyMaintenance::kFullRebuild,
+                     ScenarioEngine::HealthMaintenance::kIncremental);
+  const ModeRun incremental =
+      run_with_modes(spec, 7, ScenarioEngine::TopologyMaintenance::kIncremental,
+                     ScenarioEngine::HealthMaintenance::kIncremental);
+  EXPECT_EQ(mixed.stats.to_json().dump(), incremental.stats.to_json().dump());
+}
+
 TEST(ScenarioEngine, RefusesShardedKernels) {
   ScenarioSpec spec = small_spec();
   core::RunnerConfig config = ScenarioEngine::make_runner_config(spec, 3);
@@ -212,8 +331,8 @@ TEST(ScenarioEngine, RefusesShardedKernels) {
   if (runner.sim().kernel() == nullptr) {
     GTEST_SKIP() << "kernel clamped to serial on this configuration";
   }
-  ScenarioEngine engine{runner, spec};
-  EXPECT_THROW((void)engine.run(), std::invalid_argument);
+  // Fails at construction — before setup burns any work.
+  EXPECT_THROW((ScenarioEngine{runner, spec}), std::invalid_argument);
 }
 
 TEST(ScenarioEngine, RejectsMismatchedRunnerConfig) {

@@ -32,6 +32,7 @@ AUDIT_KINDS = frozenset({
     "refresh_replay", "eviction_issued", "evicted", "join_started",
     "join_admitted", "join_rejected", "node_left", "node_failed", "sleep",
     "wake", "partition", "heal", "replay_rejected", "nonce_wrap_abort",
+    "neighbor_key_stored", "neighbor_key_dropped",
 })
 
 # RunSummary: section -> {field: type}.  `float` accepts ints too (JSON

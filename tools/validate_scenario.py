@@ -15,7 +15,11 @@ violation so a CI failure points straight at the malformed field.
     every engine phase and baseline replay, plus the bench's own hard
     gates re-checked — deterministic reruns, and every replay's trace
     digest equal to its engine's (a stale or hand-edited artifact
-    cannot sneak past CI).
+    cannot sneak past CI).  When the artifact carries a `scale_sweep`
+    (schema v2), every point's fields and sanity are re-checked too:
+    positive timings, element-identity, and the incremental-vs-full
+    speedup consistent with its own timings and above the recorded
+    gate at gate-sized deployments.
 
 Usage:
   tools/validate_scenario.py examples/scenarios/*.json \\
@@ -26,6 +30,7 @@ import json
 import sys
 
 SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSIONS = (1, 2)  # 2 added the mobile-scale sweep
 NUMBER = (int, float)
 MOTION_MODELS = ("none", "waypoint", "group")
 
@@ -71,6 +76,21 @@ REPLAY_PHASE_FIELDS = {
     "secured_link_fraction": NUMBER,
     "mean_secured_degree": NUMBER,
     "unkeyed_nodes": int,
+}
+
+SWEEP_POINT_FIELDS = {
+    "nodes": int,
+    "side_m": NUMBER,
+    "range_m": NUMBER,
+    "mobile_fraction": NUMBER,
+    "mean_degree": NUMBER,
+    "incr_epoch_s": NUMBER,
+    "full_epoch_s": NUMBER,
+    "incr_ns_per_node": NUMBER,
+    "full_ns_per_node": NUMBER,
+    "movers_per_epoch": NUMBER,
+    "speedup": NUMBER,
+    "identical": bool,
 }
 
 
@@ -164,11 +184,50 @@ def check_engine_stats(doc, where, checker):
     return digest
 
 
+def check_sweep(doc, path, checker):
+    """The mobile-scale sweep: shape + the bench's own gates re-checked."""
+    points = doc.get("scale_sweep")
+    if points is None:
+        if doc.get("schema_version") == 2 and "sweep_identical" in doc:
+            checker.fail(f"{path}: sweep flags present but no scale_sweep")
+        return
+    if checker.expect(doc, "sweep_identical", bool, path) is False:
+        checker.fail(f"{path}: bench reported sweep topologies diverged")
+    min_speedup = checker.expect(doc, "sweep_min_speedup", NUMBER, path)
+    if not points:
+        checker.fail(f"{path}: scale_sweep is empty")
+    gate_nodes = 50000
+    for si, pt in enumerate(points):
+        where = f"{path}: scale_sweep[{si}]"
+        for field, kind in SWEEP_POINT_FIELDS.items():
+            checker.expect(pt, field, kind, where)
+        if pt.get("identical") is False:
+            checker.fail(f"{where}: incremental != full-rebuild topology")
+        incr = pt.get("incr_epoch_s", 0)
+        full = pt.get("full_epoch_s", 0)
+        speedup = pt.get("speedup", 0)
+        if isinstance(incr, (int, float)) and incr <= 0:
+            checker.fail(f"{where}: incr_epoch_s must be > 0")
+        elif isinstance(full, (int, float)) and isinstance(speedup, (int, float)):
+            if abs(speedup - full / incr) > 1e-6 * max(1.0, speedup):
+                checker.fail(f"{where}: speedup {speedup} inconsistent with "
+                             f"full/incr = {full / incr}")
+        if (isinstance(min_speedup, (int, float))
+                and isinstance(speedup, (int, float))
+                and pt.get("nodes", 0) >= gate_nodes
+                and speedup < min_speedup):
+            checker.fail(f"{where}: speedup {speedup} below the "
+                         f"{min_speedup}x gate at {pt.get('nodes')} nodes")
+        mf = pt.get("mobile_fraction", 0)
+        if isinstance(mf, (int, float)) and not 0.0 < mf <= 1.0:
+            checker.fail(f"{where}: mobile_fraction must be in (0, 1]")
+
+
 def check_bench(doc, path, checker):
     version = checker.expect(doc, "schema_version", int, path)
-    if version is not None and version != SCHEMA_VERSION:
+    if version is not None and version not in BENCH_SCHEMA_VERSIONS:
         checker.fail(f"{path}: schema_version {version}, "
-                     f"validator knows {SCHEMA_VERSION}")
+                     f"validator knows {BENCH_SCHEMA_VERSIONS}")
     if doc.get("bench") != "scenarios":
         checker.fail(f"{path}: bench is '{doc.get('bench')}', "
                      f"expected 'scenarios'")
@@ -206,6 +265,7 @@ def check_bench(doc, path, checker):
                                    f"{rwhere}.phases[{pi}]")
             if len(replay.get("phases", [])) != len(engine.get("phases", [])):
                 checker.fail(f"{rwhere}: phase count differs from engine")
+    check_sweep(doc, path, checker)
 
 
 def main(argv):
